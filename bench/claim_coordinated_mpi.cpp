@@ -1,0 +1,79 @@
+// C12 (§3, CoCheck/CLIP/LAM-MPI) — Checkpointing a message-passing job needs
+// coordination: senders quiesce and in-flight messages drain before
+// per-process images are cut.  Cost scales with rank count and with the
+// traffic in flight.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "cluster/mpi.hpp"
+#include "core/systemlevel.hpp"
+
+using namespace ckpt;
+
+namespace {
+
+struct Sample {
+  SimTime drain_time;
+  SimTime total_time;
+  std::uint64_t drained;
+  std::uint64_t payload;
+  bool ok;
+};
+
+Sample run(int nranks, std::uint64_t halo_bytes) {
+  cluster::Cluster cluster(4, cluster::NodeConfig{});
+  cluster::MpiRankGuest::Config config;
+  config.array_bytes = 64 * 1024;
+  config.halo_bytes = halo_bytes;
+  cluster::MpiJob job(cluster, nranks, config);
+  job.launch();
+  cluster.run_until(40 * kMillisecond);
+
+  std::vector<std::unique_ptr<core::CheckpointEngine>> engines;
+  std::vector<core::CheckpointEngine*> raw;
+  for (int i = 0; i < cluster.size(); ++i) {
+    sim::SimKernel& kernel = cluster.node(i).kernel();
+    sim::KernelModule& module = kernel.load_module("blcr");
+    engines.push_back(std::make_unique<core::KernelThreadEngine>(
+        "blcr", &cluster.remote_storage(), core::EngineOptions{}, kernel,
+        core::KernelThreadEngine::ThreadConfig{}, &module));
+    raw.push_back(engines.back().get());
+  }
+  const auto result = job.coordinated_checkpoint(raw);
+  return Sample{result.drain_time, result.total_time, result.messages_drained,
+                result.payload_bytes, result.ok};
+}
+
+}  // namespace
+
+int main() {
+  sim::register_standard_guests();
+  bench::print_header("C12 -- coordinated checkpointing of message-passing jobs",
+                      "in-flight messages must drain before per-rank images are cut "
+                      "(CoCheck [28] / CLIP [7] / LAM-MPI [32] lineage)");
+
+  util::TextTable table({"ranks", "halo", "msgs drained", "drain time", "total time",
+                         "job image"});
+  SimTime small_total = 0, large_total = 0;
+  bool all_ok = true;
+  for (int nranks : {2, 8, 24}) {
+    const Sample s = run(nranks, 1024);
+    all_ok = all_ok && s.ok;
+    if (nranks == 2) small_total = s.total_time;
+    if (nranks == 24) large_total = s.total_time;
+    table.add_row({std::to_string(nranks), "1 KiB", std::to_string(s.drained),
+                   util::format_time_ns(s.drain_time), util::format_time_ns(s.total_time),
+                   util::format_bytes(s.payload)});
+  }
+  const Sample heavy = run(8, 16 * 1024);
+  table.add_row({"8", "16 KiB", std::to_string(heavy.drained),
+                 util::format_time_ns(heavy.drain_time),
+                 util::format_time_ns(heavy.total_time), util::format_bytes(heavy.payload)});
+  bench::print_table(table);
+
+  bench::print_verdict(all_ok && large_total > small_total,
+                       "coordination succeeds for every job size, with cost growing "
+                       "in rank count (and the drained traffic never leaks into a "
+                       "torn image)");
+  return 0;
+}

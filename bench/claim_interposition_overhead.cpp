@@ -1,0 +1,61 @@
+// C2 (§3) — Syscall interposition (the LD_PRELOAD shadow-tracking tax) adds
+// run-time overhead to the application for its entire lifetime.
+//
+// The same syscall-heavy workload runs plain, under an interposing
+// user-level checkpoint library, and inside a ZAP pod (kernel-side
+// interception).  Series: application slowdown per syscall rate.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/capture.hpp"
+#include "core/pod.hpp"
+
+using namespace ckpt;
+
+namespace {
+
+SimTime run_logger(bool interpose, bool pod, std::uint64_t steps) {
+  sim::SimKernel kernel;
+  const sim::Pid pid = kernel.spawn(sim::FileLoggerGuest::kTypeName,
+                                    sim::FileLoggerGuest::Config{}.encode());
+  sim::Process& proc = kernel.process(pid);
+  core::UserLevelRuntime runtime;
+  if (interpose) runtime.install(kernel, proc, /*via_preload=*/true);
+  core::PodManager pods;
+  if (pod) {
+    core::Pod& p = pods.create_pod("p");
+    pods.adopt(kernel, pid, p.id);
+  }
+  kernel.run_while([&] { return proc.alive() && proc.stats.guest_iterations < steps; },
+                   kernel.now() + 60 * kSecond);
+  return proc.stats.syscall_time;
+}
+
+}  // namespace
+
+int main() {
+  sim::register_standard_guests();
+  bench::print_header("C2 -- run-time overhead of syscall interception",
+                      "\"This approach is extremely undesirable because of added "
+                      "run-time overhead\" (section 3); ZAP's virtualization "
+                      "\"introduces some run-time overhead\" (section 4.1)");
+
+  util::TextTable table({"steps", "plain syscall time", "LD_PRELOAD", "ZAP pod",
+                         "preload tax", "pod tax"});
+  bool holds = true;
+  for (std::uint64_t steps : {200, 1000, 4000}) {
+    const SimTime plain = run_logger(false, false, steps);
+    const SimTime preload = run_logger(true, false, steps);
+    const SimTime pod = run_logger(false, true, steps);
+    holds = holds && preload > plain && pod > plain;
+    table.add_row({std::to_string(steps), util::format_time_ns(plain),
+                   util::format_time_ns(preload), util::format_time_ns(pod),
+                   util::format_double(static_cast<double>(preload) / plain, 3),
+                   util::format_double(static_cast<double>(pod) / plain, 3)});
+  }
+  bench::print_table(table);
+  bench::print_verdict(holds,
+                       "interposition and pod translation each tax every system call "
+                       "for the process's whole lifetime");
+  return 0;
+}

@@ -1,0 +1,142 @@
+// C8 (§4, Table 1) — "Most store the checkpoint locally instead of remotely,
+// thus checkpoint data cannot be retrieved in case of a failure of the
+// machine."
+//
+// A long job runs on a cluster under MTBF-driven fail-stop failures with
+// periodic checkpoints to (a) local disk and (b) remote storage.  After
+// each failure we attempt recovery on a surviving node.  Series: recovery
+// success rate and useful work preserved, versus MTBF.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "cluster/failure.hpp"
+#include "cluster/node.hpp"
+#include "core/capture.hpp"
+#include "core/engine.hpp"
+
+using namespace ckpt;
+
+namespace {
+
+struct Outcome {
+  int failures = 0;
+  int recovered = 0;
+  std::uint64_t work_preserved = 0;  // counter value at last recovery
+};
+
+Outcome run(bool remote_storage, SimTime mtbf, std::uint64_t seed) {
+  cluster::Cluster cluster(4, cluster::NodeConfig{});
+  // The job runs on node 0; checkpoints go local or remote.
+  sim::Pid pid = cluster.node(0).kernel().spawn(sim::CounterGuest::kTypeName);
+  int home = 0;
+
+  Outcome outcome;
+  std::vector<storage::ImageId> chain_ids;
+  storage::StorageBackend* backend =
+      remote_storage ? static_cast<storage::StorageBackend*>(&cluster.remote_storage())
+                     : &cluster.node(0).disk();
+
+  // Periodic checkpoint every 200ms of cluster time, plus one at launch so
+  // the job is always restorable.
+  const SimTime ckpt_every = 200 * kMillisecond;
+  auto take_checkpoint = [&](cluster::Cluster& c) {
+    if (home < 0 || !c.node(home).up()) return;
+    sim::SimKernel& kernel = c.node(home).kernel();
+    if (sim::Process* proc = kernel.find_process(pid); proc != nullptr && proc->alive()) {
+      storage::StorageBackend* target = remote_storage ? backend : &c.node(home).disk();
+      const auto image = core::capture_kernel_level(kernel, *proc, core::CaptureOptions{});
+      const storage::ImageId id = target->store(image, nullptr);
+      if (id != storage::kBadImageId) chain_ids.push_back(id);
+    }
+  };
+  take_checkpoint(cluster);
+  std::function<void(cluster::Cluster&)> tick = [&](cluster::Cluster& c) {
+    take_checkpoint(c);
+    c.add_event(c.now() + ckpt_every, tick);
+  };
+  cluster.add_event(ckpt_every, tick);
+
+  // Recovery: restart the newest retrievable image on the lowest-numbered
+  // surviving node; while the whole cluster is down (a capacity outage, not
+  // a storage loss) keep retrying.
+  storage::StorageBackend* recover_source = nullptr;
+  std::function<void(cluster::Cluster&)> try_recover = [&](cluster::Cluster& c) {
+    if (home >= 0 || recover_source == nullptr) return;  // nothing to do
+    for (auto it = chain_ids.rbegin(); it != chain_ids.rend(); ++it) {
+      const auto image = recover_source->load(*it, nullptr);
+      if (!image.has_value()) continue;  // local disk down: unretrievable
+      const auto up = c.up_nodes();
+      if (up.empty()) {
+        c.add_event(c.now() + 500 * kMillisecond, [&](cluster::Cluster& c2) {
+          try_recover(c2);
+        });
+        return;
+      }
+      const auto result = core::restart_from_image(c.node(up[0]).kernel(), *image);
+      if (result.ok) {
+        ++outcome.recovered;
+        home = up[0];
+        pid = result.pid;
+        outcome.work_preserved = image->taken_at;
+      }
+      return;
+    }
+  };
+
+  cluster.on_failure([&](cluster::Cluster& c, int node) {
+    if (node != home) return;
+    // The machine hosting the job died; only these failures count.
+    ++outcome.failures;
+    const int failed = node;
+    home = -1;  // the job is down until a recovery succeeds
+    recover_source = remote_storage
+                         ? static_cast<storage::StorageBackend*>(&c.remote_storage())
+                         : &c.node(failed).disk();
+    try_recover(c);
+  });
+
+  cluster::FailureModel model;
+  model.mtbf = mtbf;
+  model.repair_time = 2 * kSecond;
+  model.seed = seed;
+  cluster::FailureInjector injector(cluster, model);
+  injector.arm(20 * kSecond);
+  cluster.run_until(20 * kSecond, 50 * kMillisecond);
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  sim::register_standard_guests();
+  bench::print_header("C8 -- checkpoint survivability: local vs remote stable storage",
+                      "\"checkpoint data cannot be retrieved in case of a failure of "
+                      "the machine\" (section 4)");
+
+  util::TextTable table(
+      {"MTBF/node", "storage", "job-node failures", "recoveries", "recovery rate"});
+  double local_rate = 1.0, remote_rate = 0.0;
+  for (SimTime mtbf : {3 * kSecond, 8 * kSecond}) {
+    for (bool remote : {false, true}) {
+      Outcome total;
+      for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        const Outcome o = run(remote, mtbf, seed);
+        total.failures += o.failures;
+        total.recovered += o.recovered;
+      }
+      const double rate =
+          total.failures == 0
+              ? 1.0
+              : static_cast<double>(total.recovered) / static_cast<double>(total.failures);
+      if (mtbf == 3 * kSecond) (remote ? remote_rate : local_rate) = rate;
+      table.add_row({util::format_time_ns(mtbf), remote ? "remote" : "local",
+                     std::to_string(total.failures), std::to_string(total.recovered),
+                     util::format_double(rate * 100, 1) + "%"});
+    }
+  }
+  bench::print_table(table);
+  bench::print_verdict(remote_rate > 0.99 && local_rate < 0.5,
+                       "remote storage recovers after every job-node failure; local "
+                       "storage strands the image on the dead machine");
+  return 0;
+}

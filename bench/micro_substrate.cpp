@@ -1,0 +1,95 @@
+// Micro-benchmarks of the substrate itself (google-benchmark): real
+// wall-clock cost of the simulator's hot paths, so regressions in the
+// reproduction harness are visible.
+#include <benchmark/benchmark.h>
+
+#include "core/capture.hpp"
+#include "sim/guests.hpp"
+#include "sim/kernel.hpp"
+#include "storage/image.hpp"
+#include "util/crc64.hpp"
+#include "util/serialize.hpp"
+
+namespace {
+
+using namespace ckpt;
+
+void BM_Crc64(benchmark::State& state) {
+  std::vector<std::byte> data(static_cast<std::size_t>(state.range(0)));
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = static_cast<std::byte>(i);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::crc64(data.data(), data.size()));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Crc64)->Arg(4096)->Arg(65536);
+
+void BM_GuestStep(benchmark::State& state) {
+  sim::register_standard_guests();
+  sim::SimKernel kernel;
+  sim::WriterConfig config;
+  config.array_bytes = static_cast<std::uint64_t>(state.range(0));
+  kernel.spawn(sim::DenseWriterGuest::kTypeName, config.encode(),
+               sim::spawn_options_for_array(config.array_bytes));
+  for (auto _ : state) {
+    kernel.run_round();
+  }
+}
+BENCHMARK(BM_GuestStep)->Arg(64 * 1024)->Arg(1024 * 1024);
+
+void BM_KernelCapture(benchmark::State& state) {
+  sim::register_standard_guests();
+  sim::SimKernel kernel;
+  sim::WriterConfig config;
+  config.array_bytes = static_cast<std::uint64_t>(state.range(0));
+  const sim::Pid pid = kernel.spawn(sim::DenseWriterGuest::kTypeName, config.encode(),
+                                    sim::spawn_options_for_array(config.array_bytes));
+  kernel.run_until(kernel.now() + 2 * kMillisecond);
+  sim::Process& proc = kernel.process(pid);
+  for (auto _ : state) {
+    auto image = core::capture_kernel_level(kernel, proc, core::CaptureOptions{});
+    benchmark::DoNotOptimize(image.payload_bytes());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_KernelCapture)->Arg(256 * 1024)->Arg(1024 * 1024);
+
+void BM_ImageSerializeRoundTrip(benchmark::State& state) {
+  sim::register_standard_guests();
+  sim::SimKernel kernel;
+  sim::WriterConfig config;
+  config.array_bytes = static_cast<std::uint64_t>(state.range(0));
+  const sim::Pid pid = kernel.spawn(sim::DenseWriterGuest::kTypeName, config.encode(),
+                                    sim::spawn_options_for_array(config.array_bytes));
+  kernel.run_until(kernel.now() + 2 * kMillisecond);
+  const auto image =
+      core::capture_kernel_level(kernel, kernel.process(pid), core::CaptureOptions{});
+  for (auto _ : state) {
+    const auto bytes = image.serialize();
+    auto copy = storage::CheckpointImage::deserialize(bytes);
+    benchmark::DoNotOptimize(copy.page_count());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ImageSerializeRoundTrip)->Arg(256 * 1024);
+
+void BM_ForkCow(benchmark::State& state) {
+  sim::register_standard_guests();
+  sim::SimKernel kernel;
+  sim::WriterConfig config;
+  config.array_bytes = 1024 * 1024;
+  const sim::Pid pid = kernel.spawn(sim::DenseWriterGuest::kTypeName, config.encode(),
+                                    sim::spawn_options_for_array(config.array_bytes));
+  kernel.run_until(kernel.now() + 2 * kMillisecond);
+  sim::Process& proc = kernel.process(pid);
+  for (auto _ : state) {
+    const sim::Pid child = kernel.fork_process(proc, true);
+    kernel.terminate(kernel.process(child), 0);
+    kernel.reap(child);
+  }
+}
+BENCHMARK(BM_ForkCow);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+// Software-Suspend-style hibernation: freeze every process with a kernel
+// signal, write the RAM image to the swap partition, power down — and boot
+// a replacement machine from that image.  Also demonstrates standby (image
+// to RAM) and what a battery failure does to it.
+//
+// Build & run:  ./build/examples/hibernation_cycle
+#include <cstdio>
+
+#include "core/hibernate.hpp"
+#include "util/table.hpp"
+#include "sim/guests.hpp"
+
+using namespace ckpt;
+
+int main() {
+  sim::register_standard_guests();
+
+  sim::SimKernel laptop;
+  storage::LocalDiskBackend swap{laptop.costs()};
+  storage::MemoryBackend ram{laptop.costs()};
+  core::HibernationManager manager(laptop, &swap, &ram);
+
+  std::vector<sim::Pid> apps;
+  for (int i = 0; i < 3; ++i) apps.push_back(laptop.spawn(sim::CounterGuest::kTypeName));
+  laptop.run_until(laptop.now() + 30 * kMillisecond);
+  std::printf("three applications running; counts:");
+  for (sim::Pid pid : apps) {
+    std::printf(" %llu", static_cast<unsigned long long>(
+                             sim::CounterGuest::read_counter(laptop, laptop.process(pid))));
+  }
+  std::printf("\n");
+
+  const auto hib = manager.hibernate();
+  if (!hib.ok) {
+    std::printf("hibernate failed: %s\n", hib.error.c_str());
+    return 1;
+  }
+  std::printf("hibernated: froze everything in %.3f ms, wrote %s to swap in %.3f ms "
+              "total; machine is off\n",
+              to_millis(hib.freeze_latency), util::format_bytes(hib.total_bytes).c_str(),
+              to_millis(hib.total_latency));
+
+  // Boot a fresh machine from the swap image (disk survives power-off).
+  sim::SimKernel after_boot;
+  if (!manager.resume(after_boot)) {
+    std::printf("resume failed\n");
+    return 1;
+  }
+  after_boot.run_until(after_boot.now() + 10 * kMillisecond);
+  std::printf("resumed on a fresh boot; counts continued:");
+  for (sim::Pid pid : apps) {
+    std::printf(" %llu", static_cast<unsigned long long>(sim::CounterGuest::read_counter(
+                             after_boot, after_boot.process(pid))));
+  }
+  std::printf(" (original pids preserved)\n");
+
+  // Standby to RAM is far faster -- but a power cycle destroys it.
+  const auto stand = manager.standby();
+  std::printf("standby wrote the image to RAM in %.3f ms (vs %.3f ms to disk)\n",
+              to_millis(stand.total_latency), to_millis(hib.total_latency));
+  ram.power_cycle();
+  sim::SimKernel unlucky;
+  std::printf("after a battery failure, resume from standby %s\n",
+              manager.resume(unlucky) ? "succeeded (unexpected!)"
+                                      : "fails: the RAM image is gone");
+  return 0;
+}

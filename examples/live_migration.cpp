@@ -1,0 +1,79 @@
+// Live migration with ZAP-style pods: move a process holding "persistent"
+// kernel state (a bound port, its pid) to another machine whose namespace
+// conflicts — exactly the case §3/§4.1 say naive migration cannot handle.
+//
+// Build & run:  ./build/examples/live_migration
+#include <cstdio>
+
+#include "core/migrate.hpp"
+#include "util/table.hpp"
+#include "core/pod.hpp"
+#include "sim/guests.hpp"
+#include "sim/userapi.hpp"
+
+using namespace ckpt;
+
+int main() {
+  sim::register_standard_guests();
+
+  sim::SimKernel source(1, sim::CostModel{}, 1);
+  sim::SimKernel destination(1, sim::CostModel{}, 2);
+  source.hostname = "alpha";
+  destination.hostname = "beta";
+
+  // A service with a bound port on the source machine.
+  core::PodManager pods;
+  core::Pod& pod = pods.create_pod("webpod");
+  const sim::Pid service = source.spawn(sim::CounterGuest::kTypeName);
+  pods.adopt(source, service, pod.id);
+  {
+    sim::UserApi api(source, source.process(service));
+    const sim::Fd sock = api.sys_socket();
+    api.sys_bind(sock, 8080);
+  }
+  source.run_until(source.now() + 20 * kMillisecond);
+  std::printf("service running on %s: pid %d, port 8080, count %llu\n",
+              source.hostname.c_str(), service,
+              static_cast<unsigned long long>(sim::CounterGuest::read_counter(
+                  source, source.process(service))));
+
+  // The destination is hostile: the pid and the port are both taken.
+  while (!destination.pid_in_use(service)) {
+    destination.spawn(sim::CounterGuest::kTypeName);
+  }
+  destination.bind_port(8080, destination.live_pids().front());
+  std::printf("%s already uses pid %d and port 8080\n", destination.hostname.c_str(),
+              service);
+
+  // Naive migration fails...
+  {
+    core::MigrationOptions naive;
+    naive.preserve_pid = true;
+    const auto result = core::migrate_process(source, destination, service, naive);
+    std::printf("naive migration: %s\n",
+                result.ok ? "succeeded (unexpected!)" : ("refused -- " + result.error).c_str());
+  }
+
+  // ...pod migration re-homes the virtual identity.
+  core::MigrationOptions zap;
+  zap.pods = &pods;
+  zap.pod = pod.id;
+  const auto result = core::migrate_process(source, destination, service, zap);
+  if (!result.ok) {
+    std::printf("pod migration failed: %s\n", result.error.c_str());
+    return 1;
+  }
+  std::printf("pod migration moved %s bytes in %.3f ms downtime\n",
+              util::format_bytes(result.bytes_transferred).c_str(),
+              to_millis(result.downtime));
+  for (const auto& warning : result.warnings) std::printf("  note: %s\n", warning.c_str());
+
+  destination.run_until(destination.now() + 20 * kMillisecond);
+  const sim::Pid real = result.new_pid;
+  std::printf("service now on %s: real pid %d, virtual pid %d, virtual port 8080 -> "
+              "real port %u, count %llu (still counting)\n",
+              destination.hostname.c_str(), real, service, pod.vport_to_real[8080],
+              static_cast<unsigned long long>(sim::CounterGuest::read_counter(
+                  destination, destination.process(real))));
+  return 0;
+}

@@ -1,0 +1,53 @@
+#include "cluster/failure.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ckpt::cluster {
+
+FailureInjector::FailureInjector(Cluster& cluster, FailureModel model)
+    : cluster_(cluster), model_(model), rng_(model.seed) {}
+
+SimTime FailureInjector::sample_ttf() {
+  const double mean = static_cast<double>(model_.mtbf);
+  double sample = 0;
+  switch (model_.kind) {
+    case FailureModel::Kind::kExponential:
+      sample = rng_.next_exponential(mean);
+      break;
+    case FailureModel::Kind::kWeibull: {
+      // Scale chosen so the distribution mean equals the configured MTBF:
+      // mean = scale * Gamma(1 + 1/k); use the Stirling-free lgamma.
+      const double k = model_.weibull_shape;
+      const double scale = mean / std::exp(std::lgamma(1.0 + 1.0 / k));
+      sample = rng_.next_weibull(k, scale);
+      break;
+    }
+  }
+  return static_cast<SimTime>(std::max(1.0, sample));
+}
+
+void FailureInjector::schedule_failure(int node_id, SimTime when, SimTime horizon) {
+  if (when > horizon) return;
+  cluster_.add_event(when, [this, node_id, horizon](Cluster& c) {
+    if (!c.node(node_id).up()) return;
+    ++failures_;
+    c.fail_node(node_id);
+    if (model_.repair_time != 0) {
+      const SimTime back_at = c.now() + model_.repair_time;
+      c.add_event(back_at, [this, node_id, horizon](Cluster& c2) {
+        c2.repair_node(node_id);
+        // Next failure for this node after repair.
+        schedule_failure(node_id, c2.now() + sample_ttf(), horizon);
+      });
+    }
+  });
+}
+
+void FailureInjector::arm(SimTime horizon) {
+  for (int id : cluster_.up_nodes()) {
+    schedule_failure(id, cluster_.now() + sample_ttf(), horizon);
+  }
+}
+
+}  // namespace ckpt::cluster

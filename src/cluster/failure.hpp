@@ -1,0 +1,49 @@
+// Stochastic fail-stop failure injection.
+//
+// Per-node time-to-failure is drawn from an exponential (memoryless, the
+// classic MTBF model) or Weibull distribution; failed nodes are repaired
+// after a fixed repair time.  Every failure is announced to the cluster's
+// observers — the fail-stop detectability assumption the survey adopts
+// from [33].
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/node.hpp"
+#include "util/rng.hpp"
+
+namespace ckpt::cluster {
+
+struct FailureModel {
+  enum class Kind : std::uint8_t { kExponential, kWeibull };
+  Kind kind = Kind::kExponential;
+  /// Mean time between failures per node.
+  SimTime mtbf = 3600 * kSecond;
+  /// Weibull shape (ignored for exponential); < 1 = infant mortality.
+  double weibull_shape = 0.7;
+  /// Time from failure to repair (0 = never repaired).
+  SimTime repair_time = 300 * kSecond;
+  std::uint64_t seed = 7;
+};
+
+class FailureInjector {
+ public:
+  FailureInjector(Cluster& cluster, FailureModel model);
+
+  /// Schedule failures on every node up to `horizon` cluster time.
+  void arm(SimTime horizon);
+
+  [[nodiscard]] std::uint64_t failures_injected() const { return failures_; }
+
+ private:
+  SimTime sample_ttf();
+  void schedule_failure(int node_id, SimTime when, SimTime horizon);
+
+  Cluster& cluster_;
+  FailureModel model_;
+  util::Rng rng_;
+  std::uint64_t failures_ = 0;
+};
+
+}  // namespace ckpt::cluster

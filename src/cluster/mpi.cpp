@@ -1,0 +1,288 @@
+#include "cluster/mpi.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "util/serialize.hpp"
+
+namespace ckpt::cluster {
+namespace {
+
+std::map<std::uint64_t, std::unique_ptr<MpiFabric>>& fabric_registry() {
+  static std::map<std::uint64_t, std::unique_ptr<MpiFabric>> registry;
+  return registry;
+}
+
+std::uint64_t next_fabric_id() {
+  static std::uint64_t next = 1;
+  return next++;
+}
+
+// Guest memory layout: [0] iteration, [8] messages received,
+// [16] bytes received; array in heap.
+constexpr sim::VAddr kIterAddr = sim::kDataBase;
+constexpr sim::VAddr kRecvCountAddr = sim::kDataBase + 8;
+constexpr sim::VAddr kRecvBytesAddr = sim::kDataBase + 16;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// MpiFabric
+// ---------------------------------------------------------------------------
+
+std::uint64_t MpiFabric::create(int nranks, SimTime latency) {
+  auto fabric = std::make_unique<MpiFabric>();
+  fabric->nranks_ = nranks;
+  fabric->latency_ = latency;
+  const std::uint64_t id = next_fabric_id();
+  fabric_registry()[id] = std::move(fabric);
+  return id;
+}
+
+MpiFabric& MpiFabric::get(std::uint64_t id) {
+  auto it = fabric_registry().find(id);
+  if (it == fabric_registry().end()) {
+    throw std::runtime_error("MpiFabric: unknown fabric id " + std::to_string(id));
+  }
+  return *it->second;
+}
+
+void MpiFabric::destroy(std::uint64_t id) { fabric_registry().erase(id); }
+
+void MpiFabric::send(int src, int dst, std::uint64_t tag, std::vector<std::byte> payload,
+                     SimTime now) {
+  Message message;
+  message.src = src;
+  message.dst = dst;
+  message.tag = tag;
+  message.payload = std::move(payload);
+  message.visible_at = now + latency_;
+  inboxes_[dst].push_back(std::move(message));
+  ++total_sent_;
+}
+
+std::optional<MpiFabric::Message> MpiFabric::try_recv(int dst, SimTime now) {
+  auto it = inboxes_.find(dst);
+  if (it == inboxes_.end() || it->second.empty()) return std::nullopt;
+  if (it->second.front().visible_at > now) return std::nullopt;  // still in flight
+  Message message = std::move(it->second.front());
+  it->second.pop_front();
+  return message;
+}
+
+std::uint64_t MpiFabric::in_flight() const {
+  std::uint64_t count = 0;
+  for (const auto& [dst, inbox] : inboxes_) count += inbox.size();
+  return count;
+}
+
+// ---------------------------------------------------------------------------
+// MpiRankGuest
+// ---------------------------------------------------------------------------
+
+std::vector<std::byte> MpiRankGuest::Config::encode() const {
+  util::Serializer s;
+  s.put(fabric_id);
+  s.put<std::int32_t>(rank);
+  s.put<std::int32_t>(nranks);
+  s.put(array_bytes);
+  s.put(halo_bytes);
+  s.put(compute_ns);
+  return std::move(s).take();
+}
+
+MpiRankGuest::Config MpiRankGuest::Config::decode(const std::vector<std::byte>& blob) {
+  Config config;
+  if (blob.empty()) return config;
+  util::Deserializer d(blob);
+  config.fabric_id = d.get<std::uint64_t>();
+  config.rank = d.get<std::int32_t>();
+  config.nranks = d.get<std::int32_t>();
+  config.array_bytes = d.get<std::uint64_t>();
+  config.halo_bytes = d.get<std::uint64_t>();
+  config.compute_ns = d.get<SimTime>();
+  return config;
+}
+
+void MpiRankGuest::on_start(sim::UserApi& api) {
+  const sim::VAddr base = api.process().heap_base;
+  for (std::uint64_t off = 0; off < config_.array_bytes; off += 8) {
+    api.store_u64(base + off, static_cast<std::uint64_t>(config_.rank) * 1000003ULL + off);
+  }
+}
+
+sim::GuestStatus MpiRankGuest::on_step(sim::UserApi& api) {
+  MpiFabric& fabric = MpiFabric::get(config_.fabric_id);
+  const sim::VAddr base = api.process().heap_base;
+  const std::uint64_t iter = api.load_u64(kIterAddr);
+
+  // Drain whatever has arrived; received halos are folded into the local
+  // array so they become part of the checkpointable state.
+  while (auto message = fabric.try_recv(config_.rank, api.now())) {
+    std::uint64_t received = api.load_u64(kRecvCountAddr);
+    std::uint64_t bytes = api.load_u64(kRecvBytesAddr);
+    api.store_u64(kRecvCountAddr, received + 1);
+    api.store_u64(kRecvBytesAddr, bytes + message->payload.size());
+    const std::uint64_t slot =
+        (message->tag % (config_.array_bytes / sim::kPageSize)) * sim::kPageSize;
+    const std::size_t n = std::min<std::size_t>(message->payload.size(), 256);
+    api.store(base + slot, std::span(message->payload.data(), n));
+  }
+
+  if (fabric.quiescing()) {
+    // Quiesced for a coordinated checkpoint: no sends, no local progress.
+    api.compute(5 * kMicrosecond);
+    return sim::GuestStatus::kRunning;
+  }
+
+  // Local compute sweep: touch a window of the array.
+  const std::uint64_t window = std::min<std::uint64_t>(config_.array_bytes, 16 * 1024);
+  const std::uint64_t start = (iter * window) % config_.array_bytes;
+  for (std::uint64_t off = 0; off < window && start + off + 8 <= config_.array_bytes;
+       off += 512) {
+    const std::uint64_t v = api.load_u64(base + start + off);
+    api.store_u64(base + start + off, v * 2654435761ULL + iter);
+  }
+  api.compute(config_.compute_ns);
+
+  // Halo exchange with ring neighbours.
+  std::vector<std::byte> halo(config_.halo_bytes);
+  for (std::size_t i = 0; i < halo.size(); ++i) {
+    halo[i] = static_cast<std::byte>((iter + i + static_cast<std::uint64_t>(config_.rank)) &
+                                     0xFF);
+  }
+  const int right = (config_.rank + 1) % config_.nranks;
+  const int left = (config_.rank + config_.nranks - 1) % config_.nranks;
+  fabric.send(config_.rank, right, iter, halo, api.now());
+  fabric.send(config_.rank, left, iter, std::move(halo), api.now());
+
+  api.store_u64(kIterAddr, iter + 1);
+  api.work_done();
+  return sim::GuestStatus::kRunning;
+}
+
+void MpiRankGuest::register_type() {
+  auto& registry = sim::GuestRegistry::instance();
+  if (registry.has_type(kTypeName)) return;
+  registry.register_type(kTypeName, [](const std::vector<std::byte>& blob) {
+    return std::make_unique<MpiRankGuest>(Config::decode(blob));
+  });
+}
+
+std::uint64_t MpiRankGuest::read_iteration(sim::Process& proc) {
+  const auto data = proc.aspace->page_data(sim::page_of(kIterAddr));
+  std::uint64_t value = 0;
+  std::memcpy(&value, data.data() + sim::page_offset(kIterAddr), sizeof(value));
+  return value;
+}
+
+// ---------------------------------------------------------------------------
+// MpiJob
+// ---------------------------------------------------------------------------
+
+MpiJob::MpiJob(Cluster& cluster, int nranks, MpiRankGuest::Config base_config)
+    : cluster_(cluster), nranks_(nranks), base_config_(base_config) {
+  MpiRankGuest::register_type();
+  fabric_id_ = MpiFabric::create(nranks, cluster.node(0).kernel().costs().net_latency_ns);
+  placements_.resize(static_cast<std::size_t>(nranks));
+}
+
+MpiJob::~MpiJob() { MpiFabric::destroy(fabric_id_); }
+
+void MpiJob::launch() {
+  const std::vector<int> up = cluster_.up_nodes();
+  for (int r = 0; r < nranks_; ++r) {
+    const int node_id = up[static_cast<std::size_t>(r) % up.size()];
+    MpiRankGuest::Config config = base_config_;
+    config.fabric_id = fabric_id_;
+    config.rank = r;
+    config.nranks = nranks_;
+    sim::SpawnOptions options = sim::spawn_options_for_array(config.array_bytes);
+    const sim::Pid pid = cluster_.node(node_id).kernel().spawn(MpiRankGuest::kTypeName,
+                                                               config.encode(), options);
+    placements_[static_cast<std::size_t>(r)] = Placement{node_id, pid};
+  }
+}
+
+MpiJob::CoordinatedResult MpiJob::coordinated_checkpoint(
+    const std::vector<core::CheckpointEngine*>& engines_by_node) {
+  CoordinatedResult result;
+  MpiFabric& net = fabric();
+  const SimTime started = cluster_.now();
+  const std::uint64_t in_flight_before = net.in_flight();
+
+  // Phase 1: quiesce senders; ranks keep draining their inboxes.
+  net.set_quiescing(true);
+  const SimTime drain_deadline = cluster_.now() + 60 * kSecond;
+  while (net.in_flight() > 0 && cluster_.now() < drain_deadline) {
+    cluster_.run_until(cluster_.now() + 100 * kMicrosecond, 100 * kMicrosecond);
+  }
+  if (net.in_flight() > 0) {
+    net.set_quiescing(false);
+    result.error = "drain did not complete";
+    return result;
+  }
+  result.drain_time = cluster_.now() - started;
+  result.messages_drained = in_flight_before;
+
+  // Phase 2: per-rank checkpoints through each node's engine.  Requests are
+  // serialized by mpirun, so per-rank latencies accumulate.
+  SimTime checkpoint_time = 0;
+  for (const Placement& placement : placements_) {
+    Node& node = cluster_.node(placement.node);
+    if (!node.up()) {
+      net.set_quiescing(false);
+      result.error = "rank's node is down";
+      return result;
+    }
+    core::CheckpointEngine* engine = engines_by_node.at(static_cast<std::size_t>(
+        placement.node));
+    engine->attach(node.kernel(), placement.pid);
+    const core::CheckpointResult ckpt =
+        engine->request_checkpoint(node.kernel(), placement.pid);
+    if (!ckpt.ok) {
+      net.set_quiescing(false);
+      result.error = "rank checkpoint failed: " + ckpt.error;
+      return result;
+    }
+    result.payload_bytes += ckpt.payload_bytes;
+    checkpoint_time += ckpt.total_latency();
+  }
+
+  // Phase 3: resume communication.
+  net.set_quiescing(false);
+  result.ok = true;
+  result.total_time = result.drain_time + checkpoint_time;
+  return result;
+}
+
+bool MpiJob::restart_ranks_of_failed_node(
+    const std::vector<core::CheckpointEngine*>& engines_by_node, int failed_node,
+    int target_node) {
+  Node& target = cluster_.node(target_node);
+  if (!target.up()) return false;
+  core::CheckpointEngine* engine =
+      engines_by_node.at(static_cast<std::size_t>(failed_node));
+  for (Placement& placement : placements_) {
+    if (placement.node != failed_node) continue;
+    const core::RestartResult restarted = engine->restart_on(target.kernel(), placement.pid);
+    if (!restarted.ok) return false;
+    placement.node = target_node;
+    placement.pid = restarted.pid;
+  }
+  return true;
+}
+
+std::uint64_t MpiJob::min_iteration(Cluster& cluster) const {
+  std::uint64_t minimum = UINT64_MAX;
+  for (const Placement& placement : placements_) {
+    Node& node = cluster.node(placement.node);
+    if (!node.up()) return 0;
+    sim::Process* proc = node.kernel().find_process(placement.pid);
+    if (proc == nullptr || !proc->alive()) return 0;
+    minimum = std::min(minimum, MpiRankGuest::read_iteration(*proc));
+  }
+  return minimum == UINT64_MAX ? 0 : minimum;
+}
+
+}  // namespace ckpt::cluster

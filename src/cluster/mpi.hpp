@@ -1,0 +1,153 @@
+// Message-passing runtime with coordinated checkpointing.
+//
+// A small MPI-like layer sufficient to reproduce the parallel-application
+// concerns of the survey: ranks spread over cluster nodes exchange halo
+// messages through a fabric with transfer latency, so messages can be
+// *in flight* when a checkpoint is requested.  Coordinated checkpointing
+// (CoCheck / CLIP / LAM-MPI lineage) must therefore quiesce senders and
+// drain the network before per-process images are taken; the drain cost
+// grows with rank count and traffic, which claim C12 measures.
+//
+// The fabric object itself is reconnected (not serialized) at restart,
+// exactly as LAM/MPI re-establishes communication channels around BLCR
+// per-process images.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/node.hpp"
+#include "core/engine.hpp"
+#include "sim/guests.hpp"
+
+namespace ckpt::cluster {
+
+/// The interconnect for one job.  Registered globally by id so rank guests
+/// (whose config must be immutable plain data) can look it up.
+class MpiFabric {
+ public:
+  struct Message {
+    int src = 0;
+    int dst = 0;
+    std::uint64_t tag = 0;
+    std::vector<std::byte> payload;
+    SimTime visible_at = 0;  ///< delivery time (send time + latency)
+  };
+
+  static std::uint64_t create(int nranks, SimTime latency);
+  static MpiFabric& get(std::uint64_t id);
+  static void destroy(std::uint64_t id);
+
+  void send(int src, int dst, std::uint64_t tag, std::vector<std::byte> payload,
+            SimTime now);
+  std::optional<Message> try_recv(int dst, SimTime now);
+
+  /// Quiesce: ranks stop sending; receives continue (the drain phase).
+  void set_quiescing(bool value) { quiescing_ = value; }
+  [[nodiscard]] bool quiescing() const { return quiescing_; }
+
+  [[nodiscard]] std::uint64_t in_flight() const;
+  [[nodiscard]] std::uint64_t total_sent() const { return total_sent_; }
+  [[nodiscard]] int nranks() const { return nranks_; }
+
+ private:
+  int nranks_ = 0;
+  SimTime latency_ = 0;
+  bool quiescing_ = false;
+  std::map<int, std::deque<Message>> inboxes_;
+  std::uint64_t total_sent_ = 0;
+};
+
+/// One MPI rank: computes on a local array, exchanges halo records with its
+/// ring neighbours each iteration.  All rank state (iteration counter,
+/// array, receive staging) lives in guest memory.
+class MpiRankGuest : public sim::GuestProgram {
+ public:
+  static constexpr const char* kTypeName = "mpi_rank";
+
+  struct Config {
+    std::uint64_t fabric_id = 0;
+    int rank = 0;
+    int nranks = 1;
+    std::uint64_t array_bytes = 64 * 1024;
+    std::uint64_t halo_bytes = 1024;
+    SimTime compute_ns = 50 * kMicrosecond;
+
+    [[nodiscard]] std::vector<std::byte> encode() const;
+    static Config decode(const std::vector<std::byte>& blob);
+  };
+
+  explicit MpiRankGuest(Config config) : config_(config) {}
+
+  void on_start(sim::UserApi& api) override;
+  sim::GuestStatus on_step(sim::UserApi& api) override;
+
+  static void register_type();
+
+  /// Iteration counter of a rank process (progress metric).
+  static std::uint64_t read_iteration(sim::Process& proc);
+
+ private:
+  Config config_;
+};
+
+/// A parallel job: ranks placed round-robin over cluster nodes.
+class MpiJob {
+ public:
+  struct Placement {
+    int node = -1;
+    sim::Pid pid = sim::kNoPid;
+  };
+
+  MpiJob(Cluster& cluster, int nranks, MpiRankGuest::Config base_config);
+  ~MpiJob();
+
+  MpiJob(const MpiJob&) = delete;
+  MpiJob& operator=(const MpiJob&) = delete;
+
+  /// Spawn all ranks.
+  void launch();
+
+  struct CoordinatedResult {
+    bool ok = false;
+    std::string error;
+    SimTime drain_time = 0;
+    SimTime total_time = 0;
+    std::uint64_t messages_drained = 0;
+    std::uint64_t payload_bytes = 0;
+  };
+
+  /// CoCheck/LAM-MPI-style coordinated checkpoint: quiesce, drain, then
+  /// checkpoint every rank through its node's engine (engines indexed by
+  /// node id; they should store to the cluster's remote backend so images
+  /// survive node failures).
+  CoordinatedResult coordinated_checkpoint(const std::vector<core::CheckpointEngine*>&
+                                               engines_by_node);
+
+  /// After `failed_node` died, restart its ranks on `target_node` from the
+  /// engines' chains (the job-level knowledge lives with mpirun, which
+  /// survives on the head node).  Other ranks keep running.
+  bool restart_ranks_of_failed_node(const std::vector<core::CheckpointEngine*>&
+                                        engines_by_node,
+                                    int failed_node, int target_node);
+
+  [[nodiscard]] const std::vector<Placement>& placements() const { return placements_; }
+  [[nodiscard]] std::uint64_t fabric_id() const { return fabric_id_; }
+  [[nodiscard]] MpiFabric& fabric() const { return MpiFabric::get(fabric_id_); }
+
+  /// Minimum iteration across ranks (the job's true progress).
+  [[nodiscard]] std::uint64_t min_iteration(Cluster& cluster) const;
+
+ private:
+  Cluster& cluster_;
+  int nranks_;
+  MpiRankGuest::Config base_config_;
+  std::uint64_t fabric_id_ = 0;
+  std::vector<Placement> placements_;
+};
+
+}  // namespace ckpt::cluster

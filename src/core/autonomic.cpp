@@ -1,0 +1,137 @@
+#include "core/autonomic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/log.hpp"
+
+namespace ckpt::core {
+
+SimTime young_interval(SimTime checkpoint_cost, SimTime mtbf) {
+  const double c = static_cast<double>(checkpoint_cost);
+  const double m = static_cast<double>(mtbf);
+  return static_cast<SimTime>(std::sqrt(2.0 * c * m));
+}
+
+AutonomicManager::AutonomicManager(sim::SimKernel& kernel, CheckpointEngine& engine,
+                                   AutonomicPolicy policy)
+    : kernel_(kernel),
+      engine_(engine),
+      policy_(policy),
+      interval_(policy.initial_interval),
+      mtbf_estimate_(policy.initial_mtbf) {}
+
+bool AutonomicManager::manage(sim::Pid pid) {
+  if (!engine_.attach(kernel_, pid)) return false;
+  if (std::find(managed_.begin(), managed_.end(), pid) == managed_.end()) {
+    managed_.push_back(pid);
+  }
+  return true;
+}
+
+void AutonomicManager::unmanage(sim::Pid pid) {
+  managed_.erase(std::remove(managed_.begin(), managed_.end(), pid), managed_.end());
+}
+
+void AutonomicManager::start() {
+  if (running_) return;
+  running_ = true;
+  ++generation_;
+  arm_timer();
+}
+
+void AutonomicManager::stop() {
+  running_ = false;
+  ++generation_;
+}
+
+void AutonomicManager::arm_timer() {
+  const std::uint64_t my_generation = generation_;
+  kernel_.add_timer(kernel_.now() + interval_, [this, my_generation](sim::SimKernel&) {
+    if (!running_ || generation_ != my_generation) return;
+    tick();
+    arm_timer();
+  });
+}
+
+void AutonomicManager::tick() {
+  ++ticks_;
+  // Drop processes that have exited.
+  managed_.erase(std::remove_if(managed_.begin(), managed_.end(),
+                                [&](sim::Pid pid) {
+                                  const sim::Process* p = kernel_.find_process(pid);
+                                  return p == nullptr || !p->alive();
+                                }),
+                 managed_.end());
+  for (sim::Pid pid : managed_) {
+    const std::uint64_t ticket = engine_.request_checkpoint_async(kernel_, pid);
+    if (ticket == 0) {
+      util::logf(util::LogLevel::kWarn, "autonomic", "engine refused checkpoint of pid %d",
+                 pid);
+    }
+  }
+  // Update the cost estimate from the engine's recent history.
+  const auto& history = engine_.history();
+  if (!history.empty()) {
+    const CheckpointResult& last = history.back();
+    if (last.ok) {
+      const auto cost = static_cast<double>(last.completed_at - last.started_at);
+      cost_estimate_ = cost_estimate_ == 0
+                           ? static_cast<SimTime>(cost)
+                           : static_cast<SimTime>(policy_.smoothing * cost +
+                                                  (1.0 - policy_.smoothing) *
+                                                      static_cast<double>(cost_estimate_));
+    }
+  }
+  update_interval();
+}
+
+void AutonomicManager::observe_failure() {
+  const SimTime now = kernel_.now();
+  if (failures_seen_ > 0 && now > last_failure_at_) {
+    const auto gap = static_cast<double>(now - last_failure_at_);
+    mtbf_estimate_ = static_cast<SimTime>(
+        policy_.smoothing * gap + (1.0 - policy_.smoothing) *
+                                      static_cast<double>(mtbf_estimate_));
+  }
+  last_failure_at_ = now;
+  ++failures_seen_;
+  update_interval();
+}
+
+void AutonomicManager::update_interval() {
+  if (!policy_.adapt_interval || cost_estimate_ == 0) return;
+  const SimTime young = young_interval(cost_estimate_, mtbf_estimate_);
+  interval_ = std::clamp(young, policy_.min_interval, policy_.max_interval);
+}
+
+bool AutonomicManager::suspend_for_maintenance() {
+  bool all_ok = true;
+  for (sim::Pid pid : managed_) {
+    const CheckpointResult result = engine_.request_checkpoint(kernel_, pid);
+    all_ok = all_ok && result.ok;
+  }
+  for (sim::Pid pid : managed_) {
+    if (sim::Process* proc = kernel_.find_process(pid)) kernel_.stop_process(*proc);
+  }
+  return all_ok;
+}
+
+void AutonomicManager::resume_after_maintenance() {
+  for (sim::Pid pid : managed_) {
+    if (sim::Process* proc = kernel_.find_process(pid)) kernel_.resume_process(*proc);
+  }
+}
+
+bool AutonomicManager::preempt(sim::Pid pid) {
+  const CheckpointResult result = engine_.request_checkpoint(kernel_, pid);
+  if (!result.ok) return false;
+  if (sim::Process* proc = kernel_.find_process(pid)) kernel_.stop_process(*proc);
+  return true;
+}
+
+void AutonomicManager::resume_preempted(sim::Pid pid) {
+  if (sim::Process* proc = kernel_.find_process(pid)) kernel_.resume_process(*proc);
+}
+
+}  // namespace ckpt::core

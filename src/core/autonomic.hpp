@@ -1,0 +1,92 @@
+// The survey's "direction forward": an autonomic checkpoint manager.
+//
+// System-level, automatically initiated checkpointing that manages itself
+// per the policies of §1: periodic initiation from a kernel timer, online
+// adjustment of the checkpoint interval to the observed failure rate
+// (Young's first-order optimum  t = sqrt(2 * C * MTBF)  with C the
+// measured checkpoint cost), safe preemption, and operator-initiated
+// suspension for planned outages.  It drives any system-level engine —
+// no application involvement, no batch-manager dependence (the
+// decentralization argument of §4.1).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "sim/kernel.hpp"
+
+namespace ckpt::core {
+
+struct AutonomicPolicy {
+  /// Interval used until enough observations exist to adapt.
+  SimTime initial_interval = 60 * kSecond;
+  /// Adapt the interval with Young's formula as failures are observed.
+  bool adapt_interval = true;
+  /// Prior MTBF estimate before any failure is seen.
+  SimTime initial_mtbf = 3600 * kSecond;
+  /// Clamp for the adapted interval.
+  SimTime min_interval = 1 * kSecond;
+  SimTime max_interval = 3600 * kSecond;
+  /// Exponential smoothing factor for cost / MTBF estimates.
+  double smoothing = 0.3;
+};
+
+/// Young's first-order optimal checkpoint interval.
+SimTime young_interval(SimTime checkpoint_cost, SimTime mtbf);
+
+class AutonomicManager {
+ public:
+  AutonomicManager(sim::SimKernel& kernel, CheckpointEngine& engine,
+                   AutonomicPolicy policy = {});
+
+  /// Place a process under autonomic management (attaches the engine).
+  bool manage(sim::Pid pid);
+  void unmanage(sim::Pid pid);
+
+  /// Arm the periodic timer.  Re-arms itself after every tick.
+  void start();
+  void stop();
+
+  /// Failure-rate feedback (called by the failure detector).
+  void observe_failure();
+
+  /// Planned outage: checkpoint every managed process, then stop them all.
+  /// Returns true if every checkpoint succeeded.
+  bool suspend_for_maintenance();
+  /// Resume after maintenance.
+  void resume_after_maintenance();
+
+  /// Safe preemption: checkpoint then stop one process, freeing its CPU for
+  /// a higher-priority job; resume_preempted() continues it.
+  bool preempt(sim::Pid pid);
+  void resume_preempted(sim::Pid pid);
+
+  [[nodiscard]] SimTime current_interval() const { return interval_; }
+  [[nodiscard]] SimTime mtbf_estimate() const { return mtbf_estimate_; }
+  [[nodiscard]] SimTime cost_estimate() const { return cost_estimate_; }
+  [[nodiscard]] std::uint64_t ticks() const { return ticks_; }
+  [[nodiscard]] const std::vector<sim::Pid>& managed() const { return managed_; }
+
+ private:
+  void tick();
+  void arm_timer();
+  void update_interval();
+
+  sim::SimKernel& kernel_;
+  CheckpointEngine& engine_;
+  AutonomicPolicy policy_;
+
+  std::vector<sim::Pid> managed_;
+  bool running_ = false;
+  std::uint64_t generation_ = 0;  ///< invalidates stale timers after stop()
+  SimTime interval_;
+  SimTime mtbf_estimate_;
+  SimTime cost_estimate_ = 0;
+  SimTime last_failure_at_ = 0;
+  std::uint64_t failures_seen_ = 0;
+  std::uint64_t ticks_ = 0;
+};
+
+}  // namespace ckpt::core

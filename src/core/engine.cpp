@@ -1,0 +1,286 @@
+#include "core/engine.hpp"
+
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace ckpt::core {
+
+const char* to_string(ConsistencyMode mode) {
+  switch (mode) {
+    case ConsistencyMode::kStopTarget: return "stop-target";
+    case ConsistencyMode::kForkAndCopy: return "fork-and-copy";
+    case ConsistencyMode::kConcurrent: return "concurrent";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// restart_from_image
+// ---------------------------------------------------------------------------
+
+RestartResult restart_from_image(sim::SimKernel& kernel,
+                                 const storage::CheckpointImage& image,
+                                 const RestartOptions& options) {
+  RestartResult result;
+
+  std::optional<sim::Pid> desired;
+  if (options.restore_original_pid) {
+    if (kernel.pid_in_use(image.pid)) {
+      if (options.require_original_pid) {
+        result.error = "original pid " + std::to_string(image.pid) +
+                       " already in use on " + kernel.hostname;
+        return result;
+      }
+      result.warnings.push_back("pid " + std::to_string(image.pid) +
+                                " in use; restarted under a new pid");
+    } else {
+      desired = image.pid;
+    }
+  }
+
+  sim::Pid pid;
+  try {
+    pid = kernel.create_restored_process(image.process_name, image.guest, desired);
+  } catch (const std::exception& e) {
+    result.error = e.what();
+    return result;
+  }
+  sim::Process& proc = kernel.process(pid);
+  restore_into_process(kernel, proc, image);
+
+  for (const auto& f : image.files) {
+    if (f.was_deleted) {
+      result.warnings.push_back("file '" + f.path +
+                                "' was deleted while open at checkpoint time");
+    }
+  }
+
+  if (options.rebind_ports) {
+    for (std::uint16_t port : image.bound_ports) {
+      if (kernel.bind_port(port, pid)) {
+        proc.bound_ports.push_back(port);
+      } else {
+        result.warnings.push_back("port " + std::to_string(port) + " already bound");
+      }
+    }
+  }
+
+  kernel.resume_process(proc);
+  result.ok = true;
+  result.pid = pid;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// CheckpointEngine
+// ---------------------------------------------------------------------------
+
+CheckpointEngine::CheckpointEngine(std::string name, storage::StorageBackend* backend,
+                                   EngineOptions options)
+    : name_(std::move(name)), backend_(backend), options_(std::move(options)) {
+  if (backend_ == nullptr) throw std::invalid_argument("CheckpointEngine: null backend");
+  if (options_.incremental && !options_.tracker_factory) {
+    throw std::invalid_argument("CheckpointEngine: incremental requires a tracker factory");
+  }
+}
+
+CheckpointEngine::~CheckpointEngine() = default;
+
+bool CheckpointEngine::attach(sim::SimKernel& kernel, sim::Pid pid) {
+  sim::Process* proc = kernel.find_process(pid);
+  if (proc == nullptr || !proc->alive()) return false;
+  ProcState& state = state_for(pid);
+  if (options_.incremental && state.tracker == nullptr) {
+    state.tracker = options_.tracker_factory();
+    state.tracker->begin_interval(kernel, *proc);
+  }
+  state.attached = true;
+  return true;
+}
+
+void CheckpointEngine::detach(sim::SimKernel& kernel, sim::Pid pid) {
+  auto it = states_.find(pid);
+  if (it == states_.end()) return;
+  if (it->second->tracker != nullptr) {
+    if (sim::Process* proc = kernel.find_process(pid)) {
+      it->second->tracker->detach(*proc);
+    }
+  }
+  it->second->attached = false;
+}
+
+CheckpointEngine::ProcState& CheckpointEngine::state_for(sim::Pid pid) {
+  auto it = states_.find(pid);
+  if (it == states_.end()) {
+    it = states_.emplace(pid, std::make_unique<ProcState>(backend_)).first;
+  }
+  return *it->second;
+}
+
+const CheckpointEngine::ProcState* CheckpointEngine::find_state(sim::Pid pid) const {
+  auto it = states_.find(pid);
+  return it == states_.end() ? nullptr : it->second.get();
+}
+
+bool CheckpointEngine::is_complete(std::uint64_t ticket) const {
+  auto it = tickets_.find(ticket);
+  return it != tickets_.end() && it->second.has_value();
+}
+
+CheckpointResult CheckpointEngine::result(std::uint64_t ticket) const {
+  auto it = tickets_.find(ticket);
+  if (it == tickets_.end() || !it->second.has_value()) {
+    CheckpointResult r;
+    r.error = "ticket not complete";
+    return r;
+  }
+  return *it->second;
+}
+
+CheckpointResult CheckpointEngine::request_checkpoint(sim::SimKernel& kernel, sim::Pid pid,
+                                                      SimTime timeout) {
+  const std::uint64_t ticket = request_checkpoint_async(kernel, pid);
+  if (ticket == 0) {
+    CheckpointResult r;
+    r.error = name_ + ": external initiation refused";
+    return r;
+  }
+  const SimTime deadline = kernel.now() + timeout;
+  kernel.run_while([&] { return !is_complete(ticket); }, deadline);
+  if (!is_complete(ticket)) {
+    CheckpointResult r;
+    r.error = name_ + ": checkpoint did not complete within timeout";
+    return r;
+  }
+  return result(ticket);
+}
+
+std::uint64_t CheckpointEngine::checkpoints_taken(sim::Pid pid) const {
+  const ProcState* state = find_state(pid);
+  return state == nullptr ? 0 : state->taken;
+}
+
+RestartResult CheckpointEngine::restart(sim::SimKernel& kernel, sim::Pid original_pid,
+                                        const RestartOptions& options) {
+  return restart_on(kernel, original_pid, options);
+}
+
+RestartResult CheckpointEngine::restart_on(sim::SimKernel& target_kernel,
+                                           sim::Pid original_pid,
+                                           const RestartOptions& options) {
+  RestartResult result;
+  const ProcState* state = find_state(original_pid);
+  if (state == nullptr || state->chain.length() == 0) {
+    result.error = name_ + ": no checkpoints recorded for pid " +
+                   std::to_string(original_pid);
+    return result;
+  }
+  auto charge = [&](SimTime t) { target_kernel.charge_time(t); };
+  auto image = state->chain.reconstruct(charge);
+  if (!image.has_value()) {
+    result.error = name_ + ": checkpoint chain unreadable (storage lost or corrupt)";
+    return result;
+  }
+  return restart_from_image(target_kernel, *image, options);
+}
+
+CheckpointResult CheckpointEngine::perform_kernel_checkpoint(sim::SimKernel& kernel,
+                                                             sim::Process& proc,
+                                                             SimTime initiated_at) {
+  CheckpointResult result;
+  result.initiated_at = initiated_at;
+  result.started_at = kernel.now();
+  const SimTime charge_before = kernel.step_charge();
+
+  ProcState& state = state_for(proc.pid);
+
+  // Decide full vs incremental.
+  const bool take_delta = options_.incremental && state.tracker != nullptr &&
+                          state.taken > 0 &&
+                          (options_.full_every == 0 || state.taken % options_.full_every != 0);
+
+  CaptureOptions capture = options_.capture;
+  if (take_delta) {
+    capture.ranges = state.tracker->collect(kernel, proc);
+  }
+
+  // Consistency.
+  sim::Process* capture_target = &proc;
+  sim::Pid shadow_pid = sim::kNoPid;
+  const bool was_runnable = proc.runnable();
+  switch (options_.consistency) {
+    case ConsistencyMode::kStopTarget:
+      kernel.stop_process(proc);
+      break;
+    case ConsistencyMode::kForkAndCopy:
+      shadow_pid = kernel.fork_process(proc, /*freeze_child=*/true);
+      capture_target = &kernel.process(shadow_pid);
+      break;
+    case ConsistencyMode::kConcurrent:
+      break;  // no protection — the hazard the survey warns about
+  }
+
+  storage::CheckpointImage image =
+      capture_kernel_level(kernel, *capture_target, capture);
+  // The image describes the *application*, not the shadow copy.
+  image.pid = proc.pid;
+  image.process_name = proc.name;
+  image.guest = proc.guest_image;
+  image.kind = take_delta ? storage::ImageKind::kIncremental : storage::ImageKind::kFull;
+
+  result.kind = image.kind;
+  result.payload_bytes = image.payload_bytes();
+  result.pages = image.page_count();
+
+  auto charge = [&](SimTime t) { kernel.charge_time(t); };
+  result.image_id = state.chain.append(std::move(image), charge);
+
+  if (shadow_pid != sim::kNoPid) {
+    kernel.terminate(kernel.process(shadow_pid), 0);
+    kernel.reap(shadow_pid);
+  }
+  if (options_.consistency == ConsistencyMode::kStopTarget && was_runnable) {
+    kernel.resume_process(proc);
+  }
+
+  // The clock freezes inside a scheduling step; the checkpoint's duration
+  // is the time charged against the executing context.
+  const SimTime consumed = kernel.step_charge() - charge_before;
+
+  if (result.image_id == storage::kBadImageId) {
+    result.error = name_ + ": storage backend rejected the image";
+    result.completed_at = kernel.now() + consumed;
+    return result;
+  }
+
+  ++state.taken;
+  if (state.tracker != nullptr) state.tracker->begin_interval(kernel, proc);
+
+  result.ok = true;
+  result.completed_at = kernel.now() + consumed;
+  util::logf(util::LogLevel::kDebug, "engine", "%s: checkpointed pid %d (%s, %llu bytes)",
+             name_.c_str(), proc.pid, to_string(result.kind),
+             static_cast<unsigned long long>(result.payload_bytes));
+  return result;
+}
+
+std::uint64_t CheckpointEngine::record_result(CheckpointResult result) {
+  const std::uint64_t ticket = new_ticket();
+  history_.push_back(result);
+  tickets_[ticket] = std::move(result);
+  return ticket;
+}
+
+std::uint64_t CheckpointEngine::new_ticket() { return next_ticket_++; }
+
+void CheckpointEngine::record_pending(std::uint64_t ticket) {
+  tickets_.emplace(ticket, std::nullopt);
+}
+
+void CheckpointEngine::complete_ticket(std::uint64_t ticket, CheckpointResult result) {
+  history_.push_back(result);
+  tickets_[ticket] = std::move(result);
+}
+
+}  // namespace ckpt::core

@@ -1,0 +1,175 @@
+// Checkpoint/restart engines: the taxonomy of Figure 1 as running code.
+//
+// A CheckpointEngine owns the policy of *one* point in the design space —
+// who initiates, in which context capture runs, how consistency is ensured,
+// whether deltas are tracked — and delegates the mechanics to the capture,
+// incremental and storage layers.  The twelve surveyed mechanisms
+// (src/mechanisms) are thin configurations of these engines.
+//
+// Initiation is asynchronous by nature (a signal is deferred until the
+// target runs; a kernel thread runs when scheduled), so the core API is
+// request_checkpoint_async() + poll; request_checkpoint() is a convenience
+// that drives the simulation until the request completes, which is how the
+// initiation-latency benchmark (C6) measures the deferral the survey
+// describes.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/capture.hpp"
+#include "core/incremental.hpp"
+#include "core/taxonomy.hpp"
+#include "sim/kernel.hpp"
+#include "storage/backend.hpp"
+#include "storage/chain.hpp"
+
+namespace ckpt::core {
+
+/// How a non-cooperative checkpointer keeps the image consistent while the
+/// application may be running (survey §4.1).
+enum class ConsistencyMode : std::uint8_t {
+  kStopTarget,   ///< remove the target from the runqueue for the duration
+  kForkAndCopy,  ///< fork(); checkpoint the frozen COW child; app keeps running
+  kConcurrent,   ///< no protection: copy while the app runs (tearing risk)
+};
+
+const char* to_string(ConsistencyMode mode);
+
+struct EngineOptions {
+  CaptureOptions capture;
+  ConsistencyMode consistency = ConsistencyMode::kStopTarget;
+  /// Take incremental checkpoints (after an initial full one).
+  bool incremental = false;
+  /// Factory for the dirty tracker used when incremental is set.
+  std::function<std::unique_ptr<DirtyTracker>()> tracker_factory;
+  /// Force a full image every N checkpoints to bound chain length.
+  std::uint64_t full_every = 8;
+};
+
+struct CheckpointResult {
+  bool ok = false;
+  std::string error;
+  storage::ImageId image_id = storage::kBadImageId;
+  storage::ImageKind kind = storage::ImageKind::kFull;
+  SimTime initiated_at = 0;  ///< when the request was made
+  SimTime started_at = 0;    ///< when capture actually began (deferral!)
+  SimTime completed_at = 0;
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t pages = 0;
+
+  [[nodiscard]] SimTime initiation_latency() const { return started_at - initiated_at; }
+  [[nodiscard]] SimTime total_latency() const { return completed_at - initiated_at; }
+};
+
+struct RestartOptions {
+  /// Restore the original PID (UCLiK); fails over to a fresh PID with a
+  /// warning when taken, unless `require_original_pid`.
+  bool restore_original_pid = false;
+  bool require_original_pid = false;
+  /// Rebind the ports the process held; conflicts are warnings.
+  bool rebind_ports = true;
+};
+
+struct RestartResult {
+  bool ok = false;
+  std::string error;
+  sim::Pid pid = sim::kNoPid;
+  std::vector<std::string> warnings;
+};
+
+/// Restore an image into `kernel` as a fresh, runnable process — the common
+/// restart path every engine and mechanism shares.
+RestartResult restart_from_image(sim::SimKernel& kernel,
+                                 const storage::CheckpointImage& image,
+                                 const RestartOptions& options = {});
+
+class CheckpointEngine {
+ public:
+  CheckpointEngine(std::string name, storage::StorageBackend* backend,
+                   EngineOptions options);
+  virtual ~CheckpointEngine();
+
+  CheckpointEngine(const CheckpointEngine&) = delete;
+  CheckpointEngine& operator=(const CheckpointEngine&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] virtual TaxonomyPath taxonomy() const = 0;
+
+  /// Prepare a process for checkpointing by this engine.  The default is a
+  /// no-op; engines that *require* attachment (library linking, BLCR's
+  /// registration phase, trackers) override it — and their transparency
+  /// probe fails when checkpointing an unattached process.
+  virtual bool attach(sim::SimKernel& kernel, sim::Pid pid);
+  virtual void detach(sim::SimKernel& kernel, sim::Pid pid);
+
+  /// Can an agent other than the application itself initiate a checkpoint?
+  [[nodiscard]] virtual bool supports_external_initiation() const = 0;
+
+  /// Begin an externally initiated checkpoint.  Returns a ticket, or 0 on
+  /// refusal (unsupported / unknown pid).
+  virtual std::uint64_t request_checkpoint_async(sim::SimKernel& kernel, sim::Pid pid) = 0;
+
+  [[nodiscard]] bool is_complete(std::uint64_t ticket) const;
+  [[nodiscard]] CheckpointResult result(std::uint64_t ticket) const;
+
+  /// Synchronous convenience: request and drive the simulation until the
+  /// checkpoint completes (or `timeout` of simulated time passes).
+  CheckpointResult request_checkpoint(sim::SimKernel& kernel, sim::Pid pid,
+                                      SimTime timeout = 60 * kSecond);
+
+  /// Restart the newest state of `original_pid` recorded by this engine.
+  virtual RestartResult restart(sim::SimKernel& kernel, sim::Pid original_pid,
+                                const RestartOptions& options = {});
+
+  /// Restart onto a different kernel (migration / failover).
+  RestartResult restart_on(sim::SimKernel& target_kernel, sim::Pid original_pid,
+                           const RestartOptions& options = {});
+
+  [[nodiscard]] storage::StorageBackend* backend() const { return backend_; }
+  [[nodiscard]] const EngineOptions& options() const { return options_; }
+  [[nodiscard]] const std::vector<CheckpointResult>& history() const { return history_; }
+
+  /// Number of completed checkpoints for a pid.
+  [[nodiscard]] std::uint64_t checkpoints_taken(sim::Pid pid) const;
+
+ protected:
+  struct ProcState {
+    storage::CheckpointChain chain;
+    std::unique_ptr<DirtyTracker> tracker;
+    bool attached = false;
+    std::uint64_t taken = 0;
+    explicit ProcState(storage::StorageBackend* backend) : chain(backend) {}
+  };
+
+  ProcState& state_for(sim::Pid pid);
+  [[nodiscard]] const ProcState* find_state(sim::Pid pid) const;
+
+  /// The shared kernel-mode checkpoint step: applies the consistency mode,
+  /// captures (full or delta), stores, restarts the tracking interval.
+  /// `initiated_at` feeds the latency accounting.  Runs synchronously in
+  /// the current execution context.
+  CheckpointResult perform_kernel_checkpoint(sim::SimKernel& kernel, sim::Process& proc,
+                                             SimTime initiated_at);
+
+  std::uint64_t record_result(CheckpointResult result);
+  std::uint64_t new_ticket();
+  void record_pending(std::uint64_t ticket);
+  void complete_ticket(std::uint64_t ticket, CheckpointResult result);
+
+  std::string name_;
+  storage::StorageBackend* backend_;
+  EngineOptions options_;
+  std::map<sim::Pid, std::unique_ptr<ProcState>> states_;
+  std::map<std::uint64_t, std::optional<CheckpointResult>> tickets_;
+  std::uint64_t next_ticket_ = 1;
+  std::vector<CheckpointResult> history_;
+};
+
+}  // namespace ckpt::core

@@ -1,0 +1,58 @@
+#include "core/gang.hpp"
+
+namespace ckpt::core {
+
+std::size_t GangScheduler::add_job(std::string name, std::vector<sim::Pid> pids) {
+  jobs_.push_back(Job{std::move(name), std::move(pids)});
+  if (engine_ != nullptr) {
+    for (sim::Pid pid : jobs_.back().pids) engine_->attach(kernel_, pid);
+  }
+  return jobs_.size() - 1;
+}
+
+bool GangScheduler::activate(std::size_t index) {
+  bool all_ok = true;
+  for (std::size_t j = 0; j < jobs_.size(); ++j) {
+    for (sim::Pid pid : jobs_[j].pids) {
+      sim::Process* proc = kernel_.find_process(pid);
+      if (proc == nullptr || !proc->alive()) continue;
+      if (j == index) {
+        kernel_.resume_process(*proc);
+      } else if (proc->state != sim::TaskState::kStopped) {
+        if (engine_ != nullptr) {
+          const CheckpointResult result = engine_->request_checkpoint(kernel_, pid);
+          all_ok = all_ok && result.ok;
+        }
+        kernel_.stop_process(*proc);
+      }
+    }
+  }
+  return all_ok;
+}
+
+void GangScheduler::rotate(SimTime slice, int rounds) {
+  for (int r = 0; r < rounds; ++r) {
+    for (std::size_t j = 0; j < jobs_.size(); ++j) {
+      activate(j);
+      kernel_.run_until(kernel_.now() + slice);
+    }
+  }
+  // Leave everything runnable.
+  for (const Job& job : jobs_) {
+    for (sim::Pid pid : job.pids) {
+      if (sim::Process* proc = kernel_.find_process(pid)) kernel_.resume_process(*proc);
+    }
+  }
+}
+
+std::uint64_t GangScheduler::job_progress(std::size_t index) const {
+  std::uint64_t total = 0;
+  for (sim::Pid pid : jobs_.at(index).pids) {
+    if (const sim::Process* proc = kernel_.find_process(pid)) {
+      total += proc->stats.guest_iterations;
+    }
+  }
+  return total;
+}
+
+}  // namespace ckpt::core

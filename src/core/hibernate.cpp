@@ -1,0 +1,115 @@
+#include "core/hibernate.hpp"
+
+#include "core/capture.hpp"
+
+namespace ckpt::core {
+
+HibernationManager::HibernationManager(sim::SimKernel& kernel, storage::StorageBackend* swap,
+                                       storage::StorageBackend* ram)
+    : kernel_(kernel), swap_(swap), ram_(ram) {
+  // Static kernel extension: the freeze signal's default action, executed
+  // in kernel mode, stops the delivered-to task.
+  kernel_.register_kernel_signal(
+      sim::kSigFreeze,
+      [](sim::SimKernel& k, sim::Process& proc) { k.stop_process(proc); },
+      /*module=*/nullptr);
+}
+
+bool HibernationManager::freeze_all(std::vector<sim::Pid>& frozen) {
+  for (sim::Pid pid : kernel_.live_pids()) {
+    const sim::Process& proc = kernel_.process(pid);
+    if (proc.is_kernel_thread) continue;
+    kernel_.send_signal(pid, sim::kSigFreeze);
+    frozen.push_back(pid);
+  }
+  // Run until every targeted process has actually stopped (each must reach
+  // its next delivery point first — the freeze is not instantaneous).
+  const SimTime deadline = kernel_.now() + 60 * kSecond;
+  return kernel_.run_while(
+      [&] {
+        for (sim::Pid pid : frozen) {
+          const sim::Process* proc = kernel_.find_process(pid);
+          if (proc != nullptr && proc->alive() &&
+              proc->state != sim::TaskState::kStopped) {
+            return true;
+          }
+        }
+        return false;
+      },
+      deadline);
+}
+
+HibernationManager::HibernateResult HibernationManager::do_suspend(
+    storage::StorageBackend* backend) {
+  HibernateResult result;
+  const SimTime started = kernel_.now();
+
+  std::vector<sim::Pid> frozen;
+  if (!freeze_all(frozen)) {
+    result.error = "processes did not freeze in time";
+    return result;
+  }
+  result.freeze_latency = kernel_.now() - started;
+
+  auto charge = [&](SimTime t) { kernel_.charge_time(t); };
+  CaptureOptions options;
+  options.save_file_contents = false;
+  for (sim::Pid pid : frozen) {
+    sim::Process* proc = kernel_.find_process(pid);
+    if (proc == nullptr || !proc->alive()) continue;
+    storage::CheckpointImage image = capture_kernel_level(kernel_, *proc, options);
+    const storage::ImageId id = backend->store(image, charge);
+    if (id == storage::kBadImageId) {
+      result.error = "swap write failed";
+      return result;
+    }
+    result.images.push_back(id);
+    result.total_bytes += image.payload_bytes();
+  }
+
+  last_image_set_ = result.images;
+  last_backend_ = backend;
+  result.ok = true;
+  result.total_latency = kernel_.now() - started;
+  return result;
+}
+
+HibernationManager::HibernateResult HibernationManager::hibernate() {
+  HibernateResult result = do_suspend(swap_);
+  if (result.ok) powered_down_ = true;  // processes stay frozen: machine is "off"
+  return result;
+}
+
+HibernationManager::HibernateResult HibernationManager::standby() {
+  return do_suspend(ram_);
+}
+
+bool HibernationManager::resume(sim::SimKernel& target) {
+  if (last_backend_ == nullptr) return false;
+  auto charge = [&](SimTime t) { target.charge_time(t); };
+  bool all_ok = true;
+  for (storage::ImageId id : last_image_set_) {
+    auto image = last_backend_->load(id, charge);
+    if (!image.has_value()) {
+      all_ok = false;  // e.g. standby image lost to a power cycle
+      continue;
+    }
+    if (&target == &kernel_) {
+      // Same machine: the frozen originals still exist; thaw them instead
+      // of duplicating.
+      if (sim::Process* proc = target.find_process(image->pid);
+          proc != nullptr && proc->alive()) {
+        target.resume_process(*proc);
+        continue;
+      }
+    }
+    RestartOptions options;
+    options.restore_original_pid = true;
+    const RestartResult restored = restart_from_image(target, *image, options);
+    all_ok = all_ok && restored.ok;
+  }
+  if (all_ok) powered_down_ = false;
+  return all_ok;
+}
+
+}  // namespace ckpt::core

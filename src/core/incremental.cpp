@@ -1,0 +1,260 @@
+#include "core/incremental.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sim/userapi.hpp"
+#include "util/crc64.hpp"
+
+namespace ckpt::core {
+namespace {
+
+/// Pages eligible for dirty tracking: writable data (skip code; its pages
+/// never change).
+bool trackable(const sim::Vma& vma) { return vma.kind != sim::VmaKind::kCode; }
+
+std::vector<DirtyRange> pages_to_ranges(const std::set<sim::PageNum>& pages) {
+  std::vector<DirtyRange> out;
+  out.reserve(pages.size());
+  for (sim::PageNum p : pages) out.push_back(DirtyRange{p, 0, sim::kPageSize});
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// KernelWpTracker
+// ---------------------------------------------------------------------------
+
+void KernelWpTracker::begin_interval(sim::SimKernel&, sim::Process& proc) {
+  dirty_.clear();
+  // Write-protect every trackable page; the fault path consults wp_hook.
+  for (const sim::Vma& vma : proc.aspace->vmas()) {
+    if (!trackable(vma)) continue;
+    proc.aspace->protect_pages(vma.first_page, vma.page_count,
+                               vma.prot & static_cast<std::uint8_t>(~sim::kProtWrite));
+  }
+  proc.wp_hook = [this](sim::SimKernel&, sim::Process& p, sim::PageNum page) {
+    ++faults_;
+    dirty_.insert(page);
+    p.aspace->unprotect_page(page);  // in kernel mode: no syscall, no signal
+    return true;
+  };
+}
+
+std::vector<DirtyRange> KernelWpTracker::collect(sim::SimKernel&, sim::Process&) {
+  return pages_to_ranges(dirty_);
+}
+
+void KernelWpTracker::detach(sim::Process& proc) {
+  proc.wp_hook = nullptr;
+  for (const sim::Vma& vma : proc.aspace->vmas()) {
+    if (!trackable(vma)) continue;
+    proc.aspace->protect_pages(vma.first_page, vma.page_count, vma.prot);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// UserWpTracker
+// ---------------------------------------------------------------------------
+
+void UserWpTracker::protect_all(sim::SimKernel& kernel, sim::Process& proc) {
+  // The library calls mprotect() from user space: one crossing per region.
+  sim::UserApi api(kernel, proc);
+  for (const sim::Vma& vma : proc.aspace->vmas()) {
+    if (!trackable(vma)) continue;
+    api.sys_mprotect(vma.start(), vma.bytes(),
+                     vma.prot & static_cast<std::uint8_t>(~sim::kProtWrite));
+  }
+}
+
+void UserWpTracker::begin_interval(sim::SimKernel& kernel, sim::Process& proc) {
+  dirty_.clear();
+  protect_all(kernel, proc);
+  proc.signals.disposition[sim::kSigSegv] = sim::SignalDisposition::kHandler;
+  proc.library_handlers[sim::kSigSegv] = [this](sim::SimKernel& k, sim::Process& p,
+                                                sim::Signal) {
+    ++signals_;
+    const sim::PageNum page = sim::page_of(p.fault_addr);
+    dirty_.insert(page);
+    // Re-enable writes with an mprotect() syscall from the handler.
+    sim::UserApi api(k, p);
+    const sim::Vma* vma = p.aspace->find_vma(p.fault_addr);
+    api.sys_mprotect(sim::page_base(page), sim::kPageSize,
+                     vma != nullptr ? vma->prot
+                                    : static_cast<std::uint8_t>(sim::kProtRW));
+  };
+}
+
+std::vector<DirtyRange> UserWpTracker::collect(sim::SimKernel&, sim::Process&) {
+  return pages_to_ranges(dirty_);
+}
+
+void UserWpTracker::detach(sim::Process& proc) {
+  proc.library_handlers.erase(sim::kSigSegv);
+  proc.signals.disposition[sim::kSigSegv] = sim::SignalDisposition::kDefault;
+  for (const sim::Vma& vma : proc.aspace->vmas()) {
+    if (!trackable(vma)) continue;
+    proc.aspace->protect_pages(vma.first_page, vma.page_count, vma.prot);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// PteScanTracker
+// ---------------------------------------------------------------------------
+
+void PteScanTracker::begin_interval(sim::SimKernel&, sim::Process& proc) {
+  proc.aspace->clear_dirty_bits();
+}
+
+std::vector<DirtyRange> PteScanTracker::collect(sim::SimKernel& kernel,
+                                                sim::Process& proc) {
+  std::set<sim::PageNum> dirty;
+  proc.aspace->for_each_page([&](sim::PageNum page, const sim::PageTableEntry& pte) {
+    if (pte.dirty) dirty.insert(page);
+  });
+  // Scanning the page table costs one field read per PTE.
+  kernel.charge_kernel_field_reads(proc.aspace->mapped_bytes() / sim::kPageSize);
+  return pages_to_ranges(dirty);
+}
+
+// ---------------------------------------------------------------------------
+// ProbabilisticTracker
+// ---------------------------------------------------------------------------
+
+ProbabilisticTracker::ProbabilisticTracker(std::uint32_t block_bytes,
+                                           std::uint32_t signature_bits)
+    : block_bytes_(block_bytes), signature_bits_(signature_bits) {
+  if (block_bytes == 0 || sim::kPageSize % block_bytes != 0) {
+    throw std::invalid_argument("ProbabilisticTracker: block size must divide page size");
+  }
+  if (signature_bits == 0 || signature_bits > 64) {
+    throw std::invalid_argument("ProbabilisticTracker: signature bits in [1,64]");
+  }
+}
+
+std::uint64_t ProbabilisticTracker::block_signature(sim::SimKernel& kernel,
+                                                    sim::Process& proc, sim::PageNum page,
+                                                    std::uint32_t offset) {
+  const auto data = proc.aspace->page_data(page);
+  // Hash throughput plus a fixed per-block cost (signature lookup/compare):
+  // finer blocks hash the same bytes but pay more per-block overhead — the
+  // compromise [1] tunes.
+  kernel.charge_time(kernel.costs().hash_cost(block_bytes_) + 50, sim::ChargeKind::kCompute);
+  const std::uint64_t full = util::crc64(data.data() + offset, block_bytes_);
+  return signature_bits_ == 64 ? full : (full & ((1ULL << signature_bits_) - 1));
+}
+
+void ProbabilisticTracker::begin_interval(sim::SimKernel& kernel, sim::Process& proc) {
+  signatures_.clear();
+  for (const sim::Vma& vma : proc.aspace->vmas()) {
+    if (!trackable(vma)) continue;
+    for (sim::PageNum p = vma.first_page; p < vma.first_page + vma.page_count; ++p) {
+      if (proc.aspace->pte(p) == nullptr) continue;
+      for (std::uint32_t off = 0; off < sim::kPageSize; off += block_bytes_) {
+        signatures_[{p, off}] = block_signature(kernel, proc, p, off);
+      }
+    }
+  }
+}
+
+std::vector<DirtyRange> ProbabilisticTracker::collect(sim::SimKernel& kernel,
+                                                      sim::Process& proc) {
+  std::vector<DirtyRange> dirty;
+  for (const sim::Vma& vma : proc.aspace->vmas()) {
+    if (!trackable(vma)) continue;
+    for (sim::PageNum p = vma.first_page; p < vma.first_page + vma.page_count; ++p) {
+      if (proc.aspace->pte(p) == nullptr) continue;
+      for (std::uint32_t off = 0; off < sim::kPageSize; off += block_bytes_) {
+        const std::uint64_t sig = block_signature(kernel, proc, p, off);
+        auto it = signatures_.find({p, off});
+        if (it == signatures_.end() || it->second != sig) {
+          dirty.push_back(DirtyRange{p, off, block_bytes_});
+        }
+      }
+    }
+  }
+  return dirty;
+}
+
+std::uint64_t ProbabilisticTracker::signature_bytes() const {
+  return signatures_.size() * ((signature_bits_ + 7) / 8);
+}
+
+double ProbabilisticTracker::false_clean_probability() const {
+  return signature_bits_ >= 64 ? 0.0 : 1.0 / static_cast<double>(1ULL << signature_bits_);
+}
+
+// ---------------------------------------------------------------------------
+// AdaptiveBlockTracker
+// ---------------------------------------------------------------------------
+
+AdaptiveBlockTracker::AdaptiveBlockTracker(std::uint32_t initial_block,
+                                           std::uint32_t min_block, std::uint32_t max_block)
+    : min_block_(min_block), max_block_(max_block), initial_block_(initial_block) {}
+
+void AdaptiveBlockTracker::begin_interval(sim::SimKernel& kernel, sim::Process& proc) {
+  for (const sim::Vma& vma : proc.aspace->vmas()) {
+    if (!trackable(vma)) continue;
+    auto [it, inserted] = regions_.try_emplace(vma.first_page);
+    RegionState& region = it->second;
+    if (inserted) region.block_bytes = initial_block_;
+    region.signatures.clear();
+    for (sim::PageNum p = vma.first_page; p < vma.first_page + vma.page_count; ++p) {
+      if (proc.aspace->pte(p) == nullptr) continue;
+      const auto data = proc.aspace->page_data(p);
+      for (std::uint32_t off = 0; off < sim::kPageSize; off += region.block_bytes) {
+        kernel.charge_time(kernel.costs().hash_cost(region.block_bytes),
+                           sim::ChargeKind::kCompute);
+        region.signatures[{p, off}] = util::crc64(data.data() + off, region.block_bytes);
+      }
+    }
+  }
+}
+
+std::vector<DirtyRange> AdaptiveBlockTracker::collect(sim::SimKernel& kernel,
+                                                      sim::Process& proc) {
+  std::vector<DirtyRange> dirty;
+  for (const sim::Vma& vma : proc.aspace->vmas()) {
+    if (!trackable(vma)) continue;
+    auto rit = regions_.find(vma.first_page);
+    if (rit == regions_.end()) continue;
+    RegionState& region = rit->second;
+    std::uint64_t blocks_total = 0;
+    std::uint64_t blocks_dirty = 0;
+    for (sim::PageNum p = vma.first_page; p < vma.first_page + vma.page_count; ++p) {
+      if (proc.aspace->pte(p) == nullptr) continue;
+      const auto data = proc.aspace->page_data(p);
+      for (std::uint32_t off = 0; off < sim::kPageSize; off += region.block_bytes) {
+        kernel.charge_time(kernel.costs().hash_cost(region.block_bytes),
+                           sim::ChargeKind::kCompute);
+        const std::uint64_t sig = util::crc64(data.data() + off, region.block_bytes);
+        ++blocks_total;
+        auto it = region.signatures.find({p, off});
+        if (it == region.signatures.end() || it->second != sig) {
+          dirty.push_back(DirtyRange{p, off, region.block_bytes});
+          ++blocks_dirty;
+        }
+      }
+    }
+    // Adapt: dense regions coarsen (less hashing metadata), sparse regions
+    // refine (tighter deltas) — the compromise described in [1].
+    if (blocks_total > 0) {
+      const double density =
+          static_cast<double>(blocks_dirty) / static_cast<double>(blocks_total);
+      if (density > 0.5 && region.block_bytes * 2 <= max_block_) {
+        region.block_bytes *= 2;
+      } else if (density < 0.1 && region.block_bytes / 2 >= min_block_) {
+        region.block_bytes /= 2;
+      }
+    }
+  }
+  return dirty;
+}
+
+std::uint32_t AdaptiveBlockTracker::block_size_for(sim::PageNum first_page) const {
+  auto it = regions_.find(first_page);
+  return it == regions_.end() ? initial_block_ : it->second.block_bytes;
+}
+
+}  // namespace ckpt::core

@@ -1,0 +1,151 @@
+// Dirty tracking for incremental checkpointing.
+//
+// Four tracking techniques from the survey, all producing DirtyRange lists
+// consumed by the capture layer:
+//
+//   * KernelWpTracker   — §4: write-protect pages; the *kernel* page-fault
+//                         handler records the page and restores access.
+//                         Cost per first touch: one kernel fault.
+//   * UserWpTracker     — §3: mprotect() + SIGSEGV to a *user-level*
+//                         handler that records the page and re-mprotects.
+//                         Cost per first touch: signal delivery plus an
+//                         mprotect syscall — the expensive flavour.
+//   * PteScanTracker    — scan/clear the MMU dirty bits at checkpoint time;
+//                         zero per-write cost (the cheapest kernel option).
+//   * ProbabilisticTracker — [23]: no write tracking at all; at checkpoint
+//                         time hash fixed-size blocks and compare against
+//                         the previous interval's signatures.  Granularity
+//                         finer than a page; a truncated signature admits a
+//                         small false-clean (missed update) probability.
+//   * AdaptiveBlockTracker — [1]: probabilistic tracking with per-region
+//                         block sizes adapted to observed dirty density.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/capture.hpp"
+#include "sim/kernel.hpp"
+
+namespace ckpt::core {
+
+class DirtyTracker {
+ public:
+  virtual ~DirtyTracker() = default;
+
+  /// Begin a tracking interval (called after attach and after every
+  /// checkpoint).  May write-protect pages, snapshot hashes, etc.
+  virtual void begin_interval(sim::SimKernel& kernel, sim::Process& proc) = 0;
+
+  /// Ranges that changed during the interval (called at checkpoint time).
+  virtual std::vector<DirtyRange> collect(sim::SimKernel& kernel, sim::Process& proc) = 0;
+
+  /// Remove any hooks from the process.
+  virtual void detach(sim::Process& proc) { (void)proc; }
+
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+/// Kernel page-fault dirty tracking (write-protect + wp_hook).
+class KernelWpTracker final : public DirtyTracker {
+ public:
+  void begin_interval(sim::SimKernel& kernel, sim::Process& proc) override;
+  std::vector<DirtyRange> collect(sim::SimKernel& kernel, sim::Process& proc) override;
+  void detach(sim::Process& proc) override;
+  [[nodiscard]] const char* name() const override { return "kernel-wp"; }
+
+  [[nodiscard]] std::uint64_t faults_taken() const { return faults_; }
+
+ private:
+  std::set<sim::PageNum> dirty_;
+  std::uint64_t faults_ = 0;
+};
+
+/// User-level mprotect/SIGSEGV dirty tracking.  Requires the process to
+/// have a UserLevelRuntime-style library handler slot available; installs
+/// a library SIGSEGV handler.
+class UserWpTracker final : public DirtyTracker {
+ public:
+  void begin_interval(sim::SimKernel& kernel, sim::Process& proc) override;
+  std::vector<DirtyRange> collect(sim::SimKernel& kernel, sim::Process& proc) override;
+  void detach(sim::Process& proc) override;
+  [[nodiscard]] const char* name() const override { return "user-wp"; }
+
+  [[nodiscard]] std::uint64_t signals_taken() const { return signals_; }
+
+ private:
+  /// mprotect all writable regions read-only, from user context (syscalls).
+  void protect_all(sim::SimKernel& kernel, sim::Process& proc);
+
+  std::set<sim::PageNum> dirty_;
+  std::uint64_t signals_ = 0;
+};
+
+/// MMU dirty-bit scan.
+class PteScanTracker final : public DirtyTracker {
+ public:
+  void begin_interval(sim::SimKernel& kernel, sim::Process& proc) override;
+  std::vector<DirtyRange> collect(sim::SimKernel& kernel, sim::Process& proc) override;
+  [[nodiscard]] const char* name() const override { return "pte-scan"; }
+};
+
+/// Probabilistic (block-hash) tracking [23].
+class ProbabilisticTracker final : public DirtyTracker {
+ public:
+  /// `block_bytes` must divide the page size.  `signature_bits` truncates
+  /// the block hash; fewer bits => smaller signature memory, higher
+  /// false-clean probability.
+  explicit ProbabilisticTracker(std::uint32_t block_bytes = 1024,
+                                std::uint32_t signature_bits = 64);
+
+  void begin_interval(sim::SimKernel& kernel, sim::Process& proc) override;
+  std::vector<DirtyRange> collect(sim::SimKernel& kernel, sim::Process& proc) override;
+  [[nodiscard]] const char* name() const override { return "probabilistic"; }
+
+  [[nodiscard]] std::uint32_t block_bytes() const { return block_bytes_; }
+  /// Signature memory the tracker currently holds.
+  [[nodiscard]] std::uint64_t signature_bytes() const;
+  /// Theoretical per-block false-clean probability (2^-signature_bits).
+  [[nodiscard]] double false_clean_probability() const;
+
+ private:
+  std::uint64_t block_signature(sim::SimKernel& kernel, sim::Process& proc,
+                                sim::PageNum page, std::uint32_t offset);
+
+  std::uint32_t block_bytes_;
+  std::uint32_t signature_bits_;
+  std::map<std::pair<sim::PageNum, std::uint32_t>, std::uint64_t> signatures_;
+};
+
+/// Adaptive block-size tracking [1]: starts from `initial_block`, then per
+/// checkpoint halves the block size in regions writing sparsely and doubles
+/// it in regions writing densely, within [min_block, max_block].
+class AdaptiveBlockTracker final : public DirtyTracker {
+ public:
+  AdaptiveBlockTracker(std::uint32_t initial_block = 1024, std::uint32_t min_block = 128,
+                       std::uint32_t max_block = sim::kPageSize);
+
+  void begin_interval(sim::SimKernel& kernel, sim::Process& proc) override;
+  std::vector<DirtyRange> collect(sim::SimKernel& kernel, sim::Process& proc) override;
+  [[nodiscard]] const char* name() const override { return "adaptive-block"; }
+
+  /// Current block size chosen for a VMA (by first page), for inspection.
+  [[nodiscard]] std::uint32_t block_size_for(sim::PageNum first_page) const;
+
+ private:
+  struct RegionState {
+    std::uint32_t block_bytes;
+    std::map<std::pair<sim::PageNum, std::uint32_t>, std::uint64_t> signatures;
+  };
+
+  std::uint32_t min_block_;
+  std::uint32_t max_block_;
+  std::uint32_t initial_block_;
+  std::map<sim::PageNum, RegionState> regions_;  ///< keyed by VMA first page
+};
+
+}  // namespace ckpt::core

@@ -1,0 +1,51 @@
+#include "core/migrate.hpp"
+
+namespace ckpt::core {
+
+MigrationResult migrate_process(sim::SimKernel& source, sim::SimKernel& destination,
+                                sim::Pid pid, const MigrationOptions& options) {
+  MigrationResult result;
+  sim::Process* proc = source.find_process(pid);
+  if (proc == nullptr || !proc->alive()) {
+    result.error = "no such process on " + source.hostname;
+    return result;
+  }
+
+  const SimTime stop_at = source.now();
+  source.stop_process(*proc);
+
+  storage::CheckpointImage image = capture_kernel_level(source, *proc, options.capture);
+  const std::vector<std::byte> wire = image.serialize();
+  result.bytes_transferred = wire.size();
+
+  // Transfer over the interconnect; the receiving side pays the cost.
+  destination.charge_time(destination.costs().net_cost(wire.size()));
+
+  RestartResult restarted;
+  if (options.pod != 0 && options.pods != nullptr) {
+    restarted = options.pods->restart_in_pod(destination, image, options.pod);
+  } else {
+    RestartOptions ropts;
+    ropts.restore_original_pid = options.preserve_pid;
+    ropts.require_original_pid = options.preserve_pid;
+    restarted = restart_from_image(destination, image, ropts);
+  }
+  result.warnings = restarted.warnings;
+  if (!restarted.ok) {
+    // Migration failed: the original continues where it was.
+    source.resume_process(*proc);
+    result.error = restarted.error;
+    return result;
+  }
+
+  // Destroy the original; its identity now lives on the destination.
+  source.terminate(*proc, 0);
+  source.reap(pid);
+
+  result.ok = true;
+  result.new_pid = restarted.pid;
+  result.downtime = destination.now() > stop_at ? destination.now() - stop_at : 0;
+  return result;
+}
+
+}  // namespace ckpt::core

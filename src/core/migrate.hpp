@@ -1,0 +1,45 @@
+// Process migration: checkpoint -> transfer -> restart on another machine.
+//
+// The original use of system-level checkpointing on Linux clusters (BProc,
+// CRAK, ZAP).  Naive migration carries the resource-conflict risks the
+// survey describes; pod-based migration virtualizes identities and avoids
+// them at a per-syscall cost.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/capture.hpp"
+#include "core/engine.hpp"
+#include "core/pod.hpp"
+#include "sim/kernel.hpp"
+
+namespace ckpt::core {
+
+struct MigrationOptions {
+  CaptureOptions capture;
+  /// Keep the original pid on the destination (fails on conflict unless a
+  /// pod translates it).
+  bool preserve_pid = true;
+  /// Virtualize through this pod (ZAP); kNoPod = naive migration.
+  PodId pod = 0;
+  PodManager* pods = nullptr;
+};
+
+struct MigrationResult {
+  bool ok = false;
+  std::string error;
+  sim::Pid new_pid = sim::kNoPid;
+  std::uint64_t bytes_transferred = 0;
+  SimTime downtime = 0;  ///< source-stop to destination-resume
+  std::vector<std::string> warnings;
+};
+
+/// Migrate `pid` from `source` to `destination`.  The image moves over the
+/// interconnect (network cost charged on the destination side, where the
+/// receiving daemon runs); the original process is destroyed on success.
+MigrationResult migrate_process(sim::SimKernel& source, sim::SimKernel& destination,
+                                sim::Pid pid, const MigrationOptions& options = {});
+
+}  // namespace ckpt::core

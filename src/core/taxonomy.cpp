@@ -1,0 +1,89 @@
+#include "core/taxonomy.hpp"
+
+#include <map>
+#include <sstream>
+
+namespace ckpt::core {
+
+const char* to_string(Context value) {
+  switch (value) {
+    case Context::kUserLevel: return "user-level";
+    case Context::kSystemLevel: return "system-level";
+  }
+  return "?";
+}
+
+const char* to_string(Agent value) {
+  switch (value) {
+    case Agent::kApplicationSource: return "application source code";
+    case Agent::kPrecompiler: return "pre-compiler";
+    case Agent::kSignalHandlerLib: return "signal-handler library";
+    case Agent::kPreloadLib: return "LD_PRELOAD library";
+    case Agent::kOperatingSystem: return "operating system";
+    case Agent::kHardware: return "hardware";
+  }
+  return "?";
+}
+
+const char* to_string(Technique value) {
+  switch (value) {
+    case Technique::kLibraryCall: return "library call";
+    case Technique::kUserSignalHandler: return "user signal handler";
+    case Technique::kSystemCall: return "system call";
+    case Technique::kKernelSignal: return "kernel-mode signal handler";
+    case Technique::kKernelThread: return "kernel thread";
+    case Technique::kDirectoryController: return "directory controller";
+    case Technique::kCacheBuffer: return "cache checkpoint buffers";
+  }
+  return "?";
+}
+
+const char* to_string(KThreadInterface value) {
+  switch (value) {
+    case KThreadInterface::kNone: return "-";
+    case KThreadInterface::kDeviceIoctl: return "/dev ioctl";
+    case KThreadInterface::kProcFs: return "/proc";
+    case KThreadInterface::kSyscall: return "syscall";
+  }
+  return "?";
+}
+
+TaxonomyRegistry& TaxonomyRegistry::instance() {
+  static TaxonomyRegistry registry;
+  return registry;
+}
+
+void TaxonomyRegistry::add(TaxonomyEntry entry) { entries_.push_back(std::move(entry)); }
+
+void TaxonomyRegistry::clear() { entries_.clear(); }
+
+std::string TaxonomyRegistry::render_tree() const {
+  // context -> agent -> technique -> [mechanisms]
+  std::map<Context, std::map<Agent, std::map<Technique, std::vector<const TaxonomyEntry*>>>>
+      tree;
+  for (const auto& entry : entries_) {
+    tree[entry.path.context][entry.path.agent][entry.path.technique].push_back(&entry);
+  }
+  std::ostringstream out;
+  out << "checkpoint/restart implementations\n";
+  for (const auto& [context, agents] : tree) {
+    out << "+- " << to_string(context) << "\n";
+    for (const auto& [agent, techniques] : agents) {
+      out << "|  +- " << to_string(agent) << "\n";
+      for (const auto& [technique, mechanisms] : techniques) {
+        out << "|  |  +- " << to_string(technique) << "\n";
+        for (const TaxonomyEntry* mech : mechanisms) {
+          out << "|  |  |  * " << mech->name;
+          if (mech->path.interface != KThreadInterface::kNone) {
+            out << " [" << to_string(mech->path.interface) << "]";
+          }
+          if (!mech->note.empty()) out << " -- " << mech->note;
+          out << "\n";
+        }
+      }
+    }
+  }
+  return out.str();
+}
+
+}  // namespace ckpt::core

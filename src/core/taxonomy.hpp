@@ -1,0 +1,78 @@
+// The survey's taxonomy (Figure 1) as a typed classification.
+//
+// Three dimensions: the *context* an implementation lives in, the *agent*
+// that provides the functionality within that context, and the *technique*
+// (implementation specifics).  Every checkpoint engine and every surveyed
+// mechanism declares its TaxonomyPath; the Figure 1 reproduction renders
+// the tree from the registered descriptors, so the figure cannot drift
+// from the code.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ckpt::core {
+
+enum class Context : std::uint8_t { kUserLevel, kSystemLevel };
+
+enum class Agent : std::uint8_t {
+  // User-level agents.
+  kApplicationSource,  ///< checkpoint calls programmed into the source
+  kPrecompiler,        ///< calls inserted automatically by a pre-compiler
+  kSignalHandlerLib,   ///< user-level signal handlers from a checkpoint library
+  kPreloadLib,         ///< LD_PRELOAD-installed library, no relink
+  // System-level agents.
+  kOperatingSystem,
+  kHardware,
+};
+
+enum class Technique : std::uint8_t {
+  kLibraryCall,          ///< user level: explicit library API
+  kUserSignalHandler,    ///< user level: SIGALRM/SIGUSR1 handlers
+  kSystemCall,           ///< OS: new checkpoint/restart syscalls
+  kKernelSignal,         ///< OS: new kernel signal with kernel-mode action
+  kKernelThread,         ///< OS: dedicated kernel thread
+  kDirectoryController,  ///< HW: ReVive-style directory logging
+  kCacheBuffer,          ///< HW: SafetyNet-style cache checkpoint buffers
+};
+
+/// Interface a kernel-thread mechanism exposes to user space.
+enum class KThreadInterface : std::uint8_t { kNone, kDeviceIoctl, kProcFs, kSyscall };
+
+const char* to_string(Context value);
+const char* to_string(Agent value);
+const char* to_string(Technique value);
+const char* to_string(KThreadInterface value);
+
+struct TaxonomyPath {
+  Context context;
+  Agent agent;
+  Technique technique;
+  KThreadInterface interface = KThreadInterface::kNone;
+};
+
+/// A registered node in the Figure 1 tree.
+struct TaxonomyEntry {
+  std::string name;  ///< mechanism or engine name
+  TaxonomyPath path;
+  std::string note;  ///< short annotation shown in the tree
+};
+
+/// Registry used by the Figure 1 bench; mechanisms self-register.
+class TaxonomyRegistry {
+ public:
+  static TaxonomyRegistry& instance();
+
+  void add(TaxonomyEntry entry);
+  void clear();
+  [[nodiscard]] const std::vector<TaxonomyEntry>& entries() const { return entries_; }
+
+  /// Render the classification tree (Figure 1) as indented text.
+  [[nodiscard]] std::string render_tree() const;
+
+ private:
+  std::vector<TaxonomyEntry> entries_;
+};
+
+}  // namespace ckpt::core

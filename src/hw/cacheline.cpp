@@ -1,0 +1,118 @@
+#include "hw/cacheline.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace ckpt::hw {
+
+// ---------------------------------------------------------------------------
+// CacheLineDirtySet
+// ---------------------------------------------------------------------------
+
+void CacheLineDirtySet::record(sim::VAddr addr, std::uint64_t bytes) {
+  const std::uint64_t first = addr / kCacheLineBytes;
+  const std::uint64_t last = (addr + (bytes == 0 ? 0 : bytes - 1)) / kCacheLineBytes;
+  for (std::uint64_t line = first; line <= last; ++line) lines_.insert(line);
+}
+
+std::uint64_t CacheLineDirtySet::covered_pages() const {
+  std::set<std::uint64_t> pages;
+  for (std::uint64_t line : lines_) {
+    pages.insert(line * kCacheLineBytes / sim::kPageSize);
+  }
+  return pages.size();
+}
+
+// ---------------------------------------------------------------------------
+// ReviveModel
+// ---------------------------------------------------------------------------
+
+void ReviveModel::attach(sim::Process& proc) {
+  if (attached_ != nullptr) throw std::logic_error("ReviveModel: already attached");
+  attached_ = &proc;
+  proc.write_observer = [this, &proc](sim::VAddr addr, std::uint64_t bytes) {
+    const std::uint64_t first = addr / kCacheLineBytes;
+    const std::uint64_t last = (addr + (bytes == 0 ? 0 : bytes - 1)) / kCacheLineBytes;
+    for (std::uint64_t line = first; line <= last; ++line) {
+      if (dirty_.lines().count(line) != 0) continue;  // already logged this interval
+      // First write to the line since the checkpoint: the directory
+      // controller captures the old value before it is overwritten (the
+      // snoop fires before the store commits).
+      LogEntry entry;
+      entry.line = line;
+      const sim::VAddr line_addr = line * kCacheLineBytes;
+      const sim::PageNum page = sim::page_of(line_addr);
+      if (proc.aspace && proc.aspace->pte(page) != nullptr) {
+        entry.old_data.resize(kCacheLineBytes);
+        const auto data = proc.aspace->page_data(page);
+        std::memcpy(entry.old_data.data(), data.data() + sim::page_offset(line_addr),
+                    kCacheLineBytes);
+      }
+      undo_log_.push_back(std::move(entry));
+      dirty_.record(line_addr, kCacheLineBytes);
+    }
+  };
+}
+
+void ReviveModel::detach(sim::Process& proc) {
+  proc.write_observer = nullptr;
+  attached_ = nullptr;
+}
+
+std::uint64_t ReviveModel::commit_checkpoint() {
+  const std::uint64_t flushed = log_bytes();
+  undo_log_.clear();
+  dirty_.clear();
+  return flushed;
+}
+
+std::uint64_t ReviveModel::rollback(sim::Process& proc) {
+  std::uint64_t restored = 0;
+  for (auto it = undo_log_.rbegin(); it != undo_log_.rend(); ++it) {
+    if (it->old_data.empty()) continue;
+    const sim::VAddr line_addr = it->line * kCacheLineBytes;
+    const sim::PageNum page = sim::page_of(line_addr);
+    if (proc.aspace == nullptr || proc.aspace->pte(page) == nullptr) continue;
+    auto data = proc.aspace->page_data(page);
+    std::memcpy(data.data() + sim::page_offset(line_addr), it->old_data.data(),
+                kCacheLineBytes);
+    ++restored;
+  }
+  undo_log_.clear();
+  dirty_.clear();
+  return restored;
+}
+
+std::uint64_t ReviveModel::log_bytes() const {
+  // Each log record: line tag (8 B) + old data (one line).
+  return undo_log_.size() * (8 + kCacheLineBytes);
+}
+
+// ---------------------------------------------------------------------------
+// SafetyNetModel
+// ---------------------------------------------------------------------------
+
+void SafetyNetModel::attach(sim::Process& proc) {
+  proc.write_observer = [this](sim::VAddr addr, std::uint64_t bytes) {
+    const std::uint64_t before = dirty_.line_count();
+    dirty_.record(addr, bytes);
+    const std::uint64_t added = dirty_.line_count() - before;
+    occupancy_ += added * kCacheLineBytes;
+    if (occupancy_ > capacity_) {
+      // Buffer full: the processor stalls until a checkpoint validates.
+      ++overflow_stalls_;
+      occupancy_ = capacity_;
+    }
+  };
+}
+
+void SafetyNetModel::detach(sim::Process& proc) { proc.write_observer = nullptr; }
+
+std::uint64_t SafetyNetModel::validate_checkpoint() {
+  const std::uint64_t lines = dirty_.line_count();
+  dirty_.clear();
+  occupancy_ = 0;
+  return lines;
+}
+
+}  // namespace ckpt::hw

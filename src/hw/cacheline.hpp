@@ -1,0 +1,114 @@
+// Hardware-assisted checkpointing models (survey §4.2).
+//
+// Purpose-designed hardware traces modifications at *cache-line*
+// granularity — far finer than the page granularity available to the
+// operating system.  Two published designs are modelled:
+//
+//   * ReVive  [Prvulovic et al., ISCA'02]: the directory controller logs
+//     the old contents of a line on its first write after a checkpoint;
+//     rollback replays the log.  Modest hardware: a memory-resident log.
+//
+//   * SafetyNet [Sorin et al., ISCA'02]: checkpoint-log buffers attached
+//     to the processor caches record old values; requires cache
+//     modifications *and* dedicated buffer storage — strictly more
+//     hardware than ReVive, which the model's resource accounting shows.
+//
+// Both attach to a process through the write_observer snoop, which costs
+// the CPU nothing — hardware tracking is transparent and free at run time,
+// its price is the custom silicon (the survey's commodity-cluster
+// objection).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "sim/kernel.hpp"
+#include "sim/process.hpp"
+#include "sim/types.hpp"
+
+namespace ckpt::hw {
+
+inline constexpr std::uint64_t kCacheLineBytes = 64;
+
+/// Dirty-line set shared by both hardware models.
+class CacheLineDirtySet {
+ public:
+  void record(sim::VAddr addr, std::uint64_t bytes);
+  void clear() { lines_.clear(); }
+
+  [[nodiscard]] std::uint64_t line_count() const { return lines_.size(); }
+  [[nodiscard]] std::uint64_t dirty_bytes() const { return lines_.size() * kCacheLineBytes; }
+  [[nodiscard]] const std::set<std::uint64_t>& lines() const { return lines_; }
+
+  /// Pages covered by the dirty lines (for comparing against OS tracking).
+  [[nodiscard]] std::uint64_t covered_pages() const;
+
+ private:
+  std::set<std::uint64_t> lines_;  ///< line index = addr / kCacheLineBytes
+};
+
+/// ReVive: directory-controller logging of old line values.
+class ReviveModel {
+ public:
+  /// Attach to a process: snoop writes, keep an undo log.
+  void attach(sim::Process& proc);
+  void detach(sim::Process& proc);
+
+  /// End-of-interval: returns bytes that must be flushed (log size), then
+  /// begins a new interval.
+  std::uint64_t commit_checkpoint();
+
+  /// Roll back the attached process's memory to the last checkpoint by
+  /// replaying the undo log in reverse.  Returns lines restored.
+  std::uint64_t rollback(sim::Process& proc);
+
+  [[nodiscard]] const CacheLineDirtySet& dirty() const { return dirty_; }
+  [[nodiscard]] std::uint64_t log_bytes() const;
+
+  /// Hardware resource estimate: ReVive needs directory-controller changes
+  /// only; the log lives in ordinary memory.
+  [[nodiscard]] static std::uint64_t dedicated_hardware_bytes() { return 0; }
+
+ private:
+  struct LogEntry {
+    std::uint64_t line;
+    std::vector<std::byte> old_data;
+  };
+
+  CacheLineDirtySet dirty_;
+  std::vector<LogEntry> undo_log_;
+  sim::Process* attached_ = nullptr;
+};
+
+/// SafetyNet: per-cache checkpoint-log buffers with bounded capacity.
+class SafetyNetModel {
+ public:
+  explicit SafetyNetModel(std::uint64_t buffer_capacity_bytes = 512 * 1024)
+      : capacity_(buffer_capacity_bytes) {}
+
+  void attach(sim::Process& proc);
+  void detach(sim::Process& proc);
+
+  /// Advance the (pipelined) checkpoint: returns lines validated.
+  std::uint64_t validate_checkpoint();
+
+  [[nodiscard]] const CacheLineDirtySet& dirty() const { return dirty_; }
+  [[nodiscard]] std::uint64_t buffer_occupancy() const { return occupancy_; }
+  [[nodiscard]] std::uint64_t buffer_capacity() const { return capacity_; }
+  /// Number of times the buffer filled and the processor had to stall.
+  [[nodiscard]] std::uint64_t overflow_stalls() const { return overflow_stalls_; }
+
+  /// Hardware resource estimate: cache modifications plus the dedicated
+  /// checkpoint-log buffers — strictly more than ReVive.
+  [[nodiscard]] std::uint64_t dedicated_hardware_bytes() const { return capacity_; }
+
+ private:
+  CacheLineDirtySet dirty_;
+  std::uint64_t capacity_;
+  std::uint64_t occupancy_ = 0;
+  std::uint64_t overflow_stalls_ = 0;
+};
+
+}  // namespace ckpt::hw

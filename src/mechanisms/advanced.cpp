@@ -1,0 +1,176 @@
+// ZAP, LAM/MPI, Software Suspend and Checkpoint [5].
+#include "mechanisms/mechanism.hpp"
+
+namespace ckpt::mechanisms {
+
+using core::Agent;
+using core::Context;
+using core::KThreadInterface;
+using core::TaxonomyPath;
+using core::Technique;
+
+// ---------------------------------------------------------------------------
+// ZAP
+// ---------------------------------------------------------------------------
+
+ZapMechanism::ZapMechanism(const MechanismContext& context)
+    : kernel_(context.kernel), pods_(/*translation_ns=*/200) {
+  sim::KernelModule& module = context.kernel->load_module("zap");
+  core::EngineOptions options;
+  options.consistency = core::ConsistencyMode::kStopTarget;
+  core::KernelThreadEngine::ThreadConfig config;
+  config.interface = KThreadInterface::kDeviceIoctl;
+  // ZAP migrates live state; the engine's backend only buffers images in
+  // RAM during the move.
+  ram_buffer_ = std::make_unique<storage::MemoryBackend>(context.kernel->costs());
+  engine_ = std::make_unique<core::KernelThreadEngine>("zap", ram_buffer_.get(), options,
+                                                       *context.kernel, config, &module);
+}
+
+ZapMechanism::~ZapMechanism() {
+  if (kernel_->module_loaded("zap")) kernel_->unload_module("zap");
+}
+
+TaxonomyPath ZapMechanism::taxonomy() const {
+  return {Context::kSystemLevel, Agent::kOperatingSystem, Technique::kKernelThread,
+          KThreadInterface::kDeviceIoctl};
+}
+
+sim::Pid ZapMechanism::launch(sim::SimKernel& kernel, const std::string& guest,
+                              std::vector<std::byte> config,
+                              const sim::SpawnOptions& options) {
+  const sim::Pid pid = kernel.spawn(guest, std::move(config), options);
+  core::Pod& pod = pods_.create_pod("pod-" + std::to_string(pid));
+  pods_.adopt(kernel, pid, pod.id);
+  memberships_[pid] = pod.id;
+  return pid;
+}
+
+core::PodId ZapMechanism::pod_of(sim::Pid pid) const {
+  auto it = memberships_.find(pid);
+  return it == memberships_.end() ? 0 : it->second;
+}
+
+core::MigrationResult ZapMechanism::migrate(sim::SimKernel& source,
+                                            sim::SimKernel& destination, sim::Pid pid) {
+  core::MigrationOptions options;
+  options.pods = &pods_;
+  options.pod = pod_of(pid);
+  if (options.pod == 0) {
+    core::MigrationResult result;
+    result.error = "ZAP: process is not in a pod";
+    return result;
+  }
+  core::MigrationResult result = core::migrate_process(source, destination, pid, options);
+  if (result.ok) {
+    memberships_.erase(pid);
+    memberships_[result.new_pid] = options.pod;
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// LAM/MPI
+// ---------------------------------------------------------------------------
+
+LamMpiMechanism::LamMpiMechanism(const MechanismContext& context) : kernel_(context.kernel) {
+  sim::KernelModule& module = context.kernel->load_module("lam_blcr");
+  core::EngineOptions options;
+  options.consistency = core::ConsistencyMode::kStopTarget;
+  core::KernelThreadEngine::ThreadConfig config;
+  config.interface = KThreadInterface::kDeviceIoctl;
+  engine_ = std::make_unique<core::KernelThreadEngine>("lam_blcr", context.remote, options,
+                                                       *context.kernel, config, &module);
+}
+
+LamMpiMechanism::~LamMpiMechanism() {
+  if (kernel_->module_loaded("lam_blcr")) kernel_->unload_module("lam_blcr");
+}
+
+TaxonomyPath LamMpiMechanism::taxonomy() const {
+  return {Context::kSystemLevel, Agent::kOperatingSystem, Technique::kKernelThread,
+          KThreadInterface::kDeviceIoctl};
+}
+
+sim::Pid LamMpiMechanism::launch_mpi_rank(sim::SimKernel& kernel, const std::string& guest,
+                                          std::vector<std::byte> config,
+                                          const sim::SpawnOptions& options) {
+  // mpirun: the *modified MPI library* performs BLCR's registration during
+  // MPI_Init — invisible to the application, but the library had to change.
+  const sim::Pid pid = kernel.spawn(guest, std::move(config), options);
+  sim::Process& proc = kernel.process(pid);
+  proc.signals.disposition[sim::kSigUsr2] = sim::SignalDisposition::kHandler;
+  proc.library_handlers[sim::kSigUsr2] = [](sim::SimKernel&, sim::Process&, sim::Signal) {};
+  engine_->attach(kernel, pid);
+  mpi_launched_.insert(pid);
+  return pid;
+}
+
+core::CheckpointResult LamMpiMechanism::checkpoint(sim::SimKernel& kernel, sim::Pid pid) {
+  core::CheckpointResult refused;
+  if (!check_thread_support(kernel, pid, refused)) return refused;
+  if (mpi_launched_.count(pid) == 0) {
+    refused.error = "LAM/MPI: process was not started under mpirun (no BLCR init)";
+    return refused;
+  }
+  return engine_->request_checkpoint(kernel, pid);
+}
+
+// ---------------------------------------------------------------------------
+// Software Suspend
+// ---------------------------------------------------------------------------
+
+SwsuspMechanism::SwsuspMechanism(const MechanismContext& context)
+    : kernel_(context.kernel), swap_(context.local) {
+  ram_ = std::make_unique<storage::MemoryBackend>(context.kernel->costs());
+  hibernation_ =
+      std::make_unique<core::HibernationManager>(*context.kernel, swap_, ram_.get());
+}
+
+TaxonomyPath SwsuspMechanism::taxonomy() const {
+  return {Context::kSystemLevel, Agent::kOperatingSystem, Technique::kKernelSignal,
+          KThreadInterface::kNone};
+}
+
+core::CheckpointResult SwsuspMechanism::checkpoint(sim::SimKernel& kernel, sim::Pid pid) {
+  // Software Suspend checkpoints the *whole machine*; a per-process request
+  // is served by hibernating everything (the caller's process included).
+  (void)pid;
+  core::CheckpointResult result;
+  result.initiated_at = kernel.now();
+  result.started_at = kernel.now();
+  const auto hib = hibernation_->standby();
+  result.ok = hib.ok;
+  result.error = hib.error;
+  result.payload_bytes = hib.total_bytes;
+  result.completed_at = kernel.now();
+  // The machine stays frozen after a real suspend; for a checkpoint-style
+  // probe we resume immediately (standby semantics).
+  hibernation_->resume(kernel);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint [5]
+// ---------------------------------------------------------------------------
+
+Checkpoint05Mechanism::Checkpoint05Mechanism(const MechanismContext& context) {
+  core::EngineOptions options;
+  // The innovation: the dump runs concurrently with the application, with
+  // fork() guaranteeing a consistent snapshot.
+  options.consistency = core::ConsistencyMode::kForkAndCopy;
+  engine_ = std::make_unique<core::SyscallEngine>(
+      "checkpoint05", context.local, options, *context.kernel,
+      core::SyscallEngine::TargetMode::kCurrent, /*module=*/nullptr);
+}
+
+TaxonomyPath Checkpoint05Mechanism::taxonomy() const {
+  return {Context::kSystemLevel, Agent::kOperatingSystem, Technique::kSystemCall,
+          KThreadInterface::kNone};
+}
+
+const std::string& Checkpoint05Mechanism::dump_syscall() const {
+  return static_cast<core::SyscallEngine*>(engine_.get())->dump_syscall();
+}
+
+}  // namespace ckpt::mechanisms

@@ -1,0 +1,101 @@
+#include "mechanisms/catalog.hpp"
+
+namespace ckpt::mechanisms {
+
+const std::vector<CatalogEntry>& mechanism_catalog() {
+  static const std::vector<CatalogEntry> catalog = [] {
+    std::vector<CatalogEntry> entries;
+    auto add = [&entries](std::string name, auto make) {
+      entries.push_back(CatalogEntry{
+          std::move(name),
+          [make](const MechanismContext& context) -> std::unique_ptr<Mechanism> {
+            return make(context);
+          }});
+    };
+    add("VMADump", [](const MechanismContext& c) {
+      return std::make_unique<VmadumpMechanism>(c);
+    });
+    add("BPROC", [](const MechanismContext& c) {
+      return std::make_unique<BprocMechanism>(c);
+    });
+    add("EPCKPT", [](const MechanismContext& c) {
+      return std::make_unique<EpckptMechanism>(c);
+    });
+    add("CRAK", [](const MechanismContext& c) { return std::make_unique<CrakMechanism>(c); });
+    add("UCLik", [](const MechanismContext& c) {
+      return std::make_unique<UclikMechanism>(c);
+    });
+    add("CHPOX", [](const MechanismContext& c) {
+      return std::make_unique<ChpoxMechanism>(c);
+    });
+    add("ZAP", [](const MechanismContext& c) { return std::make_unique<ZapMechanism>(c); });
+    add("BLCR", [](const MechanismContext& c) { return std::make_unique<BlcrMechanism>(c); });
+    add("LAM/MPI", [](const MechanismContext& c) {
+      return std::make_unique<LamMpiMechanism>(c);
+    });
+    add("PsncR/C", [](const MechanismContext& c) {
+      return std::make_unique<PsncrcMechanism>(c);
+    });
+    add("Software Suspend", [](const MechanismContext& c) {
+      return std::make_unique<SwsuspMechanism>(c);
+    });
+    add("Checkpoint", [](const MechanismContext& c) {
+      return std::make_unique<Checkpoint05Mechanism>(c);
+    });
+    return entries;
+  }();
+  return catalog;
+}
+
+void register_taxonomy_entries() {
+  auto& registry = core::TaxonomyRegistry::instance();
+  registry.clear();
+
+  // The surveyed system-level mechanisms: instantiate each against a scratch
+  // kernel to obtain its self-declared classification.
+  for (const CatalogEntry& entry : mechanism_catalog()) {
+    sim::SimKernel scratch;
+    storage::LocalDiskBackend local(scratch.costs());
+    storage::RemoteBackend remote(scratch.costs());
+    MechanismContext context{&scratch, &local, &remote};
+    auto mechanism = entry.factory(context);
+    registry.add(core::TaxonomyEntry{mechanism->name(), mechanism->taxonomy(),
+                                     mechanism->description()});
+  }
+
+  // The user-level corner of Figure 1 (surveyed in §3, not in Table 1).
+  registry.add(core::TaxonomyEntry{
+      "libckpt/libckp/Condor class",
+      {core::Context::kUserLevel, core::Agent::kSignalHandlerLib,
+       core::Technique::kUserSignalHandler, core::KThreadInterface::kNone},
+      "checkpoint library with SIGALRM/SIGUSR handlers"});
+  registry.add(core::TaxonomyEntry{
+      "source-programmed libraries",
+      {core::Context::kUserLevel, core::Agent::kApplicationSource,
+       core::Technique::kLibraryCall, core::KThreadInterface::kNone},
+      "checkpoint calls written into the application"});
+  registry.add(core::TaxonomyEntry{
+      "pre-compiler inserted (CCIFT class)",
+      {core::Context::kUserLevel, core::Agent::kPrecompiler, core::Technique::kLibraryCall,
+       core::KThreadInterface::kNone},
+      "calls inserted automatically before compilation"});
+  registry.add(core::TaxonomyEntry{
+      "LD_PRELOAD libraries",
+      {core::Context::kUserLevel, core::Agent::kPreloadLib,
+       core::Technique::kUserSignalHandler, core::KThreadInterface::kNone},
+      "handlers + interposition installed at load time, no relink"});
+
+  // The hardware corner (§4.2).
+  registry.add(core::TaxonomyEntry{
+      "ReVive",
+      {core::Context::kSystemLevel, core::Agent::kHardware,
+       core::Technique::kDirectoryController, core::KThreadInterface::kNone},
+      "directory-controller undo logging, cache-line granularity"});
+  registry.add(core::TaxonomyEntry{
+      "SafetyNet",
+      {core::Context::kSystemLevel, core::Agent::kHardware, core::Technique::kCacheBuffer,
+       core::KThreadInterface::kNone},
+      "cache checkpoint-log buffers (more hardware than ReVive)"});
+}
+
+}  // namespace ckpt::mechanisms

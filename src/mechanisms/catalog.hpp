@@ -1,0 +1,32 @@
+// Catalog of the surveyed mechanisms: name -> factory, in Table 1 order.
+//
+// Each probe/bench builds a fresh kernel per mechanism (static extensions
+// cannot be unloaded, so kernels are not reusable across mechanisms) and
+// instantiates from this catalog.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mechanisms/mechanism.hpp"
+
+namespace ckpt::mechanisms {
+
+using MechanismFactory = std::function<std::unique_ptr<Mechanism>(const MechanismContext&)>;
+
+struct CatalogEntry {
+  std::string name;
+  MechanismFactory factory;
+};
+
+/// All twelve mechanisms, in the paper's Table 1 row order.
+const std::vector<CatalogEntry>& mechanism_catalog();
+
+/// Register every mechanism's taxonomy entry (Figure 1) with the global
+/// TaxonomyRegistry, including the user-level engines that appear in the
+/// figure but not in Table 1.
+void register_taxonomy_entries();
+
+}  // namespace ckpt::mechanisms

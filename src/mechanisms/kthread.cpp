@@ -1,0 +1,229 @@
+// The kernel-thread / kernel-module family: CRAK, UCLiK, CHPOX, BLCR,
+// PsncR/C.
+#include <cstdlib>
+
+#include "mechanisms/mechanism.hpp"
+
+namespace ckpt::mechanisms {
+
+using core::Agent;
+using core::Context;
+using core::KThreadInterface;
+using core::TaxonomyPath;
+using core::Technique;
+
+// ---------------------------------------------------------------------------
+// CRAK
+// ---------------------------------------------------------------------------
+
+CrakMechanism::CrakMechanism(const MechanismContext& context) : kernel_(context.kernel) {
+  sim::KernelModule& module = context.kernel->load_module("crak");
+  core::EngineOptions options;
+  options.consistency = core::ConsistencyMode::kStopTarget;
+  core::KernelThreadEngine::ThreadConfig config;
+  config.interface = KThreadInterface::kDeviceIoctl;
+  engine_ = std::make_unique<core::KernelThreadEngine>("crak", context.local, options,
+                                                       *context.kernel, config, &module);
+}
+
+CrakMechanism::~CrakMechanism() {
+  if (kernel_->module_loaded("crak")) kernel_->unload_module("crak");
+}
+
+TaxonomyPath CrakMechanism::taxonomy() const {
+  return {Context::kSystemLevel, Agent::kOperatingSystem, Technique::kKernelThread,
+          KThreadInterface::kDeviceIoctl};
+}
+
+const std::string& CrakMechanism::device_path() const {
+  return static_cast<core::KernelThreadEngine*>(engine_.get())->device_path();
+}
+
+core::MigrationResult CrakMechanism::migrate(sim::SimKernel& source,
+                                             sim::SimKernel& destination, sim::Pid pid) {
+  core::MigrationOptions options;
+  options.preserve_pid = true;  // naive: fails on pid conflict (no pods)
+  return core::migrate_process(source, destination, pid, options);
+}
+
+// ---------------------------------------------------------------------------
+// UCLiK
+// ---------------------------------------------------------------------------
+
+UclikMechanism::UclikMechanism(const MechanismContext& context) : kernel_(context.kernel) {
+  sim::KernelModule& module = context.kernel->load_module("uclik");
+  core::EngineOptions options;
+  options.consistency = core::ConsistencyMode::kStopTarget;
+  // The UCLiK refinements: snapshot file contents into the image so the
+  // restart can roll files back and resurrect deleted ones.
+  options.capture.save_file_contents = true;
+  core::KernelThreadEngine::ThreadConfig config;
+  config.interface = KThreadInterface::kDeviceIoctl;
+  engine_ = std::make_unique<core::KernelThreadEngine>("uclik", context.local, options,
+                                                       *context.kernel, config, &module);
+}
+
+UclikMechanism::~UclikMechanism() {
+  if (kernel_->module_loaded("uclik")) kernel_->unload_module("uclik");
+}
+
+TaxonomyPath UclikMechanism::taxonomy() const {
+  return {Context::kSystemLevel, Agent::kOperatingSystem, Technique::kKernelThread,
+          KThreadInterface::kDeviceIoctl};
+}
+
+core::RestartResult UclikMechanism::restart(sim::SimKernel& kernel, sim::Pid pid,
+                                            const core::RestartOptions& options) {
+  core::RestartOptions uclik_options = options;
+  uclik_options.restore_original_pid = true;  // the UCLiK improvement
+  return engine_->restart(kernel, pid, uclik_options);
+}
+
+// ---------------------------------------------------------------------------
+// CHPOX
+// ---------------------------------------------------------------------------
+
+ChpoxMechanism::ChpoxMechanism(const MechanismContext& context) : kernel_(context.kernel) {
+  sim::KernelModule& module = context.kernel->load_module("chpox");
+  core::EngineOptions options;
+  options.consistency = core::ConsistencyMode::kStopTarget;
+  // CHPOX reuses SIGSYS as its kernel checkpoint signal.
+  engine_ = std::make_unique<core::KernelSignalEngine>("chpox", context.local, options,
+                                                       *context.kernel, sim::kSigSys,
+                                                       &module);
+  // Registration entry: echo <pid> > /proc/chpox
+  sim::ProcEntryHooks hooks;
+  hooks.write = [this](sim::SimKernel&, sim::Process&, std::string_view in) -> std::int64_t {
+    const sim::Pid pid = static_cast<sim::Pid>(std::atoi(std::string(in).c_str()));
+    if (pid <= 0) return -22;
+    registered_.insert(pid);
+    return static_cast<std::int64_t>(in.size());
+  };
+  hooks.read = [this](sim::SimKernel&) {
+    std::string out = "chpox registered pids:";
+    for (sim::Pid pid : registered_) out += " " + std::to_string(pid);
+    return out + "\n";
+  };
+  context.kernel->vfs().register_proc_entry("/proc/chpox", std::move(hooks));
+  module.add_cleanup([](sim::SimKernel& k) { k.vfs().unregister_proc_entry("/proc/chpox"); });
+}
+
+ChpoxMechanism::~ChpoxMechanism() {
+  if (kernel_->module_loaded("chpox")) kernel_->unload_module("chpox");
+}
+
+TaxonomyPath ChpoxMechanism::taxonomy() const {
+  return {Context::kSystemLevel, Agent::kOperatingSystem, Technique::kKernelSignal,
+          KThreadInterface::kProcFs};
+}
+
+bool ChpoxMechanism::register_pid(sim::SimKernel& kernel, sim::Pid pid) {
+  (void)kernel;
+  if (kernel_->find_process(pid) == nullptr) return false;
+  registered_.insert(pid);
+  return true;
+}
+
+sim::Pid ChpoxMechanism::launch(sim::SimKernel& kernel, const std::string& guest,
+                                std::vector<std::byte> config,
+                                const sim::SpawnOptions& options) {
+  // Launching is ordinary; registration is a separate administrative step
+  // (by pid, no application involvement — hence "transparent" in Table 1).
+  const sim::Pid pid = kernel.spawn(guest, std::move(config), options);
+  register_pid(kernel, pid);
+  return pid;
+}
+
+core::CheckpointResult ChpoxMechanism::checkpoint(sim::SimKernel& kernel, sim::Pid pid) {
+  core::CheckpointResult refused;
+  if (!check_thread_support(kernel, pid, refused)) return refused;
+  if (registered_.count(pid) == 0) {
+    refused.error = "CHPOX: pid not registered in /proc/chpox";
+    return refused;
+  }
+  return engine_->request_checkpoint(kernel, pid);
+}
+
+// ---------------------------------------------------------------------------
+// BLCR
+// ---------------------------------------------------------------------------
+
+BlcrMechanism::BlcrMechanism(const MechanismContext& context) : kernel_(context.kernel) {
+  sim::KernelModule& module = context.kernel->load_module("blcr");
+  core::EngineOptions options;
+  options.consistency = core::ConsistencyMode::kStopTarget;
+  core::KernelThreadEngine::ThreadConfig config;
+  config.interface = KThreadInterface::kDeviceIoctl;
+  engine_ = std::make_unique<core::KernelThreadEngine>("blcr", context.local, options,
+                                                       *context.kernel, config, &module);
+}
+
+BlcrMechanism::~BlcrMechanism() {
+  if (kernel_->module_loaded("blcr")) kernel_->unload_module("blcr");
+}
+
+TaxonomyPath BlcrMechanism::taxonomy() const {
+  return {Context::kSystemLevel, Agent::kOperatingSystem, Technique::kKernelThread,
+          KThreadInterface::kDeviceIoctl};
+}
+
+bool BlcrMechanism::initialize_process(sim::SimKernel& kernel, sim::Pid pid) {
+  sim::Process* proc = kernel.find_process(pid);
+  if (proc == nullptr || !proc->alive()) return false;
+  // The initialization phase: load libcr into the process and register a
+  // handler on a general-purpose signal — the step that costs BLCR full
+  // transparency in Table 1.
+  proc->signals.disposition[sim::kSigUsr2] = sim::SignalDisposition::kHandler;
+  proc->library_handlers[sim::kSigUsr2] = [](sim::SimKernel&, sim::Process&, sim::Signal) {
+    // libcr's handler quiesces the threads; the kernel thread does the rest.
+  };
+  initialized_.insert(pid);
+  return engine_->attach(kernel, pid);
+}
+
+sim::Pid BlcrMechanism::launch(sim::SimKernel& kernel, const std::string& guest,
+                               std::vector<std::byte> config,
+                               const sim::SpawnOptions& options) {
+  const sim::Pid pid = kernel.spawn(guest, std::move(config), options);
+  initialize_process(kernel, pid);
+  return pid;
+}
+
+core::CheckpointResult BlcrMechanism::checkpoint(sim::SimKernel& kernel, sim::Pid pid) {
+  core::CheckpointResult refused;
+  if (!check_thread_support(kernel, pid, refused)) return refused;
+  if (initialized_.count(pid) == 0) {
+    refused.error = "BLCR: process did not run the initialization phase (libcr missing)";
+    return refused;
+  }
+  return engine_->request_checkpoint(kernel, pid);
+}
+
+// ---------------------------------------------------------------------------
+// PsncR/C
+// ---------------------------------------------------------------------------
+
+PsncrcMechanism::PsncrcMechanism(const MechanismContext& context) : kernel_(context.kernel) {
+  sim::KernelModule& module = context.kernel->load_module("psncrc");
+  core::EngineOptions options;
+  options.consistency = core::ConsistencyMode::kStopTarget;
+  // "Does not perform any data optimization": the code segment, shared
+  // libraries and open-file contents all go into every image.
+  options.capture.skip_code_segment = false;
+  options.capture.save_file_contents = true;
+  core::KernelThreadEngine::ThreadConfig config;
+  config.interface = KThreadInterface::kProcFs;
+  engine_ = std::make_unique<core::KernelThreadEngine>("psncrc", context.local, options,
+                                                       *context.kernel, config, &module);
+}
+
+PsncrcMechanism::~PsncrcMechanism() {
+  if (kernel_->module_loaded("psncrc")) kernel_->unload_module("psncrc");
+}
+
+TaxonomyPath PsncrcMechanism::taxonomy() const {
+  return {Context::kSystemLevel, Agent::kOperatingSystem, Technique::kKernelThread,
+          KThreadInterface::kProcFs};
+}
+
+}  // namespace ckpt::mechanisms

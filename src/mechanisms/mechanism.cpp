@@ -1,0 +1,52 @@
+#include "mechanisms/mechanism.hpp"
+
+namespace ckpt::mechanisms {
+
+sim::Pid Mechanism::launch(sim::SimKernel& kernel, const std::string& guest,
+                           std::vector<std::byte> config,
+                           const sim::SpawnOptions& options) {
+  // Default: a plain spawn — nothing special required (the transparent
+  // mechanisms' path).
+  return kernel.spawn(guest, std::move(config), options);
+}
+
+bool Mechanism::check_thread_support(sim::SimKernel& kernel, sim::Pid pid,
+                                     core::CheckpointResult& out) const {
+  const sim::Process* proc = kernel.find_process(pid);
+  if (proc == nullptr || !proc->alive()) {
+    out.error = std::string(name()) + ": no such process";
+    return false;
+  }
+  if (proc->threads.size() > 1 && !supports_multithreaded()) {
+    out.error = std::string(name()) + ": cannot checkpoint multithreaded processes";
+    return false;
+  }
+  return true;
+}
+
+core::CheckpointResult Mechanism::checkpoint(sim::SimKernel& kernel, sim::Pid pid) {
+  core::CheckpointResult refused;
+  if (!check_thread_support(kernel, pid, refused)) return refused;
+  if (engine_ == nullptr || !engine_->supports_external_initiation()) {
+    refused.error = std::string(name()) +
+                    ": no external initiation (application must checkpoint itself)";
+    return refused;
+  }
+  return engine_->request_checkpoint(kernel, pid);
+}
+
+core::RestartResult Mechanism::restart(sim::SimKernel& kernel, sim::Pid pid,
+                                       const core::RestartOptions& options) {
+  if (engine_ == nullptr) {
+    core::RestartResult result;
+    result.error = std::string(name()) + ": no restart support";
+    return result;
+  }
+  return engine_->restart(kernel, pid, options);
+}
+
+bool Mechanism::supports_external_initiation() const {
+  return engine_ != nullptr && engine_->supports_external_initiation();
+}
+
+}  // namespace ckpt::mechanisms

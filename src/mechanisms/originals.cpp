@@ -1,0 +1,109 @@
+// The original Linux system-level implementations: VMADump, BProc, EPCKPT.
+#include "mechanisms/mechanism.hpp"
+
+namespace ckpt::mechanisms {
+
+using core::Agent;
+using core::Context;
+using core::KThreadInterface;
+using core::TaxonomyPath;
+using core::Technique;
+
+// ---------------------------------------------------------------------------
+// VMADump
+// ---------------------------------------------------------------------------
+
+VmadumpMechanism::VmadumpMechanism(const MechanismContext& context) {
+  core::EngineOptions options;
+  options.consistency = core::ConsistencyMode::kStopTarget;  // app stops itself trivially
+  // Static kernel code: registered without a module (cannot be unloaded).
+  engine_ = std::make_unique<core::SyscallEngine>(
+      "vmadump", context.local, options, *context.kernel,
+      core::SyscallEngine::TargetMode::kCurrent, /*module=*/nullptr);
+}
+
+TaxonomyPath VmadumpMechanism::taxonomy() const {
+  return {Context::kSystemLevel, Agent::kOperatingSystem, Technique::kSystemCall,
+          KThreadInterface::kNone};
+}
+
+const std::string& VmadumpMechanism::dump_syscall() const {
+  return static_cast<core::SyscallEngine*>(engine_.get())->dump_syscall();
+}
+
+// ---------------------------------------------------------------------------
+// BProc
+// ---------------------------------------------------------------------------
+
+BprocMechanism::BprocMechanism(const MechanismContext& context) {
+  core::EngineOptions options;
+  options.consistency = core::ConsistencyMode::kStopTarget;
+  // BProc provides a *distributed process space*, not stable storage:
+  // VMADump images go straight into a migration channel (NullBackend).
+  null_backend_ = std::make_unique<storage::NullBackend>();
+  engine_ = std::make_unique<core::SyscallEngine>(
+      "bproc", null_backend_.get(), options, *context.kernel,
+      core::SyscallEngine::TargetMode::kCurrent, /*module=*/nullptr);
+}
+
+TaxonomyPath BprocMechanism::taxonomy() const {
+  return {Context::kSystemLevel, Agent::kOperatingSystem, Technique::kSystemCall,
+          KThreadInterface::kNone};
+}
+
+core::MigrationResult BprocMechanism::migrate(sim::SimKernel& source,
+                                              sim::SimKernel& destination, sim::Pid pid) {
+  core::MigrationOptions options;
+  options.preserve_pid = true;  // single system image: pids are global
+  return core::migrate_process(source, destination, pid, options);
+}
+
+// ---------------------------------------------------------------------------
+// EPCKPT
+// ---------------------------------------------------------------------------
+
+EpckptMechanism::EpckptMechanism(const MechanismContext& context) {
+  core::EngineOptions options;
+  options.consistency = core::ConsistencyMode::kStopTarget;
+  engine_ = std::make_unique<core::SyscallEngine>(
+      "epckpt", context.local, options, *context.kernel,
+      core::SyscallEngine::TargetMode::kByPid, /*module=*/nullptr);
+  // EPCKPT also introduces a dedicated kernel checkpoint signal; delivery
+  // invokes the same dump path.
+  context.kernel->register_kernel_signal(
+      sim::kSigCkpt,
+      [this](sim::SimKernel& k, sim::Process& proc) {
+        if (traced_.count(proc.pid) != 0) {
+          engine_->request_checkpoint_async(k, proc.pid);
+        }
+      },
+      /*module=*/nullptr);
+}
+
+TaxonomyPath EpckptMechanism::taxonomy() const {
+  return {Context::kSystemLevel, Agent::kOperatingSystem, Technique::kSystemCall,
+          KThreadInterface::kNone};
+}
+
+sim::Pid EpckptMechanism::launch(sim::SimKernel& kernel, const std::string& guest,
+                                 std::vector<std::byte> config,
+                                 const sim::SpawnOptions& options) {
+  // The launcher tool: marks the process for tracing and imposes the
+  // run-time overhead the survey calls "undesirable".
+  const sim::Pid pid = kernel.spawn(guest, std::move(config), options);
+  traced_.insert(pid);
+  kernel.process(pid).syscall_extra_ns = 150;  // exec/trace bookkeeping tax
+  return pid;
+}
+
+core::CheckpointResult EpckptMechanism::checkpoint(sim::SimKernel& kernel, sim::Pid pid) {
+  core::CheckpointResult refused;
+  if (!check_thread_support(kernel, pid, refused)) return refused;
+  if (traced_.count(pid) == 0) {
+    refused.error = "EPCKPT: process was not launched through the checkpoint tool";
+    return refused;
+  }
+  return engine_->request_checkpoint(kernel, pid);
+}
+
+}  // namespace ckpt::mechanisms

@@ -1,0 +1,28 @@
+#include "sim/guest.hpp"
+
+#include <stdexcept>
+
+namespace ckpt::sim {
+
+GuestRegistry& GuestRegistry::instance() {
+  static GuestRegistry registry;
+  return registry;
+}
+
+void GuestRegistry::register_type(const std::string& name, GuestFactory factory) {
+  factories_[name] = std::move(factory);
+}
+
+bool GuestRegistry::has_type(const std::string& name) const {
+  return factories_.count(name) != 0;
+}
+
+std::unique_ptr<GuestProgram> GuestRegistry::create(const GuestImage& image) const {
+  auto it = factories_.find(image.type_name);
+  if (it == factories_.end()) {
+    throw std::runtime_error("GuestRegistry: unknown guest type '" + image.type_name + "'");
+  }
+  return it->second(image.config);
+}
+
+}  // namespace ckpt::sim

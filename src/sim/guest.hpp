@@ -1,0 +1,87 @@
+// Guest programs: the applications that run on the simulated kernel.
+//
+// Guests follow a strict von-Neumann contract that makes checkpoint/restart
+// *real* rather than cosmetic:
+//
+//   * The C++ subclass is the program's immutable TEXT: it may hold
+//     configuration fixed at construction, but NO mutable execution state.
+//   * All mutable state lives in the simulated address space (and simulated
+//     registers), accessed through UserApi.
+//
+// Restart therefore re-instantiates the guest type from its registered
+// factory (the analogue of re-loading the executable) and restores memory
+// and registers from the image; execution continues correctly if and only
+// if the checkpoint captured the process state completely — which is
+// exactly what the test suite verifies.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/signal.hpp"
+#include "sim/types.hpp"
+
+namespace ckpt::sim {
+
+class UserApi;
+
+enum class GuestStatus : std::uint8_t {
+  kRunning,  ///< made progress; schedule again
+  kBlocked,  ///< waiting (sleep / IO); kernel will wake it
+  kExited,   ///< terminated voluntarily
+};
+
+class GuestProgram {
+ public:
+  virtual ~GuestProgram() = default;
+
+  /// One-time setup in user mode: map memory, open files, install handlers.
+  virtual void on_start(UserApi& api) { (void)api; }
+
+  /// Execute one scheduling quantum of work.
+  virtual GuestStatus on_step(UserApi& api) = 0;
+
+  /// User-mode signal handler entry (only for signals whose disposition the
+  /// guest set to SignalDisposition::kHandler).
+  virtual void on_signal(UserApi& api, Signal sig) {
+    (void)api;
+    (void)sig;
+  }
+};
+
+/// Factory blob: how to rebuild the guest's text segment at restart.
+struct GuestImage {
+  std::string type_name;
+  std::vector<std::byte> config;
+};
+
+using GuestFactory =
+    std::function<std::unique_ptr<GuestProgram>(const std::vector<std::byte>& config)>;
+
+/// Global registry mapping guest type names to factories — the simulated
+/// equivalent of the file system holding executables.
+class GuestRegistry {
+ public:
+  static GuestRegistry& instance();
+
+  void register_type(const std::string& name, GuestFactory factory);
+  [[nodiscard]] bool has_type(const std::string& name) const;
+  [[nodiscard]] std::unique_ptr<GuestProgram> create(const GuestImage& image) const;
+
+ private:
+  std::map<std::string, GuestFactory> factories_;
+};
+
+/// Helper for registering a guest type at static-init time.
+struct GuestTypeRegistrar {
+  GuestTypeRegistrar(const std::string& name, GuestFactory factory) {
+    GuestRegistry::instance().register_type(name, std::move(factory));
+  }
+};
+
+}  // namespace ckpt::sim

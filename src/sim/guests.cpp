@@ -1,0 +1,342 @@
+#include "sim/guests.hpp"
+
+#include <cstring>
+
+#include "util/rng.hpp"
+
+namespace ckpt::sim {
+namespace {
+
+/// Guests keep their RNG *state* in guest memory (two u64 words after the
+/// user data), so random sequences survive checkpoint/restart exactly.
+std::uint64_t splitmix_step(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+// Layout inside the data segment used by the writer guests:
+//   [0]  iteration count
+//   [8]  rng state
+//   [16] write cursor (sweep guest)
+constexpr VAddr kIterAddr = kDataBase;
+constexpr VAddr kRngAddr = kDataBase + 8;
+constexpr VAddr kCursorAddr = kDataBase + 16;
+constexpr VAddr kFdAddr = kDataBase + 24;
+
+constexpr std::uint64_t kRecordBytes = 64;
+
+void write_record(UserApi& api, VAddr addr, std::uint64_t tag) {
+  std::byte record[kRecordBytes];
+  for (std::size_t i = 0; i < kRecordBytes; i += 8) {
+    const std::uint64_t word = tag ^ (addr + i);
+    std::memcpy(record + i, &word, 8);
+  }
+  api.store(addr, record);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// CounterGuest
+// ---------------------------------------------------------------------------
+
+GuestStatus CounterGuest::on_step(UserApi& api) {
+  const std::uint64_t value = api.load_u64(kCounterAddr);
+  api.store_u64(kCounterAddr, value + 1);
+  api.compute(10 * kMicrosecond);
+  api.work_done();
+  return GuestStatus::kRunning;
+}
+
+std::uint64_t CounterGuest::read_counter(SimKernel&, Process& proc) {
+  const auto data = proc.aspace->page_data(page_of(kCounterAddr));
+  std::uint64_t value = 0;
+  std::memcpy(&value, data.data() + page_offset(kCounterAddr), sizeof(value));
+  return value;
+}
+
+// ---------------------------------------------------------------------------
+// WriterConfig
+// ---------------------------------------------------------------------------
+
+std::vector<std::byte> WriterConfig::encode() const {
+  util::Serializer s;
+  s.put(array_bytes);
+  s.put(writes_per_step);
+  s.put(seed);
+  s.put_double(working_set_fraction);
+  return std::move(s).take();
+}
+
+WriterConfig WriterConfig::decode(const std::vector<std::byte>& blob) {
+  WriterConfig config;
+  if (blob.empty()) return config;
+  util::Deserializer d(blob);
+  config.array_bytes = d.get<std::uint64_t>();
+  config.writes_per_step = d.get<std::uint64_t>();
+  config.seed = d.get<std::uint64_t>();
+  config.working_set_fraction = d.get_double();
+  return config;
+}
+
+// ---------------------------------------------------------------------------
+// DenseWriterGuest
+// ---------------------------------------------------------------------------
+
+void DenseWriterGuest::on_start(UserApi& api) {
+  api.store_u64(kRngAddr, config_.seed);
+  // Touch the whole array once so every page exists and has content.
+  const VAddr base = api.process().heap_base;
+  for (std::uint64_t off = 0; off < config_.array_bytes; off += kPageSize) {
+    write_record(api, base + off, 0xA5A5A5A5ULL);
+  }
+}
+
+GuestStatus DenseWriterGuest::on_step(UserApi& api) {
+  const VAddr base = api.process().heap_base;
+  std::uint64_t rng = api.load_u64(kRngAddr);
+  const std::uint64_t iter = api.load_u64(kIterAddr);
+  for (std::uint64_t w = 0; w < config_.writes_per_step; ++w) {
+    const std::uint64_t slots = config_.array_bytes / kRecordBytes;
+    const std::uint64_t slot = splitmix_step(rng) % slots;
+    write_record(api, base + slot * kRecordBytes, iter);
+  }
+  api.store_u64(kRngAddr, rng);
+  api.store_u64(kIterAddr, iter + 1);
+  api.compute(20 * kMicrosecond);
+  api.work_done();
+  return GuestStatus::kRunning;
+}
+
+// ---------------------------------------------------------------------------
+// SparseWriterGuest
+// ---------------------------------------------------------------------------
+
+void SparseWriterGuest::on_start(UserApi& api) {
+  api.store_u64(kRngAddr, config_.seed);
+  const VAddr base = api.process().heap_base;
+  for (std::uint64_t off = 0; off < config_.array_bytes; off += kPageSize) {
+    write_record(api, base + off, 0x5A5A5A5AULL);
+  }
+}
+
+GuestStatus SparseWriterGuest::on_step(UserApi& api) {
+  const VAddr base = api.process().heap_base;
+  std::uint64_t rng = api.load_u64(kRngAddr);
+  const std::uint64_t iter = api.load_u64(kIterAddr);
+  const std::uint64_t hot_bytes = std::max<std::uint64_t>(
+      kRecordBytes,
+      static_cast<std::uint64_t>(static_cast<double>(config_.array_bytes) *
+                                 config_.working_set_fraction));
+  const std::uint64_t hot_slots = hot_bytes / kRecordBytes;
+  for (std::uint64_t w = 0; w < config_.writes_per_step; ++w) {
+    const std::uint64_t slot = splitmix_step(rng) % hot_slots;
+    write_record(api, base + slot * kRecordBytes, iter);
+  }
+  api.store_u64(kRngAddr, rng);
+  api.store_u64(kIterAddr, iter + 1);
+  api.compute(20 * kMicrosecond);
+  api.work_done();
+  return GuestStatus::kRunning;
+}
+
+// ---------------------------------------------------------------------------
+// SweepWriterGuest
+// ---------------------------------------------------------------------------
+
+void SweepWriterGuest::on_start(UserApi& api) {
+  const VAddr base = api.process().heap_base;
+  for (std::uint64_t off = 0; off < config_.array_bytes; off += kPageSize) {
+    write_record(api, base + off, 0x33CC33CCULL);
+  }
+}
+
+GuestStatus SweepWriterGuest::on_step(UserApi& api) {
+  const VAddr base = api.process().heap_base;
+  std::uint64_t cursor = api.load_u64(kCursorAddr);
+  const std::uint64_t iter = api.load_u64(kIterAddr);
+  for (std::uint64_t w = 0; w < config_.writes_per_step; ++w) {
+    write_record(api, base + cursor, iter);
+    cursor += kRecordBytes;
+    if (cursor + kRecordBytes > config_.array_bytes) cursor = 0;
+  }
+  api.store_u64(kCursorAddr, cursor);
+  api.store_u64(kIterAddr, iter + 1);
+  api.compute(20 * kMicrosecond);
+  api.work_done();
+  return GuestStatus::kRunning;
+}
+
+// ---------------------------------------------------------------------------
+// InvariantGuest
+// ---------------------------------------------------------------------------
+
+void InvariantGuest::on_start(UserApi& api) {
+  const VAddr base = api.process().heap_base;
+  for (std::uint64_t off = 0; off < config_.array_bytes; off += kPageSize) {
+    api.store_u64(base + off, 0);
+  }
+}
+
+GuestStatus InvariantGuest::on_step(UserApi& api) {
+  // Bump the version stamp on every page of the array.  The update spans
+  // many pages and is interleaved with other tasks' execution, so a
+  // concurrent (non-stopping, non-forking) checkpointer can capture a mix
+  // of old and new stamps.
+  const VAddr base = api.process().heap_base;
+  const std::uint64_t version = api.load_u64(base) + 1;
+  for (std::uint64_t off = 0; off < config_.array_bytes; off += kPageSize) {
+    api.store_u64(base + off, version);
+  }
+  api.compute(10 * kMicrosecond);
+  api.work_done();
+  return GuestStatus::kRunning;
+}
+
+bool InvariantGuest::verify_consistency(SimKernel&, Process& proc,
+                                        std::uint64_t array_bytes) {
+  const VAddr base = proc.heap_base;
+  std::uint64_t expected = 0;
+  bool first = true;
+  for (std::uint64_t off = 0; off < array_bytes; off += kPageSize) {
+    const auto data = proc.aspace->page_data(page_of(base + off));
+    std::uint64_t stamp = 0;
+    std::memcpy(&stamp, data.data() + page_offset(base + off), sizeof(stamp));
+    if (first) {
+      expected = stamp;
+      first = false;
+    } else if (stamp != expected) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// FileLoggerGuest
+// ---------------------------------------------------------------------------
+
+std::vector<std::byte> FileLoggerGuest::Config::encode() const {
+  util::Serializer s;
+  s.put_string(log_path);
+  s.put(record_bytes);
+  return std::move(s).take();
+}
+
+FileLoggerGuest::Config FileLoggerGuest::Config::decode(const std::vector<std::byte>& blob) {
+  Config config;
+  if (blob.empty()) return config;
+  util::Deserializer d(blob);
+  config.log_path = d.get_string();
+  config.record_bytes = d.get<std::uint64_t>();
+  return config;
+}
+
+void FileLoggerGuest::on_start(UserApi& api) {
+  const Fd fd = api.sys_open(config_.log_path, kOpenWrite | kOpenCreate);
+  // Store the descriptor number in guest memory so it survives restart.
+  api.store_u64(kFdAddr, static_cast<std::uint64_t>(fd));
+}
+
+GuestStatus FileLoggerGuest::on_step(UserApi& api) {
+  const Fd fd = static_cast<Fd>(api.load_u64(kFdAddr));
+  const std::uint64_t iter = api.load_u64(kIterAddr);
+  std::vector<std::byte> record(config_.record_bytes);
+  for (std::size_t i = 0; i < record.size(); ++i) {
+    record[i] = static_cast<std::byte>((iter + i) & 0xFF);
+  }
+  api.sys_write(fd, record);
+  // Exercise heap churn: grow, then query the break the user-level way.
+  api.sys_sbrk(64);
+  api.sys_sbrk(0);
+  api.store_u64(kIterAddr, iter + 1);
+  api.compute(5 * kMicrosecond);
+  api.work_done();
+  return GuestStatus::kRunning;
+}
+
+// ---------------------------------------------------------------------------
+// SelfCheckpointGuest
+// ---------------------------------------------------------------------------
+
+std::vector<std::byte> SelfCheckpointGuest::Config::encode() const {
+  util::Serializer s;
+  s.put_string(syscall_name);
+  s.put(interval_steps);
+  s.put(arg0);
+  s.put<std::uint8_t>(use_library ? 1 : 0);
+  return std::move(s).take();
+}
+
+SelfCheckpointGuest::Config SelfCheckpointGuest::Config::decode(
+    const std::vector<std::byte>& blob) {
+  Config config;
+  if (blob.empty()) return config;
+  util::Deserializer d(blob);
+  config.syscall_name = d.get_string();
+  config.interval_steps = d.get<std::uint64_t>();
+  config.arg0 = d.get<std::uint64_t>();
+  config.use_library = d.get<std::uint8_t>() != 0;
+  return config;
+}
+
+void SelfCheckpointGuest::on_start(UserApi& api) { api.store_u64(kIterAddr, 0); }
+
+GuestStatus SelfCheckpointGuest::on_step(UserApi& api) {
+  const std::uint64_t iter = api.load_u64(kIterAddr);
+  // Some useful work...
+  api.store_u64(kDataBase + 64 + (iter % 512) * 8, iter);
+  api.store_u64(kIterAddr, iter + 1);
+  api.compute(10 * kMicrosecond);
+  api.work_done();
+  // ...and the hand-inserted checkpoint call, as VMADump/libckpt require.
+  if (config_.interval_steps != 0 && (iter + 1) % config_.interval_steps == 0) {
+    if (config_.use_library) {
+      api.call_library(config_.syscall_name, config_.arg0);
+    } else {
+      api.sys_custom(config_.syscall_name, config_.arg0);
+    }
+  }
+  return GuestStatus::kRunning;
+}
+
+// ---------------------------------------------------------------------------
+// Registration
+// ---------------------------------------------------------------------------
+
+void register_standard_guests() {
+  auto& registry = GuestRegistry::instance();
+  if (registry.has_type(CounterGuest::kTypeName)) return;
+  registry.register_type(CounterGuest::kTypeName, [](const std::vector<std::byte>&) {
+    return std::make_unique<CounterGuest>();
+  });
+  registry.register_type(DenseWriterGuest::kTypeName, [](const std::vector<std::byte>& b) {
+    return std::make_unique<DenseWriterGuest>(WriterConfig::decode(b));
+  });
+  registry.register_type(SparseWriterGuest::kTypeName, [](const std::vector<std::byte>& b) {
+    return std::make_unique<SparseWriterGuest>(WriterConfig::decode(b));
+  });
+  registry.register_type(SweepWriterGuest::kTypeName, [](const std::vector<std::byte>& b) {
+    return std::make_unique<SweepWriterGuest>(WriterConfig::decode(b));
+  });
+  registry.register_type(InvariantGuest::kTypeName, [](const std::vector<std::byte>& b) {
+    return std::make_unique<InvariantGuest>(WriterConfig::decode(b));
+  });
+  registry.register_type(FileLoggerGuest::kTypeName, [](const std::vector<std::byte>& b) {
+    return std::make_unique<FileLoggerGuest>(FileLoggerGuest::Config::decode(b));
+  });
+  registry.register_type(SelfCheckpointGuest::kTypeName, [](const std::vector<std::byte>& b) {
+    return std::make_unique<SelfCheckpointGuest>(SelfCheckpointGuest::Config::decode(b));
+  });
+}
+
+SpawnOptions spawn_options_for_array(std::uint64_t array_bytes) {
+  SpawnOptions options;
+  options.heap_pages = pages_for(array_bytes) + 4;
+  return options;
+}
+
+}  // namespace ckpt::sim

@@ -1,0 +1,267 @@
+#include "sim/memory.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+namespace ckpt::sim {
+
+const char* to_string(VmaKind kind) {
+  switch (kind) {
+    case VmaKind::kCode: return "code";
+    case VmaKind::kData: return "data";
+    case VmaKind::kHeap: return "heap";
+    case VmaKind::kStack: return "stack";
+    case VmaKind::kAnon: return "anon";
+    case VmaKind::kShared: return "shared";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// PhysicalMemory
+// ---------------------------------------------------------------------------
+
+FrameId PhysicalMemory::allocate() {
+  FrameId id;
+  if (!free_list_.empty()) {
+    id = free_list_.back();
+    free_list_.pop_back();
+  } else {
+    id = frames_.size();
+    frames_.emplace_back();
+  }
+  Frame& f = frames_[id];
+  f.data = std::make_unique<std::byte[]>(kPageSize);
+  std::memset(f.data.get(), 0, kPageSize);
+  f.refs = 1;
+  ++live_frames_;
+  return id;
+}
+
+FrameId PhysicalMemory::allocate_copy(FrameId src) {
+  const FrameId id = allocate();
+  std::memcpy(frames_[id].data.get(), frames_[src].data.get(), kPageSize);
+  return id;
+}
+
+void PhysicalMemory::add_ref(FrameId frame) {
+  assert(frames_[frame].refs > 0);
+  ++frames_[frame].refs;
+}
+
+void PhysicalMemory::release(FrameId frame) {
+  Frame& f = frames_[frame];
+  assert(f.refs > 0);
+  if (--f.refs == 0) {
+    f.data.reset();
+    free_list_.push_back(frame);
+    --live_frames_;
+  }
+}
+
+std::span<std::byte> PhysicalMemory::frame_data(FrameId frame) {
+  return {frames_[frame].data.get(), kPageSize};
+}
+
+std::span<const std::byte> PhysicalMemory::frame_data(FrameId frame) const {
+  return {frames_[frame].data.get(), kPageSize};
+}
+
+std::uint32_t PhysicalMemory::ref_count(FrameId frame) const {
+  return frames_[frame].refs;
+}
+
+// ---------------------------------------------------------------------------
+// AddressSpace
+// ---------------------------------------------------------------------------
+
+AddressSpace::~AddressSpace() {
+  if (phys_ == nullptr) return;  // moved-from
+  for (auto& [page, entry] : pages_) {
+    if (entry.present) phys_->release(entry.frame);
+  }
+}
+
+std::size_t AddressSpace::map_region(VAddr start, std::uint64_t page_count,
+                                     std::uint8_t prot, VmaKind kind, std::string name) {
+  if (page_offset(start) != 0) {
+    throw std::invalid_argument("map_region: start not page aligned");
+  }
+  const PageNum first = page_of(start);
+  for (const Vma& vma : vmas_) {
+    const bool overlap =
+        first < vma.first_page + vma.page_count && vma.first_page < first + page_count;
+    if (overlap) throw std::invalid_argument("map_region: overlapping VMA: " + name);
+  }
+  Vma vma{first, page_count, prot, kind, std::move(name)};
+  for (PageNum p = first; p < first + page_count; ++p) {
+    PageTableEntry entry;
+    entry.frame = phys_->allocate();
+    entry.prot = prot;
+    entry.present = true;
+    pages_.emplace(p, entry);
+  }
+  vmas_.push_back(std::move(vma));
+  std::sort(vmas_.begin(), vmas_.end(),
+            [](const Vma& a, const Vma& b) { return a.first_page < b.first_page; });
+  for (std::size_t i = 0; i < vmas_.size(); ++i) {
+    if (vmas_[i].contains_page(first)) return i;
+  }
+  return vmas_.size() - 1;  // unreachable
+}
+
+void AddressSpace::unmap_region(VAddr addr) {
+  const PageNum page = page_of(addr);
+  auto it = std::find_if(vmas_.begin(), vmas_.end(),
+                         [&](const Vma& v) { return v.contains_page(page); });
+  if (it == vmas_.end()) throw std::invalid_argument("unmap_region: no VMA at address");
+  for (PageNum p = it->first_page; p < it->first_page + it->page_count; ++p) {
+    auto pit = pages_.find(p);
+    if (pit != pages_.end()) {
+      if (pit->second.present) phys_->release(pit->second.frame);
+      pages_.erase(pit);
+    }
+  }
+  vmas_.erase(it);
+}
+
+void AddressSpace::extend_region(VAddr addr, std::uint64_t extra_pages) {
+  const PageNum page = page_of(addr);
+  auto it = std::find_if(vmas_.begin(), vmas_.end(),
+                         [&](const Vma& v) { return v.contains_page(page); });
+  if (it == vmas_.end()) throw std::invalid_argument("extend_region: no VMA at address");
+  const PageNum first_new = it->first_page + it->page_count;
+  // Refuse to grow into a neighbouring VMA.
+  for (const Vma& vma : vmas_) {
+    if (&vma == &*it) continue;
+    if (vma.first_page >= first_new && vma.first_page < first_new + extra_pages) {
+      throw std::invalid_argument("extend_region: would collide with VMA " + vma.name);
+    }
+  }
+  for (PageNum p = first_new; p < first_new + extra_pages; ++p) {
+    PageTableEntry entry;
+    entry.frame = phys_->allocate();
+    entry.prot = it->prot;
+    entry.present = true;
+    pages_.emplace(p, entry);
+  }
+  it->page_count += extra_pages;
+}
+
+void AddressSpace::protect_pages(PageNum first, std::uint64_t count, std::uint8_t prot) {
+  for (PageNum p = first; p < first + count; ++p) {
+    if (auto* entry = pte(p)) entry->prot = prot;
+  }
+}
+
+void AddressSpace::unprotect_page(PageNum page) {
+  auto* entry = pte(page);
+  if (entry == nullptr) return;
+  if (const Vma* vma = find_vma(page_base(page))) entry->prot = vma->prot;
+}
+
+const Vma* AddressSpace::find_vma(VAddr addr) const {
+  const PageNum page = page_of(addr);
+  for (const Vma& vma : vmas_) {
+    if (vma.contains_page(page)) return &vma;
+  }
+  return nullptr;
+}
+
+PageTableEntry* AddressSpace::pte(PageNum page) {
+  auto it = pages_.find(page);
+  return it == pages_.end() ? nullptr : &it->second;
+}
+
+const PageTableEntry* AddressSpace::pte(PageNum page) const {
+  auto it = pages_.find(page);
+  return it == pages_.end() ? nullptr : &it->second;
+}
+
+AccessResult AddressSpace::check_access(PageNum page, std::uint8_t kind) const {
+  const PageTableEntry* entry = pte(page);
+  if (entry == nullptr || !entry->present) return AccessResult::kNotMapped;
+  if ((entry->prot & kind) != kind) return AccessResult::kProtectionFault;
+  return AccessResult::kOk;
+}
+
+std::span<std::byte> AddressSpace::page_data(PageNum page) {
+  PageTableEntry* entry = pte(page);
+  if (entry == nullptr || !entry->present) {
+    throw std::out_of_range("page_data: page not mapped");
+  }
+  return phys_->frame_data(entry->frame);
+}
+
+std::span<const std::byte> AddressSpace::page_data(PageNum page) const {
+  const PageTableEntry* entry = pte(page);
+  if (entry == nullptr || !entry->present) {
+    throw std::out_of_range("page_data: page not mapped");
+  }
+  return static_cast<const PhysicalMemory*>(phys_)->frame_data(entry->frame);
+}
+
+void AddressSpace::break_cow(PageNum page) {
+  PageTableEntry* entry = pte(page);
+  assert(entry != nullptr && entry->cow);
+  if (phys_->ref_count(entry->frame) > 1) {
+    const FrameId copy = phys_->allocate_copy(entry->frame);
+    phys_->release(entry->frame);
+    entry->frame = copy;
+  }
+  entry->cow = false;
+  // Restore write permission up to the VMA-level protection.
+  if (const Vma* vma = find_vma(page_base(page))) entry->prot = vma->prot;
+}
+
+std::unique_ptr<AddressSpace> AddressSpace::clone_cow() {
+  auto child = std::make_unique<AddressSpace>(phys_);
+  child->vmas_ = vmas_;
+  for (auto& [page, entry] : pages_) {
+    PageTableEntry child_entry = entry;
+    if (entry.present) {
+      phys_->add_ref(entry.frame);
+      // Both sides lose write permission and gain the COW marker; a store on
+      // either side takes a COW fault and duplicates the frame.
+      entry.cow = true;
+      entry.prot &= static_cast<std::uint8_t>(~kProtWrite);
+      child_entry.cow = true;
+      child_entry.prot &= static_cast<std::uint8_t>(~kProtWrite);
+      child_entry.dirty = false;
+    }
+    child->pages_.emplace(page, child_entry);
+  }
+  return child;
+}
+
+std::unique_ptr<AddressSpace> AddressSpace::clone_deep() const {
+  auto copy = std::make_unique<AddressSpace>(phys_);
+  copy->vmas_ = vmas_;
+  for (const auto& [page, entry] : pages_) {
+    PageTableEntry new_entry = entry;
+    if (entry.present) {
+      new_entry.frame = phys_->allocate_copy(entry.frame);
+      new_entry.cow = false;
+    }
+    copy->pages_.emplace(page, new_entry);
+  }
+  return copy;
+}
+
+void AddressSpace::clear_dirty_bits() {
+  for (auto& [page, entry] : pages_) entry.dirty = false;
+}
+
+std::uint64_t AddressSpace::mapped_bytes() const {
+  return pages_.size() * kPageSize;
+}
+
+std::uint64_t AddressSpace::dirty_page_count() const {
+  std::uint64_t n = 0;
+  for (const auto& [page, entry] : pages_) n += entry.dirty ? 1 : 0;
+  return n;
+}
+
+}  // namespace ckpt::sim

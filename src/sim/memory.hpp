@@ -1,0 +1,192 @@
+// Simulated physical memory and per-process address spaces.
+//
+// Pages are backed by real heap bytes so that checkpoints, deltas and
+// restores operate on genuine data: the test suite validates restart by
+// byte-comparing restored memory, and incremental checkpoint sizes emerge
+// from the guest programs' actual write patterns.
+//
+// Page-table entries carry protection, dirty and accessed bits plus a
+// copy-on-write marker.  Both dirty-tracking flavours the paper discusses
+// are built on these primitives:
+//   * user-level:  mprotect() read-only + SIGSEGV to a user handler,
+//   * kernel-level: a write-protect hook invoked from the page-fault path.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace ckpt::sim {
+
+/// Page protection bits.
+enum PageProt : std::uint8_t {
+  kProtNone = 0,
+  kProtRead = 1,
+  kProtWrite = 2,
+  kProtExec = 4,
+  kProtRW = kProtRead | kProtWrite,
+  kProtRX = kProtRead | kProtExec,
+};
+
+/// Role of a mapped region; checkpoint images record it so that restart can
+/// rebuild an equivalent layout, and so mechanisms that skip the text
+/// segment (most) versus those that always dump everything (PsncR/C) differ
+/// measurably.
+enum class VmaKind : std::uint8_t { kCode, kData, kHeap, kStack, kAnon, kShared };
+
+const char* to_string(VmaKind kind);
+
+/// A contiguous virtual memory area.
+struct Vma {
+  PageNum first_page = 0;
+  std::uint64_t page_count = 0;
+  std::uint8_t prot = kProtRW;  ///< VMA-level protection (restored by munprotect).
+  VmaKind kind = VmaKind::kAnon;
+  std::string name;
+
+  [[nodiscard]] VAddr start() const { return page_base(first_page); }
+  [[nodiscard]] VAddr end() const { return page_base(first_page + page_count); }
+  [[nodiscard]] std::uint64_t bytes() const { return page_count * kPageSize; }
+  [[nodiscard]] bool contains_page(PageNum page) const {
+    return page >= first_page && page < first_page + page_count;
+  }
+};
+
+/// Pool of reference-counted physical frames.  Copy-on-write after fork()
+/// shares frames until the first store.
+class PhysicalMemory {
+ public:
+  /// Allocate a zeroed frame with refcount 1.
+  FrameId allocate();
+
+  /// Allocate a frame containing a copy of `src` (refcount 1).
+  FrameId allocate_copy(FrameId src);
+
+  void add_ref(FrameId frame);
+  void release(FrameId frame);
+
+  [[nodiscard]] std::span<std::byte> frame_data(FrameId frame);
+  [[nodiscard]] std::span<const std::byte> frame_data(FrameId frame) const;
+  [[nodiscard]] std::uint32_t ref_count(FrameId frame) const;
+
+  [[nodiscard]] std::uint64_t frames_in_use() const { return live_frames_; }
+
+ private:
+  struct Frame {
+    std::unique_ptr<std::byte[]> data;
+    std::uint32_t refs = 0;
+  };
+
+  std::vector<Frame> frames_;
+  std::vector<FrameId> free_list_;
+  std::uint64_t live_frames_ = 0;
+};
+
+struct PageTableEntry {
+  FrameId frame = 0;
+  std::uint8_t prot = kProtNone;  ///< Effective protection (may be tightened by mprotect).
+  bool present = false;
+  bool dirty = false;
+  bool accessed = false;
+  bool cow = false;  ///< Shared frame; duplicate on first store.
+};
+
+/// Outcome of an attempted page access, consumed by the kernel's fault path.
+enum class AccessResult : std::uint8_t {
+  kOk,
+  kNotMapped,        ///< No PTE: genuine segmentation fault.
+  kProtectionFault,  ///< PTE present but protection forbids the access.
+};
+
+/// A process's virtual address space: ordered VMA list plus page table.
+///
+/// AddressSpace offers *mechanism*; policy (what a protection fault means)
+/// lives in the kernel, which owns the COW and dirty-tracking logic.
+class AddressSpace {
+ public:
+  explicit AddressSpace(PhysicalMemory* phys) : phys_(phys) {}
+  ~AddressSpace();
+
+  AddressSpace(const AddressSpace&) = delete;
+  AddressSpace& operator=(const AddressSpace&) = delete;
+  AddressSpace(AddressSpace&&) noexcept = default;
+  AddressSpace& operator=(AddressSpace&&) noexcept = default;
+
+  /// Map `page_count` zeroed pages at `start` (must be page-aligned and not
+  /// overlap an existing VMA).  Returns the created VMA's index.
+  std::size_t map_region(VAddr start, std::uint64_t page_count, std::uint8_t prot,
+                         VmaKind kind, std::string name);
+
+  /// Unmap an entire VMA identified by any address inside it.
+  void unmap_region(VAddr addr);
+
+  /// Grow the VMA containing `addr` by `extra_pages` zeroed pages at its end
+  /// (sbrk support).  The grown pages take the VMA-level protection.
+  void extend_region(VAddr addr, std::uint64_t extra_pages);
+
+  /// Tighten/restore protection on [start, start + pages) page range.
+  /// Affects PTE protection only; VMA-level protection is unchanged, which
+  /// is how mprotect-based dirty tracking later restores write access.
+  void protect_pages(PageNum first, std::uint64_t count, std::uint8_t prot);
+
+  /// Restore each page's protection to its VMA-level protection.
+  void unprotect_page(PageNum page);
+
+  [[nodiscard]] const std::vector<Vma>& vmas() const { return vmas_; }
+  [[nodiscard]] const Vma* find_vma(VAddr addr) const;
+
+  [[nodiscard]] PageTableEntry* pte(PageNum page);
+  [[nodiscard]] const PageTableEntry* pte(PageNum page) const;
+
+  /// Check whether an access of `kind` (read => kProtRead, write =>
+  /// kProtWrite) to the page would succeed.
+  [[nodiscard]] AccessResult check_access(PageNum page, std::uint8_t kind) const;
+
+  /// Raw page data access (no protection checks — kernel-mode view).
+  [[nodiscard]] std::span<std::byte> page_data(PageNum page);
+  [[nodiscard]] std::span<const std::byte> page_data(PageNum page) const;
+
+  /// Duplicate the frame backing a COW page so it is privately owned, then
+  /// clear the COW bit.  Precondition: pte(page)->cow.
+  void break_cow(PageNum page);
+
+  /// Clone this address space for fork(): VMAs are copied, every present
+  /// page becomes a shared read-only COW mapping in both parent and child.
+  [[nodiscard]] std::unique_ptr<AddressSpace> clone_cow();
+
+  /// Deep copy (used by restart when materialising an image).
+  [[nodiscard]] std::unique_ptr<AddressSpace> clone_deep() const;
+
+  /// Clear all dirty bits (typically after a checkpoint completes).
+  void clear_dirty_bits();
+
+  /// Total bytes currently mapped.
+  [[nodiscard]] std::uint64_t mapped_bytes() const;
+  /// Number of pages whose dirty bit is set.
+  [[nodiscard]] std::uint64_t dirty_page_count() const;
+
+  /// Iterate pages in ascending order: fn(page_num, pte&).
+  template <typename Fn>
+  void for_each_page(Fn&& fn) {
+    for (auto& [page, entry] : pages_) fn(page, entry);
+  }
+  template <typename Fn>
+  void for_each_page(Fn&& fn) const {
+    for (const auto& [page, entry] : pages_) fn(page, entry);
+  }
+
+  [[nodiscard]] PhysicalMemory& physical() { return *phys_; }
+
+ private:
+  PhysicalMemory* phys_;
+  std::vector<Vma> vmas_;
+  std::map<PageNum, PageTableEntry> pages_;
+};
+
+}  // namespace ckpt::sim

@@ -1,0 +1,20 @@
+#include "sim/process.hpp"
+
+namespace ckpt::sim {
+
+const char* to_string(TaskState state) {
+  switch (state) {
+    case TaskState::kReady: return "ready";
+    case TaskState::kRunning: return "running";
+    case TaskState::kBlocked: return "blocked";
+    case TaskState::kStopped: return "stopped";
+    case TaskState::kZombie: return "zombie";
+    case TaskState::kDead: return "dead";
+  }
+  return "?";
+}
+
+Process::Process(Pid pid_in, std::string name_in, std::unique_ptr<AddressSpace> aspace_in)
+    : pid(pid_in), name(std::move(name_in)), aspace(std::move(aspace_in)) {}
+
+}  // namespace ckpt::sim

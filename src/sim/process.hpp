@@ -1,0 +1,173 @@
+// Task (process / kernel-thread) representation.
+//
+// Everything a checkpoint must capture hangs off Process: the address
+// space, per-thread register sets, the descriptor table, signal state, the
+// program break and scheduling parameters.  Kernel-level checkpointers read
+// these fields directly ("every data structure relevant to a process's
+// state is readily accessible"); user-level ones must reconstruct them
+// through syscalls — the asymmetry the survey's efficiency argument rests
+// on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/file.hpp"
+#include "sim/guest.hpp"
+#include "sim/memory.hpp"
+#include "sim/signal.hpp"
+#include "sim/types.hpp"
+#include "util/units.hpp"
+
+namespace ckpt::sim {
+
+class SimKernel;
+
+/// Simulated CPU register file (per thread).
+struct Registers {
+  std::uint64_t pc = 0;
+  std::uint64_t sp = 0;
+  std::array<std::uint64_t, 8> gpr{};
+
+  friend bool operator==(const Registers&, const Registers&) = default;
+};
+
+enum class TaskState : std::uint8_t {
+  kReady,
+  kRunning,
+  kBlocked,
+  kStopped,  ///< SIGSTOP / checkpoint freeze: not schedulable until continued.
+  kZombie,
+  kDead,
+};
+
+const char* to_string(TaskState state);
+
+struct Thread {
+  Tid tid = 0;
+  Registers regs;
+};
+
+enum class SchedClass : std::uint8_t {
+  kTimeshare,  ///< dynamic-priority time sharing (the default class)
+  kFifo,       ///< SCHED_FIFO real time: runs until it blocks or exits
+};
+
+struct SchedParams {
+  SchedClass cls = SchedClass::kTimeshare;
+  int rt_priority = 0;  ///< higher wins within SCHED_FIFO
+  int nice = 0;
+  SimTime vruntime = 0;  ///< fairness clock for the timeshare class
+};
+
+/// Cumulative per-task accounting, used by the overhead benchmarks.
+struct TaskStats {
+  SimTime cpu_time = 0;           ///< total simulated time consumed
+  SimTime syscall_time = 0;       ///< of which: syscall crossings + service
+  SimTime fault_time = 0;         ///< of which: page-fault handling
+  SimTime signal_time = 0;        ///< of which: user signal-handler dispatch
+  std::uint64_t syscalls = 0;
+  std::uint64_t page_faults = 0;
+  std::uint64_t cow_faults = 0;
+  std::uint64_t signals_taken = 0;
+  std::uint64_t guest_iterations = 0;  ///< guest-reported useful work
+};
+
+/// Interposition hook (LD_PRELOAD model): invoked on every syscall the
+/// process makes, *before* the kernel services it.  Returning adds the
+/// per-call interposition cost; the hook may also record shadow state.
+using SyscallInterposer =
+    std::function<void(SimKernel&, Process&, const char* name, std::uint64_t a0,
+                       std::uint64_t a1)>;
+
+class Process {
+ public:
+  Process(Pid pid, std::string name, std::unique_ptr<AddressSpace> aspace);
+
+  // Identity -----------------------------------------------------------------
+  Pid pid = kNoPid;
+  Pid ppid = kNoPid;
+  std::string name;
+  bool is_kernel_thread = false;
+  /// Set while a mechanism-created frozen fork copy exists (Checkpoint [5]).
+  bool is_checkpoint_shadow = false;
+
+  // State --------------------------------------------------------------------
+  TaskState state = TaskState::kReady;
+  int exit_code = 0;
+  std::vector<Thread> threads;  ///< >= 1 for user processes; empty for kthreads
+  VAddr brk = 0;                ///< program break (heap top)
+  VAddr heap_base = 0;
+
+  std::unique_ptr<AddressSpace> aspace;  ///< null for kernel threads
+  FdTable fds;
+  SignalState signals;
+  SchedParams sched;
+  TaskStats stats;
+
+  // Guest program (user processes) --------------------------------------------
+  std::unique_ptr<GuestProgram> guest;
+  GuestImage guest_image;  ///< how to rebuild `guest` at restart
+  bool started = false;    ///< on_start() has run
+
+  // Extension hooks -----------------------------------------------------------
+  std::optional<SyscallInterposer> interposer;
+  /// User-level library signal handlers (the checkpoint library's handlers,
+  /// installed by relinking or LD_PRELOAD).  Dispatched in user mode before
+  /// the guest's own on_signal when the disposition is kHandler.
+  std::map<int, std::function<void(SimKernel&, Process&, Signal)>> library_handlers;
+  /// Faulting address for the most recent SIGSEGV (siginfo.si_addr).
+  VAddr fault_addr = 0;
+  /// True while the guest is inside a non-reentrant C-library call
+  /// (malloc/free).  A user-level checkpoint handler that fires in this
+  /// window deadlocks — the signal-context hazard of survey §3.  Guests
+  /// set/clear it; user-level engines check it.
+  bool in_nonreentrant_call = false;
+  /// Descriptor-lifecycle hook for user-level shadow tracking (the wrapped
+  /// open/dup/socket/close of an interposing checkpoint library).
+  enum class FdOp : std::uint8_t { kOpen, kClose, kDup, kSocket };
+  std::function<void(Process&, FdOp, Fd, const std::string& path, std::uint32_t flags)>
+      fd_hook;
+  /// User-level library functions callable by guests (ckpt_now() etc.),
+  /// registered by user-level engines at link time.
+  std::map<std::string, std::function<std::int64_t(SimKernel&, Process&, std::uint64_t)>>
+      library_calls;
+  /// Next free address for anonymous mmap.
+  VAddr mmap_next = 0x7f00'0000'0000ULL;
+  /// Extra per-syscall cost while the process runs inside a virtualization
+  /// pod (ZAP): every call is intercepted and its resource identifiers
+  /// translated.  Zero when not in a pod.
+  SimTime syscall_extra_ns = 0;
+  /// Pod membership (0 = none); maintained by core::PodManager.
+  std::uint64_t pod_id = 0;
+  /// Kernel-level write-protect hook: called from the page-fault path when a
+  /// store hits a write-protected page.  Returning true means "handled:
+  /// restore write access and retry" (the kernel dirty-tracking path).
+  std::function<bool(SimKernel&, Process&, PageNum)> wp_hook;
+  /// Hardware write snoop (directory controller / cache model): observes
+  /// every successful user store with byte granularity.  Unlike wp_hook it
+  /// costs nothing on the CPU — that is the point of hardware support.
+  std::function<void(VAddr, std::uint64_t)> write_observer;
+
+  // Timers ---------------------------------------------------------------------
+  SimTime alarm_deadline = 0;   ///< 0 = none
+  SimTime itimer_interval = 0;  ///< 0 = none; else periodic SIGALRM
+  SimTime wake_deadline = 0;    ///< sleeping until this time (kBlocked)
+
+  /// Resource tags held in the kernel namespace (bound ports etc.), used by
+  /// restart conflict detection and pod virtualization.
+  std::vector<std::uint16_t> bound_ports;
+
+  [[nodiscard]] bool runnable() const {
+    return state == TaskState::kReady || state == TaskState::kRunning;
+  }
+  [[nodiscard]] bool alive() const {
+    return state != TaskState::kZombie && state != TaskState::kDead;
+  }
+};
+
+}  // namespace ckpt::sim

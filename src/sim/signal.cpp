@@ -1,0 +1,41 @@
+#include "sim/signal.hpp"
+
+namespace ckpt::sim {
+
+const char* signal_name(Signal sig) {
+  switch (sig) {
+    case kSigNone: return "SIG0";
+    case kSigHup: return "SIGHUP";
+    case kSigInt: return "SIGINT";
+    case kSigKill: return "SIGKILL";
+    case kSigUsr1: return "SIGUSR1";
+    case kSigSegv: return "SIGSEGV";
+    case kSigUsr2: return "SIGUSR2";
+    case kSigAlrm: return "SIGALRM";
+    case kSigTerm: return "SIGTERM";
+    case kSigChld: return "SIGCHLD";
+    case kSigCont: return "SIGCONT";
+    case kSigStop: return "SIGSTOP";
+    case kSigSys: return "SIGSYS";
+    case kSigUnused: return "SIGUNUSED";
+    case kSigCkpt: return "SIGCKPT";
+    case kSigFreeze: return "SIGFREEZE";
+    default: return "SIG?";
+  }
+}
+
+DefaultAction default_action(Signal sig) {
+  switch (sig) {
+    case kSigChld:
+    case kSigUnused:
+      return DefaultAction::kIgnore;
+    case kSigStop:
+      return DefaultAction::kStop;
+    case kSigCont:
+      return DefaultAction::kContinue;
+    default:
+      return DefaultAction::kTerminate;
+  }
+}
+
+}  // namespace ckpt::sim

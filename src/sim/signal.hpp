@@ -1,0 +1,85 @@
+// Signal model of the simulated kernel.
+//
+// The paper's initiation-latency discussion hinges on real Unix semantics:
+// a signal is only *acted on* when the target task next transitions from
+// kernel mode to user mode (i.e. when the scheduler next runs it), so
+// delivery latency grows with system load.  The simulator reproduces this:
+// signals are queued as pending and dispatched immediately before the
+// target's next quantum.
+//
+// Mechanisms in the survey extend the kernel with *new* signals whose
+// default action runs in kernel mode (EPCKPT's checkpoint signal, CHPOX's
+// SIGSYS reuse, Software Suspend's freeze signal); SimKernel supports
+// registering such kernel-mode default actions.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace ckpt::sim {
+
+enum Signal : int {
+  kSigNone = 0,
+  kSigHup = 1,
+  kSigInt = 2,
+  kSigKill = 9,
+  kSigUsr1 = 10,
+  kSigSegv = 11,
+  kSigUsr2 = 12,
+  kSigAlrm = 14,
+  kSigTerm = 15,
+  kSigChld = 17,
+  kSigCont = 18,
+  kSigStop = 19,
+  kSigSys = 31,
+  kSigUnused = 32,
+  // Signal numbers above kSigUnused are available for kernel extensions
+  // (checkpoint signals, the hibernation freeze signal, ...).
+  kSigCkpt = 33,    ///< EPCKPT-style dedicated checkpoint signal.
+  kSigFreeze = 34,  ///< Software-Suspend-style freeze signal.
+  kMaxSignal = 40,
+};
+
+const char* signal_name(Signal sig);
+
+/// What a process does with a delivered signal.
+enum class SignalDisposition : std::uint8_t {
+  kDefault,  ///< Kernel default action (terminate / ignore / stop / kernel hook).
+  kIgnore,
+  kHandler,  ///< User-level handler: the guest's on_signal() runs in user mode.
+};
+
+/// Kernel default action for a signal with kDefault disposition.
+enum class DefaultAction : std::uint8_t { kTerminate, kIgnore, kStop, kContinue };
+
+DefaultAction default_action(Signal sig);
+
+/// Per-process signal state.  Pending signals are a set (standard signals do
+/// not queue); the mask blocks delivery without discarding.
+struct SignalState {
+  std::uint64_t pending = 0;
+  std::uint64_t mask = 0;
+  std::array<SignalDisposition, kMaxSignal + 1> disposition{};
+
+  static constexpr std::uint64_t bit(Signal sig) { return 1ULL << sig; }
+
+  void raise(Signal sig) { pending |= bit(sig); }
+  void clear(Signal sig) { pending &= ~bit(sig); }
+  [[nodiscard]] bool is_pending(Signal sig) const { return (pending & bit(sig)) != 0; }
+  [[nodiscard]] bool is_blocked(Signal sig) const {
+    // SIGKILL and SIGSTOP cannot be blocked.
+    if (sig == kSigKill || sig == kSigStop) return false;
+    return (mask & bit(sig)) != 0;
+  }
+
+  /// Lowest-numbered deliverable signal, or kSigNone.
+  [[nodiscard]] Signal next_deliverable() const {
+    for (int s = 1; s <= kMaxSignal; ++s) {
+      const auto sig = static_cast<Signal>(s);
+      if (is_pending(sig) && !is_blocked(sig)) return sig;
+    }
+    return kSigNone;
+  }
+};
+
+}  // namespace ckpt::sim

@@ -1,0 +1,37 @@
+// Fundamental identifier types for the simulated kernel.
+#pragma once
+
+#include <cstdint>
+
+#include "util/units.hpp"
+
+namespace ckpt::sim {
+
+using Pid = std::int32_t;
+using Tid = std::int32_t;
+using Fd = std::int32_t;
+using VAddr = std::uint64_t;
+using PageNum = std::uint64_t;
+using FrameId = std::uint64_t;
+
+inline constexpr Pid kNoPid = -1;
+inline constexpr Fd kBadFd = -1;
+
+/// Page size of the simulated MMU.  Matches the x86/Linux value the paper's
+/// page-granularity dirty-tracking discussion assumes.
+inline constexpr std::uint64_t kPageSize = 4096;
+
+/// Canonical user address-space layout (build_standard_layout).
+inline constexpr VAddr kCodeBase = 0x0000'0000'0040'0000ULL;
+inline constexpr VAddr kDataBase = 0x0000'0000'0060'0000ULL;
+inline constexpr VAddr kHeapBase = 0x0000'0000'0100'0000ULL;
+inline constexpr VAddr kStackTop = 0x0000'7fff'f000'0000ULL;
+
+constexpr PageNum page_of(VAddr addr) { return addr / kPageSize; }
+constexpr VAddr page_base(PageNum page) { return page * kPageSize; }
+constexpr std::uint64_t page_offset(VAddr addr) { return addr % kPageSize; }
+constexpr std::uint64_t pages_for(std::uint64_t bytes) {
+  return (bytes + kPageSize - 1) / kPageSize;
+}
+
+}  // namespace ckpt::sim

@@ -1,0 +1,367 @@
+#include "sim/userapi.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace ckpt::sim {
+
+void UserApi::syscall_entry(const char* name, std::uint64_t a0, std::uint64_t a1) {
+  ++proc_.stats.syscalls;
+  kernel_.charge_time(kernel_.costs().syscall_crossing_ns, ChargeKind::kSyscall);
+  if (proc_.syscall_extra_ns != 0) {
+    // Pod virtualization tax: identifier translation on every call.
+    kernel_.charge_time(proc_.syscall_extra_ns, ChargeKind::kSyscall);
+  }
+  if (proc_.interposer.has_value()) {
+    kernel_.charge_time(kernel_.costs().interposition_ns, ChargeKind::kSyscall);
+    (*proc_.interposer)(kernel_, proc_, name, a0, a1);
+  }
+}
+
+// --- Plain memory access -----------------------------------------------------
+
+bool UserApi::store(VAddr addr, std::span<const std::byte> data) {
+  return kernel_.user_store(proc_, addr, data);
+}
+
+bool UserApi::load(VAddr addr, std::span<std::byte> out) {
+  return kernel_.user_load(proc_, addr, out);
+}
+
+bool UserApi::store_u64(VAddr addr, std::uint64_t value) {
+  return store(addr, std::span(reinterpret_cast<const std::byte*>(&value), sizeof(value)));
+}
+
+std::uint64_t UserApi::load_u64(VAddr addr) {
+  std::uint64_t value = 0;
+  load(addr, std::span(reinterpret_cast<std::byte*>(&value), sizeof(value)));
+  return value;
+}
+
+void UserApi::compute(SimTime amount) { kernel_.charge_time(amount, ChargeKind::kCompute); }
+
+void UserApi::work_done(std::uint64_t iterations) {
+  proc_.stats.guest_iterations += iterations;
+}
+
+Registers& UserApi::regs() {
+  if (proc_.threads.empty()) throw std::runtime_error("regs(): no threads");
+  return proc_.threads.front().regs;
+}
+
+// --- Memory management ----------------------------------------------------
+
+VAddr UserApi::sys_sbrk(std::int64_t delta) {
+  syscall_entry("sbrk", static_cast<std::uint64_t>(delta));
+  const VAddr old_brk = proc_.brk;
+  if (delta > 0) {
+    const Vma* heap = proc_.aspace->find_vma(proc_.heap_base);
+    if (heap == nullptr) return 0;
+    const VAddr new_brk = proc_.brk + static_cast<std::uint64_t>(delta);
+    if (new_brk > heap->end()) {
+      const std::uint64_t extra = pages_for(new_brk - heap->end());
+      proc_.aspace->extend_region(proc_.heap_base, extra);
+    }
+    proc_.brk = new_brk;
+  } else if (delta < 0) {
+    const std::uint64_t shrink = static_cast<std::uint64_t>(-delta);
+    proc_.brk = shrink > proc_.brk - proc_.heap_base ? proc_.heap_base : proc_.brk - shrink;
+  }
+  return old_brk;
+}
+
+VAddr UserApi::sys_mmap(std::uint64_t bytes, std::uint8_t prot, const std::string& name) {
+  syscall_entry("mmap", bytes);
+  const std::uint64_t pages = pages_for(bytes);
+  const VAddr addr = proc_.mmap_next;
+  proc_.mmap_next += (pages + 4) * kPageSize;  // guard gap
+  proc_.aspace->map_region(addr, pages, prot, VmaKind::kAnon, name);
+  return addr;
+}
+
+void UserApi::sys_munmap(VAddr addr) {
+  syscall_entry("munmap", addr);
+  proc_.aspace->unmap_region(addr);
+}
+
+bool UserApi::sys_mprotect(VAddr start, std::uint64_t bytes, std::uint8_t prot) {
+  syscall_entry("mprotect", start, bytes);
+  if (page_offset(start) != 0) return false;
+  proc_.aspace->protect_pages(page_of(start), pages_for(bytes), prot);
+  return true;
+}
+
+// --- Files ---------------------------------------------------------------------
+
+Fd UserApi::sys_open(const std::string& path, std::uint32_t flags) {
+  syscall_entry("open", flags);
+  auto& vfs = kernel_.vfs();
+  auto ofd = std::make_shared<OpenFileDescription>();
+  ofd->flags = flags;
+  ofd->object_path = path;
+  if (DeviceHooks* dev = vfs.device(path)) {
+    ofd->kind = FileKind::kDevice;
+    ofd->device = dev;
+  } else if (ProcEntryHooks* proc_hooks = vfs.proc_entry(path)) {
+    ofd->kind = FileKind::kProcEntry;
+    ofd->proc = proc_hooks;
+  } else {
+    auto file = vfs.lookup(path);
+    if (file == nullptr) {
+      if ((flags & kOpenCreate) == 0) return kBadFd;
+      file = vfs.create(path);
+    }
+    if ((flags & kOpenTrunc) != 0) file->data.clear();
+    ofd->kind = FileKind::kRegular;
+    ofd->file = std::move(file);
+  }
+  const Fd fd = proc_.fds.install(std::move(ofd));
+  if (proc_.fd_hook) proc_.fd_hook(proc_, Process::FdOp::kOpen, fd, path, flags);
+  return fd;
+}
+
+bool UserApi::sys_close(Fd fd) {
+  syscall_entry("close", static_cast<std::uint64_t>(fd));
+  const bool ok = proc_.fds.close(fd);
+  if (ok && proc_.fd_hook) proc_.fd_hook(proc_, Process::FdOp::kClose, fd, "", 0);
+  return ok;
+}
+
+std::int64_t UserApi::sys_read(Fd fd, std::span<std::byte> out) {
+  syscall_entry("read", static_cast<std::uint64_t>(fd), out.size());
+  auto ofd = proc_.fds.get(fd);
+  if (!ofd) return -9;  // EBADF
+  switch (ofd->kind) {
+    case FileKind::kRegular: {
+      const auto& data = ofd->file->data;
+      if (ofd->offset >= data.size()) return 0;
+      const std::size_t n = std::min<std::size_t>(out.size(), data.size() - ofd->offset);
+      std::memcpy(out.data(), data.data() + ofd->offset, n);
+      ofd->offset += n;
+      kernel_.charge_time(kernel_.costs().mem_copy_cost(n), ChargeKind::kSyscall);
+      return static_cast<std::int64_t>(n);
+    }
+    case FileKind::kDevice:
+      return ofd->device->read ? ofd->device->read(kernel_, proc_, out) : -22;
+    case FileKind::kProcEntry: {
+      if (!ofd->proc->read) return -22;
+      const std::string text = ofd->proc->read(kernel_);
+      if (ofd->offset >= text.size()) return 0;
+      const std::size_t n = std::min<std::size_t>(out.size(), text.size() - ofd->offset);
+      std::memcpy(out.data(), text.data() + ofd->offset, n);
+      ofd->offset += n;
+      return static_cast<std::int64_t>(n);
+    }
+    case FileKind::kPipe: {
+      auto& buf = ofd->pipe->buffer;
+      if (buf.empty()) return ofd->pipe->write_end_open ? -11 /*EAGAIN*/ : 0;
+      const std::size_t n = std::min(out.size(), buf.size());
+      std::memcpy(out.data(), buf.data(), n);
+      buf.erase(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(n));
+      return static_cast<std::int64_t>(n);
+    }
+    case FileKind::kSocket: {
+      auto& buf = ofd->socket->rx_buffer;
+      if (buf.empty()) return -11;  // EAGAIN
+      const std::size_t n = std::min(out.size(), buf.size());
+      std::memcpy(out.data(), buf.data(), n);
+      buf.erase(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(n));
+      return static_cast<std::int64_t>(n);
+    }
+  }
+  return -22;
+}
+
+std::int64_t UserApi::sys_write(Fd fd, std::span<const std::byte> in) {
+  syscall_entry("write", static_cast<std::uint64_t>(fd), in.size());
+  auto ofd = proc_.fds.get(fd);
+  if (!ofd) return -9;
+  switch (ofd->kind) {
+    case FileKind::kRegular: {
+      auto& data = ofd->file->data;
+      if (ofd->offset + in.size() > data.size()) data.resize(ofd->offset + in.size());
+      std::memcpy(data.data() + ofd->offset, in.data(), in.size());
+      ofd->offset += in.size();
+      kernel_.charge_time(kernel_.costs().mem_copy_cost(in.size()), ChargeKind::kSyscall);
+      return static_cast<std::int64_t>(in.size());
+    }
+    case FileKind::kDevice:
+      return ofd->device->write ? ofd->device->write(kernel_, proc_, in) : -22;
+    case FileKind::kProcEntry: {
+      if (!ofd->proc->write) return -22;
+      const std::string_view text(reinterpret_cast<const char*>(in.data()), in.size());
+      return ofd->proc->write(kernel_, proc_, text);
+    }
+    case FileKind::kPipe: {
+      if (!ofd->pipe->read_end_open) {
+        kernel_.send_signal(proc_.pid, kSigHup);
+        return -32;  // EPIPE
+      }
+      ofd->pipe->buffer.insert(ofd->pipe->buffer.end(), in.begin(), in.end());
+      return static_cast<std::int64_t>(in.size());
+    }
+    case FileKind::kSocket:
+      // Loopback model: data sent appears on the peer's rx buffer; the
+      // cluster layer replaces this with its network when ranks span nodes.
+      return static_cast<std::int64_t>(in.size());
+  }
+  return -22;
+}
+
+std::int64_t UserApi::sys_write(Fd fd, std::string_view text) {
+  return sys_write(fd, std::span(reinterpret_cast<const std::byte*>(text.data()), text.size()));
+}
+
+std::int64_t UserApi::sys_lseek(Fd fd, std::int64_t offset, SeekWhence whence) {
+  syscall_entry("lseek", static_cast<std::uint64_t>(fd));
+  auto ofd = proc_.fds.get(fd);
+  if (!ofd) return -9;
+  std::int64_t base = 0;
+  switch (whence) {
+    case SeekWhence::kSet: base = 0; break;
+    case SeekWhence::kCur: base = static_cast<std::int64_t>(ofd->offset); break;
+    case SeekWhence::kEnd:
+      base = ofd->kind == FileKind::kRegular
+                 ? static_cast<std::int64_t>(ofd->file->data.size())
+                 : 0;
+      break;
+  }
+  const std::int64_t target = base + offset;
+  if (target < 0) return -22;
+  ofd->offset = static_cast<std::uint64_t>(target);
+  return target;
+}
+
+Fd UserApi::sys_dup(Fd fd) {
+  syscall_entry("dup", static_cast<std::uint64_t>(fd));
+  const Fd copy = proc_.fds.dup(fd);
+  if (copy != kBadFd && proc_.fd_hook) {
+    const auto ofd = proc_.fds.get(copy);
+    proc_.fd_hook(proc_, Process::FdOp::kDup, copy, ofd ? ofd->object_path : "",
+                  ofd ? ofd->flags : 0);
+  }
+  return copy;
+}
+
+std::int64_t UserApi::sys_ioctl(Fd fd, std::uint64_t cmd, std::uint64_t arg) {
+  syscall_entry("ioctl", cmd, arg);
+  auto ofd = proc_.fds.get(fd);
+  if (!ofd) return -9;
+  if (ofd->kind != FileKind::kDevice || !ofd->device->ioctl) return -25;  // ENOTTY
+  return ofd->device->ioctl(kernel_, proc_, cmd, arg);
+}
+
+bool UserApi::sys_unlink(const std::string& path) {
+  syscall_entry("unlink");
+  return kernel_.vfs().unlink(path);
+}
+
+// --- Sockets -------------------------------------------------------------------
+
+Fd UserApi::sys_socket() {
+  syscall_entry("socket");
+  auto ofd = std::make_shared<OpenFileDescription>();
+  ofd->kind = FileKind::kSocket;
+  ofd->socket = std::make_shared<SimSocket>();
+  const Fd fd = proc_.fds.install(std::move(ofd));
+  if (proc_.fd_hook) proc_.fd_hook(proc_, Process::FdOp::kSocket, fd, "", 0);
+  return fd;
+}
+
+bool UserApi::sys_bind(Fd fd, std::uint16_t port) {
+  syscall_entry("bind", static_cast<std::uint64_t>(fd), port);
+  auto ofd = proc_.fds.get(fd);
+  if (!ofd || ofd->kind != FileKind::kSocket) return false;
+  if (!kernel_.bind_port(port, proc_.pid)) return false;
+  ofd->socket->local_port = port;
+  proc_.bound_ports.push_back(port);
+  return true;
+}
+
+bool UserApi::sys_connect(Fd fd, const std::string& host, std::uint16_t port) {
+  syscall_entry("connect", static_cast<std::uint64_t>(fd), port);
+  auto ofd = proc_.fds.get(fd);
+  if (!ofd || ofd->kind != FileKind::kSocket) return false;
+  ofd->socket->peer_host = host;
+  ofd->socket->peer_port = port;
+  ofd->socket->connected = true;
+  return true;
+}
+
+// --- Process / signals ------------------------------------------------------------
+
+Pid UserApi::sys_getpid() {
+  syscall_entry("getpid");
+  return proc_.pid;
+}
+
+Pid UserApi::sys_fork() {
+  syscall_entry("fork");
+  return kernel_.sys_fork(proc_);
+}
+
+bool UserApi::sys_kill(Pid pid, Signal sig) {
+  syscall_entry("kill", static_cast<std::uint64_t>(pid), static_cast<std::uint64_t>(sig));
+  return kernel_.send_signal(pid, sig);
+}
+
+void UserApi::sys_sigaction(Signal sig, SignalDisposition disposition) {
+  syscall_entry("sigaction", static_cast<std::uint64_t>(sig));
+  proc_.signals.disposition[sig] = disposition;
+}
+
+std::uint64_t UserApi::sys_sigpending() {
+  syscall_entry("sigpending");
+  return proc_.signals.pending;
+}
+
+void UserApi::sys_sigprocmask(std::uint64_t mask) {
+  syscall_entry("sigprocmask", mask);
+  proc_.signals.mask = mask;
+}
+
+void UserApi::sys_alarm(SimTime delay) {
+  syscall_entry("alarm", delay);
+  proc_.itimer_interval = 0;
+  proc_.alarm_deadline = delay == 0 ? 0 : kernel_.now() + delay;
+}
+
+void UserApi::sys_setitimer(SimTime interval) {
+  syscall_entry("setitimer", interval);
+  proc_.itimer_interval = interval;
+  proc_.alarm_deadline = interval == 0 ? 0 : kernel_.now() + interval;
+}
+
+void UserApi::sys_sleep(SimTime duration) {
+  syscall_entry("sleep", duration);
+  kernel_.block_process(proc_, kernel_.now() + duration);
+}
+
+void UserApi::sys_exit(int code) {
+  syscall_entry("exit", static_cast<std::uint64_t>(code));
+  kernel_.terminate(proc_, code);
+}
+
+std::vector<Vma> UserApi::sys_proc_maps() {
+  // Reading /proc/self/maps costs a crossing per VMA (open + buffered
+  // reads + parsing) — cheap in absolute terms, but emblematic of the
+  // extraction overhead the survey describes.
+  std::vector<Vma> result = proc_.aspace->vmas();
+  for (std::size_t i = 0; i < result.size(); ++i) syscall_entry("read_maps");
+  return result;
+}
+
+std::int64_t UserApi::sys_custom(const std::string& name, std::uint64_t a0, std::uint64_t a1,
+                                 std::uint64_t a2) {
+  syscall_entry(name.c_str(), a0, a1);
+  return kernel_.invoke_syscall(name, proc_, a0, a1, a2);
+}
+
+std::int64_t UserApi::call_library(const std::string& name, std::uint64_t arg) {
+  auto it = proc_.library_calls.find(name);
+  if (it == proc_.library_calls.end()) return -38;  // "symbol not found"
+  kernel_.charge_time(50 * kNanosecond, ChargeKind::kCompute);  // call overhead
+  return it->second(kernel_, proc_, arg);
+}
+
+}  // namespace ckpt::sim

@@ -1,0 +1,121 @@
+// UserApi: the user-mode view of the simulated kernel.
+//
+// Every method prefixed sys_ is a system call: it charges one user<->kernel
+// crossing (plus interposition cost when an LD_PRELOAD-style interposer is
+// installed) before doing its work.  Plain load/store are ordinary memory
+// accesses that go through the MMU model — they are cheap unless they fault.
+//
+// This asymmetry is the heart of the survey's user-level-efficiency
+// argument: extracting process state from user space costs one crossing per
+// item (sbrk(0) for the heap bound, lseek() per descriptor, sigpending()
+// for signals, a /proc/self/maps walk for the VMA list), whereas a
+// system-level checkpointer reads the same fields directly from the task
+// structure at kernel_field_access_ns each.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/kernel.hpp"
+
+namespace ckpt::sim {
+
+/// Open flags (subset of POSIX).
+enum OpenFlags : std::uint32_t {
+  kOpenRead = 0x1,
+  kOpenWrite = 0x2,
+  kOpenCreate = 0x40,
+  kOpenTrunc = 0x200,
+};
+
+enum class SeekWhence : int { kSet = 0, kCur = 1, kEnd = 2 };
+
+class UserApi {
+ public:
+  UserApi(SimKernel& kernel, Process& proc) : kernel_(kernel), proc_(proc) {}
+
+  [[nodiscard]] SimKernel& kernel() { return kernel_; }
+  [[nodiscard]] Process& process() { return proc_; }
+  [[nodiscard]] SimTime now() const { return kernel_.now(); }
+
+  // --- Plain memory access (user mode, MMU-mediated) ----------------------
+  /// Store bytes; may take COW / write-protect / SIGSEGV faults.
+  bool store(VAddr addr, std::span<const std::byte> data);
+  bool load(VAddr addr, std::span<std::byte> out);
+  bool store_u64(VAddr addr, std::uint64_t value);
+  [[nodiscard]] std::uint64_t load_u64(VAddr addr);
+
+  /// Model `amount` of pure computation (no memory traffic).
+  void compute(SimTime amount);
+  /// Bump the guest's useful-work counter (application progress metric).
+  void work_done(std::uint64_t iterations = 1);
+
+  /// Registers of the first thread (the simulated CPU context).
+  [[nodiscard]] Registers& regs();
+
+  /// Faulting address of the most recent SIGSEGV (siginfo.si_addr).
+  [[nodiscard]] VAddr fault_addr() const { return proc_.fault_addr; }
+
+  // --- Memory management syscalls ------------------------------------------
+  /// sbrk(delta); sbrk(0) is the classic user-level heap-bound query.
+  VAddr sys_sbrk(std::int64_t delta);
+  VAddr sys_mmap(std::uint64_t bytes, std::uint8_t prot, const std::string& name);
+  void sys_munmap(VAddr addr);
+  bool sys_mprotect(VAddr start, std::uint64_t bytes, std::uint8_t prot);
+
+  // --- Files -----------------------------------------------------------------
+  Fd sys_open(const std::string& path, std::uint32_t flags);
+  bool sys_close(Fd fd);
+  std::int64_t sys_read(Fd fd, std::span<std::byte> out);
+  std::int64_t sys_write(Fd fd, std::span<const std::byte> in);
+  std::int64_t sys_write(Fd fd, std::string_view text);
+  std::int64_t sys_lseek(Fd fd, std::int64_t offset, SeekWhence whence);
+  Fd sys_dup(Fd fd);
+  std::int64_t sys_ioctl(Fd fd, std::uint64_t cmd, std::uint64_t arg);
+  bool sys_unlink(const std::string& path);
+
+  // --- Sockets ----------------------------------------------------------------
+  Fd sys_socket();
+  bool sys_bind(Fd fd, std::uint16_t port);
+  bool sys_connect(Fd fd, const std::string& host, std::uint16_t port);
+
+  // --- Process / signals -------------------------------------------------------
+  [[nodiscard]] Pid sys_getpid();
+  Pid sys_fork();
+  bool sys_kill(Pid pid, Signal sig);
+  void sys_sigaction(Signal sig, SignalDisposition disposition);
+  /// sigpending(): the user-level way to learn what signals are queued.
+  std::uint64_t sys_sigpending();
+  void sys_sigprocmask(std::uint64_t mask);
+  void sys_alarm(SimTime delay);
+  void sys_setitimer(SimTime interval);
+  void sys_sleep(SimTime duration);
+  /// Terminate the calling process.  Inside a scheduled step this unwinds
+  /// back to the scheduler; from test harness contexts it simply marks the
+  /// process a zombie and returns.
+  void sys_exit(int code);
+
+  /// Walk /proc/self/maps: one crossing per VMA, as reading and parsing the
+  /// pseudo-file costs repeated reads.
+  std::vector<Vma> sys_proc_maps();
+
+  /// Invoke a mechanism-registered system call by name (ENOSYS => -38).
+  std::int64_t sys_custom(const std::string& name, std::uint64_t a0 = 0,
+                          std::uint64_t a1 = 0, std::uint64_t a2 = 0);
+
+  /// Call a user-level library function linked into the process (e.g. a
+  /// checkpoint library's ckpt_now()).  An ordinary function call: no
+  /// kernel crossing.  Returns -38 when no such library is linked.
+  std::int64_t call_library(const std::string& name, std::uint64_t arg = 0);
+
+ private:
+  /// Common syscall entry: accounting, crossing cost, interposition.
+  void syscall_entry(const char* name, std::uint64_t a0 = 0, std::uint64_t a1 = 0);
+
+  SimKernel& kernel_;
+  Process& proc_;
+};
+
+}  // namespace ckpt::sim

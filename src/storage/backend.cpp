@@ -1,0 +1,106 @@
+#include "storage/backend.hpp"
+
+#include "util/serialize.hpp"
+
+namespace ckpt::storage {
+
+const char* to_string(StorageLocality locality) {
+  switch (locality) {
+    case StorageLocality::kLocalDisk: return "local";
+    case StorageLocality::kRemote: return "remote";
+    case StorageLocality::kVolatileMemory: return "memory";
+    case StorageLocality::kNone: return "none";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// BlobStoreBackend
+// ---------------------------------------------------------------------------
+
+ImageId BlobStoreBackend::put_blob(std::vector<std::byte> blob) {
+  const ImageId id = next_id_++;
+  blobs_.emplace(id, std::move(blob));
+  return id;
+}
+
+std::optional<CheckpointImage> BlobStoreBackend::load(ImageId id, const ChargeFn& charge) {
+  if (!reachable()) return std::nullopt;
+  auto it = blobs_.find(id);
+  if (it == blobs_.end()) return std::nullopt;
+  if (charge) charge(io_cost(it->second.size()));
+  try {
+    return CheckpointImage::deserialize(it->second);
+  } catch (const ImageCorrupt&) {
+    return std::nullopt;
+  } catch (const util::SerializeError&) {
+    return std::nullopt;
+  }
+}
+
+bool BlobStoreBackend::erase(ImageId id) { return blobs_.erase(id) != 0; }
+
+std::vector<ImageId> BlobStoreBackend::list() const {
+  std::vector<ImageId> out;
+  out.reserve(blobs_.size());
+  for (const auto& [id, blob] : blobs_) out.push_back(id);
+  return out;
+}
+
+std::uint64_t BlobStoreBackend::stored_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& [id, blob] : blobs_) total += blob.size();
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// LocalDiskBackend
+// ---------------------------------------------------------------------------
+
+ImageId LocalDiskBackend::store(const CheckpointImage& image, const ChargeFn& charge) {
+  if (failed_) return kBadImageId;
+  auto blob = image.serialize();
+  if (charge) charge(io_cost(blob.size()));
+  return put_blob(std::move(blob));
+}
+
+std::optional<CheckpointImage> LocalDiskBackend::load(ImageId id, const ChargeFn& charge) {
+  if (failed_) return std::nullopt;  // node down: data unreachable
+  return BlobStoreBackend::load(id, charge);
+}
+
+// ---------------------------------------------------------------------------
+// RemoteBackend
+// ---------------------------------------------------------------------------
+
+ImageId RemoteBackend::store(const CheckpointImage& image, const ChargeFn& charge) {
+  auto blob = image.serialize();
+  if (charge) charge(io_cost(blob.size()));
+  return put_blob(std::move(blob));
+}
+
+// ---------------------------------------------------------------------------
+// MemoryBackend
+// ---------------------------------------------------------------------------
+
+ImageId MemoryBackend::store(const CheckpointImage& image, const ChargeFn& charge) {
+  if (power_cycled_) return kBadImageId;
+  auto blob = image.serialize();
+  if (charge) charge(io_cost(blob.size()));
+  return put_blob(std::move(blob));
+}
+
+// ---------------------------------------------------------------------------
+// NullBackend
+// ---------------------------------------------------------------------------
+
+ImageId NullBackend::store(const CheckpointImage& image, const ChargeFn&) {
+  (void)image;
+  return next_id_++;  // accepted, immediately forgotten
+}
+
+std::optional<CheckpointImage> NullBackend::load(ImageId, const ChargeFn&) {
+  return std::nullopt;
+}
+
+}  // namespace ckpt::storage

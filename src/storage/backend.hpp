@@ -1,0 +1,169 @@
+// Stable-storage backends.
+//
+// Table 1's "stable storage" column distinguishes mechanisms by *where*
+// checkpoints go, and Section 4's fault-tolerance critique rests on the
+// consequence: a checkpoint stored on the failed node's local disk cannot
+// be retrieved, so local-only storage gives restart-after-reboot but not
+// failover.  The backends model exactly this:
+//
+//   * LocalDiskBackend  — per-node disk; unreachable after node failure.
+//   * RemoteBackend     — network-attached storage; survives node failure
+//                         but pays network transfer cost.
+//   * MemoryBackend     — suspend-to-RAM (Software Suspend standby); lost
+//                         on power cycle.
+//   * NullBackend       — no stable storage (BProc/ZAP migrate live state
+//                         instead of saving it).
+//
+// All I/O charges simulated time through a charge callback so checkpoint
+// latency includes the storage cost the caller's context actually pays.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/costs.hpp"
+#include "storage/image.hpp"
+
+namespace ckpt::storage {
+
+using ImageId = std::uint64_t;
+inline constexpr ImageId kBadImageId = 0;
+
+/// Where a backend's data physically lives — drives survivability analysis.
+enum class StorageLocality : std::uint8_t { kLocalDisk, kRemote, kVolatileMemory, kNone };
+
+const char* to_string(StorageLocality locality);
+
+/// Callback charging simulated time to whatever context performs the I/O.
+using ChargeFn = std::function<void(SimTime)>;
+
+class StorageBackend {
+ public:
+  virtual ~StorageBackend() = default;
+
+  /// Persist an image; returns its id, or kBadImageId on failure.
+  virtual ImageId store(const CheckpointImage& image, const ChargeFn& charge) = 0;
+
+  /// Load and integrity-check an image.  nullopt when missing, unreachable
+  /// or corrupt.
+  virtual std::optional<CheckpointImage> load(ImageId id, const ChargeFn& charge) = 0;
+
+  virtual bool erase(ImageId id) = 0;
+  [[nodiscard]] virtual std::vector<ImageId> list() const = 0;
+  [[nodiscard]] virtual StorageLocality locality() const = 0;
+  [[nodiscard]] virtual bool reachable() const = 0;
+
+  /// Total stored bytes (capacity accounting in benches).
+  [[nodiscard]] virtual std::uint64_t stored_bytes() const = 0;
+};
+
+/// Common base holding serialized blobs keyed by id.
+class BlobStoreBackend : public StorageBackend {
+ public:
+  std::optional<CheckpointImage> load(ImageId id, const ChargeFn& charge) override;
+  bool erase(ImageId id) override;
+  [[nodiscard]] std::vector<ImageId> list() const override;
+  [[nodiscard]] std::uint64_t stored_bytes() const override;
+
+ protected:
+  ImageId put_blob(std::vector<std::byte> blob);
+  /// Per-IO cost for `bytes`, implemented by subclasses.
+  [[nodiscard]] virtual SimTime io_cost(std::uint64_t bytes) const = 0;
+
+  std::map<ImageId, std::vector<std::byte>> blobs_;
+  ImageId next_id_ = 1;
+};
+
+/// Node-local disk.  fail_node() models the machine dying: blobs become
+/// unreachable (fail-stop — the data may exist but cannot be fetched).
+class LocalDiskBackend final : public BlobStoreBackend {
+ public:
+  explicit LocalDiskBackend(sim::CostModel costs) : costs_(costs) {}
+
+  ImageId store(const CheckpointImage& image, const ChargeFn& charge) override;
+  std::optional<CheckpointImage> load(ImageId id, const ChargeFn& charge) override;
+  [[nodiscard]] StorageLocality locality() const override {
+    return StorageLocality::kLocalDisk;
+  }
+  [[nodiscard]] bool reachable() const override { return !failed_; }
+
+  void fail_node() { failed_ = true; }
+  void recover_node() { failed_ = false; }
+
+ protected:
+  [[nodiscard]] SimTime io_cost(std::uint64_t bytes) const override {
+    return costs_.disk_cost(bytes);
+  }
+
+ private:
+  sim::CostModel costs_;
+  bool failed_ = false;
+};
+
+/// Network-attached stable storage: every transfer pays network plus remote
+/// disk cost, but data survives any compute-node failure.
+class RemoteBackend final : public BlobStoreBackend {
+ public:
+  explicit RemoteBackend(sim::CostModel costs) : costs_(costs) {}
+
+  ImageId store(const CheckpointImage& image, const ChargeFn& charge) override;
+  [[nodiscard]] StorageLocality locality() const override { return StorageLocality::kRemote; }
+  [[nodiscard]] bool reachable() const override { return true; }
+
+ protected:
+  [[nodiscard]] SimTime io_cost(std::uint64_t bytes) const override {
+    return costs_.net_cost(bytes) + costs_.disk_cost(bytes);
+  }
+
+ private:
+  sim::CostModel costs_;
+};
+
+/// Suspend-to-RAM: free to write, lost on power cycle.
+class MemoryBackend final : public BlobStoreBackend {
+ public:
+  explicit MemoryBackend(sim::CostModel costs) : costs_(costs) {}
+
+  ImageId store(const CheckpointImage& image, const ChargeFn& charge) override;
+  [[nodiscard]] StorageLocality locality() const override {
+    return StorageLocality::kVolatileMemory;
+  }
+  [[nodiscard]] bool reachable() const override { return !power_cycled_; }
+
+  void power_cycle() {
+    power_cycled_ = true;
+    blobs_.clear();
+  }
+
+ protected:
+  [[nodiscard]] SimTime io_cost(std::uint64_t bytes) const override {
+    return costs_.mem_copy_cost(bytes);
+  }
+
+ private:
+  sim::CostModel costs_;
+  bool power_cycled_ = false;
+};
+
+/// No stable storage at all: store() succeeds (the image is handed to a
+/// live migration path) but nothing can ever be loaded back.
+class NullBackend final : public StorageBackend {
+ public:
+  ImageId store(const CheckpointImage& image, const ChargeFn& charge) override;
+  std::optional<CheckpointImage> load(ImageId id, const ChargeFn& charge) override;
+  bool erase(ImageId) override { return false; }
+  [[nodiscard]] std::vector<ImageId> list() const override { return {}; }
+  [[nodiscard]] StorageLocality locality() const override { return StorageLocality::kNone; }
+  [[nodiscard]] bool reachable() const override { return false; }
+  [[nodiscard]] std::uint64_t stored_bytes() const override { return 0; }
+
+ private:
+  ImageId next_id_ = 1;
+};
+
+}  // namespace ckpt::storage

@@ -1,0 +1,64 @@
+// Checkpoint chains: a base full image plus incremental deltas.
+//
+// Incremental checkpointing [27] trades smaller writes for a longer restore
+// path: reconstructing process state means replaying every delta since the
+// last full image.  CheckpointChain owns that bookkeeping — sequence
+// numbering, parent links, reconstruction (most-recent page wins), and the
+// periodic-full-checkpoint policy that bounds chain length.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "storage/backend.hpp"
+#include "storage/image.hpp"
+
+namespace ckpt::storage {
+
+class CheckpointChain {
+ public:
+  explicit CheckpointChain(StorageBackend* backend) : backend_(backend) {}
+
+  /// Append an image (full restarts the chain; incremental extends it).
+  /// Sequence and parent fields are assigned here.  Returns the image id,
+  /// or kBadImageId if the backend rejected the store.
+  ImageId append(CheckpointImage image, const ChargeFn& charge);
+
+  /// Reconstruct complete state as of the newest image: loads the most
+  /// recent full image and applies deltas in order.  nullopt if any link
+  /// is missing/corrupt or the backend is unreachable.
+  [[nodiscard]] std::optional<CheckpointImage> reconstruct(const ChargeFn& charge) const;
+
+  /// Reconstruct as of a given sequence number.
+  [[nodiscard]] std::optional<CheckpointImage> reconstruct_at(std::uint64_t sequence,
+                                                              const ChargeFn& charge) const;
+
+  /// Drop images no longer needed to reconstruct the newest state.
+  void prune();
+
+  [[nodiscard]] std::uint64_t next_sequence() const { return next_sequence_; }
+  [[nodiscard]] std::size_t length() const { return entries_.size(); }
+  /// Deltas since (and including) the last full image.
+  [[nodiscard]] std::size_t links_from_last_full() const;
+
+  [[nodiscard]] StorageBackend* backend() const { return backend_; }
+
+ private:
+  struct Entry {
+    std::uint64_t sequence;
+    ImageId id;
+    ImageKind kind;
+  };
+
+  StorageBackend* backend_;
+  std::vector<Entry> entries_;
+  std::uint64_t next_sequence_ = 1;
+};
+
+/// Merge a delta into an accumulated full image: newer pages replace older
+/// ones, VMA layout/regs/files/signals come from the delta (it is newer).
+void apply_delta(CheckpointImage& base, const CheckpointImage& delta);
+
+}  // namespace ckpt::storage

@@ -1,0 +1,192 @@
+#include "storage/image.hpp"
+
+#include "util/crc64.hpp"
+#include "util/serialize.hpp"
+
+namespace ckpt::storage {
+
+using util::Deserializer;
+using util::Serializer;
+
+const char* to_string(ImageKind kind) {
+  return kind == ImageKind::kFull ? "full" : "incremental";
+}
+
+std::uint64_t CheckpointImage::payload_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& segment : segments) {
+    for (const auto& page : segment.pages) total += page.data.size();
+  }
+  for (const auto& file : files) {
+    if (file.contents.has_value()) total += file.contents->size();
+  }
+  return total;
+}
+
+std::uint64_t CheckpointImage::page_count() const {
+  std::uint64_t total = 0;
+  for (const auto& segment : segments) total += segment.pages.size();
+  return total;
+}
+
+namespace {
+
+void encode_vma(Serializer& s, const sim::Vma& vma) {
+  s.put(vma.first_page);
+  s.put(vma.page_count);
+  s.put(vma.prot);
+  s.put(vma.kind);
+  s.put_string(vma.name);
+}
+
+sim::Vma decode_vma(Deserializer& d) {
+  sim::Vma vma;
+  vma.first_page = d.get<sim::PageNum>();
+  vma.page_count = d.get<std::uint64_t>();
+  vma.prot = d.get<std::uint8_t>();
+  vma.kind = d.get<sim::VmaKind>();
+  vma.name = d.get_string();
+  return vma;
+}
+
+void encode_regs(Serializer& s, const sim::Registers& regs) {
+  s.put(regs.pc);
+  s.put(regs.sp);
+  for (std::uint64_t g : regs.gpr) s.put(g);
+}
+
+sim::Registers decode_regs(Deserializer& d) {
+  sim::Registers regs;
+  regs.pc = d.get<std::uint64_t>();
+  regs.sp = d.get<std::uint64_t>();
+  for (std::uint64_t& g : regs.gpr) g = d.get<std::uint64_t>();
+  return regs;
+}
+
+}  // namespace
+
+std::vector<std::byte> CheckpointImage::serialize() const {
+  Serializer body;
+  body.put(kind);
+  body.put(sequence);
+  body.put(parent_sequence);
+  body.put(pid);
+  body.put_string(process_name);
+  body.put_string(hostname);
+  body.put(taken_at);
+  body.put_string(guest.type_name);
+  body.put_bytes(guest.config);
+
+  body.put_vector(threads, [](Serializer& s, const ThreadImage& t) {
+    s.put(t.tid);
+    encode_regs(s, t.regs);
+  });
+
+  body.put_vector(segments, [](Serializer& s, const MemorySegmentImage& seg) {
+    encode_vma(s, seg.vma);
+    s.put_vector(seg.pages, [](Serializer& s2, const PageImage& page) {
+      s2.put(page.page);
+      s2.put(page.offset);
+      s2.put_bytes(page.data);
+    });
+  });
+
+  body.put(brk);
+  body.put(heap_base);
+  body.put(mmap_next);
+  body.put(sig_pending);
+  body.put(sig_mask);
+  body.put_vector(sig_dispositions, [](Serializer& s, std::uint8_t d) { s.put(d); });
+
+  body.put_vector(files, [](Serializer& s, const FileDescriptorImage& f) {
+    s.put(f.fd);
+    s.put(f.kind);
+    s.put_string(f.path);
+    s.put(f.offset);
+    s.put(f.flags);
+    s.put<std::uint8_t>(f.was_deleted ? 1 : 0);
+    s.put<std::uint8_t>(f.contents.has_value() ? 1 : 0);
+    if (f.contents.has_value()) s.put_bytes(*f.contents);
+  });
+
+  body.put_vector(bound_ports, [](Serializer& s, std::uint16_t p) { s.put(p); });
+
+  // Envelope: version | crc(body) | body
+  Serializer out;
+  out.put(kFormatVersion);
+  out.put(util::crc64(body.bytes()));
+  out.put_raw(body.bytes());
+  return std::move(out).take();
+}
+
+CheckpointImage CheckpointImage::deserialize(std::span<const std::byte> bytes) {
+  Deserializer env(bytes);
+  const auto version = env.get<std::uint32_t>();
+  if (version != kFormatVersion) {
+    throw ImageCorrupt("unsupported image version " + std::to_string(version));
+  }
+  const auto expected_crc = env.get<std::uint64_t>();
+  const auto body_bytes = env.get_raw(env.remaining());
+  if (util::crc64(body_bytes) != expected_crc) {
+    throw ImageCorrupt("checkpoint image CRC mismatch");
+  }
+
+  Deserializer d(body_bytes);
+  CheckpointImage image;
+  image.kind = d.get<ImageKind>();
+  image.sequence = d.get<std::uint64_t>();
+  image.parent_sequence = d.get<std::uint64_t>();
+  image.pid = d.get<sim::Pid>();
+  image.process_name = d.get_string();
+  image.hostname = d.get_string();
+  image.taken_at = d.get<SimTime>();
+  image.guest.type_name = d.get_string();
+  image.guest.config = d.get_bytes();
+
+  image.threads = d.get_vector<ThreadImage>([](Deserializer& d2) {
+    ThreadImage t;
+    t.tid = d2.get<sim::Tid>();
+    t.regs = decode_regs(d2);
+    return t;
+  });
+
+  image.segments = d.get_vector<MemorySegmentImage>([](Deserializer& d2) {
+    MemorySegmentImage seg;
+    seg.vma = decode_vma(d2);
+    seg.pages = d2.get_vector<PageImage>([](Deserializer& d3) {
+      PageImage page;
+      page.page = d3.get<sim::PageNum>();
+      page.offset = d3.get<std::uint32_t>();
+      page.data = d3.get_bytes();
+      return page;
+    });
+    return seg;
+  });
+
+  image.brk = d.get<sim::VAddr>();
+  image.heap_base = d.get<sim::VAddr>();
+  image.mmap_next = d.get<sim::VAddr>();
+  image.sig_pending = d.get<std::uint64_t>();
+  image.sig_mask = d.get<std::uint64_t>();
+  image.sig_dispositions =
+      d.get_vector<std::uint8_t>([](Deserializer& d2) { return d2.get<std::uint8_t>(); });
+
+  image.files = d.get_vector<FileDescriptorImage>([](Deserializer& d2) {
+    FileDescriptorImage f;
+    f.fd = d2.get<sim::Fd>();
+    f.kind = d2.get<sim::FileKind>();
+    f.path = d2.get_string();
+    f.offset = d2.get<std::uint64_t>();
+    f.flags = d2.get<std::uint32_t>();
+    f.was_deleted = d2.get<std::uint8_t>() != 0;
+    if (d2.get<std::uint8_t>() != 0) f.contents = d2.get_bytes();
+    return f;
+  });
+
+  image.bound_ports =
+      d.get_vector<std::uint16_t>([](Deserializer& d2) { return d2.get<std::uint16_t>(); });
+
+  return image;
+}
+
+}  // namespace ckpt::storage

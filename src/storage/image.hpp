@@ -1,0 +1,109 @@
+// Checkpoint image format.
+//
+// A CheckpointImage is the serializable record of everything needed to
+// rebuild a process: VMA layout with page payloads, per-thread registers,
+// the descriptor table (with optional saved file contents, per UCLiK),
+// signal state, heap bounds and the guest's program identity.  Incremental
+// images carry only the pages selected by a dirty tracker and name their
+// parent; CheckpointChain (chain.hpp) reassembles full state.
+//
+// The serialized form is versioned and CRC64-protected; storage backends
+// verify integrity at load and surface corruption as a distinct error.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/memory.hpp"
+#include "sim/process.hpp"
+#include "sim/types.hpp"
+#include "util/units.hpp"
+
+namespace ckpt::storage {
+
+enum class ImageKind : std::uint8_t { kFull, kIncremental };
+
+const char* to_string(ImageKind kind);
+
+/// A (possibly partial) page payload.  Page-granularity trackers store full
+/// pages (offset 0, kPageSize bytes); probabilistic block trackers [23] and
+/// hardware cache-line trackers store sub-page ranges — the finer
+/// granularity is the point of those techniques.
+struct PageImage {
+  sim::PageNum page = 0;
+  std::uint32_t offset = 0;  ///< byte offset within the page
+  std::vector<std::byte> data;
+};
+
+struct MemorySegmentImage {
+  sim::Vma vma;
+  std::vector<PageImage> pages;  ///< subset of the VMA's pages (all for full)
+};
+
+struct FileDescriptorImage {
+  sim::Fd fd = sim::kBadFd;
+  sim::FileKind kind = sim::FileKind::kRegular;
+  std::string path;
+  std::uint64_t offset = 0;
+  std::uint32_t flags = 0;
+  bool was_deleted = false;  ///< unlinked-while-open at checkpoint time
+  /// Optional snapshot of the file's contents (UCLiK-style file-content
+  /// preservation; PsncR/C's always-include-open-files policy).
+  std::optional<std::vector<std::byte>> contents;
+};
+
+struct ThreadImage {
+  sim::Tid tid = 0;
+  sim::Registers regs;
+};
+
+struct CheckpointImage {
+  static constexpr std::uint32_t kFormatVersion = 1;
+
+  // --- Header ---------------------------------------------------------------
+  ImageKind kind = ImageKind::kFull;
+  std::uint64_t sequence = 0;         ///< position in the checkpoint chain
+  std::uint64_t parent_sequence = 0;  ///< incremental: the image this delta extends
+  sim::Pid pid = sim::kNoPid;
+  std::string process_name;
+  std::string hostname;
+  SimTime taken_at = 0;
+
+  // --- Program identity -------------------------------------------------------
+  sim::GuestImage guest;
+
+  // --- Captured state -----------------------------------------------------------
+  std::vector<ThreadImage> threads;
+  std::vector<MemorySegmentImage> segments;
+  sim::VAddr brk = 0;
+  sim::VAddr heap_base = 0;
+  sim::VAddr mmap_next = 0;
+  std::uint64_t sig_pending = 0;
+  std::uint64_t sig_mask = 0;
+  std::vector<std::uint8_t> sig_dispositions;
+  std::vector<FileDescriptorImage> files;
+  std::vector<std::uint16_t> bound_ports;
+
+  // --- Metrics -------------------------------------------------------------------
+  /// Bytes of page payload (the quantity incremental checkpointing shrinks).
+  [[nodiscard]] std::uint64_t payload_bytes() const;
+  /// Number of page payloads carried.
+  [[nodiscard]] std::uint64_t page_count() const;
+
+  // --- Wire format ------------------------------------------------------------------
+  [[nodiscard]] std::vector<std::byte> serialize() const;
+  static CheckpointImage deserialize(std::span<const std::byte> bytes);
+};
+
+/// Error raised when an image fails CRC or version checks.
+class ImageCorrupt : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+}  // namespace ckpt::storage

@@ -1,0 +1,40 @@
+#include "util/crc64.hpp"
+
+#include <array>
+
+namespace ckpt::util {
+namespace {
+
+constexpr std::uint64_t kPoly = 0x42F0E1EBA9EA3693ULL;  // ECMA-182
+
+constexpr std::array<std::uint64_t, 256> make_table() {
+  std::array<std::uint64_t, 256> table{};
+  for (std::uint64_t i = 0; i < 256; ++i) {
+    std::uint64_t crc = i << 56;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & (1ULL << 63)) != 0 ? (crc << 1) ^ kPoly : crc << 1;
+    }
+    table[static_cast<std::size_t>(i)] = crc;
+  }
+  return table;
+}
+
+const std::array<std::uint64_t, 256> kTable = make_table();
+
+}  // namespace
+
+std::uint64_t crc64(std::span<const std::byte> data, std::uint64_t seed) {
+  std::uint64_t crc = ~seed;
+  for (std::byte b : data) {
+    const auto idx = static_cast<std::size_t>(
+        (crc >> 56) ^ static_cast<std::uint64_t>(std::to_integer<unsigned>(b)));
+    crc = (crc << 8) ^ kTable[idx & 0xFF];
+  }
+  return ~crc;
+}
+
+std::uint64_t crc64(const void* data, std::size_t size, std::uint64_t seed) {
+  return crc64(std::span(static_cast<const std::byte*>(data), size), seed);
+}
+
+}  // namespace ckpt::util

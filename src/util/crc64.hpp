@@ -1,0 +1,20 @@
+// CRC64 (ECMA-182) used for checkpoint-image integrity and for the
+// probabilistic-checkpointing block hashes [Nam et al., "Probabilistic
+// Checkpointing"].
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace ckpt::util {
+
+/// Compute the CRC64/ECMA-182 checksum of `data`, seeded with `seed`.
+///
+/// The seed parameter allows chaining: crc64(b, crc64(a)) == crc64(a ++ b).
+std::uint64_t crc64(std::span<const std::byte> data, std::uint64_t seed = 0);
+
+/// Convenience overload for raw buffers.
+std::uint64_t crc64(const void* data, std::size_t size, std::uint64_t seed = 0);
+
+}  // namespace ckpt::util

@@ -1,0 +1,28 @@
+// Minimal leveled logger.  Quiet by default so tests and benchmarks stay
+// clean; examples raise the level to narrate what the simulator is doing.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace ckpt::util {
+
+enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Global threshold; messages below it are dropped.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+void log_message(LogLevel level, std::string_view component, std::string_view message);
+
+/// printf-style convenience wrapper.
+template <typename... Args>
+void logf(LogLevel level, std::string_view component, const char* fmt, Args... args) {
+  if (level < log_level()) return;
+  char buffer[1024];
+  std::snprintf(buffer, sizeof(buffer), fmt, args...);
+  log_message(level, component, buffer);
+}
+
+}  // namespace ckpt::util

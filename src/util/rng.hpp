@@ -1,0 +1,94 @@
+// Deterministic random-number generation for the simulator.
+//
+// Everything stochastic in the reproduction (failure injection, guest write
+// patterns, scheduler tie-breaking) draws from an explicitly seeded Rng so
+// that every test and benchmark run is bit-reproducible.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace ckpt::util {
+
+/// xoshiro256** with a SplitMix64 seeding sequence.  Small, fast and
+/// statistically strong enough for workload generation and fault injection.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // SplitMix64 expansion of the seed into four state words.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound).  bound == 0 returns 0.
+  std::uint64_t next_below(std::uint64_t bound) {
+    if (bound == 0) return 0;
+    // Lemire's multiply-shift rejection method.
+    std::uint64_t x = next_u64();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = next_u64();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// True with probability `p`.
+  bool next_bool(double p) { return next_double() < p; }
+
+  /// Exponentially distributed sample with the given mean (e.g. MTBF).
+  double next_exponential(double mean) {
+    double u = next_double();
+    // Avoid log(0).
+    if (u <= std::numeric_limits<double>::min()) u = std::numeric_limits<double>::min();
+    return -mean * std::log(u);
+  }
+
+  /// Weibull(shape k, scale lambda) sample; k < 1 models infant mortality,
+  /// k > 1 models wear-out — both appear in cluster failure studies.
+  double next_weibull(double shape, double scale) {
+    double u = next_double();
+    if (u <= std::numeric_limits<double>::min()) u = std::numeric_limits<double>::min();
+    return scale * std::pow(-std::log(u), 1.0 / shape);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace ckpt::util

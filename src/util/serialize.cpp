@@ -1,0 +1,5 @@
+#include "util/serialize.hpp"
+
+// Header-only implementation; this translation unit exists so the library
+// has a concrete archive member and the header is compiled standalone once.
+namespace ckpt::util {}

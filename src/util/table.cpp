@@ -1,0 +1,80 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+
+namespace ckpt::util {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    out << '|';
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : header_[c];
+      out << ' ' << cell << std::string(widths[c] - cell.size(), ' ') << " |";
+    }
+    out << '\n';
+  };
+
+  emit_row(header_);
+  out << '|';
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    out << std::string(widths[c] + 2, '-') << '|';
+  }
+  out << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::string format_bytes(std::uint64_t bytes) {
+  char buffer[64];
+  if (bytes >= 1024ULL * 1024 * 1024) {
+    std::snprintf(buffer, sizeof(buffer), "%.2f GiB", static_cast<double>(bytes) / (1024.0 * 1024 * 1024));
+  } else if (bytes >= 1024ULL * 1024) {
+    std::snprintf(buffer, sizeof(buffer), "%.2f MiB", static_cast<double>(bytes) / (1024.0 * 1024));
+  } else if (bytes >= 1024ULL) {
+    std::snprintf(buffer, sizeof(buffer), "%.2f KiB", static_cast<double>(bytes) / 1024.0);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%llu B", static_cast<unsigned long long>(bytes));
+  }
+  return buffer;
+}
+
+std::string format_time_ns(std::uint64_t ns) {
+  char buffer[64];
+  if (ns >= 1000000000ULL) {
+    std::snprintf(buffer, sizeof(buffer), "%.3f s", static_cast<double>(ns) / 1e9);
+  } else if (ns >= 1000000ULL) {
+    std::snprintf(buffer, sizeof(buffer), "%.3f ms", static_cast<double>(ns) / 1e6);
+  } else if (ns >= 1000ULL) {
+    std::snprintf(buffer, sizeof(buffer), "%.3f us", static_cast<double>(ns) / 1e3);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%llu ns", static_cast<unsigned long long>(ns));
+  }
+  return buffer;
+}
+
+std::string format_double(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return buffer;
+}
+
+}  // namespace ckpt::util

@@ -1,0 +1,33 @@
+// Plain-text table rendering for benchmark output.
+//
+// The Table 1 / Figure 1 reproduction binaries print aligned ASCII tables in
+// a stable format so EXPERIMENTS.md can quote them verbatim.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ckpt::util {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column alignment and a header separator.
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helpers used by the bench binaries.
+std::string format_bytes(std::uint64_t bytes);
+std::string format_time_ns(std::uint64_t ns);
+std::string format_double(double value, int precision = 2);
+
+}  // namespace ckpt::util

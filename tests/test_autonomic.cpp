@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "core/autonomic.hpp"
+#include "core/systemlevel.hpp"
+#include "test_common.hpp"
+
+namespace ckpt::core {
+namespace {
+
+using ckpt::test::SimTest;
+using ckpt::test::run_steps;
+
+TEST(YoungInterval, Formula) {
+  // t = sqrt(2 * C * M): C = 2s, M = 3600s => t = 120s.
+  EXPECT_NEAR(static_cast<double>(young_interval(2 * kSecond, 3600 * kSecond)),
+              120.0 * kSecond, 0.5 * kSecond);
+}
+
+TEST(YoungInterval, ShorterMtbfShorterInterval) {
+  const SimTime frequent = young_interval(kSecond, 600 * kSecond);
+  const SimTime rare = young_interval(kSecond, 6000 * kSecond);
+  EXPECT_LT(frequent, rare);
+}
+
+class AutonomicTest : public SimTest {
+ protected:
+  sim::SimKernel kernel_;
+  storage::LocalDiskBackend backend_{sim::CostModel{}};
+
+  std::unique_ptr<KernelSignalEngine> make_engine() {
+    return std::make_unique<KernelSignalEngine>("auto", &backend_, EngineOptions{}, kernel_,
+                                                sim::kSigCkpt, nullptr);
+  }
+};
+
+TEST_F(AutonomicTest, PeriodicTicksCheckpointManagedProcesses) {
+  auto engine = make_engine();
+  AutonomicPolicy policy;
+  policy.initial_interval = 10 * kMillisecond;
+  policy.adapt_interval = false;
+  AutonomicManager manager(kernel_, *engine, policy);
+
+  const sim::Pid pid = kernel_.spawn(sim::CounterGuest::kTypeName);
+  ASSERT_TRUE(manager.manage(pid));
+  manager.start();
+  kernel_.run_until(kernel_.now() + 55 * kMillisecond);
+  manager.stop();
+
+  EXPECT_GE(manager.ticks(), 4u);
+  EXPECT_GE(engine->checkpoints_taken(pid), 4u);
+}
+
+TEST_F(AutonomicTest, NoApplicationInvolvementNeeded) {
+  // The heart of the "direction forward": a plain, unmodified, unprepared
+  // process gets checkpointed with zero cooperation.
+  auto engine = make_engine();
+  AutonomicPolicy policy;
+  policy.initial_interval = 10 * kMillisecond;
+  AutonomicManager manager(kernel_, *engine, policy);
+  const sim::Pid pid = kernel_.spawn(sim::CounterGuest::kTypeName);
+  const sim::Process& proc = kernel_.process(pid);
+  ASSERT_TRUE(proc.library_handlers.empty());
+  ASSERT_FALSE(proc.interposer.has_value());
+  manager.manage(pid);
+  manager.start();
+  kernel_.run_until(kernel_.now() + 30 * kMillisecond);
+  EXPECT_GE(engine->checkpoints_taken(pid), 1u);
+  EXPECT_TRUE(proc.library_handlers.empty());  // still untouched
+}
+
+TEST_F(AutonomicTest, IntervalAdaptsToFailures) {
+  auto engine = make_engine();
+  AutonomicPolicy policy;
+  policy.initial_interval = 20 * kMillisecond;
+  policy.initial_mtbf = 100 * kSecond;
+  policy.min_interval = 1 * kMillisecond;
+  AutonomicManager manager(kernel_, *engine, policy);
+  const sim::Pid pid = kernel_.spawn(sim::CounterGuest::kTypeName);
+  manager.manage(pid);
+  manager.start();
+  kernel_.run_until(kernel_.now() + 100 * kMillisecond);
+  const SimTime calm_interval = manager.current_interval();
+
+  // A burst of failures 50ms apart slashes the MTBF estimate.
+  for (int i = 0; i < 6; ++i) {
+    kernel_.run_until(kernel_.now() + 50 * kMillisecond);
+    manager.observe_failure();
+  }
+  EXPECT_LT(manager.mtbf_estimate(), policy.initial_mtbf);
+  EXPECT_LT(manager.current_interval(), calm_interval);
+}
+
+TEST_F(AutonomicTest, CostEstimateTracksObservedCheckpoints) {
+  auto engine = make_engine();
+  AutonomicPolicy policy;
+  policy.initial_interval = 10 * kMillisecond;
+  AutonomicManager manager(kernel_, *engine, policy);
+  const sim::Pid pid = kernel_.spawn(sim::CounterGuest::kTypeName);
+  manager.manage(pid);
+  manager.start();
+  kernel_.run_until(kernel_.now() + 50 * kMillisecond);
+  EXPECT_GT(manager.cost_estimate(), 0u);
+}
+
+TEST_F(AutonomicTest, SuspendForMaintenanceAndResume) {
+  auto engine = make_engine();
+  AutonomicManager manager(kernel_, *engine, AutonomicPolicy{});
+  const sim::Pid pid = kernel_.spawn(sim::CounterGuest::kTypeName);
+  manager.manage(pid);
+  run_steps(kernel_, pid, 3);
+
+  ASSERT_TRUE(manager.suspend_for_maintenance());
+  EXPECT_EQ(kernel_.process(pid).state, sim::TaskState::kStopped);
+  // Its state is on stable storage: even if the node died now, the work is
+  // recoverable.
+  EXPECT_GE(engine->checkpoints_taken(pid), 1u);
+
+  manager.resume_after_maintenance();
+  const std::uint64_t before = kernel_.process(pid).stats.guest_iterations;
+  run_steps(kernel_, pid, before + 3);
+  EXPECT_GT(kernel_.process(pid).stats.guest_iterations, before);
+}
+
+TEST_F(AutonomicTest, SafePreemption) {
+  auto engine = make_engine();
+  AutonomicManager manager(kernel_, *engine, AutonomicPolicy{});
+  const sim::Pid low = kernel_.spawn(sim::CounterGuest::kTypeName);
+  manager.manage(low);
+  run_steps(kernel_, low, 3);
+
+  ASSERT_TRUE(manager.preempt(low));
+  EXPECT_EQ(kernel_.process(low).state, sim::TaskState::kStopped);
+
+  // The high-priority job now gets the whole machine.
+  const sim::Pid high = kernel_.spawn(sim::CounterGuest::kTypeName);
+  run_steps(kernel_, high, 10);
+  EXPECT_GE(kernel_.process(high).stats.guest_iterations, 10u);
+
+  manager.resume_preempted(low);
+  EXPECT_TRUE(kernel_.process(low).runnable());
+}
+
+TEST_F(AutonomicTest, DeadProcessesDropOut) {
+  auto engine = make_engine();
+  AutonomicPolicy policy;
+  policy.initial_interval = 10 * kMillisecond;
+  AutonomicManager manager(kernel_, *engine, policy);
+  const sim::Pid pid = kernel_.spawn(sim::CounterGuest::kTypeName);
+  manager.manage(pid);
+  manager.start();
+  kernel_.run_until(kernel_.now() + 15 * kMillisecond);
+  kernel_.terminate(kernel_.process(pid), 0);
+  kernel_.run_until(kernel_.now() + 30 * kMillisecond);
+  EXPECT_TRUE(manager.managed().empty());
+}
+
+TEST_F(AutonomicTest, StopCancelsTimers) {
+  auto engine = make_engine();
+  AutonomicPolicy policy;
+  policy.initial_interval = 10 * kMillisecond;
+  AutonomicManager manager(kernel_, *engine, policy);
+  const sim::Pid pid = kernel_.spawn(sim::CounterGuest::kTypeName);
+  manager.manage(pid);
+  manager.start();
+  kernel_.run_until(kernel_.now() + 25 * kMillisecond);
+  manager.stop();
+  const std::uint64_t taken = engine->checkpoints_taken(pid);
+  kernel_.run_until(kernel_.now() + 50 * kMillisecond);
+  EXPECT_EQ(engine->checkpoints_taken(pid), taken);
+}
+
+}  // namespace
+}  // namespace ckpt::core

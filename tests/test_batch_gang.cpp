@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "cluster/batch.hpp"
+#include "core/gang.hpp"
+#include "core/systemlevel.hpp"
+#include "test_common.hpp"
+
+namespace ckpt {
+namespace {
+
+using ckpt::test::SimTest;
+using ckpt::test::run_steps;
+
+class BatchTest : public SimTest {
+ protected:
+  std::vector<std::unique_ptr<core::CheckpointEngine>> engines_;
+
+  std::vector<core::CheckpointEngine*> make_engines(cluster::Cluster& cluster) {
+    std::vector<core::CheckpointEngine*> out;
+    for (int i = 0; i < cluster.size(); ++i) {
+      sim::SimKernel& kernel = cluster.node(i).kernel();
+      engines_.push_back(std::make_unique<core::KernelSignalEngine>(
+          "sig", &cluster.remote_storage(), core::EngineOptions{}, kernel, sim::kSigCkpt,
+          nullptr));
+      out.push_back(engines_.back().get());
+    }
+    return out;
+  }
+};
+
+TEST_F(BatchTest, SweepCheckpointsEveryJobProcess) {
+  cluster::Cluster cluster(3, cluster::NodeConfig{});
+  auto engines = make_engines(cluster);
+  cluster::BatchManager manager(cluster, /*head=*/0, engines);
+
+  cluster::BatchManager::Job job;
+  job.name = "sim";
+  for (int node = 0; node < 3; ++node) {
+    for (int i = 0; i < 2; ++i) {
+      const sim::Pid pid = cluster.node(node).kernel().spawn(sim::CounterGuest::kTypeName);
+      job.procs.push_back({node, pid});
+    }
+  }
+  manager.submit(job);
+  cluster.run_until(20 * kMillisecond);
+
+  const auto result = manager.checkpoint_all();
+  EXPECT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.checkpointed, 6u);
+  EXPECT_GT(result.rpc_overhead, 0u);
+}
+
+TEST_F(BatchTest, HeadNodeFailureDisablesAllCheckpointing) {
+  // The survey's centralization critique: the manager is a single point of
+  // failure for the *whole cluster's* checkpointing.
+  cluster::Cluster cluster(3, cluster::NodeConfig{});
+  auto engines = make_engines(cluster);
+  cluster::BatchManager manager(cluster, /*head=*/0, engines);
+  cluster::BatchManager::Job job;
+  const sim::Pid pid = cluster.node(1).kernel().spawn(sim::CounterGuest::kTypeName);
+  job.procs.push_back({1, pid});
+  manager.submit(job);
+  cluster.run_until(10 * kMillisecond);
+
+  cluster.fail_node(0);  // node 1 and its job are fine, but...
+  const auto result = manager.checkpoint_all();
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.checkpointed, 0u);
+}
+
+TEST_F(BatchTest, DownNodesAreSkippedNotFatal) {
+  cluster::Cluster cluster(3, cluster::NodeConfig{});
+  auto engines = make_engines(cluster);
+  cluster::BatchManager manager(cluster, 0, engines);
+  cluster::BatchManager::Job job;
+  job.procs.push_back({1, cluster.node(1).kernel().spawn(sim::CounterGuest::kTypeName)});
+  job.procs.push_back({2, cluster.node(2).kernel().spawn(sim::CounterGuest::kTypeName)});
+  manager.submit(job);
+  cluster.run_until(10 * kMillisecond);
+  cluster.fail_node(2);
+  const auto result = manager.checkpoint_all();
+  EXPECT_EQ(result.checkpointed, 1u);
+  EXPECT_EQ(result.failed, 1u);
+  EXPECT_FALSE(result.ok);
+}
+
+class GangTest : public SimTest {
+ protected:
+  sim::SimKernel kernel_;
+  storage::LocalDiskBackend backend_{sim::CostModel{}};
+};
+
+TEST_F(GangTest, OnlyActiveJobProgresses) {
+  core::GangScheduler gang(kernel_, nullptr);
+  std::vector<sim::Pid> job_a{kernel_.spawn(sim::CounterGuest::kTypeName),
+                              kernel_.spawn(sim::CounterGuest::kTypeName)};
+  std::vector<sim::Pid> job_b{kernel_.spawn(sim::CounterGuest::kTypeName)};
+  gang.add_job("a", job_a);
+  gang.add_job("b", job_b);
+
+  gang.activate(0);
+  kernel_.run_until(kernel_.now() + 20 * kMillisecond);
+  const std::uint64_t a_then = gang.job_progress(0);
+  const std::uint64_t b_then = gang.job_progress(1);
+  EXPECT_GT(a_then, 0u);
+  EXPECT_EQ(b_then, 0u);
+
+  gang.activate(1);
+  kernel_.run_until(kernel_.now() + 20 * kMillisecond);
+  EXPECT_EQ(gang.job_progress(0), a_then);  // preempted
+  EXPECT_GT(gang.job_progress(1), 0u);
+}
+
+TEST_F(GangTest, RotationSharesTheMachine) {
+  core::GangScheduler gang(kernel_, nullptr);
+  gang.add_job("a", {kernel_.spawn(sim::CounterGuest::kTypeName)});
+  gang.add_job("b", {kernel_.spawn(sim::CounterGuest::kTypeName)});
+  gang.rotate(10 * kMillisecond, 3);
+  const std::uint64_t pa = gang.job_progress(0);
+  const std::uint64_t pb = gang.job_progress(1);
+  ASSERT_GT(pa, 0u);
+  ASSERT_GT(pb, 0u);
+  const double ratio = static_cast<double>(pa) / static_cast<double>(pb);
+  EXPECT_GT(ratio, 0.5);
+  EXPECT_LT(ratio, 2.0);
+}
+
+TEST_F(GangTest, CheckpointingPreemptionIsFailureSafe) {
+  core::KernelSignalEngine engine("sig", &backend_, core::EngineOptions{}, kernel_,
+                                  sim::kSigCkpt, nullptr);
+  core::GangScheduler gang(kernel_, &engine);
+  const sim::Pid pid = kernel_.spawn(sim::CounterGuest::kTypeName);
+  gang.add_job("a", {pid});
+  gang.add_job("b", {kernel_.spawn(sim::CounterGuest::kTypeName)});
+  run_steps(kernel_, pid, 5);
+  ASSERT_TRUE(gang.activate(1));  // preempts job a with a checkpoint
+  EXPECT_GE(engine.checkpoints_taken(pid), 1u);
+
+  // Even if job a's process were lost now, its state is restorable.
+  kernel_.terminate(kernel_.process(pid), 9);
+  kernel_.reap(pid);
+  const auto restored = engine.restart(kernel_, pid);
+  EXPECT_TRUE(restored.ok) << restored.error;
+}
+
+}  // namespace
+}  // namespace ckpt

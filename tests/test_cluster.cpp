@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "cluster/failure.hpp"
+#include "cluster/node.hpp"
+#include "core/capture.hpp"
+#include "core/engine.hpp"
+#include "test_common.hpp"
+
+namespace ckpt::cluster {
+namespace {
+
+using ckpt::test::SimTest;
+using ckpt::test::run_steps;
+
+class ClusterTest : public SimTest {};
+
+TEST_F(ClusterTest, NodesRunInLockstep) {
+  Cluster cluster(3, NodeConfig{});
+  std::vector<sim::Pid> pids;
+  for (int i = 0; i < 3; ++i) {
+    pids.push_back(cluster.node(i).kernel().spawn(sim::CounterGuest::kTypeName));
+  }
+  cluster.run_until(50 * kMillisecond);
+  EXPECT_EQ(cluster.now(), 50 * kMillisecond);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_GT(cluster.node(i).kernel().process(pids[i]).stats.guest_iterations, 0u);
+    EXPECT_GE(cluster.node(i).kernel().now(), 50 * kMillisecond);
+  }
+}
+
+TEST_F(ClusterTest, FailStopKillsProcessesAndDisk) {
+  Cluster cluster(2, NodeConfig{});
+  cluster.node(0).kernel().spawn(sim::CounterGuest::kTypeName);
+  const storage::ImageId id =
+      cluster.node(0).disk().store(storage::CheckpointImage{}, nullptr);
+  ASSERT_NE(id, storage::kBadImageId);
+
+  int observed_failure = -1;
+  cluster.on_failure([&](Cluster&, int node) { observed_failure = node; });
+  cluster.fail_node(0);
+
+  EXPECT_EQ(observed_failure, 0);  // fail-stop: always detected
+  EXPECT_FALSE(cluster.node(0).up());
+  EXPECT_FALSE(cluster.node(0).disk().load(id, nullptr).has_value());
+  EXPECT_EQ(cluster.up_nodes(), std::vector<int>{1});
+}
+
+TEST_F(ClusterTest, RepairBootsFreshKernelWithClusterTime) {
+  Cluster cluster(2, NodeConfig{});
+  cluster.node(0).kernel().spawn(sim::CounterGuest::kTypeName);
+  cluster.run_until(20 * kMillisecond);
+  cluster.fail_node(0);
+  cluster.run_until(40 * kMillisecond);
+  cluster.repair_node(0);
+  EXPECT_TRUE(cluster.node(0).up());
+  EXPECT_TRUE(cluster.node(0).kernel().live_pids().empty());  // processes gone
+  EXPECT_GE(cluster.node(0).kernel().now(), 40 * kMillisecond);
+}
+
+TEST_F(ClusterTest, EventsFireInOrder) {
+  Cluster cluster(1, NodeConfig{});
+  std::vector<int> order;
+  cluster.add_event(30 * kMillisecond, [&](Cluster&) { order.push_back(3); });
+  cluster.add_event(10 * kMillisecond, [&](Cluster&) { order.push_back(1); });
+  cluster.add_event(20 * kMillisecond, [&](Cluster&) { order.push_back(2); });
+  cluster.run_until(50 * kMillisecond);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST_F(ClusterTest, FailureInjectorIsDeterministic) {
+  auto count_failures = [](std::uint64_t seed) {
+    Cluster cluster(8, NodeConfig{});
+    FailureModel model;
+    model.mtbf = 2 * kSecond;
+    model.repair_time = 500 * kMillisecond;
+    model.seed = seed;
+    FailureInjector injector(cluster, model);
+    injector.arm(20 * kSecond);
+    cluster.run_until(20 * kSecond, 100 * kMillisecond);
+    return injector.failures_injected();
+  };
+  const auto a = count_failures(7);
+  const auto b = count_failures(7);
+  const auto c = count_failures(8);
+  EXPECT_EQ(a, b);
+  EXPECT_GT(a, 0u);
+  (void)c;  // different seed may or may not differ; determinism is the claim
+}
+
+TEST_F(ClusterTest, ExponentialFailuresScaleWithMtbf) {
+  auto failures_with_mtbf = [](SimTime mtbf) {
+    Cluster cluster(16, NodeConfig{});
+    FailureModel model;
+    model.mtbf = mtbf;
+    model.repair_time = 100 * kMillisecond;
+    FailureInjector injector(cluster, model);
+    injector.arm(30 * kSecond);
+    cluster.run_until(30 * kSecond, 100 * kMillisecond);
+    return injector.failures_injected();
+  };
+  EXPECT_GT(failures_with_mtbf(1 * kSecond), failures_with_mtbf(10 * kSecond));
+}
+
+TEST_F(ClusterTest, RemoteStorageSurvivesNodeFailure) {
+  // Claim C8 in miniature: the checkpoint written remotely is retrievable
+  // after the node dies; the local one is not.
+  Cluster cluster(2, NodeConfig{});
+  sim::SimKernel& kernel = cluster.node(0).kernel();
+  const sim::Pid pid = kernel.spawn(sim::CounterGuest::kTypeName);
+  run_steps(kernel, pid, 10);
+  const auto image =
+      core::capture_kernel_level(kernel, kernel.process(pid), core::CaptureOptions{});
+  const storage::ImageId local_id = cluster.node(0).disk().store(image, nullptr);
+  const storage::ImageId remote_id = cluster.remote_storage().store(image, nullptr);
+
+  cluster.fail_node(0);
+
+  EXPECT_FALSE(cluster.node(0).disk().load(local_id, nullptr).has_value());
+  const auto recovered = cluster.remote_storage().load(remote_id, nullptr);
+  ASSERT_TRUE(recovered.has_value());
+
+  // Restart the work on the surviving node.
+  const auto result = core::restart_from_image(cluster.node(1).kernel(), *recovered);
+  ASSERT_TRUE(result.ok);
+  sim::Process& revived = cluster.node(1).kernel().process(result.pid);
+  EXPECT_GT(sim::CounterGuest::read_counter(cluster.node(1).kernel(), revived), 0u);
+}
+
+}  // namespace
+}  // namespace ckpt::cluster

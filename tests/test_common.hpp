@@ -1,0 +1,29 @@
+// Shared helpers for the test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "sim/guests.hpp"
+#include "sim/kernel.hpp"
+
+namespace ckpt::test {
+
+/// Fixture ensuring the standard guest types are registered.
+class SimTest : public ::testing::Test {
+ protected:
+  void SetUp() override { sim::register_standard_guests(); }
+};
+
+/// Run `kernel` until `proc` has taken at least `n` guest steps (bounded).
+inline void run_steps(sim::SimKernel& kernel, sim::Pid pid, std::uint64_t n,
+                      SimTime limit = 10 * kSecond) {
+  const SimTime deadline = kernel.now() + limit;
+  kernel.run_while(
+      [&] {
+        const sim::Process* proc = kernel.find_process(pid);
+        return proc != nullptr && proc->alive() && proc->stats.guest_iterations < n;
+      },
+      deadline);
+}
+
+}  // namespace ckpt::test

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "hw/cacheline.hpp"
+#include "test_common.hpp"
+
+namespace ckpt::hw {
+namespace {
+
+using ckpt::test::SimTest;
+using ckpt::test::run_steps;
+
+TEST(CacheLineDirtySet, RecordsSpanningLines) {
+  CacheLineDirtySet set;
+  set.record(0, 1);  // one byte -> one line
+  EXPECT_EQ(set.line_count(), 1u);
+  set.record(60, 8);  // straddles lines 0 and 1
+  EXPECT_EQ(set.line_count(), 2u);
+  set.record(4096, 128);  // two more lines on another page
+  EXPECT_EQ(set.line_count(), 4u);
+  EXPECT_EQ(set.covered_pages(), 2u);
+  set.clear();
+  EXPECT_EQ(set.line_count(), 0u);
+}
+
+class HwTest : public SimTest {
+ protected:
+  sim::SimKernel kernel_;
+
+  sim::Pid spawn_sparse() {
+    sim::WriterConfig config;
+    config.array_bytes = 256 * 1024;
+    config.working_set_fraction = 0.05;
+    config.writes_per_step = 8;
+    return kernel_.spawn(sim::SparseWriterGuest::kTypeName, config.encode(),
+                         sim::spawn_options_for_array(config.array_bytes));
+  }
+};
+
+TEST_F(HwTest, ReviveTracksLinesFinerThanPages) {
+  const sim::Pid pid = spawn_sparse();
+  run_steps(kernel_, pid, 2);
+  sim::Process& proc = kernel_.process(pid);
+  ReviveModel revive;
+  revive.attach(proc);
+  run_steps(kernel_, pid, 8);
+
+  const std::uint64_t line_bytes = revive.dirty().dirty_bytes();
+  const std::uint64_t page_bytes = revive.dirty().covered_pages() * sim::kPageSize;
+  EXPECT_GT(line_bytes, 0u);
+  // The §4.2 claim: cache-line granularity yields smaller deltas than the
+  // page granularity available to the OS.
+  EXPECT_LT(line_bytes, page_bytes);
+  revive.detach(proc);
+}
+
+TEST_F(HwTest, ReviveTrackingIsFreeForTheCpu) {
+  // Hardware tracking adds no faults, signals or syscalls to the app.
+  const sim::Pid pid = spawn_sparse();
+  run_steps(kernel_, pid, 2);
+  sim::Process& proc = kernel_.process(pid);
+  const auto faults_before = proc.stats.page_faults;
+  const auto signals_before = proc.stats.signals_taken;
+  ReviveModel revive;
+  revive.attach(proc);
+  run_steps(kernel_, pid, 10);
+  EXPECT_EQ(proc.stats.page_faults, faults_before);
+  EXPECT_EQ(proc.stats.signals_taken, signals_before);
+  revive.detach(proc);
+}
+
+TEST_F(HwTest, ReviveRollbackRestoresPreCheckpointState) {
+  const sim::Pid pid = kernel_.spawn(sim::CounterGuest::kTypeName);
+  run_steps(kernel_, pid, 5);
+  sim::Process& proc = kernel_.process(pid);
+  const std::uint64_t counter_at_ckpt = sim::CounterGuest::read_counter(kernel_, proc);
+
+  ReviveModel revive;
+  revive.attach(proc);  // checkpoint interval begins here
+  run_steps(kernel_, pid, 10);
+  ASSERT_GT(sim::CounterGuest::read_counter(kernel_, proc), counter_at_ckpt);
+
+  // A fault is detected: roll the memory back by replaying the undo log.
+  const std::uint64_t restored = revive.rollback(proc);
+  EXPECT_GT(restored, 0u);
+  EXPECT_EQ(sim::CounterGuest::read_counter(kernel_, proc), counter_at_ckpt);
+  revive.detach(proc);
+}
+
+TEST_F(HwTest, ReviveCommitFlushesLog) {
+  const sim::Pid pid = spawn_sparse();
+  run_steps(kernel_, pid, 2);
+  sim::Process& proc = kernel_.process(pid);
+  ReviveModel revive;
+  revive.attach(proc);
+  run_steps(kernel_, pid, 5);
+  const std::uint64_t flushed = revive.commit_checkpoint();
+  EXPECT_GT(flushed, 0u);
+  EXPECT_EQ(revive.log_bytes(), 0u);
+  EXPECT_EQ(revive.dirty().line_count(), 0u);
+  revive.detach(proc);
+}
+
+TEST_F(HwTest, SafetyNetBuffersFillAndStall) {
+  const sim::Pid pid = spawn_sparse();
+  run_steps(kernel_, pid, 2);
+  sim::Process& proc = kernel_.process(pid);
+  SafetyNetModel net(/*buffer_capacity_bytes=*/2 * 1024);  // tiny buffers
+  net.attach(proc);
+  run_steps(kernel_, pid, 20);
+  EXPECT_GT(net.overflow_stalls(), 0u);  // undersized buffers stall
+  EXPECT_LE(net.buffer_occupancy(), net.buffer_capacity());
+  net.validate_checkpoint();
+  EXPECT_EQ(net.buffer_occupancy(), 0u);
+  net.detach(proc);
+}
+
+TEST_F(HwTest, SafetyNetNeedsMoreHardwareThanRevive) {
+  // The survey: "Safetynet requires more hardware resources than Revive".
+  SafetyNetModel net;
+  EXPECT_GT(net.dedicated_hardware_bytes(), ReviveModel::dedicated_hardware_bytes());
+}
+
+TEST_F(HwTest, GranularityOrdering) {
+  // line delta <= block delta <= page delta for the same write stream.
+  const sim::Pid pid = spawn_sparse();
+  run_steps(kernel_, pid, 2);
+  sim::Process& proc = kernel_.process(pid);
+  proc.aspace->clear_dirty_bits();
+
+  ReviveModel revive;
+  revive.attach(proc);
+  run_steps(kernel_, pid, 10);
+
+  const std::uint64_t line_bytes = revive.dirty().dirty_bytes();
+  const std::uint64_t page_bytes = proc.aspace->dirty_page_count() * sim::kPageSize;
+  EXPECT_LE(line_bytes, page_bytes);
+  revive.detach(proc);
+}
+
+}  // namespace
+}  // namespace ckpt::hw

@@ -1,0 +1,273 @@
+#include <gtest/gtest.h>
+
+#include "core/capture.hpp"
+#include "core/incremental.hpp"
+#include "storage/chain.hpp"
+#include "test_common.hpp"
+
+namespace ckpt::core {
+namespace {
+
+using ckpt::test::SimTest;
+using ckpt::test::run_steps;
+
+class TrackerTest : public SimTest {
+ protected:
+  sim::SimKernel kernel_;
+
+  sim::Pid spawn_sparse(std::uint64_t array_bytes = 256 * 1024, double hot = 0.05) {
+    sim::WriterConfig config;
+    config.array_bytes = array_bytes;
+    config.working_set_fraction = hot;
+    return kernel_.spawn(sim::SparseWriterGuest::kTypeName, config.encode(),
+                         sim::spawn_options_for_array(array_bytes));
+  }
+};
+
+TEST_F(TrackerTest, KernelWpTrackerFindsDirtyPages) {
+  const sim::Pid pid = spawn_sparse();
+  run_steps(kernel_, pid, 2);
+  sim::Process& proc = kernel_.process(pid);
+
+  KernelWpTracker tracker;
+  tracker.begin_interval(kernel_, proc);
+  run_steps(kernel_, pid, 10);
+  const auto dirty = tracker.collect(kernel_, proc);
+  EXPECT_GT(dirty.size(), 0u);
+  EXPECT_GT(tracker.faults_taken(), 0u);
+  // Sparse workload: far fewer dirty pages than total pages.
+  const std::uint64_t total_pages = proc.aspace->mapped_bytes() / sim::kPageSize;
+  EXPECT_LT(dirty.size(), total_pages / 2);
+  tracker.detach(proc);
+}
+
+TEST_F(TrackerTest, KernelTrackerFaultsOnlyOnFirstTouch) {
+  const sim::Pid pid = spawn_sparse();
+  run_steps(kernel_, pid, 2);
+  sim::Process& proc = kernel_.process(pid);
+  KernelWpTracker tracker;
+  tracker.begin_interval(kernel_, proc);
+  run_steps(kernel_, pid, 20);
+  const auto dirty = tracker.collect(kernel_, proc);
+  // One fault per distinct page, not per write.
+  EXPECT_EQ(tracker.faults_taken(), dirty.size());
+  tracker.detach(proc);
+}
+
+TEST_F(TrackerTest, UserWpTrackerAgreesWithKernelTracker) {
+  // Two identical workloads, two tracking flavours: the dirty sets must
+  // match; the costs must not (user pays signals + mprotect syscalls).
+  sim::WriterConfig config;
+  config.array_bytes = 128 * 1024;
+  config.working_set_fraction = 0.1;
+  config.seed = 5;
+  auto opts = sim::spawn_options_for_array(config.array_bytes);
+
+  sim::SimKernel k1, k2;
+  const sim::Pid p1 = k1.spawn(sim::SparseWriterGuest::kTypeName, config.encode(), opts);
+  const sim::Pid p2 = k2.spawn(sim::SparseWriterGuest::kTypeName, config.encode(), opts);
+  run_steps(k1, p1, 2);
+  run_steps(k2, p2, 2);
+
+  KernelWpTracker kernel_tracker;
+  UserWpTracker user_tracker;
+  kernel_tracker.begin_interval(k1, k1.process(p1));
+  user_tracker.begin_interval(k2, k2.process(p2));
+  run_steps(k1, p1, 12);
+  run_steps(k2, p2, 12);
+
+  auto kd = kernel_tracker.collect(k1, k1.process(p1));
+  auto ud = user_tracker.collect(k2, k2.process(p2));
+  ASSERT_EQ(kd.size(), ud.size());
+  for (std::size_t i = 0; i < kd.size(); ++i) EXPECT_EQ(kd[i].page, ud[i].page);
+
+  // The user-level flavour pays signal deliveries; the kernel one none.
+  EXPECT_GT(user_tracker.signals_taken(), 0u);
+  EXPECT_GT(k2.process(p2).stats.signal_time, 0u);
+  EXPECT_EQ(k1.process(p1).stats.signal_time, 0u);
+  // And the user flavour burned more per-process time on tracking.
+  EXPECT_GT(k2.process(p2).stats.fault_time + k2.process(p2).stats.signal_time,
+            k1.process(p1).stats.fault_time);
+}
+
+TEST_F(TrackerTest, PteScanTrackerMatchesWpTracker) {
+  sim::WriterConfig config;
+  config.array_bytes = 128 * 1024;
+  config.seed = 11;
+  auto opts = sim::spawn_options_for_array(config.array_bytes);
+  sim::SimKernel k1, k2;
+  const sim::Pid p1 = k1.spawn(sim::SparseWriterGuest::kTypeName, config.encode(), opts);
+  const sim::Pid p2 = k2.spawn(sim::SparseWriterGuest::kTypeName, config.encode(), opts);
+  run_steps(k1, p1, 2);
+  run_steps(k2, p2, 2);
+
+  KernelWpTracker wp;
+  PteScanTracker scan;
+  wp.begin_interval(k1, k1.process(p1));
+  scan.begin_interval(k2, k2.process(p2));
+  run_steps(k1, p1, 10);
+  run_steps(k2, p2, 10);
+  auto wd = wp.collect(k1, k1.process(p1));
+  auto sd = scan.collect(k2, k2.process(p2));
+
+  std::set<sim::PageNum> wp_pages, scan_pages;
+  for (const auto& r : wd) wp_pages.insert(r.page);
+  for (const auto& r : sd) scan_pages.insert(r.page);
+  // The PTE scan sees the same data pages; it may additionally report pages
+  // the tracker-protected flavour treats as metadata.  Require the wp set
+  // to be a subset of the scan set and sizes to be close.
+  for (sim::PageNum p : wp_pages) EXPECT_TRUE(scan_pages.count(p)) << p;
+}
+
+TEST_F(TrackerTest, ProbabilisticTrackerFindsBlocks) {
+  const sim::Pid pid = spawn_sparse(128 * 1024, 0.05);
+  run_steps(kernel_, pid, 2);
+  sim::Process& proc = kernel_.process(pid);
+
+  ProbabilisticTracker tracker(/*block_bytes=*/512, /*signature_bits=*/64);
+  tracker.begin_interval(kernel_, proc);
+  run_steps(kernel_, pid, 6);
+  const auto dirty = tracker.collect(kernel_, proc);
+  ASSERT_GT(dirty.size(), 0u);
+  std::uint64_t block_bytes = 0;
+  std::set<sim::PageNum> pages;
+  for (const auto& r : dirty) {
+    EXPECT_EQ(r.length, 512u);
+    block_bytes += r.length;
+    pages.insert(r.page);
+  }
+  // Block granularity beats page granularity on volume.
+  EXPECT_LT(block_bytes, pages.size() * sim::kPageSize);
+}
+
+TEST_F(TrackerTest, ProbabilisticRejectsBadBlockSize) {
+  EXPECT_THROW(ProbabilisticTracker(1000, 64), std::invalid_argument);
+  EXPECT_THROW(ProbabilisticTracker(1024, 0), std::invalid_argument);
+  EXPECT_THROW(ProbabilisticTracker(1024, 65), std::invalid_argument);
+}
+
+TEST_F(TrackerTest, ProbabilisticFalseCleanProbabilityShrinksWithBits) {
+  ProbabilisticTracker small(1024, 8), big(1024, 32);
+  EXPECT_GT(small.false_clean_probability(), big.false_clean_probability());
+  EXPECT_EQ(ProbabilisticTracker(1024, 64).false_clean_probability(), 0.0);
+}
+
+TEST_F(TrackerTest, ProbabilisticSignatureMemoryScalesInverselyWithBlock) {
+  const sim::Pid pid = spawn_sparse(128 * 1024);
+  run_steps(kernel_, pid, 2);
+  sim::Process& proc = kernel_.process(pid);
+  ProbabilisticTracker fine(256, 64), coarse(4096, 64);
+  fine.begin_interval(kernel_, proc);
+  coarse.begin_interval(kernel_, proc);
+  EXPECT_GT(fine.signature_bytes(), coarse.signature_bytes());
+}
+
+TEST_F(TrackerTest, AdaptiveTrackerAdjustsBlockSizes) {
+  // Dense writer => high dirty density => block size should coarsen.
+  sim::WriterConfig config;
+  config.array_bytes = 64 * 1024;
+  config.writes_per_step = 256;
+  const sim::Pid pid = kernel_.spawn(sim::DenseWriterGuest::kTypeName, config.encode(),
+                                     sim::spawn_options_for_array(config.array_bytes));
+  run_steps(kernel_, pid, 2);
+  sim::Process& proc = kernel_.process(pid);
+
+  AdaptiveBlockTracker tracker(/*initial=*/1024, /*min=*/128, /*max=*/4096);
+  const sim::Vma* heap = proc.aspace->find_vma(proc.heap_base);
+  ASSERT_NE(heap, nullptr);
+  const std::uint32_t initial = tracker.block_size_for(heap->first_page);
+
+  for (int round = 0; round < 4; ++round) {
+    tracker.begin_interval(kernel_, proc);
+    run_steps(kernel_, pid, proc.stats.guest_iterations + 8);
+    tracker.collect(kernel_, proc);
+  }
+  EXPECT_GT(tracker.block_size_for(heap->first_page), initial);
+}
+
+TEST_F(TrackerTest, AdaptiveTrackerRefinesOnSparseRegions) {
+  sim::WriterConfig config;
+  config.array_bytes = 256 * 1024;
+  config.writes_per_step = 2;
+  config.working_set_fraction = 0.01;
+  const sim::Pid pid = kernel_.spawn(sim::SparseWriterGuest::kTypeName, config.encode(),
+                                     sim::spawn_options_for_array(config.array_bytes));
+  run_steps(kernel_, pid, 2);
+  sim::Process& proc = kernel_.process(pid);
+
+  AdaptiveBlockTracker tracker(1024, 128, 4096);
+  const sim::Vma* heap = proc.aspace->find_vma(proc.heap_base);
+  for (int round = 0; round < 4; ++round) {
+    tracker.begin_interval(kernel_, proc);
+    run_steps(kernel_, pid, proc.stats.guest_iterations + 4);
+    tracker.collect(kernel_, proc);
+  }
+  EXPECT_LT(tracker.block_size_for(heap->first_page), 1024u);
+}
+
+// The central incremental-correctness property: a full image overlaid with
+// tracker-selected deltas must equal a fresh full capture, for every
+// tracker flavour.
+class DeltaEquivalence : public SimTest,
+                         public ::testing::WithParamInterface<const char*> {
+ protected:
+  std::unique_ptr<DirtyTracker> make_tracker(const std::string& name) {
+    if (name == "kernel-wp") return std::make_unique<KernelWpTracker>();
+    if (name == "user-wp") return std::make_unique<UserWpTracker>();
+    if (name == "pte-scan") return std::make_unique<PteScanTracker>();
+    if (name == "probabilistic") return std::make_unique<ProbabilisticTracker>(512, 64);
+    if (name == "adaptive-block")
+      return std::make_unique<AdaptiveBlockTracker>(1024, 128, 4096);
+    throw std::logic_error("unknown tracker");
+  }
+};
+
+TEST_P(DeltaEquivalence, FullPlusDeltasEqualsDirectCapture) {
+  sim::SimKernel kernel;
+  sim::WriterConfig config;
+  config.array_bytes = 128 * 1024;
+  config.working_set_fraction = 0.2;
+  const sim::Pid pid = kernel.spawn(sim::SparseWriterGuest::kTypeName, config.encode(),
+                                    sim::spawn_options_for_array(config.array_bytes));
+  run_steps(kernel, pid, 3);
+  sim::Process& proc = kernel.process(pid);
+
+  storage::LocalDiskBackend backend{sim::CostModel{}};
+  storage::CheckpointChain chain(&backend);
+  auto tracker = make_tracker(GetParam());
+
+  // Full checkpoint, then three incremental rounds.
+  chain.append(capture_kernel_level(kernel, proc, CaptureOptions{}), nullptr);
+  tracker->begin_interval(kernel, proc);
+  for (int round = 0; round < 3; ++round) {
+    run_steps(kernel, pid, proc.stats.guest_iterations + 7);
+    CaptureOptions options;
+    options.ranges = tracker->collect(kernel, proc);
+    storage::CheckpointImage delta = capture_kernel_level(kernel, proc, options);
+    delta.kind = storage::ImageKind::kIncremental;
+    chain.append(std::move(delta), nullptr);
+    tracker->begin_interval(kernel, proc);
+  }
+  tracker->detach(proc);
+
+  // Ground truth: capture everything right now.
+  const auto truth = capture_kernel_level(kernel, proc, CaptureOptions{});
+  const auto merged = chain.reconstruct(nullptr);
+  ASSERT_TRUE(merged.has_value());
+  EXPECT_TRUE(images_equal_memory(*merged, truth))
+      << "tracker " << GetParam() << " lost an update";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTrackers, DeltaEquivalence,
+                         ::testing::Values("kernel-wp", "user-wp", "pte-scan",
+                                           "probabilistic", "adaptive-block"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace ckpt::core

@@ -1,0 +1,261 @@
+#include <gtest/gtest.h>
+
+#include "sim/userapi.hpp"
+#include "test_common.hpp"
+
+namespace ckpt::sim {
+namespace {
+
+using ckpt::test::SimTest;
+using ckpt::test::run_steps;
+
+class KernelTest : public SimTest {};
+
+TEST_F(KernelTest, SpawnAndRunCounter) {
+  SimKernel kernel;
+  const Pid pid = kernel.spawn(CounterGuest::kTypeName);
+  ckpt::test::run_steps(kernel, pid, 10);
+  Process& proc = kernel.process(pid);
+  EXPECT_GE(CounterGuest::read_counter(kernel, proc), 10u);
+  EXPECT_GE(proc.stats.guest_iterations, 10u);
+}
+
+TEST_F(KernelTest, ClockAdvances) {
+  SimKernel kernel;
+  kernel.spawn(CounterGuest::kTypeName);
+  const SimTime before = kernel.now();
+  kernel.run_until(before + 10 * kMillisecond);
+  EXPECT_GE(kernel.now(), before + 10 * kMillisecond);
+}
+
+TEST_F(KernelTest, ProcessExitBecomesZombieThenReaped) {
+  SimKernel kernel;
+  const Pid pid = kernel.spawn(CounterGuest::kTypeName);
+  Process& proc = kernel.process(pid);
+  kernel.terminate(proc, 3);
+  EXPECT_EQ(proc.state, TaskState::kZombie);
+  EXPECT_EQ(proc.exit_code, 3);
+  kernel.reap(pid);
+  EXPECT_EQ(kernel.find_process(pid), nullptr);
+}
+
+TEST_F(KernelTest, SigkillImmediatelyTerminates) {
+  SimKernel kernel;
+  const Pid pid = kernel.spawn(CounterGuest::kTypeName);
+  EXPECT_TRUE(kernel.send_signal(pid, kSigKill));
+  EXPECT_EQ(kernel.process(pid).state, TaskState::kZombie);
+}
+
+TEST_F(KernelTest, DefaultTermSignalDeferredUntilScheduled) {
+  SimKernel kernel;
+  const Pid pid = kernel.spawn(CounterGuest::kTypeName);
+  kernel.send_signal(pid, kSigTerm);
+  // Not yet delivered: the target has not run since the signal was sent.
+  EXPECT_TRUE(kernel.process(pid).alive());
+  kernel.run_until(kernel.now() + 2 * kMillisecond);
+  EXPECT_FALSE(kernel.find_process(pid)->alive());
+}
+
+TEST_F(KernelTest, StopAndContinue) {
+  SimKernel kernel;
+  const Pid pid = kernel.spawn(CounterGuest::kTypeName);
+  run_steps(kernel, pid, 3);
+  Process& proc = kernel.process(pid);
+  kernel.stop_process(proc);
+  const std::uint64_t frozen_iters = proc.stats.guest_iterations;
+  kernel.run_until(kernel.now() + 10 * kMillisecond);
+  EXPECT_EQ(proc.stats.guest_iterations, frozen_iters);  // made no progress
+  kernel.send_signal(pid, kSigCont);
+  run_steps(kernel, pid, frozen_iters + 3);
+  EXPECT_GT(proc.stats.guest_iterations, frozen_iters);
+}
+
+TEST_F(KernelTest, IgnoredSignalHasNoEffect) {
+  SimKernel kernel;
+  const Pid pid = kernel.spawn(CounterGuest::kTypeName);
+  kernel.process(pid).signals.disposition[kSigUsr1] = SignalDisposition::kIgnore;
+  kernel.send_signal(pid, kSigUsr1);
+  kernel.run_until(kernel.now() + 5 * kMillisecond);
+  EXPECT_TRUE(kernel.process(pid).alive());
+}
+
+TEST_F(KernelTest, KernelSignalActionRunsInKernelMode) {
+  SimKernel kernel;
+  int fired = 0;
+  kernel.register_kernel_signal(
+      kSigCkpt, [&fired](SimKernel&, Process&) { ++fired; }, nullptr);
+  const Pid pid = kernel.spawn(CounterGuest::kTypeName);
+  kernel.send_signal(pid, kSigCkpt);
+  EXPECT_EQ(fired, 0);  // deferred to the next kernel->user transition
+  kernel.run_until(kernel.now() + 5 * kMillisecond);
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(kernel.process(pid).alive());  // action replaced default terminate
+}
+
+TEST_F(KernelTest, ForkCreatesCowChild) {
+  SimKernel kernel;
+  const Pid parent_pid = kernel.spawn(CounterGuest::kTypeName);
+  run_steps(kernel, parent_pid, 5);
+  Process& parent = kernel.process(parent_pid);
+  const std::uint64_t counter = CounterGuest::read_counter(kernel, parent);
+
+  const Pid child_pid = kernel.fork_process(parent, /*freeze_child=*/true);
+  Process& child = kernel.process(child_pid);
+  EXPECT_EQ(child.state, TaskState::kStopped);
+  EXPECT_EQ(CounterGuest::read_counter(kernel, child), counter);
+
+  // Parent keeps running; the frozen child's memory must not change.
+  run_steps(kernel, parent_pid, counter + 10);
+  EXPECT_EQ(CounterGuest::read_counter(kernel, child), counter);
+  EXPECT_GT(CounterGuest::read_counter(kernel, parent), counter);
+  EXPECT_GT(parent.stats.cow_faults, 0u);  // the COW price of the fork
+}
+
+TEST_F(KernelTest, GuestForkChildRunsIndependently) {
+  SimKernel kernel;
+  const Pid parent_pid = kernel.spawn(CounterGuest::kTypeName);
+  run_steps(kernel, parent_pid, 2);
+  Process& parent = kernel.process(parent_pid);
+  const Pid child_pid = kernel.sys_fork(parent);
+  Process& child = kernel.process(child_pid);
+  EXPECT_EQ(child.threads.front().regs.gpr[7], 1u);  // "I am the child"
+  kernel.run_until(kernel.now() + 5 * kMillisecond);
+  EXPECT_GT(CounterGuest::read_counter(kernel, child), 0u);
+}
+
+TEST_F(KernelTest, FifoPreemptsTimeshare) {
+  SimKernel kernel(/*ncpus=*/1);
+  const Pid ts_pid = kernel.spawn(CounterGuest::kTypeName);
+  bool kthread_ran = false;
+  const Pid kt_pid = kernel.spawn_kernel_thread(
+      "rt",
+      [&kthread_ran](SimKernel&) {
+        kthread_ran = true;
+        return KStepResult::kSleep;
+      },
+      SchedParams{SchedClass::kFifo, 50, 0, 0});
+  kernel.wake(kt_pid);
+  // The very next round must run the FIFO thread, not the counter.
+  const std::uint64_t iters_before = kernel.process(ts_pid).stats.guest_iterations;
+  kernel.run_round();
+  EXPECT_TRUE(kthread_ran);
+  EXPECT_EQ(kernel.process(ts_pid).stats.guest_iterations, iters_before);
+}
+
+TEST_F(KernelTest, TimeshareIsFair) {
+  SimKernel kernel;
+  const Pid a = kernel.spawn(CounterGuest::kTypeName);
+  const Pid b = kernel.spawn(CounterGuest::kTypeName);
+  kernel.run_until(kernel.now() + 50 * kMillisecond);
+  const auto ia = kernel.process(a).stats.guest_iterations;
+  const auto ib = kernel.process(b).stats.guest_iterations;
+  ASSERT_GT(ia, 0u);
+  ASSERT_GT(ib, 0u);
+  const double ratio = static_cast<double>(ia) / static_cast<double>(ib);
+  EXPECT_GT(ratio, 0.5);
+  EXPECT_LT(ratio, 2.0);
+}
+
+TEST_F(KernelTest, SmpRunsTasksInParallel) {
+  SimKernel uni(1), smp(4);
+  std::vector<Pid> uni_pids, smp_pids;
+  for (int i = 0; i < 4; ++i) {
+    uni_pids.push_back(uni.spawn(CounterGuest::kTypeName));
+    smp_pids.push_back(smp.spawn(CounterGuest::kTypeName));
+  }
+  uni.run_until(20 * kMillisecond);
+  smp.run_until(20 * kMillisecond);
+  std::uint64_t uni_total = 0, smp_total = 0;
+  for (Pid pid : uni_pids) uni_total += uni.process(pid).stats.guest_iterations;
+  for (Pid pid : smp_pids) smp_total += smp.process(pid).stats.guest_iterations;
+  EXPECT_GT(smp_total, 2 * uni_total);  // 4 CPUs ≈ 4x throughput
+}
+
+TEST_F(KernelTest, AlarmDeliversSigalrm) {
+  SimKernel kernel;
+  const Pid pid = kernel.spawn(CounterGuest::kTypeName);
+  Process& proc = kernel.process(pid);
+  int alarms = 0;
+  proc.signals.disposition[kSigAlrm] = SignalDisposition::kHandler;
+  proc.library_handlers[kSigAlrm] = [&alarms](SimKernel&, Process&, Signal) { ++alarms; };
+  UserApi api(kernel, proc);
+  api.sys_alarm(5 * kMillisecond);
+  kernel.run_until(kernel.now() + 20 * kMillisecond);
+  EXPECT_EQ(alarms, 1);  // one-shot
+}
+
+TEST_F(KernelTest, ItimerDeliversPeriodically) {
+  SimKernel kernel;
+  const Pid pid = kernel.spawn(CounterGuest::kTypeName);
+  Process& proc = kernel.process(pid);
+  int alarms = 0;
+  proc.signals.disposition[kSigAlrm] = SignalDisposition::kHandler;
+  proc.library_handlers[kSigAlrm] = [&alarms](SimKernel&, Process&, Signal) { ++alarms; };
+  UserApi api(kernel, proc);
+  api.sys_setitimer(5 * kMillisecond);
+  kernel.run_until(kernel.now() + 26 * kMillisecond);
+  EXPECT_GE(alarms, 3);
+}
+
+TEST_F(KernelTest, ModuleLoadUnloadCleansRegistrations) {
+  SimKernel kernel;
+  KernelModule& module = kernel.load_module("testmod");
+  kernel.register_syscall(
+      "test_call", [](SimKernel&, Process&, std::uint64_t, std::uint64_t,
+                      std::uint64_t) -> std::int64_t { return 42; },
+      &module);
+  kernel.register_kernel_signal(kSigCkpt, [](SimKernel&, Process&) {}, &module);
+  EXPECT_TRUE(kernel.has_syscall("test_call"));
+  EXPECT_TRUE(kernel.has_kernel_signal(kSigCkpt));
+  kernel.unload_module("testmod");
+  EXPECT_FALSE(kernel.has_syscall("test_call"));
+  EXPECT_FALSE(kernel.has_kernel_signal(kSigCkpt));
+  EXPECT_FALSE(kernel.module_loaded("testmod"));
+}
+
+TEST_F(KernelTest, DoubleModuleLoadThrows) {
+  SimKernel kernel;
+  kernel.load_module("m");
+  EXPECT_THROW(kernel.load_module("m"), std::runtime_error);
+}
+
+TEST_F(KernelTest, PortBindingConflicts) {
+  SimKernel kernel;
+  EXPECT_TRUE(kernel.bind_port(8080, 10));
+  EXPECT_FALSE(kernel.bind_port(8080, 11));
+  EXPECT_EQ(kernel.port_owner(8080), 10);
+  kernel.release_port(8080);
+  EXPECT_TRUE(kernel.bind_port(8080, 11));
+}
+
+TEST_F(KernelTest, TerminateReleasesPorts) {
+  SimKernel kernel;
+  const Pid pid = kernel.spawn(CounterGuest::kTypeName);
+  Process& proc = kernel.process(pid);
+  UserApi api(kernel, proc);
+  const Fd sock = api.sys_socket();
+  ASSERT_TRUE(api.sys_bind(sock, 9000));
+  kernel.terminate(proc, 0);
+  EXPECT_EQ(kernel.port_owner(9000), kNoPid);
+}
+
+TEST_F(KernelTest, UnmappedStoreKillsProcess) {
+  SimKernel kernel;
+  const Pid pid = kernel.spawn(CounterGuest::kTypeName);
+  Process& proc = kernel.process(pid);
+  const std::byte data[8]{};
+  EXPECT_FALSE(kernel.user_store(proc, 0xDEAD0000, data));
+  EXPECT_FALSE(proc.alive());
+  EXPECT_EQ(proc.exit_code, 128 + kSigSegv);
+}
+
+TEST_F(KernelTest, DesiredPidRespectedAndConflictsThrow) {
+  SimKernel kernel;
+  const Pid pid = kernel.create_restored_process("x", GuestImage{"counter", {}}, 77);
+  EXPECT_EQ(pid, 77);
+  EXPECT_THROW(kernel.create_restored_process("y", GuestImage{"counter", {}}, 77),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ckpt::sim

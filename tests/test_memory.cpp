@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "sim/memory.hpp"
+
+namespace ckpt::sim {
+namespace {
+
+TEST(PhysicalMemory, AllocateZeroed) {
+  PhysicalMemory mem;
+  const FrameId frame = mem.allocate();
+  for (std::byte b : mem.frame_data(frame)) EXPECT_EQ(b, std::byte{0});
+  EXPECT_EQ(mem.frames_in_use(), 1u);
+}
+
+TEST(PhysicalMemory, RefCounting) {
+  PhysicalMemory mem;
+  const FrameId frame = mem.allocate();
+  mem.add_ref(frame);
+  EXPECT_EQ(mem.ref_count(frame), 2u);
+  mem.release(frame);
+  EXPECT_EQ(mem.frames_in_use(), 1u);
+  mem.release(frame);
+  EXPECT_EQ(mem.frames_in_use(), 0u);
+}
+
+TEST(PhysicalMemory, FrameReuseAfterFree) {
+  PhysicalMemory mem;
+  const FrameId a = mem.allocate();
+  mem.release(a);
+  const FrameId b = mem.allocate();
+  EXPECT_EQ(a, b);  // free list reuse
+}
+
+TEST(PhysicalMemory, CopyIsIndependent) {
+  PhysicalMemory mem;
+  const FrameId a = mem.allocate();
+  mem.frame_data(a)[0] = std::byte{0x7F};
+  const FrameId b = mem.allocate_copy(a);
+  EXPECT_EQ(mem.frame_data(b)[0], std::byte{0x7F});
+  mem.frame_data(b)[0] = std::byte{0x01};
+  EXPECT_EQ(mem.frame_data(a)[0], std::byte{0x7F});
+}
+
+class AddressSpaceTest : public ::testing::Test {
+ protected:
+  PhysicalMemory mem_;
+  AddressSpace as_{&mem_};
+};
+
+TEST_F(AddressSpaceTest, MapAndAccess) {
+  as_.map_region(0x10000, 4, kProtRW, VmaKind::kData, "data");
+  EXPECT_EQ(as_.mapped_bytes(), 4 * kPageSize);
+  EXPECT_EQ(as_.check_access(page_of(0x10000), kProtWrite), AccessResult::kOk);
+  EXPECT_EQ(as_.check_access(page_of(0x20000), kProtRead), AccessResult::kNotMapped);
+}
+
+TEST_F(AddressSpaceTest, OverlappingMapThrows) {
+  as_.map_region(0x10000, 4, kProtRW, VmaKind::kData, "a");
+  EXPECT_THROW(as_.map_region(0x11000, 2, kProtRW, VmaKind::kData, "b"),
+               std::invalid_argument);
+}
+
+TEST_F(AddressSpaceTest, UnalignedMapThrows) {
+  EXPECT_THROW(as_.map_region(0x10001, 1, kProtRW, VmaKind::kData, "x"),
+               std::invalid_argument);
+}
+
+TEST_F(AddressSpaceTest, UnmapReleasesFrames) {
+  as_.map_region(0x10000, 4, kProtRW, VmaKind::kData, "data");
+  EXPECT_EQ(mem_.frames_in_use(), 4u);
+  as_.unmap_region(0x11000);  // any address inside
+  EXPECT_EQ(mem_.frames_in_use(), 0u);
+  EXPECT_EQ(as_.vmas().size(), 0u);
+}
+
+TEST_F(AddressSpaceTest, ExtendRegionGrowsVma) {
+  as_.map_region(0x10000, 2, kProtRW, VmaKind::kHeap, "heap");
+  as_.extend_region(0x10000, 3);
+  const Vma* vma = as_.find_vma(0x10000);
+  ASSERT_NE(vma, nullptr);
+  EXPECT_EQ(vma->page_count, 5u);
+  EXPECT_EQ(as_.check_access(page_of(0x10000) + 4, kProtWrite), AccessResult::kOk);
+}
+
+TEST_F(AddressSpaceTest, ExtendIntoNeighbourThrows) {
+  as_.map_region(0x10000, 2, kProtRW, VmaKind::kHeap, "heap");
+  as_.map_region(0x10000 + 2 * kPageSize, 1, kProtRW, VmaKind::kAnon, "wall");
+  EXPECT_THROW(as_.extend_region(0x10000, 1), std::invalid_argument);
+}
+
+TEST_F(AddressSpaceTest, ProtectAndUnprotect) {
+  as_.map_region(0x10000, 2, kProtRW, VmaKind::kData, "data");
+  const PageNum page = page_of(0x10000);
+  as_.protect_pages(page, 1, kProtRead);
+  EXPECT_EQ(as_.check_access(page, kProtWrite), AccessResult::kProtectionFault);
+  EXPECT_EQ(as_.check_access(page, kProtRead), AccessResult::kOk);
+  as_.unprotect_page(page);
+  EXPECT_EQ(as_.check_access(page, kProtWrite), AccessResult::kOk);
+}
+
+TEST_F(AddressSpaceTest, DirtyBitAccounting) {
+  as_.map_region(0x10000, 4, kProtRW, VmaKind::kData, "data");
+  as_.pte(page_of(0x10000))->dirty = true;
+  as_.pte(page_of(0x10000) + 2)->dirty = true;
+  EXPECT_EQ(as_.dirty_page_count(), 2u);
+  as_.clear_dirty_bits();
+  EXPECT_EQ(as_.dirty_page_count(), 0u);
+}
+
+TEST_F(AddressSpaceTest, CloneCowSharesFramesReadOnly) {
+  as_.map_region(0x10000, 2, kProtRW, VmaKind::kData, "data");
+  as_.page_data(page_of(0x10000))[0] = std::byte{0x42};
+
+  auto child = as_.clone_cow();
+  // Both sides share the frame and lost write permission.
+  EXPECT_EQ(mem_.frames_in_use(), 2u);
+  EXPECT_EQ(as_.check_access(page_of(0x10000), kProtWrite), AccessResult::kProtectionFault);
+  EXPECT_EQ(child->check_access(page_of(0x10000), kProtWrite),
+            AccessResult::kProtectionFault);
+  EXPECT_EQ(child->page_data(page_of(0x10000))[0], std::byte{0x42});
+}
+
+TEST_F(AddressSpaceTest, BreakCowIsolatesWrites) {
+  as_.map_region(0x10000, 1, kProtRW, VmaKind::kData, "data");
+  as_.page_data(page_of(0x10000))[0] = std::byte{0x42};
+  auto child = as_.clone_cow();
+
+  child->break_cow(page_of(0x10000));
+  child->page_data(page_of(0x10000))[0] = std::byte{0x99};
+
+  EXPECT_EQ(as_.page_data(page_of(0x10000))[0], std::byte{0x42});
+  EXPECT_EQ(child->page_data(page_of(0x10000))[0], std::byte{0x99});
+  EXPECT_EQ(child->check_access(page_of(0x10000), kProtWrite), AccessResult::kOk);
+}
+
+TEST_F(AddressSpaceTest, BreakCowLastReferenceSkipsCopy) {
+  as_.map_region(0x10000, 1, kProtRW, VmaKind::kData, "data");
+  auto child = as_.clone_cow();
+  child.reset();  // drop the other reference
+  as_.break_cow(page_of(0x10000));
+  EXPECT_EQ(mem_.frames_in_use(), 1u);
+  EXPECT_EQ(as_.check_access(page_of(0x10000), kProtWrite), AccessResult::kOk);
+}
+
+TEST_F(AddressSpaceTest, CloneDeepIsIndependent) {
+  as_.map_region(0x10000, 1, kProtRW, VmaKind::kData, "data");
+  as_.page_data(page_of(0x10000))[7] = std::byte{0x55};
+  auto copy = as_.clone_deep();
+  as_.page_data(page_of(0x10000))[7] = std::byte{0x11};
+  EXPECT_EQ(copy->page_data(page_of(0x10000))[7], std::byte{0x55});
+  EXPECT_EQ(copy->check_access(page_of(0x10000), kProtWrite), AccessResult::kOk);
+}
+
+}  // namespace
+}  // namespace ckpt::sim

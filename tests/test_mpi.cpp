@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "cluster/mpi.hpp"
+#include "core/systemlevel.hpp"
+#include "test_common.hpp"
+
+namespace ckpt::cluster {
+namespace {
+
+using ckpt::test::SimTest;
+
+class MpiTest : public SimTest {
+ protected:
+  /// Build one kernel-thread engine per node, all storing to the cluster's
+  /// remote backend (so images survive node failures).
+  std::vector<std::unique_ptr<core::CheckpointEngine>> make_engines(Cluster& cluster) {
+    std::vector<std::unique_ptr<core::CheckpointEngine>> engines;
+    for (int i = 0; i < cluster.size(); ++i) {
+      sim::SimKernel& kernel = cluster.node(i).kernel();
+      sim::KernelModule& module = kernel.load_module("blcr");
+      engines.push_back(std::make_unique<core::KernelThreadEngine>(
+          "blcr", &cluster.remote_storage(), core::EngineOptions{}, kernel,
+          core::KernelThreadEngine::ThreadConfig{}, &module));
+    }
+    return engines;
+  }
+
+  static std::vector<core::CheckpointEngine*> raw(
+      const std::vector<std::unique_ptr<core::CheckpointEngine>>& engines) {
+    std::vector<core::CheckpointEngine*> out;
+    for (const auto& e : engines) out.push_back(e.get());
+    return out;
+  }
+};
+
+TEST_F(MpiTest, RanksExchangeMessagesAndProgress) {
+  Cluster cluster(4, NodeConfig{});
+  MpiRankGuest::Config config;
+  config.array_bytes = 32 * 1024;
+  MpiJob job(cluster, /*nranks=*/8, config);
+  job.launch();
+  cluster.run_until(100 * kMillisecond);
+  EXPECT_GT(job.min_iteration(cluster), 5u);
+  EXPECT_GT(job.fabric().total_sent(), 16u);
+}
+
+TEST_F(MpiTest, FabricDeliversWithLatency) {
+  const std::uint64_t id = MpiFabric::create(2, /*latency=*/1 * kMillisecond);
+  MpiFabric& fabric = MpiFabric::get(id);
+  fabric.send(0, 1, 7, std::vector<std::byte>(64), /*now=*/0);
+  EXPECT_FALSE(fabric.try_recv(1, 500 * kMicrosecond).has_value());  // in flight
+  const auto message = fabric.try_recv(1, 2 * kMillisecond);
+  ASSERT_TRUE(message.has_value());
+  EXPECT_EQ(message->src, 0);
+  EXPECT_EQ(message->tag, 7u);
+  MpiFabric::destroy(id);
+}
+
+TEST_F(MpiTest, CoordinatedCheckpointDrainsInFlightMessages) {
+  Cluster cluster(4, NodeConfig{});
+  MpiRankGuest::Config config;
+  config.array_bytes = 32 * 1024;
+  MpiJob job(cluster, 8, config);
+  job.launch();
+  cluster.run_until(50 * kMillisecond);
+
+  auto engines = make_engines(cluster);
+  const auto result = job.coordinated_checkpoint(raw(engines));
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(job.fabric().in_flight(), 0u);  // drained before images were cut
+  EXPECT_FALSE(job.fabric().quiescing());   // job resumed
+  EXPECT_GT(result.payload_bytes, 0u);
+
+  // The job keeps going afterwards.
+  const std::uint64_t progress = job.min_iteration(cluster);
+  cluster.run_until(cluster.now() + 50 * kMillisecond);
+  EXPECT_GT(job.min_iteration(cluster), progress);
+}
+
+TEST_F(MpiTest, FailedNodeRanksRestartElsewhereAndJobContinues) {
+  Cluster cluster(4, NodeConfig{});
+  MpiRankGuest::Config config;
+  config.array_bytes = 32 * 1024;
+  MpiJob job(cluster, 8, config);
+  job.launch();
+  cluster.run_until(50 * kMillisecond);
+
+  auto engines = make_engines(cluster);
+  ASSERT_TRUE(job.coordinated_checkpoint(raw(engines)).ok);
+  const std::uint64_t at_checkpoint = job.min_iteration(cluster);
+
+  // Node 2 dies; its ranks are re-homed on node 1 from remote storage.
+  cluster.fail_node(2);
+  EXPECT_EQ(job.min_iteration(cluster), 0u);  // job is broken right now
+  ASSERT_TRUE(job.restart_ranks_of_failed_node(raw(engines), /*failed=*/2, /*target=*/1));
+
+  for (const auto& placement : job.placements()) EXPECT_NE(placement.node, 2);
+  cluster.run_until(cluster.now() + 80 * kMillisecond);
+  EXPECT_GT(job.min_iteration(cluster), at_checkpoint);
+}
+
+TEST_F(MpiTest, DrainCostGrowsWithRankCount) {
+  // Claim C12: coordination cost scales with the number of ranks.
+  auto drain_time = [this](int nranks) {
+    Cluster cluster(4, NodeConfig{});
+    MpiRankGuest::Config config;
+    config.array_bytes = 16 * 1024;
+    MpiJob job(cluster, nranks, config);
+    job.launch();
+    cluster.run_until(50 * kMillisecond);
+    auto engines = make_engines(cluster);
+    const auto result = job.coordinated_checkpoint(raw(engines));
+    EXPECT_TRUE(result.ok) << result.error;
+    return result.total_time;
+  };
+  EXPECT_GT(drain_time(16), drain_time(2));
+}
+
+}  // namespace
+}  // namespace ckpt::cluster

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "core/capture.hpp"
+#include "core/migrate.hpp"
+#include "core/pod.hpp"
+#include "sim/userapi.hpp"
+#include "test_common.hpp"
+
+namespace ckpt::core {
+namespace {
+
+using ckpt::test::SimTest;
+using ckpt::test::run_steps;
+
+class PodTest : public SimTest {
+ protected:
+  sim::SimKernel kernel_;
+  PodManager pods_;
+};
+
+TEST_F(PodTest, AdoptAssignsVirtualPidAndOverhead) {
+  const sim::Pid pid = kernel_.spawn(sim::CounterGuest::kTypeName);
+  Pod& pod = pods_.create_pod("web");
+  const sim::Pid vpid = pods_.adopt(kernel_, pid, pod.id);
+  EXPECT_GT(vpid, 0);
+  EXPECT_EQ(pod.real_pid(vpid), pid);
+  EXPECT_EQ(pod.virtual_pid(pid), vpid);
+  EXPECT_EQ(kernel_.process(pid).syscall_extra_ns, pods_.translation_overhead());
+}
+
+TEST_F(PodTest, PodSyscallsCostMore) {
+  const sim::Pid plain = kernel_.spawn(sim::FileLoggerGuest::kTypeName,
+                                       sim::FileLoggerGuest::Config{}.encode());
+  const sim::Pid podded = kernel_.spawn(sim::FileLoggerGuest::kTypeName,
+                                        sim::FileLoggerGuest::Config{}.encode());
+  Pod& pod = pods_.create_pod("p");
+  pods_.adopt(kernel_, podded, pod.id);
+  run_steps(kernel_, plain, 20);
+  run_steps(kernel_, podded, 20);
+  const auto& sp = kernel_.process(plain).stats;
+  const auto& sq = kernel_.process(podded).stats;
+  ASSERT_EQ(sp.guest_iterations, 20u);
+  ASSERT_EQ(sq.guest_iterations, 20u);
+  EXPECT_GT(sq.syscall_time, sp.syscall_time);  // the ZAP tax
+}
+
+TEST_F(PodTest, RestartInPodSurvivesPidConflict) {
+  const sim::Pid pid = kernel_.spawn(sim::CounterGuest::kTypeName);
+  run_steps(kernel_, pid, 5);
+  const auto image =
+      capture_kernel_level(kernel_, kernel_.process(pid), CaptureOptions{});
+
+  // The original is still alive, so its pid is taken — a naive
+  // original-pid restart must fail, the pod restart must succeed.
+  RestartOptions strict;
+  strict.restore_original_pid = true;
+  strict.require_original_pid = true;
+  EXPECT_FALSE(restart_from_image(kernel_, image, strict).ok);
+
+  Pod& pod = pods_.create_pod("p");
+  const RestartResult result = pods_.restart_in_pod(kernel_, image, pod.id);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(pod.real_pid(pid), result.pid);  // vpid == checkpointed pid
+}
+
+TEST_F(PodTest, RestartInPodRemapsConflictingPorts) {
+  const sim::Pid pid = kernel_.spawn(sim::CounterGuest::kTypeName);
+  sim::Process& proc = kernel_.process(pid);
+  sim::UserApi api(kernel_, proc);
+  const sim::Fd sock = api.sys_socket();
+  ASSERT_TRUE(api.sys_bind(sock, 5555));
+  const auto image = capture_kernel_level(kernel_, proc, CaptureOptions{});
+
+  Pod& pod = pods_.create_pod("p");
+  const RestartResult result = pods_.restart_in_pod(kernel_, image, pod.id);
+  ASSERT_TRUE(result.ok);
+  // Virtual port 5555 maps to some free real port (not 5555: still taken).
+  ASSERT_EQ(pod.vport_to_real.count(5555), 1u);
+  EXPECT_NE(pod.vport_to_real[5555], 5555);
+  EXPECT_NE(kernel_.port_owner(pod.vport_to_real[5555]), sim::kNoPid);
+}
+
+class MigrateTest : public SimTest {
+ protected:
+  sim::SimKernel source_{1, sim::CostModel{}, 1};
+  sim::SimKernel destination_{1, sim::CostModel{}, 2};
+
+  void SetUp() override {
+    SimTest::SetUp();
+    source_.hostname = "src";
+    destination_.hostname = "dst";
+  }
+};
+
+TEST_F(MigrateTest, ProcessMovesAndContinues) {
+  const sim::Pid pid = source_.spawn(sim::CounterGuest::kTypeName);
+  run_steps(source_, pid, 10);
+  const std::uint64_t counter =
+      sim::CounterGuest::read_counter(source_, source_.process(pid));
+
+  const MigrationResult result = migrate_process(source_, destination_, pid);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(source_.find_process(pid), nullptr);  // gone from the source
+  EXPECT_GT(result.bytes_transferred, 0u);
+
+  sim::Process& moved = destination_.process(result.new_pid);
+  EXPECT_EQ(sim::CounterGuest::read_counter(destination_, moved), counter);
+  run_steps(destination_, result.new_pid, 5);
+  EXPECT_GT(sim::CounterGuest::read_counter(destination_, moved), counter);
+}
+
+TEST_F(MigrateTest, NaiveMigrationFailsOnPidConflict) {
+  // Fill the destination's pid space so the migrated pid is taken.
+  const sim::Pid pid = source_.spawn(sim::CounterGuest::kTypeName);
+  while (destination_.live_pids().size() < 4) {
+    destination_.spawn(sim::CounterGuest::kTypeName);
+  }
+  ASSERT_TRUE(destination_.pid_in_use(pid));
+  run_steps(source_, pid, 3);
+
+  const MigrationResult result = migrate_process(source_, destination_, pid);
+  EXPECT_FALSE(result.ok);
+  // Failed migration must leave the original running at the source.
+  ASSERT_NE(source_.find_process(pid), nullptr);
+  EXPECT_TRUE(source_.process(pid).alive());
+  run_steps(source_, pid, 6);
+}
+
+TEST_F(MigrateTest, PodMigrationSurvivesConflicts) {
+  PodManager pods;
+  const sim::Pid pid = source_.spawn(sim::CounterGuest::kTypeName);
+  Pod& pod = pods.create_pod("p");
+  pods.adopt(source_, pid, pod.id);
+  while (destination_.live_pids().size() < 4) {
+    destination_.spawn(sim::CounterGuest::kTypeName);
+  }
+  ASSERT_TRUE(destination_.pid_in_use(pid));
+  run_steps(source_, pid, 5);
+
+  MigrationOptions options;
+  options.pods = &pods;
+  options.pod = pod.id;
+  const MigrationResult result = migrate_process(source_, destination_, pid, options);
+  ASSERT_TRUE(result.ok) << result.error;
+  // The pod preserves the virtual identity across the move.
+  EXPECT_EQ(pod.real_pid(pid), result.new_pid);
+  run_steps(destination_, result.new_pid, 5);
+}
+
+TEST_F(MigrateTest, MigrationChargesNetworkTransfer) {
+  sim::WriterConfig config;
+  config.array_bytes = 1024 * 1024;  // a meaty address space
+  const sim::Pid pid = source_.spawn(sim::DenseWriterGuest::kTypeName, config.encode(),
+                                     sim::spawn_options_for_array(config.array_bytes));
+  run_steps(source_, pid, 3);
+  const SimTime before = destination_.now();
+  const MigrationResult result = migrate_process(source_, destination_, pid);
+  ASSERT_TRUE(result.ok);
+  // ~1 MiB over a 100 MB/s link: at least ~10 simulated ms.
+  EXPECT_GT(destination_.now() - before, 5 * kMillisecond);
+}
+
+}  // namespace
+}  // namespace ckpt::core

@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include "core/systemlevel.hpp"
+#include "sim/userapi.hpp"
+#include "test_common.hpp"
+
+namespace ckpt::sim {
+namespace {
+
+using ckpt::test::SimTest;
+using ckpt::test::run_steps;
+
+class SchedTest : public SimTest {};
+
+TEST_F(SchedTest, NewProcessDoesNotStarveOldOnes) {
+  SimKernel kernel;
+  const Pid old_pid = kernel.spawn(CounterGuest::kTypeName);
+  kernel.run_until(kernel.now() + 50 * kMillisecond);
+  const std::uint64_t before = kernel.process(old_pid).stats.guest_iterations;
+  // A newcomer joins late; fairness must keep both progressing.
+  const Pid new_pid = kernel.spawn(CounterGuest::kTypeName);
+  kernel.run_until(kernel.now() + 20 * kMillisecond);
+  EXPECT_GT(kernel.process(old_pid).stats.guest_iterations, before);
+  EXPECT_GT(kernel.process(new_pid).stats.guest_iterations, 0u);
+}
+
+TEST_F(SchedTest, WokenSleeperDoesNotMonopolise) {
+  SimKernel kernel;
+  const Pid runner = kernel.spawn(CounterGuest::kTypeName);
+  const Pid sleeper = kernel.spawn(CounterGuest::kTypeName);
+  {
+    UserApi api(kernel, kernel.process(sleeper));
+    api.sys_sleep(40 * kMillisecond);
+  }
+  kernel.run_until(kernel.now() + 50 * kMillisecond);  // sleeper wakes mid-way
+  const std::uint64_t runner_before = kernel.process(runner).stats.guest_iterations;
+  kernel.run_until(kernel.now() + 10 * kMillisecond);
+  // The runner keeps making progress right after the wake-up.
+  EXPECT_GT(kernel.process(runner).stats.guest_iterations, runner_before);
+}
+
+TEST_F(SchedTest, FifoPriorityOrdering) {
+  SimKernel kernel;
+  std::vector<int> order;
+  const Pid low = kernel.spawn_kernel_thread(
+      "low",
+      [&order](SimKernel&) {
+        order.push_back(1);
+        return KStepResult::kSleep;
+      },
+      SchedParams{SchedClass::kFifo, 10, 0, 0});
+  const Pid high = kernel.spawn_kernel_thread(
+      "high",
+      [&order](SimKernel&) {
+        order.push_back(2);
+        return KStepResult::kSleep;
+      },
+      SchedParams{SchedClass::kFifo, 90, 0, 0});
+  kernel.wake(low);
+  kernel.wake(high);
+  kernel.run_round();
+  kernel.run_round();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 2);  // higher rt_priority first
+  EXPECT_EQ(order[1], 1);
+}
+
+TEST_F(SchedTest, KernelThreadExitIsClean) {
+  SimKernel kernel;
+  const Pid kt = kernel.spawn_kernel_thread(
+      "oneshot", [](SimKernel&) { return KStepResult::kExit; });
+  kernel.wake(kt);
+  kernel.run_round();
+  const Process* proc = kernel.find_process(kt);
+  ASSERT_NE(proc, nullptr);
+  EXPECT_FALSE(proc->alive());
+}
+
+TEST_F(SchedTest, RunWhileStopsAtDeadline) {
+  SimKernel kernel;
+  kernel.spawn(CounterGuest::kTypeName);
+  const SimTime deadline = kernel.now() + 5 * kMillisecond;
+  const bool fired = kernel.run_while([] { return true; }, deadline);
+  EXPECT_FALSE(fired);
+  EXPECT_GE(kernel.now(), deadline);
+}
+
+TEST_F(SchedTest, IdleMachineSkipsToTimers) {
+  SimKernel kernel;  // no tasks at all
+  bool fired = false;
+  kernel.add_timer(kernel.now() + 500 * kMillisecond, [&](SimKernel&) { fired = true; });
+  kernel.run_until(kernel.now() + 1 * kSecond);
+  EXPECT_TRUE(fired);
+}
+
+class SignalSemanticsTest : public SimTest {};
+
+TEST_F(SignalSemanticsTest, MaskBlocksUntilUnmasked) {
+  SimKernel kernel;
+  const Pid pid = kernel.spawn(CounterGuest::kTypeName);
+  Process& proc = kernel.process(pid);
+  int taken = 0;
+  proc.signals.disposition[kSigUsr1] = SignalDisposition::kHandler;
+  proc.library_handlers[kSigUsr1] = [&taken](SimKernel&, Process&, Signal) { ++taken; };
+  proc.signals.mask = SignalState::bit(kSigUsr1);
+  kernel.send_signal(pid, kSigUsr1);
+  kernel.run_until(kernel.now() + 5 * kMillisecond);
+  EXPECT_EQ(taken, 0);  // masked: pending, undelivered
+  proc.signals.mask = 0;
+  kernel.run_until(kernel.now() + 5 * kMillisecond);
+  EXPECT_EQ(taken, 1);
+}
+
+TEST_F(SignalSemanticsTest, StandardSignalsDoNotQueue) {
+  SimKernel kernel;
+  const Pid pid = kernel.spawn(CounterGuest::kTypeName);
+  Process& proc = kernel.process(pid);
+  int taken = 0;
+  proc.signals.disposition[kSigUsr1] = SignalDisposition::kHandler;
+  proc.library_handlers[kSigUsr1] = [&taken](SimKernel&, Process&, Signal) { ++taken; };
+  kernel.stop_process(proc);  // hold delivery
+  kernel.send_signal(pid, kSigUsr1);
+  kernel.send_signal(pid, kSigUsr1);
+  kernel.send_signal(pid, kSigUsr1);
+  kernel.send_signal(pid, kSigCont);
+  kernel.run_until(kernel.now() + 5 * kMillisecond);
+  EXPECT_EQ(taken, 1);  // coalesced into one pending bit
+}
+
+TEST_F(SignalSemanticsTest, SigKillCannotBeBlockedOrHandled) {
+  SimKernel kernel;
+  const Pid pid = kernel.spawn(CounterGuest::kTypeName);
+  Process& proc = kernel.process(pid);
+  proc.signals.mask = ~0ULL;
+  proc.signals.disposition[kSigKill] = SignalDisposition::kHandler;  // futile
+  kernel.send_signal(pid, kSigKill);
+  EXPECT_FALSE(proc.alive());
+}
+
+TEST_F(SignalSemanticsTest, SigchldRaisedOnChildExit) {
+  SimKernel kernel;
+  const Pid parent = kernel.spawn(CounterGuest::kTypeName);
+  run_steps(kernel, parent, 1);
+  const Pid child = kernel.sys_fork(kernel.process(parent));
+  kernel.terminate(kernel.process(child), 0);
+  EXPECT_TRUE(kernel.process(parent).signals.is_pending(kSigChld));
+  // Default action for SIGCHLD is ignore: the parent survives delivery.
+  kernel.run_until(kernel.now() + 5 * kMillisecond);
+  EXPECT_TRUE(kernel.process(parent).alive());
+}
+
+TEST_F(SignalSemanticsTest, TermSignalWithHandlerSurvives) {
+  SimKernel kernel;
+  const Pid pid = kernel.spawn(CounterGuest::kTypeName);
+  Process& proc = kernel.process(pid);
+  int caught = 0;
+  proc.signals.disposition[kSigTerm] = SignalDisposition::kHandler;
+  proc.library_handlers[kSigTerm] = [&caught](SimKernel&, Process&, Signal) { ++caught; };
+  kernel.send_signal(pid, kSigTerm);
+  kernel.run_until(kernel.now() + 5 * kMillisecond);
+  EXPECT_EQ(caught, 1);
+  EXPECT_TRUE(proc.alive());
+}
+
+class EngineChainTest : public SimTest {
+ protected:
+  SimKernel kernel_;
+  storage::LocalDiskBackend backend_{CostModel{}};
+};
+
+TEST_F(EngineChainTest, HistoryAccumulatesAcrossProcesses) {
+  core::SyscallEngine engine("e", &backend_, core::EngineOptions{}, kernel_,
+                             core::SyscallEngine::TargetMode::kByPid, nullptr);
+  const Pid a = kernel_.spawn(CounterGuest::kTypeName);
+  const Pid b = kernel_.spawn(CounterGuest::kTypeName);
+  run_steps(kernel_, a, 2);
+  run_steps(kernel_, b, 2);
+  ASSERT_TRUE(engine.request_checkpoint(kernel_, a).ok);
+  ASSERT_TRUE(engine.request_checkpoint(kernel_, b).ok);
+  ASSERT_TRUE(engine.request_checkpoint(kernel_, a).ok);
+  EXPECT_EQ(engine.history().size(), 3u);
+  EXPECT_EQ(engine.checkpoints_taken(a), 2u);
+  EXPECT_EQ(engine.checkpoints_taken(b), 1u);
+  // Each pid restarts independently.
+  kernel_.terminate(kernel_.process(a), 1);
+  kernel_.reap(a);
+  EXPECT_TRUE(engine.restart(kernel_, a).ok);
+  EXPECT_FALSE(engine.restart(kernel_, 999).ok);
+}
+
+TEST_F(EngineChainTest, RestartAfterBackendLossFailsGracefully) {
+  core::SyscallEngine engine("e", &backend_, core::EngineOptions{}, kernel_,
+                             core::SyscallEngine::TargetMode::kByPid, nullptr);
+  const Pid pid = kernel_.spawn(CounterGuest::kTypeName);
+  run_steps(kernel_, pid, 2);
+  ASSERT_TRUE(engine.request_checkpoint(kernel_, pid).ok);
+  backend_.fail_node();
+  const auto result = engine.restart(kernel_, pid);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("unreadable"), std::string::npos);
+}
+
+TEST_F(EngineChainTest, CheckpointWhileBackendDownReportsError) {
+  core::SyscallEngine engine("e", &backend_, core::EngineOptions{}, kernel_,
+                             core::SyscallEngine::TargetMode::kByPid, nullptr);
+  const Pid pid = kernel_.spawn(CounterGuest::kTypeName);
+  run_steps(kernel_, pid, 2);
+  backend_.fail_node();
+  const auto result = engine.request_checkpoint(kernel_, pid);
+  EXPECT_FALSE(result.ok);
+  EXPECT_TRUE(kernel_.process(pid).alive());  // failure is contained
+}
+
+TEST_F(EngineChainTest, DetachStopsTracking) {
+  core::EngineOptions options;
+  options.incremental = true;
+  options.tracker_factory = [] { return std::make_unique<core::KernelWpTracker>(); };
+  core::SyscallEngine engine("e", &backend_, options, kernel_,
+                             core::SyscallEngine::TargetMode::kByPid, nullptr);
+  const Pid pid = kernel_.spawn(CounterGuest::kTypeName);
+  ASSERT_TRUE(engine.attach(kernel_, pid));
+  run_steps(kernel_, pid, 2);
+  ASSERT_TRUE(engine.request_checkpoint(kernel_, pid).ok);
+  engine.detach(kernel_, pid);
+  // Tracking hooks removed: writes proceed without faults.
+  const auto faults = kernel_.process(pid).stats.page_faults;
+  run_steps(kernel_, pid, kernel_.process(pid).stats.guest_iterations + 5);
+  EXPECT_EQ(kernel_.process(pid).stats.page_faults, faults);
+}
+
+}  // namespace
+}  // namespace ckpt::sim

@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include "storage/backend.hpp"
+#include "storage/chain.hpp"
+#include "storage/image.hpp"
+
+namespace ckpt::storage {
+namespace {
+
+CheckpointImage make_image(std::uint64_t tag, ImageKind kind = ImageKind::kFull) {
+  CheckpointImage image;
+  image.kind = kind;
+  image.pid = 42;
+  image.process_name = "app";
+  image.hostname = "node0";
+  image.taken_at = tag;
+  image.guest = sim::GuestImage{"counter", {std::byte{1}, std::byte{2}}};
+  image.threads.push_back(ThreadImage{1, {}});
+  image.threads[0].regs.pc = tag;
+
+  MemorySegmentImage seg;
+  seg.vma = sim::Vma{sim::page_of(0x10000), 2, sim::kProtRW, sim::VmaKind::kData, "data"};
+  PageImage page;
+  page.page = seg.vma.first_page;
+  page.data.assign(sim::kPageSize, static_cast<std::byte>(tag & 0xFF));
+  seg.pages.push_back(std::move(page));
+  image.segments.push_back(std::move(seg));
+
+  image.brk = 0x20000;
+  image.sig_pending = 0x4;
+  FileDescriptorImage fd;
+  fd.fd = 3;
+  fd.path = "/data/log";
+  fd.offset = 128 + tag;
+  image.files.push_back(std::move(fd));
+  image.bound_ports.push_back(8080);
+  return image;
+}
+
+TEST(Image, SerializeRoundTrip) {
+  const CheckpointImage original = make_image(7);
+  const auto bytes = original.serialize();
+  const CheckpointImage copy = CheckpointImage::deserialize(bytes);
+  EXPECT_EQ(copy.pid, original.pid);
+  EXPECT_EQ(copy.process_name, original.process_name);
+  EXPECT_EQ(copy.guest.type_name, "counter");
+  EXPECT_EQ(copy.guest.config, original.guest.config);
+  ASSERT_EQ(copy.threads.size(), 1u);
+  EXPECT_EQ(copy.threads[0].regs.pc, 7u);
+  ASSERT_EQ(copy.segments.size(), 1u);
+  EXPECT_EQ(copy.segments[0].vma.name, "data");
+  ASSERT_EQ(copy.segments[0].pages.size(), 1u);
+  EXPECT_EQ(copy.segments[0].pages[0].data, original.segments[0].pages[0].data);
+  ASSERT_EQ(copy.files.size(), 1u);
+  EXPECT_EQ(copy.files[0].offset, 135u);
+  EXPECT_EQ(copy.bound_ports, original.bound_ports);
+}
+
+TEST(Image, CorruptionDetected) {
+  auto bytes = make_image(1).serialize();
+  bytes[bytes.size() / 2] ^= std::byte{0xFF};
+  EXPECT_THROW(CheckpointImage::deserialize(bytes), ImageCorrupt);
+}
+
+TEST(Image, TruncationDetected) {
+  auto bytes = make_image(1).serialize();
+  bytes.resize(bytes.size() / 2);
+  EXPECT_THROW(CheckpointImage::deserialize(bytes), ImageCorrupt);
+}
+
+TEST(Image, PayloadAccounting) {
+  const CheckpointImage image = make_image(1);
+  EXPECT_EQ(image.payload_bytes(), sim::kPageSize);
+  EXPECT_EQ(image.page_count(), 1u);
+}
+
+TEST(Backend, LocalDiskStoresAndLoads) {
+  LocalDiskBackend backend{sim::CostModel{}};
+  SimTime charged = 0;
+  auto charge = [&](SimTime t) { charged += t; };
+  const ImageId id = backend.store(make_image(3), charge);
+  ASSERT_NE(id, kBadImageId);
+  EXPECT_GT(charged, 0u);  // disk latency + bandwidth were paid
+  const auto loaded = backend.load(id, charge);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->taken_at, 3u);
+}
+
+TEST(Backend, LocalDiskUnreachableAfterNodeFailure) {
+  LocalDiskBackend backend{sim::CostModel{}};
+  const ImageId id = backend.store(make_image(3), nullptr);
+  backend.fail_node();
+  EXPECT_FALSE(backend.load(id, nullptr).has_value());
+  EXPECT_EQ(backend.store(make_image(4), nullptr), kBadImageId);
+  backend.recover_node();
+  EXPECT_TRUE(backend.load(id, nullptr).has_value());  // data survived the outage
+}
+
+TEST(Backend, RemoteSurvivesButCostsMore) {
+  const sim::CostModel costs{};
+  LocalDiskBackend local{costs};
+  RemoteBackend remote{costs};
+  SimTime local_cost = 0, remote_cost = 0;
+  local.store(make_image(1), [&](SimTime t) { local_cost += t; });
+  remote.store(make_image(1), [&](SimTime t) { remote_cost += t; });
+  EXPECT_GT(remote_cost, local_cost);  // network + remote disk
+}
+
+TEST(Backend, MemoryBackendLosesDataOnPowerCycle) {
+  MemoryBackend backend{sim::CostModel{}};
+  const ImageId id = backend.store(make_image(9), nullptr);
+  ASSERT_TRUE(backend.load(id, nullptr).has_value());
+  backend.power_cycle();
+  EXPECT_FALSE(backend.load(id, nullptr).has_value());
+}
+
+TEST(Backend, NullBackendRetainsNothing) {
+  NullBackend backend;
+  const ImageId id = backend.store(make_image(1), nullptr);
+  EXPECT_NE(id, kBadImageId);  // accepted...
+  EXPECT_FALSE(backend.load(id, nullptr).has_value());
+  EXPECT_TRUE(backend.list().empty());
+  EXPECT_EQ(backend.stored_bytes(), 0u);
+}
+
+TEST(Backend, EraseAndList) {
+  LocalDiskBackend backend{sim::CostModel{}};
+  const ImageId a = backend.store(make_image(1), nullptr);
+  const ImageId b = backend.store(make_image(2), nullptr);
+  EXPECT_EQ(backend.list().size(), 2u);
+  EXPECT_TRUE(backend.erase(a));
+  EXPECT_FALSE(backend.erase(a));
+  EXPECT_EQ(backend.list().size(), 1u);
+  EXPECT_EQ(backend.list()[0], b);
+}
+
+class ChainTest : public ::testing::Test {
+ protected:
+  LocalDiskBackend backend_{sim::CostModel{}};
+  CheckpointChain chain_{&backend_};
+
+  static CheckpointImage delta_with_page(std::uint64_t tag, sim::PageNum page,
+                                         std::uint32_t offset, std::uint32_t len,
+                                         std::byte fill) {
+    CheckpointImage image = make_image(tag, ImageKind::kIncremental);
+    image.segments[0].pages.clear();
+    PageImage p;
+    p.page = page;
+    p.offset = offset;
+    p.data.assign(len, fill);
+    image.segments[0].pages.push_back(std::move(p));
+    return image;
+  }
+};
+
+TEST_F(ChainTest, FullThenDeltaReconstructs) {
+  const sim::PageNum base_page = sim::page_of(0x10000);
+  ASSERT_NE(chain_.append(make_image(1), nullptr), kBadImageId);
+  // Delta: overwrite bytes [100, 200) of the first page.
+  ASSERT_NE(chain_.append(delta_with_page(2, base_page, 100, 100, std::byte{0xEE}), nullptr),
+            kBadImageId);
+
+  const auto merged = chain_.reconstruct(nullptr);
+  ASSERT_TRUE(merged.has_value());
+  ASSERT_EQ(merged->segments.size(), 1u);
+  // Find the first page and verify the overlay.
+  const auto& pages = merged->segments[0].pages;
+  ASSERT_FALSE(pages.empty());
+  const auto& page = pages[0];
+  EXPECT_EQ(page.offset, 0u);
+  EXPECT_EQ(page.data[99], std::byte{1});    // untouched (full image fill)
+  EXPECT_EQ(page.data[100], std::byte{0xEE});  // delta overlay
+  EXPECT_EQ(page.data[199], std::byte{0xEE});
+  EXPECT_EQ(page.data[200], std::byte{1});
+}
+
+TEST_F(ChainTest, ReconstructAtIntermediateSequence) {
+  const sim::PageNum base_page = sim::page_of(0x10000);
+  chain_.append(make_image(1), nullptr);
+  chain_.append(delta_with_page(2, base_page, 0, 8, std::byte{0x22}), nullptr);
+  chain_.append(delta_with_page(3, base_page, 0, 8, std::byte{0x33}), nullptr);
+
+  const auto middle = chain_.reconstruct_at(2, nullptr);
+  ASSERT_TRUE(middle.has_value());
+  EXPECT_EQ(middle->segments[0].pages[0].data[0], std::byte{0x22});
+
+  const auto latest = chain_.reconstruct(nullptr);
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_EQ(latest->segments[0].pages[0].data[0], std::byte{0x33});
+}
+
+TEST_F(ChainTest, NewFullRestartsChain) {
+  chain_.append(make_image(1), nullptr);
+  chain_.append(delta_with_page(2, sim::page_of(0x10000), 0, 8, std::byte{0x22}), nullptr);
+  chain_.append(make_image(5), nullptr);  // new full
+  EXPECT_EQ(chain_.links_from_last_full(), 1u);
+  const auto merged = chain_.reconstruct(nullptr);
+  ASSERT_TRUE(merged.has_value());
+  EXPECT_EQ(merged->segments[0].pages[0].data[0], std::byte{5});
+}
+
+TEST_F(ChainTest, PruneDropsSupersededImages) {
+  chain_.append(make_image(1), nullptr);
+  chain_.append(delta_with_page(2, sim::page_of(0x10000), 0, 8, std::byte{0x22}), nullptr);
+  chain_.append(make_image(3), nullptr);
+  EXPECT_EQ(backend_.list().size(), 3u);
+  chain_.prune();
+  EXPECT_EQ(backend_.list().size(), 1u);
+  const auto merged = chain_.reconstruct(nullptr);
+  ASSERT_TRUE(merged.has_value());
+  EXPECT_EQ(merged->segments[0].pages[0].data[0], std::byte{3});
+}
+
+TEST_F(ChainTest, MissingLinkFailsReconstruction) {
+  chain_.append(make_image(1), nullptr);
+  const ImageId delta_id =
+      chain_.append(delta_with_page(2, sim::page_of(0x10000), 0, 8, std::byte{0x22}), nullptr);
+  backend_.erase(delta_id);
+  EXPECT_FALSE(chain_.reconstruct(nullptr).has_value());
+}
+
+TEST_F(ChainTest, EmptyChainReconstructsNothing) {
+  EXPECT_FALSE(chain_.reconstruct(nullptr).has_value());
+  EXPECT_EQ(chain_.links_from_last_full(), 0u);
+}
+
+}  // namespace
+}  // namespace ckpt::storage

@@ -1,0 +1,225 @@
+#include <cstring>
+#include <gtest/gtest.h>
+
+#include "sim/userapi.hpp"
+#include "test_common.hpp"
+
+namespace ckpt::sim {
+namespace {
+
+using ckpt::test::SimTest;
+
+class UserApiTest : public SimTest {
+ protected:
+  void SetUp() override {
+    SimTest::SetUp();
+    pid_ = kernel_.spawn(CounterGuest::kTypeName);
+    proc_ = kernel_.find_process(pid_);
+    api_ = std::make_unique<UserApi>(kernel_, *proc_);
+  }
+
+  SimKernel kernel_;
+  Pid pid_ = kNoPid;
+  Process* proc_ = nullptr;
+  std::unique_ptr<UserApi> api_;
+};
+
+TEST_F(UserApiTest, SyscallsAreCountedAndCharged) {
+  const auto count = proc_->stats.syscalls;
+  // Outside a scheduling step, charges land on the global clock.
+  const SimTime t0 = kernel_.now();
+  (void)api_->sys_getpid();
+  (void)api_->sys_getpid();
+  EXPECT_EQ(proc_->stats.syscalls, count + 2);
+  EXPECT_GE(kernel_.now() - t0, 2 * kernel_.costs().syscall_crossing_ns);
+}
+
+TEST_F(UserApiTest, SbrkGrowsAndQueriesHeap) {
+  const VAddr initial = api_->sys_sbrk(0);
+  EXPECT_EQ(initial, proc_->brk);
+  const VAddr old = api_->sys_sbrk(3 * kPageSize + 100);
+  EXPECT_EQ(old, initial);
+  EXPECT_EQ(api_->sys_sbrk(0), initial + 3 * kPageSize + 100);
+  // The grown heap is writable.
+  EXPECT_TRUE(api_->store_u64(initial + 2 * kPageSize, 0xBEEF));
+  EXPECT_EQ(api_->load_u64(initial + 2 * kPageSize), 0xBEEFu);
+}
+
+TEST_F(UserApiTest, SbrkShrinkClampsAtHeapBase) {
+  api_->sys_sbrk(-static_cast<std::int64_t>(1) << 40);
+  EXPECT_EQ(proc_->brk, proc_->heap_base);
+}
+
+TEST_F(UserApiTest, MmapAndMunmap) {
+  const VAddr addr = api_->sys_mmap(3 * kPageSize, kProtRW, "scratch");
+  ASSERT_NE(addr, 0u);
+  EXPECT_TRUE(api_->store_u64(addr + kPageSize, 42));
+  const VAddr addr2 = api_->sys_mmap(kPageSize, kProtRW, "scratch2");
+  EXPECT_GE(addr2, addr + 3 * kPageSize);  // guard gap, no overlap
+  api_->sys_munmap(addr);
+  EXPECT_EQ(proc_->aspace->find_vma(addr), nullptr);
+}
+
+TEST_F(UserApiTest, FileWriteReadSeekDup) {
+  const Fd fd = api_->sys_open("/tmp/t", kOpenCreate | kOpenWrite | kOpenRead);
+  ASSERT_GE(fd, 0);
+  EXPECT_EQ(api_->sys_write(fd, std::string_view("hello world")), 11);
+  EXPECT_EQ(api_->sys_lseek(fd, 0, SeekWhence::kSet), 0);
+
+  const Fd dup = api_->sys_dup(fd);
+  ASSERT_GE(dup, 0);
+  std::byte buffer[5];
+  EXPECT_EQ(api_->sys_read(dup, buffer), 5);
+  EXPECT_EQ(std::memcmp(buffer, "hello", 5), 0);
+  // dup shares the offset (one open file description).
+  EXPECT_EQ(api_->sys_lseek(fd, 0, SeekWhence::kCur), 5);
+
+  EXPECT_EQ(api_->sys_lseek(fd, -5, SeekWhence::kEnd), 6);
+  EXPECT_EQ(api_->sys_read(fd, buffer), 5);
+  EXPECT_EQ(std::memcmp(buffer, "world", 5), 0);
+  EXPECT_TRUE(api_->sys_close(fd));
+  EXPECT_EQ(api_->sys_read(fd, buffer), -9);  // EBADF
+  EXPECT_EQ(api_->sys_read(dup, buffer), 0);  // dup still valid, at EOF
+}
+
+TEST_F(UserApiTest, OpenMissingWithoutCreateFails) {
+  EXPECT_EQ(api_->sys_open("/no/such/file", kOpenRead), kBadFd);
+}
+
+TEST_F(UserApiTest, OpenTruncateClearsFile) {
+  const Fd fd = api_->sys_open("/tmp/t", kOpenCreate | kOpenWrite);
+  api_->sys_write(fd, std::string_view("data"));
+  api_->sys_close(fd);
+  const Fd fd2 = api_->sys_open("/tmp/t", kOpenWrite | kOpenTrunc);
+  ASSERT_GE(fd2, 0);
+  EXPECT_EQ(api_->sys_lseek(fd2, 0, SeekWhence::kEnd), 0);
+}
+
+TEST_F(UserApiTest, UnlinkMarksOpenFileDeleted) {
+  const Fd fd = api_->sys_open("/tmp/gone", kOpenCreate | kOpenWrite);
+  api_->sys_write(fd, std::string_view("x"));
+  EXPECT_TRUE(api_->sys_unlink("/tmp/gone"));
+  EXPECT_FALSE(kernel_.vfs().exists("/tmp/gone"));
+  const auto ofd = proc_->fds.get(fd);
+  ASSERT_NE(ofd, nullptr);
+  EXPECT_TRUE(ofd->file->deleted);           // node alive via the open fd
+  EXPECT_EQ(api_->sys_write(fd, std::string_view("y")), 1);  // still writable
+}
+
+TEST_F(UserApiTest, NegativeSeekRejected) {
+  const Fd fd = api_->sys_open("/tmp/t", kOpenCreate | kOpenWrite);
+  EXPECT_EQ(api_->sys_lseek(fd, -10, SeekWhence::kSet), -22);
+}
+
+TEST_F(UserApiTest, MprotectMakesPagesReadOnly) {
+  const VAddr addr = api_->sys_mmap(2 * kPageSize, kProtRW, "ro");
+  ASSERT_TRUE(api_->store_u64(addr, 1));
+  ASSERT_TRUE(api_->sys_mprotect(addr, kPageSize, kProtRead));
+  // No handler installed: the store kills the process.
+  EXPECT_FALSE(api_->store_u64(addr, 2));
+  EXPECT_FALSE(proc_->alive());
+}
+
+TEST_F(UserApiTest, SigactionAndSigpending) {
+  api_->sys_sigaction(kSigUsr1, SignalDisposition::kIgnore);
+  EXPECT_EQ(proc_->signals.disposition[kSigUsr1], SignalDisposition::kIgnore);
+  api_->sys_sigprocmask(SignalState::bit(kSigUsr2));
+  kernel_.send_signal(pid_, kSigUsr2);
+  EXPECT_NE(api_->sys_sigpending() & SignalState::bit(kSigUsr2), 0u);
+  // Blocked: not delivered even when scheduled.
+  kernel_.run_until(kernel_.now() + 5 * kMillisecond);
+  EXPECT_TRUE(proc_->alive());
+  EXPECT_TRUE(proc_->signals.is_pending(kSigUsr2));
+}
+
+TEST_F(UserApiTest, SleepBlocksUntilDeadline) {
+  api_->sys_sleep(10 * kMillisecond);
+  EXPECT_EQ(proc_->state, TaskState::kBlocked);
+  kernel_.run_until(kernel_.now() + 20 * kMillisecond);
+  EXPECT_TRUE(proc_->runnable() || proc_->state == TaskState::kRunning);
+}
+
+TEST_F(UserApiTest, SocketsBindAndConflict) {
+  const Fd sock = api_->sys_socket();
+  ASSERT_GE(sock, 0);
+  EXPECT_TRUE(api_->sys_bind(sock, 1234));
+  const Fd sock2 = api_->sys_socket();
+  EXPECT_FALSE(api_->sys_bind(sock2, 1234));  // port taken
+  EXPECT_TRUE(api_->sys_connect(sock2, "remote-host", 80));
+  const auto ofd = proc_->fds.get(sock2);
+  EXPECT_TRUE(ofd->socket->connected);
+  EXPECT_EQ(ofd->socket->peer_host, "remote-host");
+}
+
+TEST_F(UserApiTest, CustomSyscallDispatchAndEnosys) {
+  kernel_.register_syscall(
+      "triple",
+      [](SimKernel&, Process&, std::uint64_t a0, std::uint64_t, std::uint64_t) {
+        return static_cast<std::int64_t>(a0 * 3);
+      },
+      nullptr);
+  EXPECT_EQ(api_->sys_custom("triple", 14), 42);
+  EXPECT_EQ(api_->sys_custom("no_such_call", 1), -38);
+}
+
+TEST_F(UserApiTest, LibraryCallDispatchAndMissingSymbol) {
+  proc_->library_calls["ckpt_now"] = [](SimKernel&, Process&, std::uint64_t arg) {
+    return static_cast<std::int64_t>(arg + 1);
+  };
+  EXPECT_EQ(api_->call_library("ckpt_now", 41), 42);
+  EXPECT_EQ(api_->call_library("missing"), -38);
+}
+
+TEST_F(UserApiTest, ProcMapsWalkCostsPerVma) {
+  const auto before = proc_->stats.syscalls;
+  const auto maps = api_->sys_proc_maps();
+  EXPECT_EQ(maps.size(), proc_->aspace->vmas().size());
+  EXPECT_GE(proc_->stats.syscalls - before, maps.size());
+}
+
+TEST_F(UserApiTest, DeviceIoctlRoundTrip) {
+  DeviceHooks hooks;
+  hooks.ioctl = [](SimKernel&, Process&, std::uint64_t cmd, std::uint64_t arg) {
+    return static_cast<std::int64_t>(cmd + arg);
+  };
+  kernel_.vfs().register_device("/dev/echo", std::move(hooks));
+  const Fd fd = api_->sys_open("/dev/echo", kOpenRead);
+  ASSERT_GE(fd, 0);
+  EXPECT_EQ(api_->sys_ioctl(fd, 40, 2), 42);
+  // ioctl on a regular file is ENOTTY.
+  const Fd reg = api_->sys_open("/tmp/reg", kOpenCreate | kOpenWrite);
+  EXPECT_EQ(api_->sys_ioctl(reg, 1, 2), -25);
+}
+
+TEST_F(UserApiTest, ProcEntryReadWrite) {
+  std::string captured;
+  ProcEntryHooks hooks;
+  hooks.read = [](SimKernel&) { return std::string("status: fine\n"); };
+  hooks.write = [&captured](SimKernel&, Process&, std::string_view in) {
+    captured = std::string(in);
+    return static_cast<std::int64_t>(in.size());
+  };
+  kernel_.vfs().register_proc_entry("/proc/thing", std::move(hooks));
+  const Fd fd = api_->sys_open("/proc/thing", kOpenRead | kOpenWrite);
+  ASSERT_GE(fd, 0);
+  std::byte buffer[64];
+  const auto n = api_->sys_read(fd, buffer);
+  ASSERT_GT(n, 0);
+  EXPECT_EQ(std::string(reinterpret_cast<char*>(buffer), static_cast<std::size_t>(n)),
+            "status: fine\n");
+  EXPECT_GT(api_->sys_write(fd, std::string_view("123")), 0);
+  EXPECT_EQ(captured, "123");
+}
+
+TEST_F(UserApiTest, InterposerSeesEveryCall) {
+  int seen = 0;
+  proc_->interposer = [&seen](SimKernel&, Process&, const char*, std::uint64_t,
+                              std::uint64_t) { ++seen; };
+  (void)api_->sys_getpid();
+  (void)api_->sys_sbrk(0);
+  (void)api_->sys_open("/tmp/x", kOpenCreate | kOpenWrite);
+  EXPECT_EQ(seen, 3);
+}
+
+}  // namespace
+}  // namespace ckpt::sim

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "util/crc64.hpp"
+#include "util/rng.hpp"
+#include "util/serialize.hpp"
+#include "util/table.hpp"
+
+namespace ckpt::util {
+namespace {
+
+TEST(Crc64, EmptyIsZero) { EXPECT_EQ(crc64(nullptr, 0), 0u); }
+
+TEST(Crc64, DetectsSingleBitFlip) {
+  std::vector<std::byte> data(1024);
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = static_cast<std::byte>(i & 0xFF);
+  const std::uint64_t clean = crc64(data.data(), data.size());
+  data[512] ^= std::byte{0x01};
+  EXPECT_NE(clean, crc64(data.data(), data.size()));
+}
+
+TEST(Crc64, SeedChaining) {
+  const char part1[] = "hello ";
+  const char part2[] = "world";
+  const char whole[] = "hello world";
+  const std::uint64_t chained =
+      crc64(part2, 5, crc64(part1, 6));
+  EXPECT_EQ(chained, crc64(whole, 11));
+}
+
+TEST(Crc64, Deterministic) {
+  const char data[] = "checkpoint";
+  EXPECT_EQ(crc64(data, 10), crc64(data, 10));
+}
+
+TEST(Serializer, RoundTripPrimitives) {
+  Serializer s;
+  s.put<std::uint8_t>(0xAB);
+  s.put<std::int32_t>(-12345);
+  s.put<std::uint64_t>(0xDEADBEEFCAFEF00DULL);
+  s.put_double(3.14159);
+  s.put_string("hello");
+
+  Deserializer d(s.bytes());
+  EXPECT_EQ(d.get<std::uint8_t>(), 0xAB);
+  EXPECT_EQ(d.get<std::int32_t>(), -12345);
+  EXPECT_EQ(d.get<std::uint64_t>(), 0xDEADBEEFCAFEF00DULL);
+  EXPECT_DOUBLE_EQ(d.get_double(), 3.14159);
+  EXPECT_EQ(d.get_string(), "hello");
+  EXPECT_TRUE(d.at_end());
+}
+
+TEST(Serializer, RoundTripVectors) {
+  Serializer s;
+  const std::vector<std::uint32_t> values{1, 2, 3, 42};
+  s.put_vector(values, [](Serializer& s2, std::uint32_t v) { s2.put(v); });
+
+  Deserializer d(s.bytes());
+  const auto out =
+      d.get_vector<std::uint32_t>([](Deserializer& d2) { return d2.get<std::uint32_t>(); });
+  EXPECT_EQ(out, values);
+}
+
+TEST(Serializer, UnderrunThrows) {
+  Serializer s;
+  s.put<std::uint16_t>(7);
+  Deserializer d(s.bytes());
+  EXPECT_EQ(d.get<std::uint16_t>(), 7);
+  EXPECT_THROW(d.get<std::uint64_t>(), SerializeError);
+}
+
+TEST(Serializer, BogusLengthPrefixThrows) {
+  Serializer s;
+  s.put<std::uint64_t>(1ULL << 60);  // vector "length"
+  Deserializer d(s.bytes());
+  EXPECT_THROW(
+      d.get_vector<std::uint8_t>([](Deserializer& d2) { return d2.get<std::uint8_t>(); }),
+      SerializeError);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 16; ++i) any_diff |= a.next_u64() != b.next_u64();
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, BelowBound) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(17), 17u);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(42);
+  double sum = 0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.next_exponential(100.0);
+  const double mean = sum / kSamples;
+  EXPECT_NEAR(mean, 100.0, 5.0);
+}
+
+TEST(Rng, WeibullShapeOneIsExponential) {
+  Rng rng(42);
+  double sum = 0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.next_weibull(1.0, 50.0);
+  EXPECT_NEAR(sum / kSamples, 50.0, 3.0);  // scale == mean when shape == 1
+}
+
+TEST(TextTable, RendersAligned) {
+  TextTable table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"b", "22222"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(out.find("| b     | 22222 |"), std::string::npos);
+}
+
+TEST(TextTable, FormatHelpers) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(2048), "2.00 KiB");
+  EXPECT_EQ(format_time_ns(1500), "1.500 us");
+  EXPECT_EQ(format_double(1.2345, 2), "1.23");
+}
+
+}  // namespace
+}  // namespace ckpt::util
