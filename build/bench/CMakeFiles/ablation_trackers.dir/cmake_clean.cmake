@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_trackers.dir/ablation_trackers.cpp.o"
+  "CMakeFiles/ablation_trackers.dir/ablation_trackers.cpp.o.d"
+  "ablation_trackers"
+  "ablation_trackers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_trackers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

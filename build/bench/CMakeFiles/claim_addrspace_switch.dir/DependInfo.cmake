@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/claim_addrspace_switch.cpp" "bench/CMakeFiles/claim_addrspace_switch.dir/claim_addrspace_switch.cpp.o" "gcc" "bench/CMakeFiles/claim_addrspace_switch.dir/claim_addrspace_switch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mechanisms/CMakeFiles/ckpt_mechanisms.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/ckpt_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ckpt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/ckpt_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ckpt_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ckpt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ckpt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

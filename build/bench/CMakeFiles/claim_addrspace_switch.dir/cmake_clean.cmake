@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/claim_addrspace_switch.dir/claim_addrspace_switch.cpp.o"
+  "CMakeFiles/claim_addrspace_switch.dir/claim_addrspace_switch.cpp.o.d"
+  "claim_addrspace_switch"
+  "claim_addrspace_switch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/claim_addrspace_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

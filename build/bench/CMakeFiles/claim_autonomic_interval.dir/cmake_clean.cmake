@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/claim_autonomic_interval.dir/claim_autonomic_interval.cpp.o"
+  "CMakeFiles/claim_autonomic_interval.dir/claim_autonomic_interval.cpp.o.d"
+  "claim_autonomic_interval"
+  "claim_autonomic_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/claim_autonomic_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/claim_batch_vs_autonomic.dir/claim_batch_vs_autonomic.cpp.o"
+  "CMakeFiles/claim_batch_vs_autonomic.dir/claim_batch_vs_autonomic.cpp.o.d"
+  "claim_batch_vs_autonomic"
+  "claim_batch_vs_autonomic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/claim_batch_vs_autonomic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

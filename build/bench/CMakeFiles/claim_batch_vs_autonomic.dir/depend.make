@@ -1,0 +1,2 @@
+# Empty dependencies file for claim_batch_vs_autonomic.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/claim_coordinated_mpi.dir/claim_coordinated_mpi.cpp.o"
+  "CMakeFiles/claim_coordinated_mpi.dir/claim_coordinated_mpi.cpp.o.d"
+  "claim_coordinated_mpi"
+  "claim_coordinated_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/claim_coordinated_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

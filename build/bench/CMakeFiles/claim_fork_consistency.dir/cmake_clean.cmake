@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/claim_fork_consistency.dir/claim_fork_consistency.cpp.o"
+  "CMakeFiles/claim_fork_consistency.dir/claim_fork_consistency.cpp.o.d"
+  "claim_fork_consistency"
+  "claim_fork_consistency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/claim_fork_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

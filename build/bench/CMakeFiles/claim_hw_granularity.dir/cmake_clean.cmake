@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/claim_hw_granularity.dir/claim_hw_granularity.cpp.o"
+  "CMakeFiles/claim_hw_granularity.dir/claim_hw_granularity.cpp.o.d"
+  "claim_hw_granularity"
+  "claim_hw_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/claim_hw_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/claim_incremental_volume.dir/claim_incremental_volume.cpp.o"
+  "CMakeFiles/claim_incremental_volume.dir/claim_incremental_volume.cpp.o.d"
+  "claim_incremental_volume"
+  "claim_incremental_volume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/claim_incremental_volume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/claim_initiation_latency.dir/claim_initiation_latency.cpp.o"
+  "CMakeFiles/claim_initiation_latency.dir/claim_initiation_latency.cpp.o.d"
+  "claim_initiation_latency"
+  "claim_initiation_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/claim_initiation_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

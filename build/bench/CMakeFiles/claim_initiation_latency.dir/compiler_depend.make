@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for claim_initiation_latency.
+# This may be replaced when dependencies are built.

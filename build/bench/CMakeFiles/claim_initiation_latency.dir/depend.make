@@ -1,0 +1,2 @@
+# Empty dependencies file for claim_initiation_latency.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/claim_interposition_overhead.dir/claim_interposition_overhead.cpp.o"
+  "CMakeFiles/claim_interposition_overhead.dir/claim_interposition_overhead.cpp.o.d"
+  "claim_interposition_overhead"
+  "claim_interposition_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/claim_interposition_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/claim_probabilistic_blocks.dir/claim_probabilistic_blocks.cpp.o"
+  "CMakeFiles/claim_probabilistic_blocks.dir/claim_probabilistic_blocks.cpp.o.d"
+  "claim_probabilistic_blocks"
+  "claim_probabilistic_blocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/claim_probabilistic_blocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/claim_storage_survivability.dir/claim_storage_survivability.cpp.o"
+  "CMakeFiles/claim_storage_survivability.dir/claim_storage_survivability.cpp.o.d"
+  "claim_storage_survivability"
+  "claim_storage_survivability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/claim_storage_survivability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

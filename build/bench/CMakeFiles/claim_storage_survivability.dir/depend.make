@@ -1,0 +1,2 @@
+# Empty dependencies file for claim_storage_survivability.
+# This may be replaced when dependencies are built.

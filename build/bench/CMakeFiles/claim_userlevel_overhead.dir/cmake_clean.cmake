@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/claim_userlevel_overhead.dir/claim_userlevel_overhead.cpp.o"
+  "CMakeFiles/claim_userlevel_overhead.dir/claim_userlevel_overhead.cpp.o.d"
+  "claim_userlevel_overhead"
+  "claim_userlevel_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/claim_userlevel_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_taxonomy.dir/fig1_taxonomy.cpp.o"
+  "CMakeFiles/fig1_taxonomy.dir/fig1_taxonomy.cpp.o.d"
+  "fig1_taxonomy"
+  "fig1_taxonomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_taxonomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

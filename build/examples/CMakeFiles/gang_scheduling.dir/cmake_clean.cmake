@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gang_scheduling.dir/gang_scheduling.cpp.o"
+  "CMakeFiles/gang_scheduling.dir/gang_scheduling.cpp.o.d"
+  "gang_scheduling"
+  "gang_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gang_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hibernation_cycle.dir/hibernation_cycle.cpp.o"
+  "CMakeFiles/hibernation_cycle.dir/hibernation_cycle.cpp.o.d"
+  "hibernation_cycle"
+  "hibernation_cycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hibernation_cycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

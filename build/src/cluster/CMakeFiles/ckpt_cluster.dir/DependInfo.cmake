@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/batch.cpp" "src/cluster/CMakeFiles/ckpt_cluster.dir/batch.cpp.o" "gcc" "src/cluster/CMakeFiles/ckpt_cluster.dir/batch.cpp.o.d"
+  "/root/repo/src/cluster/failure.cpp" "src/cluster/CMakeFiles/ckpt_cluster.dir/failure.cpp.o" "gcc" "src/cluster/CMakeFiles/ckpt_cluster.dir/failure.cpp.o.d"
+  "/root/repo/src/cluster/mpi.cpp" "src/cluster/CMakeFiles/ckpt_cluster.dir/mpi.cpp.o" "gcc" "src/cluster/CMakeFiles/ckpt_cluster.dir/mpi.cpp.o.d"
+  "/root/repo/src/cluster/node.cpp" "src/cluster/CMakeFiles/ckpt_cluster.dir/node.cpp.o" "gcc" "src/cluster/CMakeFiles/ckpt_cluster.dir/node.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ckpt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ckpt_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/ckpt_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ckpt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ckpt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckpt_cluster.dir/batch.cpp.o"
+  "CMakeFiles/ckpt_cluster.dir/batch.cpp.o.d"
+  "CMakeFiles/ckpt_cluster.dir/failure.cpp.o"
+  "CMakeFiles/ckpt_cluster.dir/failure.cpp.o.d"
+  "CMakeFiles/ckpt_cluster.dir/mpi.cpp.o"
+  "CMakeFiles/ckpt_cluster.dir/mpi.cpp.o.d"
+  "CMakeFiles/ckpt_cluster.dir/node.cpp.o"
+  "CMakeFiles/ckpt_cluster.dir/node.cpp.o.d"
+  "libckpt_cluster.a"
+  "libckpt_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckpt_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/autonomic.cpp" "src/core/CMakeFiles/ckpt_core.dir/autonomic.cpp.o" "gcc" "src/core/CMakeFiles/ckpt_core.dir/autonomic.cpp.o.d"
+  "/root/repo/src/core/capture.cpp" "src/core/CMakeFiles/ckpt_core.dir/capture.cpp.o" "gcc" "src/core/CMakeFiles/ckpt_core.dir/capture.cpp.o.d"
+  "/root/repo/src/core/engine.cpp" "src/core/CMakeFiles/ckpt_core.dir/engine.cpp.o" "gcc" "src/core/CMakeFiles/ckpt_core.dir/engine.cpp.o.d"
+  "/root/repo/src/core/gang.cpp" "src/core/CMakeFiles/ckpt_core.dir/gang.cpp.o" "gcc" "src/core/CMakeFiles/ckpt_core.dir/gang.cpp.o.d"
+  "/root/repo/src/core/hibernate.cpp" "src/core/CMakeFiles/ckpt_core.dir/hibernate.cpp.o" "gcc" "src/core/CMakeFiles/ckpt_core.dir/hibernate.cpp.o.d"
+  "/root/repo/src/core/incremental.cpp" "src/core/CMakeFiles/ckpt_core.dir/incremental.cpp.o" "gcc" "src/core/CMakeFiles/ckpt_core.dir/incremental.cpp.o.d"
+  "/root/repo/src/core/migrate.cpp" "src/core/CMakeFiles/ckpt_core.dir/migrate.cpp.o" "gcc" "src/core/CMakeFiles/ckpt_core.dir/migrate.cpp.o.d"
+  "/root/repo/src/core/pod.cpp" "src/core/CMakeFiles/ckpt_core.dir/pod.cpp.o" "gcc" "src/core/CMakeFiles/ckpt_core.dir/pod.cpp.o.d"
+  "/root/repo/src/core/systemlevel.cpp" "src/core/CMakeFiles/ckpt_core.dir/systemlevel.cpp.o" "gcc" "src/core/CMakeFiles/ckpt_core.dir/systemlevel.cpp.o.d"
+  "/root/repo/src/core/taxonomy.cpp" "src/core/CMakeFiles/ckpt_core.dir/taxonomy.cpp.o" "gcc" "src/core/CMakeFiles/ckpt_core.dir/taxonomy.cpp.o.d"
+  "/root/repo/src/core/userlevel.cpp" "src/core/CMakeFiles/ckpt_core.dir/userlevel.cpp.o" "gcc" "src/core/CMakeFiles/ckpt_core.dir/userlevel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ckpt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ckpt_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/ckpt_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ckpt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

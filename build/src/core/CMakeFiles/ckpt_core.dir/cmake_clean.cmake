@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckpt_core.dir/autonomic.cpp.o"
+  "CMakeFiles/ckpt_core.dir/autonomic.cpp.o.d"
+  "CMakeFiles/ckpt_core.dir/capture.cpp.o"
+  "CMakeFiles/ckpt_core.dir/capture.cpp.o.d"
+  "CMakeFiles/ckpt_core.dir/engine.cpp.o"
+  "CMakeFiles/ckpt_core.dir/engine.cpp.o.d"
+  "CMakeFiles/ckpt_core.dir/gang.cpp.o"
+  "CMakeFiles/ckpt_core.dir/gang.cpp.o.d"
+  "CMakeFiles/ckpt_core.dir/hibernate.cpp.o"
+  "CMakeFiles/ckpt_core.dir/hibernate.cpp.o.d"
+  "CMakeFiles/ckpt_core.dir/incremental.cpp.o"
+  "CMakeFiles/ckpt_core.dir/incremental.cpp.o.d"
+  "CMakeFiles/ckpt_core.dir/migrate.cpp.o"
+  "CMakeFiles/ckpt_core.dir/migrate.cpp.o.d"
+  "CMakeFiles/ckpt_core.dir/pod.cpp.o"
+  "CMakeFiles/ckpt_core.dir/pod.cpp.o.d"
+  "CMakeFiles/ckpt_core.dir/systemlevel.cpp.o"
+  "CMakeFiles/ckpt_core.dir/systemlevel.cpp.o.d"
+  "CMakeFiles/ckpt_core.dir/taxonomy.cpp.o"
+  "CMakeFiles/ckpt_core.dir/taxonomy.cpp.o.d"
+  "CMakeFiles/ckpt_core.dir/userlevel.cpp.o"
+  "CMakeFiles/ckpt_core.dir/userlevel.cpp.o.d"
+  "libckpt_core.a"
+  "libckpt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckpt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckpt_hw.dir/cacheline.cpp.o"
+  "CMakeFiles/ckpt_hw.dir/cacheline.cpp.o.d"
+  "libckpt_hw.a"
+  "libckpt_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckpt_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

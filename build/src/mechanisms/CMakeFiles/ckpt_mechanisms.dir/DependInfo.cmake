@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mechanisms/advanced.cpp" "src/mechanisms/CMakeFiles/ckpt_mechanisms.dir/advanced.cpp.o" "gcc" "src/mechanisms/CMakeFiles/ckpt_mechanisms.dir/advanced.cpp.o.d"
+  "/root/repo/src/mechanisms/catalog.cpp" "src/mechanisms/CMakeFiles/ckpt_mechanisms.dir/catalog.cpp.o" "gcc" "src/mechanisms/CMakeFiles/ckpt_mechanisms.dir/catalog.cpp.o.d"
+  "/root/repo/src/mechanisms/kthread.cpp" "src/mechanisms/CMakeFiles/ckpt_mechanisms.dir/kthread.cpp.o" "gcc" "src/mechanisms/CMakeFiles/ckpt_mechanisms.dir/kthread.cpp.o.d"
+  "/root/repo/src/mechanisms/mechanism.cpp" "src/mechanisms/CMakeFiles/ckpt_mechanisms.dir/mechanism.cpp.o" "gcc" "src/mechanisms/CMakeFiles/ckpt_mechanisms.dir/mechanism.cpp.o.d"
+  "/root/repo/src/mechanisms/originals.cpp" "src/mechanisms/CMakeFiles/ckpt_mechanisms.dir/originals.cpp.o" "gcc" "src/mechanisms/CMakeFiles/ckpt_mechanisms.dir/originals.cpp.o.d"
+  "/root/repo/src/mechanisms/probe.cpp" "src/mechanisms/CMakeFiles/ckpt_mechanisms.dir/probe.cpp.o" "gcc" "src/mechanisms/CMakeFiles/ckpt_mechanisms.dir/probe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ckpt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ckpt_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/ckpt_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ckpt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ckpt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

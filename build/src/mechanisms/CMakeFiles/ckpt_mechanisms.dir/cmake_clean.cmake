@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckpt_mechanisms.dir/advanced.cpp.o"
+  "CMakeFiles/ckpt_mechanisms.dir/advanced.cpp.o.d"
+  "CMakeFiles/ckpt_mechanisms.dir/catalog.cpp.o"
+  "CMakeFiles/ckpt_mechanisms.dir/catalog.cpp.o.d"
+  "CMakeFiles/ckpt_mechanisms.dir/kthread.cpp.o"
+  "CMakeFiles/ckpt_mechanisms.dir/kthread.cpp.o.d"
+  "CMakeFiles/ckpt_mechanisms.dir/mechanism.cpp.o"
+  "CMakeFiles/ckpt_mechanisms.dir/mechanism.cpp.o.d"
+  "CMakeFiles/ckpt_mechanisms.dir/originals.cpp.o"
+  "CMakeFiles/ckpt_mechanisms.dir/originals.cpp.o.d"
+  "CMakeFiles/ckpt_mechanisms.dir/probe.cpp.o"
+  "CMakeFiles/ckpt_mechanisms.dir/probe.cpp.o.d"
+  "libckpt_mechanisms.a"
+  "libckpt_mechanisms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckpt_mechanisms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

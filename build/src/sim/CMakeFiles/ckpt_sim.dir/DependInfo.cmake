@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/file.cpp" "src/sim/CMakeFiles/ckpt_sim.dir/file.cpp.o" "gcc" "src/sim/CMakeFiles/ckpt_sim.dir/file.cpp.o.d"
+  "/root/repo/src/sim/guest.cpp" "src/sim/CMakeFiles/ckpt_sim.dir/guest.cpp.o" "gcc" "src/sim/CMakeFiles/ckpt_sim.dir/guest.cpp.o.d"
+  "/root/repo/src/sim/guests.cpp" "src/sim/CMakeFiles/ckpt_sim.dir/guests.cpp.o" "gcc" "src/sim/CMakeFiles/ckpt_sim.dir/guests.cpp.o.d"
+  "/root/repo/src/sim/kernel.cpp" "src/sim/CMakeFiles/ckpt_sim.dir/kernel.cpp.o" "gcc" "src/sim/CMakeFiles/ckpt_sim.dir/kernel.cpp.o.d"
+  "/root/repo/src/sim/memory.cpp" "src/sim/CMakeFiles/ckpt_sim.dir/memory.cpp.o" "gcc" "src/sim/CMakeFiles/ckpt_sim.dir/memory.cpp.o.d"
+  "/root/repo/src/sim/process.cpp" "src/sim/CMakeFiles/ckpt_sim.dir/process.cpp.o" "gcc" "src/sim/CMakeFiles/ckpt_sim.dir/process.cpp.o.d"
+  "/root/repo/src/sim/signal.cpp" "src/sim/CMakeFiles/ckpt_sim.dir/signal.cpp.o" "gcc" "src/sim/CMakeFiles/ckpt_sim.dir/signal.cpp.o.d"
+  "/root/repo/src/sim/userapi.cpp" "src/sim/CMakeFiles/ckpt_sim.dir/userapi.cpp.o" "gcc" "src/sim/CMakeFiles/ckpt_sim.dir/userapi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ckpt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

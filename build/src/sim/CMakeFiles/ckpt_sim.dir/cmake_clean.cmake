@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckpt_sim.dir/file.cpp.o"
+  "CMakeFiles/ckpt_sim.dir/file.cpp.o.d"
+  "CMakeFiles/ckpt_sim.dir/guest.cpp.o"
+  "CMakeFiles/ckpt_sim.dir/guest.cpp.o.d"
+  "CMakeFiles/ckpt_sim.dir/guests.cpp.o"
+  "CMakeFiles/ckpt_sim.dir/guests.cpp.o.d"
+  "CMakeFiles/ckpt_sim.dir/kernel.cpp.o"
+  "CMakeFiles/ckpt_sim.dir/kernel.cpp.o.d"
+  "CMakeFiles/ckpt_sim.dir/memory.cpp.o"
+  "CMakeFiles/ckpt_sim.dir/memory.cpp.o.d"
+  "CMakeFiles/ckpt_sim.dir/process.cpp.o"
+  "CMakeFiles/ckpt_sim.dir/process.cpp.o.d"
+  "CMakeFiles/ckpt_sim.dir/signal.cpp.o"
+  "CMakeFiles/ckpt_sim.dir/signal.cpp.o.d"
+  "CMakeFiles/ckpt_sim.dir/userapi.cpp.o"
+  "CMakeFiles/ckpt_sim.dir/userapi.cpp.o.d"
+  "libckpt_sim.a"
+  "libckpt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckpt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

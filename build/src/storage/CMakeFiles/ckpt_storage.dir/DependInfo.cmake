@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/backend.cpp" "src/storage/CMakeFiles/ckpt_storage.dir/backend.cpp.o" "gcc" "src/storage/CMakeFiles/ckpt_storage.dir/backend.cpp.o.d"
+  "/root/repo/src/storage/chain.cpp" "src/storage/CMakeFiles/ckpt_storage.dir/chain.cpp.o" "gcc" "src/storage/CMakeFiles/ckpt_storage.dir/chain.cpp.o.d"
+  "/root/repo/src/storage/image.cpp" "src/storage/CMakeFiles/ckpt_storage.dir/image.cpp.o" "gcc" "src/storage/CMakeFiles/ckpt_storage.dir/image.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ckpt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ckpt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

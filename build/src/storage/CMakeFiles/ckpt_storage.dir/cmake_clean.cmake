@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckpt_storage.dir/backend.cpp.o"
+  "CMakeFiles/ckpt_storage.dir/backend.cpp.o.d"
+  "CMakeFiles/ckpt_storage.dir/chain.cpp.o"
+  "CMakeFiles/ckpt_storage.dir/chain.cpp.o.d"
+  "CMakeFiles/ckpt_storage.dir/image.cpp.o"
+  "CMakeFiles/ckpt_storage.dir/image.cpp.o.d"
+  "libckpt_storage.a"
+  "libckpt_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckpt_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckpt_util.dir/crc64.cpp.o"
+  "CMakeFiles/ckpt_util.dir/crc64.cpp.o.d"
+  "CMakeFiles/ckpt_util.dir/log.cpp.o"
+  "CMakeFiles/ckpt_util.dir/log.cpp.o.d"
+  "CMakeFiles/ckpt_util.dir/serialize.cpp.o"
+  "CMakeFiles/ckpt_util.dir/serialize.cpp.o.d"
+  "CMakeFiles/ckpt_util.dir/table.cpp.o"
+  "CMakeFiles/ckpt_util.dir/table.cpp.o.d"
+  "libckpt_util.a"
+  "libckpt_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckpt_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

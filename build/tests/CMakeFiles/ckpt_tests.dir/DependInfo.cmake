@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_autonomic.cpp" "tests/CMakeFiles/ckpt_tests.dir/test_autonomic.cpp.o" "gcc" "tests/CMakeFiles/ckpt_tests.dir/test_autonomic.cpp.o.d"
+  "/root/repo/tests/test_batch_gang.cpp" "tests/CMakeFiles/ckpt_tests.dir/test_batch_gang.cpp.o" "gcc" "tests/CMakeFiles/ckpt_tests.dir/test_batch_gang.cpp.o.d"
+  "/root/repo/tests/test_capture.cpp" "tests/CMakeFiles/ckpt_tests.dir/test_capture.cpp.o" "gcc" "tests/CMakeFiles/ckpt_tests.dir/test_capture.cpp.o.d"
+  "/root/repo/tests/test_cluster.cpp" "tests/CMakeFiles/ckpt_tests.dir/test_cluster.cpp.o" "gcc" "tests/CMakeFiles/ckpt_tests.dir/test_cluster.cpp.o.d"
+  "/root/repo/tests/test_engines.cpp" "tests/CMakeFiles/ckpt_tests.dir/test_engines.cpp.o" "gcc" "tests/CMakeFiles/ckpt_tests.dir/test_engines.cpp.o.d"
+  "/root/repo/tests/test_hibernate.cpp" "tests/CMakeFiles/ckpt_tests.dir/test_hibernate.cpp.o" "gcc" "tests/CMakeFiles/ckpt_tests.dir/test_hibernate.cpp.o.d"
+  "/root/repo/tests/test_hw.cpp" "tests/CMakeFiles/ckpt_tests.dir/test_hw.cpp.o" "gcc" "tests/CMakeFiles/ckpt_tests.dir/test_hw.cpp.o.d"
+  "/root/repo/tests/test_incremental.cpp" "tests/CMakeFiles/ckpt_tests.dir/test_incremental.cpp.o" "gcc" "tests/CMakeFiles/ckpt_tests.dir/test_incremental.cpp.o.d"
+  "/root/repo/tests/test_kernel.cpp" "tests/CMakeFiles/ckpt_tests.dir/test_kernel.cpp.o" "gcc" "tests/CMakeFiles/ckpt_tests.dir/test_kernel.cpp.o.d"
+  "/root/repo/tests/test_matrix.cpp" "tests/CMakeFiles/ckpt_tests.dir/test_matrix.cpp.o" "gcc" "tests/CMakeFiles/ckpt_tests.dir/test_matrix.cpp.o.d"
+  "/root/repo/tests/test_mechanisms.cpp" "tests/CMakeFiles/ckpt_tests.dir/test_mechanisms.cpp.o" "gcc" "tests/CMakeFiles/ckpt_tests.dir/test_mechanisms.cpp.o.d"
+  "/root/repo/tests/test_memory.cpp" "tests/CMakeFiles/ckpt_tests.dir/test_memory.cpp.o" "gcc" "tests/CMakeFiles/ckpt_tests.dir/test_memory.cpp.o.d"
+  "/root/repo/tests/test_mpi.cpp" "tests/CMakeFiles/ckpt_tests.dir/test_mpi.cpp.o" "gcc" "tests/CMakeFiles/ckpt_tests.dir/test_mpi.cpp.o.d"
+  "/root/repo/tests/test_pod_migrate.cpp" "tests/CMakeFiles/ckpt_tests.dir/test_pod_migrate.cpp.o" "gcc" "tests/CMakeFiles/ckpt_tests.dir/test_pod_migrate.cpp.o.d"
+  "/root/repo/tests/test_sched_signals.cpp" "tests/CMakeFiles/ckpt_tests.dir/test_sched_signals.cpp.o" "gcc" "tests/CMakeFiles/ckpt_tests.dir/test_sched_signals.cpp.o.d"
+  "/root/repo/tests/test_storage.cpp" "tests/CMakeFiles/ckpt_tests.dir/test_storage.cpp.o" "gcc" "tests/CMakeFiles/ckpt_tests.dir/test_storage.cpp.o.d"
+  "/root/repo/tests/test_userapi.cpp" "tests/CMakeFiles/ckpt_tests.dir/test_userapi.cpp.o" "gcc" "tests/CMakeFiles/ckpt_tests.dir/test_userapi.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/ckpt_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/ckpt_tests.dir/test_util.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mechanisms/CMakeFiles/ckpt_mechanisms.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/ckpt_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ckpt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/ckpt_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ckpt_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ckpt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ckpt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
