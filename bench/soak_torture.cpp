@@ -1,0 +1,61 @@
+// Fault-injection torture soak (standalone entry).
+//
+// Runs the randomized checkpoint–crash–restart harness (src/inject) over
+// the default engine battery and prints one line per engine plus a verdict.
+// Everything replays from the seed:
+//
+//   ./soak_torture [seed] [cycles-per-engine]
+//
+// Exit status is non-zero when any engine shows a violation (state
+// divergence, restart from a corrupt image, or a restart failure despite an
+// intact image), so the soak can gate CI directly.
+#include <cstdio>
+#include <cstdlib>
+#include <cstdint>
+
+#include "inject/torture.hpp"
+
+using namespace ckpt;
+
+namespace {
+
+bool parse_u64(const char* text, std::uint64_t& out) {
+  char* end = nullptr;
+  out = std::strtoull(text, &end, 0);
+  return end != text && *end == '\0';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  inject::TortureOptions options;
+  options.seed = 2005;  // ipps vintage
+  options.cycles = 200;
+  if ((argc > 1 && !parse_u64(argv[1], options.seed)) ||
+      (argc > 2 && !parse_u64(argv[2], options.cycles)) || argc > 3) {
+    std::fprintf(stderr, "usage: %s [seed] [cycles-per-engine]\n", argv[0]);
+    return 2;
+  }
+  if (options.cycles == 0) {
+    std::fprintf(stderr, "cycles-per-engine must be > 0 (a 0-cycle soak proves nothing)\n");
+    return 2;
+  }
+
+  std::printf("# torture soak: seed=%llu cycles/engine=%llu\n",
+              static_cast<unsigned long long>(options.seed),
+              static_cast<unsigned long long>(options.cycles));
+
+  inject::TortureHarness harness(options);
+  bool all_ok = true;
+  for (const inject::TortureReport& report : harness.run_all(inject::default_targets())) {
+    std::printf("%s\n", report.summary().c_str());
+    for (const std::string& diagnostic : report.diagnostics) {
+      std::printf("  !! %s\n", diagnostic.c_str());
+    }
+    all_ok = all_ok && report.ok();
+  }
+  std::printf("verdict: %s (replay with ./soak_torture %llu %llu)\n",
+              all_ok ? "PASS" : "FAIL", static_cast<unsigned long long>(options.seed),
+              static_cast<unsigned long long>(options.cycles));
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# CI entry point.
+#
+# 1. default build: full unit suite plus the fault-injection torture soak
+#    (ctest label `torture`, see tests/test_torture.cpp).
+# 2. asan-ubsan build (CMakePresets.json / CKPT_SANITIZE): the same suite
+#    under AddressSanitizer + UndefinedBehaviorSanitizer.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+cmake --preset default
+cmake --build --preset default -j"${JOBS}"
+ctest --preset default -j"${JOBS}"
+ctest --preset torture
+
+cmake --preset asan-ubsan
+cmake --build --preset asan-ubsan -j"${JOBS}"
+ctest --preset asan-ubsan -j"${JOBS}"

@@ -29,6 +29,7 @@ SimTime FailureInjector::sample_ttf() {
 
 void FailureInjector::schedule_failure(int node_id, SimTime when, SimTime horizon) {
   if (when > horizon) return;
+  schedule_.push_back(ScheduledFailure{node_id, when});
   cluster_.add_event(when, [this, node_id, horizon](Cluster& c) {
     if (!c.node(node_id).up()) return;
     ++failures_;

@@ -27,6 +27,14 @@ struct FailureModel {
   std::uint64_t seed = 7;
 };
 
+/// One planned fail-stop event, recorded when it is armed.
+struct ScheduledFailure {
+  int node_id = 0;
+  SimTime at = 0;
+
+  friend bool operator==(const ScheduledFailure&, const ScheduledFailure&) = default;
+};
+
 class FailureInjector {
  public:
   FailureInjector(Cluster& cluster, FailureModel model);
@@ -36,6 +44,12 @@ class FailureInjector {
 
   [[nodiscard]] std::uint64_t failures_injected() const { return failures_; }
 
+  /// Every failure armed so far (initial arm() plus post-repair
+  /// rescheduling), in arming order.  Identical FailureModel::seed and
+  /// cluster evolution ⇒ identical schedule — the determinism contract the
+  /// torture tests pin down.
+  [[nodiscard]] const std::vector<ScheduledFailure>& schedule() const { return schedule_; }
+
  private:
   SimTime sample_ttf();
   void schedule_failure(int node_id, SimTime when, SimTime horizon);
@@ -44,6 +58,7 @@ class FailureInjector {
   FailureModel model_;
   util::Rng rng_;
   std::uint64_t failures_ = 0;
+  std::vector<ScheduledFailure> schedule_;
 };
 
 }  // namespace ckpt::cluster

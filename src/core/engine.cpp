@@ -177,7 +177,9 @@ RestartResult CheckpointEngine::restart_on(sim::SimKernel& target_kernel,
     return result;
   }
   auto charge = [&](SimTime t) { target_kernel.charge_time(t); };
-  auto image = state->chain.reconstruct(charge);
+  auto image = options.fall_back_to_older_images
+                   ? state->chain.reconstruct_newest_surviving(charge)
+                   : state->chain.reconstruct(charge);
   if (!image.has_value()) {
     result.error = name_ + ": checkpoint chain unreadable (storage lost or corrupt)";
     return result;

@@ -75,6 +75,11 @@ struct RestartOptions {
   bool require_original_pid = false;
   /// Rebind the ports the process held; conflicts are warnings.
   bool rebind_ports = true;
+  /// When the newest checkpoint is unreadable (corrupt, torn, missing),
+  /// fall back to the newest older state that still reconstructs instead
+  /// of refusing outright.  Restarting from a corrupt image is never an
+  /// option either way — fallback trades lost work for availability.
+  bool fall_back_to_older_images = false;
 };
 
 struct RestartResult {

@@ -1,0 +1,66 @@
+#include "inject/fault.hpp"
+
+#include <stdexcept>
+
+namespace ckpt::inject {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kStoreReject: return "store-reject";
+    case FaultKind::kTornStore: return "torn-store";
+    case FaultKind::kCorruptImage: return "corrupt-image";
+    case FaultKind::kStorageOutage: return "storage-outage";
+    case FaultKind::kKillProcess: return "kill-process";
+    case FaultKind::kDropSignal: return "drop-signal";
+    case FaultKind::kNodeFailStop: return "node-fail-stop";
+  }
+  return "?";
+}
+
+std::vector<FaultPlan::Weighted> FaultPlan::default_mix() {
+  return {
+      {FaultKind::kNone, 6},          {FaultKind::kStoreReject, 2},
+      {FaultKind::kTornStore, 2},     {FaultKind::kCorruptImage, 2},
+      {FaultKind::kStorageOutage, 2}, {FaultKind::kKillProcess, 2},
+  };
+}
+
+FaultPlan::FaultPlan(std::uint64_t seed, std::vector<Weighted> vocabulary)
+    : rng_(seed), vocabulary_(std::move(vocabulary)) {
+  if (vocabulary_.empty()) throw std::invalid_argument("FaultPlan: empty vocabulary");
+  for (const Weighted& entry : vocabulary_) total_weight_ += entry.weight;
+  if (total_weight_ == 0) throw std::invalid_argument("FaultPlan: zero total weight");
+}
+
+Fault FaultPlan::next() {
+  std::uint64_t pick = rng_.next_below(total_weight_);
+  FaultKind kind = vocabulary_.back().kind;
+  for (const Weighted& entry : vocabulary_) {
+    if (pick < entry.weight) {
+      kind = entry.kind;
+      break;
+    }
+    pick -= entry.weight;
+  }
+
+  Fault fault;
+  fault.kind = kind;
+  switch (kind) {
+    case FaultKind::kCorruptImage:
+      fault.param = 1 + rng_.next_below(64);  // bytes to flip
+      break;
+    case FaultKind::kKillProcess:
+      fault.param = rng_.next_below(16);  // guest steps into the run window
+      break;
+    case FaultKind::kStorageOutage:
+      fault.param = 1 + rng_.next_below(4);  // outage length bucket
+      break;
+    default:
+      break;
+  }
+  ++drawn_;
+  return fault;
+}
+
+}  // namespace ckpt::inject

@@ -1,0 +1,74 @@
+// Deterministic fault planning.
+//
+// The paper's fault-tolerance critique (Table 1 "stable storage", §4) is
+// about what survives a failure — so the repository must be able to *cause*
+// failures at controlled points and check what survived.  A FaultPlan is a
+// seed-deterministic schedule of faults drawn from a weighted vocabulary:
+// same seed, same weights ⇒ bit-identical fault sequence, which makes every
+// torture run replayable from a single integer.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace ckpt::inject {
+
+/// The fault vocabulary, spanning the three layers a checkpoint crosses:
+/// storage (where images live), kernel (the process being saved) and
+/// cluster (the machine doing the saving).
+enum class FaultKind : std::uint8_t {
+  kNone,           ///< fault-free cycle (baseline the others are judged against)
+  kStoreReject,    ///< storage: next store fails cleanly (ENOSPC-style)
+  kTornStore,      ///< storage: crash mid-write; a truncated blob is persisted
+  kCorruptImage,   ///< storage: silent media corruption of the newest image
+  kStorageOutage,  ///< storage: backend transiently unreachable
+  kKillProcess,    ///< kernel: fail-stop the target process at a SimTime
+  kDropSignal,     ///< kernel: a pending checkpoint signal is lost
+  kNodeFailStop,   ///< cluster: fail-stop a node between capture and store
+};
+
+const char* to_string(FaultKind kind);
+
+/// One planned fault.  `param` is kind-specific: bytes to corrupt
+/// (kCorruptImage), guest steps before the kill (kKillProcess), outage
+/// duration bucket (kStorageOutage); zero otherwise.
+struct Fault {
+  FaultKind kind = FaultKind::kNone;
+  std::uint64_t param = 0;
+
+  friend bool operator==(const Fault&, const Fault&) = default;
+};
+
+class FaultPlan {
+ public:
+  struct Weighted {
+    FaultKind kind = FaultKind::kNone;
+    std::uint32_t weight = 1;
+  };
+
+  /// The default mix: mostly clean cycles with every storage/kernel fault
+  /// kind represented.
+  static std::vector<Weighted> default_mix();
+
+  FaultPlan(std::uint64_t seed, std::vector<Weighted> vocabulary);
+
+  /// Draw the next fault in the schedule.
+  Fault next();
+
+  [[nodiscard]] std::uint64_t drawn() const { return drawn_; }
+
+  /// Shared randomness for fault parameters beyond the plan itself (fault
+  /// placement, corruption offsets) so a whole run replays from one seed.
+  [[nodiscard]] util::Rng& rng() { return rng_; }
+
+ private:
+  util::Rng rng_;
+  std::vector<Weighted> vocabulary_;
+  std::uint64_t total_weight_ = 0;
+  std::uint64_t drawn_ = 0;
+};
+
+}  // namespace ckpt::inject

@@ -1,0 +1,25 @@
+#include "inject/injectors.hpp"
+
+namespace ckpt::inject {
+
+bool StorageInjector::corrupt_newest(util::Rng& rng, std::uint64_t count) {
+  const storage::ImageId id = backend_->newest_id();
+  if (id == storage::kBadImageId) return false;
+  // Offset anywhere in the blob; corrupt_blob wraps, so any offset is valid.
+  const std::uint64_t offset = rng.next_u64() >> 32;
+  return backend_->corrupt_blob(id, offset, count == 0 ? 1 : count);
+}
+
+void NodeInjector::fail_stop_at(int node_id, SimTime when) {
+  cluster_->add_event(when, [node_id](cluster::Cluster& c) {
+    if (c.node(node_id).up()) c.fail_node(node_id);
+  });
+}
+
+void NodeInjector::repair_at(int node_id, SimTime when) {
+  cluster_->add_event(when, [node_id](cluster::Cluster& c) {
+    if (!c.node(node_id).up()) c.repair_node(node_id);
+  });
+}
+
+}  // namespace ckpt::inject

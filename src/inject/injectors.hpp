@@ -1,0 +1,83 @@
+// Layer-specific fault injectors.
+//
+// Each injector drives the hooks one existing layer already exposes —
+// storage (BlobStoreBackend store faults / corruption / outage), kernel
+// (kill or freeze a process at an arbitrary SimTime, drop a pending
+// checkpoint signal) and cluster (fail-stop a node at a scheduled cluster
+// time, e.g. between a capture and the store that would persist it).  All
+// randomness comes from the caller's Rng, so injections replay exactly.
+#pragma once
+
+#include <cstdint>
+
+#include "cluster/node.hpp"
+#include "sim/kernel.hpp"
+#include "storage/backend.hpp"
+#include "util/rng.hpp"
+
+namespace ckpt::inject {
+
+/// Storage layer: fault the blob store a checkpoint chain writes through.
+class StorageInjector {
+ public:
+  explicit StorageInjector(storage::BlobStoreBackend& backend) : backend_(&backend) {}
+
+  /// Next store fails cleanly (nothing persisted).
+  void fail_next_store() { backend_->inject_store_fault(storage::StoreFault::kReject); }
+
+  /// Next store persists a torn (truncated) blob under a valid id.
+  void tear_next_store() { backend_->inject_store_fault(storage::StoreFault::kTornWrite); }
+
+  /// Flip `count` bytes of the newest stored blob at an rng-chosen offset.
+  /// Returns false when the backend is empty.
+  bool corrupt_newest(util::Rng& rng, std::uint64_t count);
+
+  void begin_outage() { backend_->set_outage(true); }
+  void end_outage() { backend_->set_outage(false); }
+
+  [[nodiscard]] storage::BlobStoreBackend& backend() { return *backend_; }
+
+ private:
+  storage::BlobStoreBackend* backend_;
+};
+
+/// Kernel layer: fault the process being checkpointed.
+class ProcessInjector {
+ public:
+  explicit ProcessInjector(sim::SimKernel& kernel) : kernel_(&kernel) {}
+
+  /// Fail-stop `pid` at simulated time `when` (terminated + reaped).
+  void kill_at(sim::Pid pid, SimTime when) { kernel_->kill_process_at(when, pid); }
+
+  /// Freeze `pid` at simulated time `when` (checkpoint-signal starvation:
+  /// a stopped target never reaches a kernel->user transition).
+  void stop_at(sim::Pid pid, SimTime when) { kernel_->stop_process_at(when, pid); }
+
+  /// Drop a pending checkpoint signal before it is delivered.
+  bool drop_signal(sim::Pid pid, sim::Signal sig) {
+    return kernel_->drop_pending_signal(pid, sig);
+  }
+
+ private:
+  sim::SimKernel* kernel_;
+};
+
+/// Cluster layer: fail-stop whole nodes on the cluster's event clock.
+class NodeInjector {
+ public:
+  explicit NodeInjector(cluster::Cluster& cluster) : cluster_(&cluster) {}
+
+  /// Fail-stop `node_id` immediately (e.g. between capture and store).
+  void fail_stop_now(int node_id) { cluster_->fail_node(node_id); }
+
+  /// Schedule a fail-stop at cluster time `when`.
+  void fail_stop_at(int node_id, SimTime when);
+
+  /// Schedule a repair at cluster time `when`.
+  void repair_at(int node_id, SimTime when);
+
+ private:
+  cluster::Cluster* cluster_;
+};
+
+}  // namespace ckpt::inject

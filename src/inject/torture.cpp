@@ -1,0 +1,303 @@
+#include "inject/torture.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "core/capture.hpp"
+#include "inject/injectors.hpp"
+#include "mechanisms/catalog.hpp"
+#include "sim/guests.hpp"
+
+namespace ckpt::inject {
+
+namespace {
+
+template <typename... Args>
+std::string cat(Args&&... args) {
+  std::ostringstream out;
+  (out << ... << args);
+  return out.str();
+}
+
+/// Per-engine seed: FNV-1a over the catalog name mixed with the run seed,
+/// so every engine gets an independent but fully reproducible schedule.
+std::uint64_t mix_seed(std::uint64_t seed, const std::string& name) {
+  std::uint64_t h = 14695981039346656037ULL ^ seed;
+  for (char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h == 0 ? 1 : h;
+}
+
+const mechanisms::CatalogEntry* find_entry(const std::string& name) {
+  for (const mechanisms::CatalogEntry& entry : mechanisms::mechanism_catalog()) {
+    if (entry.name == name) return &entry;
+  }
+  return nullptr;
+}
+
+/// Run the guest for `steps` useful iterations (or until it dies).
+void run_guest_steps(sim::SimKernel& kernel, sim::Pid pid, std::uint64_t steps) {
+  sim::Process* proc = kernel.find_process(pid);
+  if (proc == nullptr || steps == 0) return;
+  const std::uint64_t goal = proc->stats.guest_iterations + steps;
+  kernel.run_while(
+      [&kernel, pid, goal] {
+        sim::Process* p = kernel.find_process(pid);
+        return p != nullptr && p->alive() && p->stats.guest_iterations < goal;
+      },
+      kernel.now() + 60 * kSecond);
+}
+
+/// Independent ground truth: the newest blob in the backend that still
+/// deserializes, belongs to `pid` and is a full image — exactly what a
+/// fallback restart must restore.  Goes straight to the raw blobs, not
+/// through the engine's chain, so engine bookkeeping bugs cannot hide.
+std::optional<storage::CheckpointImage> newest_loadable(storage::BlobStoreBackend& backend,
+                                                        sim::Pid pid) {
+  const std::vector<storage::ImageId> ids = backend.list();
+  for (auto it = ids.rbegin(); it != ids.rend(); ++it) {
+    std::optional<storage::CheckpointImage> image = backend.load(*it, storage::ChargeFn{});
+    if (!image || image->pid != pid) continue;
+    // The torture battery's engines are all non-incremental; a delta here
+    // would itself be a bug surfaced by the pid/kind mismatch below.
+    if (image->kind != storage::ImageKind::kFull) continue;
+    return image;
+  }
+  return std::nullopt;
+}
+
+/// Byte-compare the state that matters for "the same process came back":
+/// memory payloads, heap bounds and every thread's register file.
+bool states_match(const storage::CheckpointImage& a, const storage::CheckpointImage& b) {
+  if (!core::images_equal_memory(a, b)) return false;
+  if (a.brk != b.brk || a.heap_base != b.heap_base) return false;
+  if (a.threads.size() != b.threads.size()) return false;
+  for (std::size_t i = 0; i < a.threads.size(); ++i) {
+    if (!(a.threads[i].regs == b.threads[i].regs)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string TortureReport::summary() const {
+  std::ostringstream out;
+  out << engine << ": " << cycles << " cycles, " << checkpoints_ok << " checkpoints ok / "
+      << checkpoints_failed << " refused, " << restarts_ok << " restarts ok / "
+      << restarts_refused << " correctly refused; violations: " << divergences
+      << " divergence, " << corrupt_restarts << " corrupt-restart, " << unexpected_failures
+      << " unexpected-failure";
+  return out.str();
+}
+
+std::vector<TortureTarget> default_targets() {
+  auto chpox_reattach = [](mechanisms::Mechanism& m, sim::SimKernel& kernel, sim::Pid pid) {
+    auto* chpox = dynamic_cast<mechanisms::ChpoxMechanism*>(&m);
+    return chpox != nullptr && chpox->register_pid(kernel, pid);
+  };
+  auto blcr_reattach = [](mechanisms::Mechanism& m, sim::SimKernel& kernel, sim::Pid pid) {
+    auto* blcr = dynamic_cast<mechanisms::BlcrMechanism*>(&m);
+    return blcr != nullptr && blcr->initialize_process(kernel, pid);
+  };
+  return {
+      {"CRAK", nullptr},
+      {"UCLik", nullptr},
+      {"CHPOX", chpox_reattach},
+      {"BLCR", blcr_reattach},
+      {"PsncR/C", nullptr},
+  };
+}
+
+TortureReport TortureHarness::run(const TortureTarget& target) {
+  TortureReport report;
+  report.engine = target.catalog_name;
+
+  const mechanisms::CatalogEntry* entry = find_entry(target.catalog_name);
+  if (entry == nullptr) {
+    throw std::invalid_argument("TortureHarness: unknown mechanism " + target.catalog_name);
+  }
+
+  const std::uint64_t seed = mix_seed(options_.seed, target.catalog_name);
+  sim::SimKernel kernel(2, sim::CostModel{}, seed);
+  sim::register_standard_guests();
+  storage::LocalDiskBackend local{kernel.costs()};
+  storage::RemoteBackend remote{kernel.costs()};
+  mechanisms::MechanismContext context{&kernel, &local, &remote};
+  std::unique_ptr<mechanisms::Mechanism> mech = entry->factory(context);
+
+  auto* backend = dynamic_cast<storage::BlobStoreBackend*>(mech->engine()->backend());
+  if (backend == nullptr) {
+    throw std::invalid_argument("TortureHarness: " + target.catalog_name +
+                                " has no blob-store backend to torture");
+  }
+
+  StorageInjector storage_inj(*backend);
+  ProcessInjector process_inj(kernel);
+  FaultPlan plan(seed, options_.fault_mix.empty() ? FaultPlan::default_mix()
+                                                  : options_.fault_mix);
+  util::Rng& rng = plan.rng();
+
+  sim::WriterConfig guest_config;
+  guest_config.array_bytes = options_.array_bytes;
+  guest_config.writes_per_step = 8;
+  guest_config.seed = seed;
+  const std::vector<std::byte> config_blob = guest_config.encode();
+  const sim::SpawnOptions spawn_options = sim::spawn_options_for_array(options_.array_bytes);
+  const std::string guest_type = sim::DenseWriterGuest::kTypeName;
+
+  sim::Pid pid = mech->launch(kernel, guest_type, config_blob, spawn_options);
+
+  // The harness's own model of stable storage for the current chain: how
+  // many of its images must still reconstruct, and whether the newest one
+  // is intact.  Restart outcomes are judged against this, never against the
+  // engine's bookkeeping.
+  std::uint64_t chain_len = 0;
+  std::uint64_t good_count = 0;
+  bool newest_good = false;
+
+  core::RestartOptions restart_options;
+  restart_options.fall_back_to_older_images = true;
+
+  auto note = [&report](std::string text) { report.diagnostics.push_back(std::move(text)); };
+
+  // Attempt a restart of the (dead) current pid; adopt the restored process
+  // on success.  Returns whether the soak has a live process again.
+  auto attempt_restart = [&](std::uint64_t cycle, FaultKind fk) -> bool {
+    const bool expected_ok = good_count > 0 && !backend->in_outage();
+    core::RestartResult rr = mech->restart(kernel, pid, restart_options);
+    if (!rr.ok) {
+      if (expected_ok) {
+        ++report.unexpected_failures;
+        note(cat("cycle ", cycle, ": restart failed although ", good_count,
+                 " intact image(s) survived [", to_string(fk), "]: ", rr.error));
+      } else {
+        ++report.restarts_refused;
+      }
+      return false;
+    }
+    if (!expected_ok) {
+      ++report.corrupt_restarts;
+      note(cat("cycle ", cycle, ": restart claimed success although no intact image",
+               " survived [", to_string(fk), "]"));
+    } else {
+      ++report.restarts_ok;
+      std::optional<storage::CheckpointImage> truth = newest_loadable(*backend, pid);
+      if (!truth) {
+        ++report.divergences;
+        note(cat("cycle ", cycle, ": verifier found no intact image for pid ", pid,
+                 " although the model expected ", good_count));
+      } else {
+        sim::Process& restored = kernel.process(rr.pid);
+        const storage::CheckpointImage now_image =
+            core::capture_kernel_level(kernel, restored, mech->engine()->options().capture);
+        if (!states_match(now_image, *truth)) {
+          ++report.divergences;
+          note(cat("cycle ", cycle, ": restored pid ", rr.pid,
+                   " diverges from stored image seq ", truth->sequence, " [", to_string(fk),
+                   "]"));
+        }
+      }
+    }
+    const bool same_pid = rr.pid == pid;
+    pid = rr.pid;
+    if (target.reattach && !target.reattach(*mech, kernel, pid)) {
+      note(cat("cycle ", cycle, ": reattach failed for restarted pid ", pid));
+      return false;
+    }
+    if (!same_pid) {
+      // A fresh pid starts a fresh chain in the engine.
+      chain_len = 0;
+      good_count = 0;
+      newest_good = false;
+    }
+    return true;
+  };
+
+  auto respawn = [&] {
+    pid = mech->launch(kernel, guest_type, config_blob, spawn_options);
+    chain_len = 0;
+    good_count = 0;
+    newest_good = false;
+  };
+
+  for (std::uint64_t cycle = 0; cycle < options_.cycles; ++cycle) {
+    ++report.cycles;
+    const Fault fault = plan.next();
+    ++report.faults[fault.kind];
+
+    const std::uint64_t span = options_.max_steps - options_.min_steps + 1;
+    const std::uint64_t steps = options_.min_steps + rng.next_below(span);
+
+    if (fault.kind == FaultKind::kStorageOutage) storage_inj.begin_outage();
+
+    // 1. Run window — with kKillProcess the process fail-stops partway in,
+    //    through the kernel's timer-driven crash hook.
+    if (fault.kind == FaultKind::kKillProcess) {
+      run_guest_steps(kernel, pid, fault.param % steps);
+      process_inj.kill_at(pid, kernel.now() + 1);
+      kernel.run_until(kernel.now() + kernel.quantum());
+    } else {
+      run_guest_steps(kernel, pid, steps);
+    }
+
+    // 2. Checkpoint attempt, possibly against a faulted store.
+    if (fault.kind == FaultKind::kStoreReject) storage_inj.fail_next_store();
+    if (fault.kind == FaultKind::kTornStore) storage_inj.tear_next_store();
+    const core::CheckpointResult cr = mech->checkpoint(kernel, pid);
+    backend->inject_store_fault(storage::StoreFault::kNone);  // disarm if unconsumed
+    if (cr.ok) {
+      ++report.checkpoints_ok;
+      ++chain_len;
+      if (fault.kind == FaultKind::kTornStore) {
+        newest_good = false;  // "succeeded", but the blob on disk is torn
+      } else {
+        ++good_count;
+        newest_good = true;
+      }
+    } else {
+      ++report.checkpoints_failed;
+    }
+
+    // 3. Silent media corruption of the newest image of the current chain.
+    if (fault.kind == FaultKind::kCorruptImage && chain_len > 0) {
+      if (storage_inj.corrupt_newest(rng, fault.param) && newest_good) {
+        --good_count;
+        newest_good = false;
+      }
+    }
+
+    // 4. Crash: every cycle ends with the process dead.
+    if (sim::Process* proc = kernel.find_process(pid)) {
+      if (proc->alive()) kernel.terminate(*proc, 128 + 9);
+      kernel.reap(pid);
+    }
+
+    // 5. Restart from the newest surviving image; judge the outcome.
+    bool live = attempt_restart(cycle, fault.kind);
+
+    if (fault.kind == FaultKind::kStorageOutage) {
+      storage_inj.end_outage();
+      // Transient outage: once storage is back, a retry must succeed iff
+      // intact images survived.
+      if (!live) live = attempt_restart(cycle, fault.kind);
+    }
+
+    if (!live) respawn();
+  }
+
+  return report;
+}
+
+std::vector<TortureReport> TortureHarness::run_all(const std::vector<TortureTarget>& targets) {
+  std::vector<TortureReport> reports;
+  reports.reserve(targets.size());
+  for (const TortureTarget& target : targets) reports.push_back(run(target));
+  return reports;
+}
+
+}  // namespace ckpt::inject

@@ -1,0 +1,100 @@
+// Crash/restart torture harness.
+//
+// Drives any catalog CheckpointEngine through randomized
+// checkpoint–crash–restart soak cycles under a seed-deterministic FaultPlan:
+// advance the guest a random number of steps, inject the planned fault
+// (store rejection, torn write, silent corruption, storage outage,
+// fail-stop), crash the process, restart from the newest *surviving* image
+// and byte-compare the restored state against an independent reconstruction
+// from the raw stored blobs.  The harness maintains its own model of which
+// images must still be loadable, so three failure classes are detected and
+// counted separately:
+//
+//   * divergences         — restored state differs from the stored image,
+//   * corrupt_restarts    — a restart "succeeded" although no intact image
+//                           existed (restarting from garbage),
+//   * unexpected_failures — a restart failed although an intact image
+//                           survived (lost more work than the faults cost).
+//
+// All three must be zero for TortureReport::ok().  Every run is bit-
+// reproducible from TortureOptions::seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "inject/fault.hpp"
+#include "mechanisms/mechanism.hpp"
+#include "sim/kernel.hpp"
+
+namespace ckpt::inject {
+
+struct TortureOptions {
+  std::uint64_t seed = 1;
+  /// Soak cycles per engine (each cycle = run, fault, crash, restart).
+  std::uint64_t cycles = 100;
+  /// Guest steps per run window, drawn uniformly from [min, max].
+  std::uint64_t min_steps = 4;
+  std::uint64_t max_steps = 24;
+  /// Fault vocabulary; empty selects FaultPlan::default_mix().
+  std::vector<FaultPlan::Weighted> fault_mix;
+  /// Guest working-set size (bytes) — keeps image sizes bounded.
+  std::uint64_t array_bytes = 16 * 1024;
+};
+
+struct TortureReport {
+  std::string engine;
+  std::uint64_t cycles = 0;
+  std::uint64_t checkpoints_ok = 0;
+  std::uint64_t checkpoints_failed = 0;
+  std::uint64_t restarts_ok = 0;
+  std::uint64_t restarts_refused = 0;  ///< correctly refused (nothing intact)
+  std::map<FaultKind, std::uint64_t> faults;
+
+  // --- Violations (all must be zero) ---------------------------------------
+  std::uint64_t divergences = 0;
+  std::uint64_t corrupt_restarts = 0;
+  std::uint64_t unexpected_failures = 0;
+  std::vector<std::string> diagnostics;
+
+  [[nodiscard]] bool ok() const {
+    return divergences == 0 && corrupt_restarts == 0 && unexpected_failures == 0;
+  }
+  [[nodiscard]] std::string summary() const;
+
+  friend bool operator==(const TortureReport&, const TortureReport&) = default;
+};
+
+/// One engine under torture.  `reattach` re-runs the mechanism's required
+/// registration on a restarted pid (CHPOX /proc registration, BLCR
+/// initialization phase); null when the mechanism needs none.
+struct TortureTarget {
+  std::string catalog_name;
+  std::function<bool(mechanisms::Mechanism&, sim::SimKernel&, sim::Pid)> reattach;
+};
+
+/// The default battery: every catalog mechanism that can externally
+/// checkpoint an arbitrary (possibly restarted) pid to real stable storage —
+/// CRAK, UCLik, CHPOX, BLCR, PsncR/C.  (EPCKPT only checkpoints processes
+/// started through its launcher tool and LAM/MPI only mpirun ranks, so
+/// neither can re-adopt a restarted process; the migration-only and
+/// self-checkpointing mechanisms have no external restartable path at all.)
+std::vector<TortureTarget> default_targets();
+
+class TortureHarness {
+ public:
+  explicit TortureHarness(TortureOptions options) : options_(options) {}
+
+  /// Torture one engine; fresh kernel + storage per call.
+  TortureReport run(const TortureTarget& target);
+
+  std::vector<TortureReport> run_all(const std::vector<TortureTarget>& targets);
+
+ private:
+  TortureOptions options_;
+};
+
+}  // namespace ckpt::inject

@@ -428,6 +428,30 @@ void SimKernel::add_timer(SimTime when, std::function<void(SimKernel&)> fn) {
   std::sort(timers_.begin(), timers_.end());
 }
 
+void SimKernel::kill_process_at(SimTime when, Pid pid) {
+  add_timer(when, [pid](SimKernel& kernel) {
+    Process* proc = kernel.find_process(pid);
+    if (proc == nullptr || !proc->alive()) return;
+    kernel.terminate(*proc, 128 + kSigKill);
+    kernel.reap(pid);
+  });
+}
+
+void SimKernel::stop_process_at(SimTime when, Pid pid) {
+  add_timer(when, [pid](SimKernel& kernel) {
+    Process* proc = kernel.find_process(pid);
+    if (proc == nullptr || !proc->alive()) return;
+    kernel.stop_process(*proc);
+  });
+}
+
+bool SimKernel::drop_pending_signal(Pid pid, Signal sig) {
+  Process* proc = find_process(pid);
+  if (proc == nullptr || !proc->signals.is_pending(sig)) return false;
+  proc->signals.clear(sig);
+  return true;
+}
+
 void SimKernel::fire_timers() {
   while (!timers_.empty() && timers_.front().when <= clock_) {
     auto timer = std::move(timers_.front());

@@ -211,6 +211,19 @@ class SimKernel {
   /// One-shot kernel timer; fires between rounds.
   void add_timer(SimTime when, std::function<void(SimKernel&)> fn);
 
+  // --- Fault-injection hooks (src/inject) --------------------------------------
+  /// Fail-stop a process at simulated time `when`: it is terminated with
+  /// SIGKILL semantics and reaped between rounds.  No-op if the pid is gone
+  /// (or already dead) by then — the crash raced with a natural exit.
+  void kill_process_at(SimTime when, Pid pid);
+
+  /// Stop (freeze) a process at simulated time `when`; no-op if gone.
+  void stop_process_at(SimTime when, Pid pid);
+
+  /// Drop a pending, not-yet-delivered signal — a lost checkpoint request.
+  /// Returns true if the signal was actually pending (and is now gone).
+  bool drop_pending_signal(Pid pid, Signal sig);
+
   // --- Kernel-mode state access (system-level checkpointing) ------------------
   /// Charge the cost of directly reading N fields from a task structure.
   void charge_kernel_field_reads(std::uint64_t fields);

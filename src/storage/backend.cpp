@@ -14,14 +14,48 @@ const char* to_string(StorageLocality locality) {
   return "?";
 }
 
+const char* to_string(StoreFault fault) {
+  switch (fault) {
+    case StoreFault::kNone: return "none";
+    case StoreFault::kReject: return "reject";
+    case StoreFault::kTornWrite: return "torn-write";
+  }
+  return "?";
+}
+
 // ---------------------------------------------------------------------------
 // BlobStoreBackend
 // ---------------------------------------------------------------------------
 
 ImageId BlobStoreBackend::put_blob(std::vector<std::byte> blob) {
+  if (outage_) return kBadImageId;
+  const StoreFault fault = store_fault_;
+  store_fault_ = StoreFault::kNone;
+  if (fault == StoreFault::kReject) return kBadImageId;
+  if (fault == StoreFault::kTornWrite) {
+    // Crash mid-write: only a prefix of the blob reaches the media.  The
+    // id is handed out as if the store succeeded — exactly the silent
+    // failure the CRC at load time must catch.
+    blob.resize(blob.size() > 1 ? blob.size() - blob.size() / 3 - 1 : 0);
+  }
   const ImageId id = next_id_++;
   blobs_.emplace(id, std::move(blob));
   return id;
+}
+
+bool BlobStoreBackend::corrupt_blob(ImageId id, std::uint64_t offset, std::uint64_t count,
+                                    std::byte mask) {
+  auto it = blobs_.find(id);
+  if (it == blobs_.end() || it->second.empty() || mask == std::byte{0}) return false;
+  auto& blob = it->second;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    blob[(offset + i) % blob.size()] ^= mask;
+  }
+  return true;
+}
+
+ImageId BlobStoreBackend::newest_id() const {
+  return blobs_.empty() ? kBadImageId : blobs_.rbegin()->first;
 }
 
 std::optional<CheckpointImage> BlobStoreBackend::load(ImageId id, const ChargeFn& charge) {

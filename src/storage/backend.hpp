@@ -62,6 +62,17 @@ class StorageBackend {
   [[nodiscard]] virtual std::uint64_t stored_bytes() const = 0;
 };
 
+/// Injected failure mode for the next store() on a BlobStoreBackend.
+/// Armed by the fault-injection subsystem (src/inject), consumed on use.
+enum class StoreFault : std::uint8_t {
+  kNone,
+  kReject,     ///< store fails cleanly: kBadImageId returned, nothing persisted
+  kTornWrite,  ///< store "succeeds" but persists a truncated blob (crash
+               ///< mid-write); the damage only surfaces at load via CRC
+};
+
+const char* to_string(StoreFault fault);
+
 /// Common base holding serialized blobs keyed by id.
 class BlobStoreBackend : public StorageBackend {
  public:
@@ -70,13 +81,38 @@ class BlobStoreBackend : public StorageBackend {
   [[nodiscard]] std::vector<ImageId> list() const override;
   [[nodiscard]] std::uint64_t stored_bytes() const override;
 
+  // --- Fault-injection hooks (src/inject) -----------------------------------
+  /// Arm a one-shot fault on the next store(); consumed whether or not the
+  /// store would otherwise have succeeded.
+  void inject_store_fault(StoreFault fault) { store_fault_ = fault; }
+  [[nodiscard]] StoreFault pending_store_fault() const { return store_fault_; }
+
+  /// XOR-flip `count` bytes starting at `offset` (wrapping within the blob)
+  /// of a stored blob — silent media corruption.  Returns false when the id
+  /// is unknown or the blob is empty.
+  bool corrupt_blob(ImageId id, std::uint64_t offset, std::uint64_t count,
+                    std::byte mask = std::byte{0xFF});
+
+  /// Most recently stored id, kBadImageId when nothing is stored — the
+  /// natural corruption target ("newest image").
+  [[nodiscard]] ImageId newest_id() const;
+
+  /// Transient outage: the backend is unreachable (stores rejected, loads
+  /// fail) until cleared.  Orthogonal to permanent failure state such as
+  /// LocalDiskBackend::fail_node(); data is untouched.
+  void set_outage(bool outage) { outage_ = outage; }
+  [[nodiscard]] bool in_outage() const { return outage_; }
+
  protected:
+  /// Persist `blob`, honouring any armed store fault and outage state.
   ImageId put_blob(std::vector<std::byte> blob);
   /// Per-IO cost for `bytes`, implemented by subclasses.
   [[nodiscard]] virtual SimTime io_cost(std::uint64_t bytes) const = 0;
 
   std::map<ImageId, std::vector<std::byte>> blobs_;
   ImageId next_id_ = 1;
+  StoreFault store_fault_ = StoreFault::kNone;
+  bool outage_ = false;
 };
 
 /// Node-local disk.  fail_node() models the machine dying: blobs become
@@ -90,7 +126,7 @@ class LocalDiskBackend final : public BlobStoreBackend {
   [[nodiscard]] StorageLocality locality() const override {
     return StorageLocality::kLocalDisk;
   }
-  [[nodiscard]] bool reachable() const override { return !failed_; }
+  [[nodiscard]] bool reachable() const override { return !failed_ && !outage_; }
 
   void fail_node() { failed_ = true; }
   void recover_node() { failed_ = false; }
@@ -113,7 +149,7 @@ class RemoteBackend final : public BlobStoreBackend {
 
   ImageId store(const CheckpointImage& image, const ChargeFn& charge) override;
   [[nodiscard]] StorageLocality locality() const override { return StorageLocality::kRemote; }
-  [[nodiscard]] bool reachable() const override { return true; }
+  [[nodiscard]] bool reachable() const override { return !outage_; }
 
  protected:
   [[nodiscard]] SimTime io_cost(std::uint64_t bytes) const override {
@@ -133,7 +169,7 @@ class MemoryBackend final : public BlobStoreBackend {
   [[nodiscard]] StorageLocality locality() const override {
     return StorageLocality::kVolatileMemory;
   }
-  [[nodiscard]] bool reachable() const override { return !power_cycled_; }
+  [[nodiscard]] bool reachable() const override { return !power_cycled_ && !outage_; }
 
   void power_cycle() {
     power_cycled_ = true;

@@ -44,6 +44,14 @@ std::optional<CheckpointImage> CheckpointChain::reconstruct_at(std::uint64_t seq
   return base;
 }
 
+std::optional<CheckpointImage> CheckpointChain::reconstruct_newest_surviving(
+    const ChargeFn& charge) const {
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    if (auto image = reconstruct_at(it->sequence, charge)) return image;
+  }
+  return std::nullopt;
+}
+
 void CheckpointChain::prune() {
   // Keep from the last full image onward.
   std::ptrdiff_t last_full = -1;

@@ -35,6 +35,15 @@ class CheckpointChain {
   [[nodiscard]] std::optional<CheckpointImage> reconstruct_at(std::uint64_t sequence,
                                                               const ChargeFn& charge) const;
 
+  /// Reconstruct the newest *surviving* state: walk sequence points from
+  /// newest to oldest and return the first that reconstructs — skipping
+  /// states whose images are corrupt, torn or unreadable.  nullopt when no
+  /// sequence point survives.  The restart fallback the torture harness
+  /// exercises: a corrupt newest image must cost lost work, never a
+  /// successful restart from garbage.
+  [[nodiscard]] std::optional<CheckpointImage> reconstruct_newest_surviving(
+      const ChargeFn& charge) const;
+
   /// Drop images no longer needed to reconstruct the newest state.
   void prune();
 

@@ -1,0 +1,118 @@
+// Capture/restore fidelity property, over the whole catalog.
+//
+// For every one of the twelve surveyed mechanisms: launch a memory-churning
+// guest through the mechanism's own launch procedure, random-walk it to
+// seeded random sim times, snapshot it with the mechanism's capture options,
+// restart the snapshot, and byte-compare the restored address space,
+// register files and heap bounds against the image.  The walk continues on
+// the original process between rounds, so each round checkpoints a
+// different, rng-determined point of execution.
+#include <gtest/gtest.h>
+
+#include "core/capture.hpp"
+#include "mechanisms/catalog.hpp"
+#include "sim/guests.hpp"
+#include "test_common.hpp"
+#include "util/rng.hpp"
+
+namespace ckpt::mechanisms {
+namespace {
+
+using ckpt::test::SimTest;
+using ckpt::test::run_steps;
+
+std::uint64_t seed_for(const std::string& name) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h == 0 ? 1 : h;
+}
+
+bool registers_match(const storage::CheckpointImage& a, const storage::CheckpointImage& b) {
+  if (a.threads.size() != b.threads.size()) return false;
+  for (std::size_t i = 0; i < a.threads.size(); ++i) {
+    if (!(a.threads[i].regs == b.threads[i].regs)) return false;
+  }
+  return true;
+}
+
+class CatalogRoundTrip : public SimTest,
+                         public ::testing::WithParamInterface<std::string> {};
+
+TEST_P(CatalogRoundTrip, RandomWalkCheckpointRestoresExactState) {
+  const std::string name = GetParam();
+  const CatalogEntry* entry = nullptr;
+  for (const CatalogEntry& e : mechanism_catalog()) {
+    if (e.name == name) entry = &e;
+  }
+  ASSERT_NE(entry, nullptr);
+
+  sim::SimKernel kernel{1};
+  storage::LocalDiskBackend local{sim::CostModel{}};
+  storage::RemoteBackend remote{sim::CostModel{}};
+  std::unique_ptr<Mechanism> mech =
+      entry->factory(MechanismContext{&kernel, &local, &remote});
+
+  util::Rng rng(seed_for(name));
+  sim::WriterConfig config;
+  config.array_bytes = 16 * 1024;
+  config.writes_per_step = 8;
+  config.seed = rng.next_u64();
+  const sim::Pid pid = mech->launch(kernel, sim::DenseWriterGuest::kTypeName,
+                                    config.encode(), sim::spawn_options_for_array(16 * 1024));
+  ASSERT_NE(pid, sim::kNoPid);
+
+  const core::CaptureOptions capture_options =
+      mech->engine() != nullptr ? mech->engine()->options().capture : core::CaptureOptions{};
+
+  std::uint64_t walk_target = 0;
+  for (int round = 0; round < 4; ++round) {
+    SCOPED_TRACE(name + " round " + std::to_string(round));
+    // Walk to an rng-chosen sim time, then snapshot there.  run_steps takes
+    // an absolute iteration target, so keep it strictly increasing.
+    walk_target += 1 + rng.next_below(20);
+    run_steps(kernel, pid, walk_target);
+    const storage::CheckpointImage image =
+        core::capture_kernel_level(kernel, kernel.process(pid), capture_options);
+    EXPECT_EQ(image.pid, pid);
+    EXPECT_GT(image.payload_bytes(), 0u);
+
+    const core::RestartResult restarted = core::restart_from_image(kernel, image);
+    ASSERT_TRUE(restarted.ok) << restarted.error;
+
+    // Byte-compare the restored copy against the image it came from.
+    sim::Process& copy = kernel.process(restarted.pid);
+    const storage::CheckpointImage echo =
+        core::capture_kernel_level(kernel, copy, capture_options);
+    EXPECT_TRUE(core::images_equal_memory(echo, image)) << "address space diverged";
+    EXPECT_TRUE(registers_match(echo, image)) << "register files diverged";
+    EXPECT_EQ(echo.brk, image.brk);
+    EXPECT_EQ(echo.heap_base, image.heap_base);
+
+    // The copy must be runnable, not just byte-identical.
+    const std::uint64_t before = copy.stats.guest_iterations;
+    run_steps(kernel, restarted.pid, before + 3);
+    EXPECT_GT(kernel.process(restarted.pid).stats.guest_iterations, before);
+
+    // Retire the copy; the walk continues on the original.
+    kernel.terminate(kernel.process(restarted.pid), 0);
+    kernel.reap(restarted.pid);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMechanisms, CatalogRoundTrip,
+                         ::testing::Values("VMADump", "BPROC", "EPCKPT", "CRAK", "UCLik",
+                                           "CHPOX", "ZAP", "BLCR", "LAM/MPI", "PsncR/C",
+                                           "Software Suspend", "Checkpoint"),
+                         [](const auto& info) {
+                           std::string sanitized = info.param;
+                           for (char& c : sanitized) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+                           }
+                           return sanitized;
+                         });
+
+}  // namespace
+}  // namespace ckpt::mechanisms

@@ -87,6 +87,39 @@ TEST_F(ClusterTest, FailureInjectorIsDeterministic) {
   (void)c;  // different seed may or may not differ; determinism is the claim
 }
 
+TEST_F(ClusterTest, FailureScheduleIsSeedDeterministicPerDistribution) {
+  // Stronger than counting failures: the full armed schedule — which node
+  // fails at which cluster time, including post-repair rescheduling — must
+  // replay exactly from the seed, for both supported distributions.
+  auto schedule_for = [](FailureModel::Kind kind, std::uint64_t seed) {
+    Cluster cluster(8, NodeConfig{});
+    FailureModel model;
+    model.kind = kind;
+    model.mtbf = 2 * kSecond;
+    model.weibull_shape = 0.7;
+    model.repair_time = 500 * kMillisecond;
+    model.seed = seed;
+    FailureInjector injector(cluster, model);
+    injector.arm(20 * kSecond);
+    cluster.run_until(20 * kSecond, 100 * kMillisecond);
+    return injector.schedule();
+  };
+
+  for (const FailureModel::Kind kind :
+       {FailureModel::Kind::kExponential, FailureModel::Kind::kWeibull}) {
+    const std::vector<ScheduledFailure> a = schedule_for(kind, 7);
+    const std::vector<ScheduledFailure> b = schedule_for(kind, 7);
+    const std::vector<ScheduledFailure> c = schedule_for(kind, 8);
+    ASSERT_FALSE(a.empty());
+    EXPECT_EQ(a, b);  // identical seed ⇒ identical schedule
+    EXPECT_NE(a, c);  // different seed ⇒ different schedule
+  }
+
+  // The two distributions must not collapse onto the same schedule either.
+  EXPECT_NE(schedule_for(FailureModel::Kind::kExponential, 7),
+            schedule_for(FailureModel::Kind::kWeibull, 7));
+}
+
 TEST_F(ClusterTest, ExponentialFailuresScaleWithMtbf) {
   auto failures_with_mtbf = [](SimTime mtbf) {
     Cluster cluster(16, NodeConfig{});

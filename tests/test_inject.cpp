@@ -1,0 +1,187 @@
+// Unit tests for the fault-injection subsystem (src/inject): the
+// deterministic FaultPlan, and the storage / kernel / cluster injectors the
+// torture harness is built from.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cluster/node.hpp"
+#include "core/capture.hpp"
+#include "inject/fault.hpp"
+#include "inject/injectors.hpp"
+#include "test_common.hpp"
+
+namespace ckpt::inject {
+namespace {
+
+using ckpt::test::SimTest;
+using ckpt::test::run_steps;
+
+// --- FaultPlan --------------------------------------------------------------
+
+TEST(FaultPlan, SameSeedReplaysTheIdenticalSchedule) {
+  FaultPlan a(99, FaultPlan::default_mix());
+  FaultPlan b(99, FaultPlan::default_mix());
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.next(), b.next()) << "draw " << i;
+  }
+  EXPECT_EQ(a.drawn(), 200u);
+}
+
+TEST(FaultPlan, DifferentSeedsDiverge) {
+  FaultPlan a(99, FaultPlan::default_mix());
+  FaultPlan b(100, FaultPlan::default_mix());
+  bool diverged = false;
+  for (int i = 0; i < 200 && !diverged; ++i) diverged = !(a.next() == b.next());
+  EXPECT_TRUE(diverged);
+}
+
+TEST(FaultPlan, DrawsEveryKindInTheMix) {
+  FaultPlan plan(1, FaultPlan::default_mix());
+  std::set<FaultKind> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(plan.next().kind);
+  for (const FaultPlan::Weighted& entry : FaultPlan::default_mix()) {
+    EXPECT_TRUE(seen.count(entry.kind)) << to_string(entry.kind);
+  }
+}
+
+TEST(FaultPlan, RespectsRestrictedVocabulary) {
+  FaultPlan plan(1, {{FaultKind::kTornStore, 1}});
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(plan.next().kind, FaultKind::kTornStore);
+}
+
+TEST(FaultPlan, RejectsDegenerateVocabularies) {
+  EXPECT_THROW(FaultPlan(1, {}), std::invalid_argument);
+  EXPECT_THROW(FaultPlan(1, {{FaultKind::kNone, 0}}), std::invalid_argument);
+}
+
+// --- StorageInjector --------------------------------------------------------
+
+TEST(StorageInjector, CorruptNewestHitsTheLatestImage) {
+  storage::LocalDiskBackend backend{sim::CostModel{}};
+  StorageInjector injector(backend);
+  util::Rng rng(3);
+
+  EXPECT_FALSE(injector.corrupt_newest(rng, 4));  // nothing stored yet
+
+  storage::CheckpointImage image;
+  image.pid = 5;
+  image.guest = sim::GuestImage{"counter", {}};
+  const storage::ImageId first = backend.store(image, nullptr);
+  const storage::ImageId second = backend.store(image, nullptr);
+  ASSERT_TRUE(injector.corrupt_newest(rng, 4));
+  EXPECT_TRUE(backend.load(first, nullptr).has_value());    // untouched
+  EXPECT_FALSE(backend.load(second, nullptr).has_value());  // the newest
+}
+
+TEST(StorageInjector, OutageBracketsAreSymmetric) {
+  storage::RemoteBackend backend{sim::CostModel{}};
+  StorageInjector injector(backend);
+  injector.begin_outage();
+  EXPECT_TRUE(backend.in_outage());
+  EXPECT_FALSE(backend.reachable());
+  injector.end_outage();
+  EXPECT_TRUE(backend.reachable());
+}
+
+// --- ProcessInjector (kernel hooks) -----------------------------------------
+
+class ProcessInjectorTest : public SimTest {
+ protected:
+  sim::SimKernel kernel_;
+};
+
+TEST_F(ProcessInjectorTest, KillAtFailStopsTheProcessOnSchedule) {
+  const sim::Pid pid = kernel_.spawn(sim::CounterGuest::kTypeName);
+  ProcessInjector injector(kernel_);
+  injector.kill_at(pid, kernel_.now() + 5 * kMillisecond);
+
+  kernel_.run_until(kernel_.now() + 20 * kMillisecond);
+  EXPECT_EQ(kernel_.find_process(pid), nullptr);  // terminated and reaped
+}
+
+TEST_F(ProcessInjectorTest, KillAtToleratesAlreadyDeadPids) {
+  const sim::Pid pid = kernel_.spawn(sim::CounterGuest::kTypeName);
+  ProcessInjector injector(kernel_);
+  injector.kill_at(pid, kernel_.now() + 5 * kMillisecond);
+  kernel_.terminate(kernel_.process(pid), 0);
+  kernel_.reap(pid);
+  kernel_.run_until(kernel_.now() + 20 * kMillisecond);  // timer fires on nothing
+  EXPECT_EQ(kernel_.find_process(pid), nullptr);
+}
+
+TEST_F(ProcessInjectorTest, StopAtFreezesProgress) {
+  const sim::Pid pid = kernel_.spawn(sim::CounterGuest::kTypeName);
+  run_steps(kernel_, pid, 3);
+  ProcessInjector injector(kernel_);
+  injector.stop_at(pid, kernel_.now() + 1);
+  kernel_.run_until(kernel_.now() + 20 * kMillisecond);
+
+  sim::Process& proc = kernel_.process(pid);
+  EXPECT_FALSE(proc.runnable());
+  const std::uint64_t frozen_at = proc.stats.guest_iterations;
+  kernel_.run_until(kernel_.now() + 20 * kMillisecond);
+  EXPECT_EQ(proc.stats.guest_iterations, frozen_at);  // starved, not running
+
+  kernel_.resume_process(proc);
+  run_steps(kernel_, pid, frozen_at + 2);
+  EXPECT_GT(proc.stats.guest_iterations, frozen_at);
+}
+
+TEST_F(ProcessInjectorTest, DropSignalLosesAPendingCheckpointRequest) {
+  bool delivered = false;
+  kernel_.register_kernel_signal(
+      sim::kSigCkpt, [&delivered](sim::SimKernel&, sim::Process&) { delivered = true; },
+      nullptr);
+  const sim::Pid pid = kernel_.spawn(sim::CounterGuest::kTypeName);
+  ProcessInjector injector(kernel_);
+
+  ASSERT_TRUE(kernel_.send_signal(pid, sim::kSigCkpt));
+  EXPECT_TRUE(injector.drop_signal(pid, sim::kSigCkpt));
+  EXPECT_FALSE(injector.drop_signal(pid, sim::kSigCkpt));  // already gone
+  run_steps(kernel_, pid, 5);
+  EXPECT_FALSE(delivered) << "dropped signal must never reach its action";
+
+  ASSERT_TRUE(kernel_.send_signal(pid, sim::kSigCkpt));
+  run_steps(kernel_, pid, 10);
+  EXPECT_TRUE(delivered) << "an undropped signal still works";
+}
+
+// --- NodeInjector (cluster layer) -------------------------------------------
+
+TEST(NodeInjector, FailStopBetweenCaptureAndStoreLosesLocalNotRemote) {
+  cluster::Cluster cluster(2, cluster::NodeConfig{});
+  cluster::Node& node = cluster.node(0);
+  sim::register_standard_guests();
+  const sim::Pid pid = node.kernel().spawn(sim::CounterGuest::kTypeName);
+  run_steps(node.kernel(), pid, 5);
+
+  // Capture succeeded — and then the node dies before the image is stored.
+  const storage::CheckpointImage image =
+      core::capture_kernel_level(node.kernel(), node.kernel().process(pid), {});
+  NodeInjector injector(cluster);
+  injector.fail_stop_now(0);
+  EXPECT_FALSE(node.up());
+
+  // The local store now fails — the checkpoint is simply lost — while the
+  // same image stored remotely survives (the survey's Table 1 distinction).
+  EXPECT_EQ(node.disk().store(image, nullptr), storage::kBadImageId);
+  const storage::ImageId remote_id = cluster.remote_storage().store(image, nullptr);
+  ASSERT_NE(remote_id, storage::kBadImageId);
+  EXPECT_TRUE(cluster.remote_storage().load(remote_id, nullptr).has_value());
+}
+
+TEST(NodeInjector, ScheduledFailAndRepairFireOnTheClusterClock) {
+  cluster::Cluster cluster(1, cluster::NodeConfig{});
+  NodeInjector injector(cluster);
+  injector.fail_stop_at(0, 5 * kMillisecond);
+  injector.repair_at(0, 15 * kMillisecond);
+
+  cluster.run_until(10 * kMillisecond, kMillisecond);
+  EXPECT_FALSE(cluster.node(0).up());
+  cluster.run_until(20 * kMillisecond, kMillisecond);
+  EXPECT_TRUE(cluster.node(0).up());
+}
+
+}  // namespace
+}  // namespace ckpt::inject

@@ -80,6 +80,85 @@ TEST_F(PodTest, RestartInPodRemapsConflictingPorts) {
   EXPECT_NE(kernel_.port_owner(pod.vport_to_real[5555]), sim::kNoPid);
 }
 
+class RestartEdgeTest : public SimTest {
+ protected:
+  sim::SimKernel kernel_;
+};
+
+TEST_F(RestartEdgeTest, OriginalPidTakenFallsBackToFreshPidWithWarning) {
+  const sim::Pid pid = kernel_.spawn(sim::CounterGuest::kTypeName);
+  run_steps(kernel_, pid, 5);
+  const auto image = capture_kernel_level(kernel_, kernel_.process(pid), CaptureOptions{});
+
+  // The original is still alive, so its pid is taken.  Best-effort
+  // restoration must come back on a fresh pid and say so.
+  RestartOptions options;
+  options.restore_original_pid = true;
+  const RestartResult result = restart_from_image(kernel_, image, options);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_NE(result.pid, pid);
+  bool warned = false;
+  for (const std::string& warning : result.warnings) {
+    if (warning.find("pid") != std::string::npos) warned = true;
+  }
+  EXPECT_TRUE(warned) << "pid fallback must be surfaced as a warning";
+}
+
+TEST_F(RestartEdgeTest, RequireOriginalPidIsAHardFailure) {
+  const sim::Pid pid = kernel_.spawn(sim::CounterGuest::kTypeName);
+  run_steps(kernel_, pid, 5);
+  const auto image = capture_kernel_level(kernel_, kernel_.process(pid), CaptureOptions{});
+
+  RestartOptions strict;
+  strict.restore_original_pid = true;
+  strict.require_original_pid = true;
+  const RestartResult result = restart_from_image(kernel_, image, strict);
+  EXPECT_FALSE(result.ok);
+  EXPECT_FALSE(result.error.empty());
+
+  // Once the original dies, the same strict restart must restore its pid.
+  kernel_.terminate(kernel_.process(pid), 0);
+  kernel_.reap(pid);
+  const RestartResult retry = restart_from_image(kernel_, image, strict);
+  ASSERT_TRUE(retry.ok) << retry.error;
+  EXPECT_EQ(retry.pid, pid);
+}
+
+TEST_F(RestartEdgeTest, PortRebindConflictIsAWarningNotAFailure) {
+  const sim::Pid pid = kernel_.spawn(sim::CounterGuest::kTypeName);
+  sim::Process& proc = kernel_.process(pid);
+  sim::UserApi api(kernel_, proc);
+  const sim::Fd sock = api.sys_socket();
+  ASSERT_TRUE(api.sys_bind(sock, 6060));
+  const auto image = capture_kernel_level(kernel_, proc, CaptureOptions{});
+
+  // The original still owns port 6060, so the restarted copy cannot rebind.
+  const RestartResult result = restart_from_image(kernel_, image, RestartOptions{});
+  ASSERT_TRUE(result.ok) << result.error;
+  bool warned = false;
+  for (const std::string& warning : result.warnings) {
+    if (warning.find("6060") != std::string::npos) warned = true;
+  }
+  EXPECT_TRUE(warned) << "port conflict must land in RestartResult::warnings";
+  EXPECT_EQ(kernel_.port_owner(6060), pid);  // the original keeps the port
+}
+
+TEST_F(RestartEdgeTest, FreedPortRebindsSilently) {
+  const sim::Pid pid = kernel_.spawn(sim::CounterGuest::kTypeName);
+  sim::Process& proc = kernel_.process(pid);
+  sim::UserApi api(kernel_, proc);
+  const sim::Fd sock = api.sys_socket();
+  ASSERT_TRUE(api.sys_bind(sock, 6061));
+  const auto image = capture_kernel_level(kernel_, proc, CaptureOptions{});
+
+  kernel_.terminate(proc, 0);
+  kernel_.reap(pid);
+  const RestartResult result = restart_from_image(kernel_, image, RestartOptions{});
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_TRUE(result.warnings.empty()) << result.warnings.front();
+  EXPECT_EQ(kernel_.port_owner(6061), result.pid);
+}
+
 class MigrateTest : public SimTest {
  protected:
   sim::SimKernel source_{1, sim::CostModel{}, 1};

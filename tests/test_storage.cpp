@@ -224,5 +224,114 @@ TEST_F(ChainTest, EmptyChainReconstructsNothing) {
   EXPECT_EQ(chain_.links_from_last_full(), 0u);
 }
 
+// --- Injected store faults and silent corruption (src/inject hooks) --------
+
+TEST(BackendFaults, StoreRejectFailsCleanlyAndIsOneShot) {
+  LocalDiskBackend backend{sim::CostModel{}};
+  backend.inject_store_fault(StoreFault::kReject);
+  EXPECT_EQ(backend.store(make_image(1), nullptr), kBadImageId);
+  EXPECT_TRUE(backend.list().empty());  // nothing persisted
+  EXPECT_EQ(backend.pending_store_fault(), StoreFault::kNone);  // consumed
+  EXPECT_NE(backend.store(make_image(2), nullptr), kBadImageId);
+}
+
+TEST(BackendFaults, TornWriteSurfacesOnlyAtLoad) {
+  LocalDiskBackend backend{sim::CostModel{}};
+  backend.inject_store_fault(StoreFault::kTornWrite);
+  const ImageId id = backend.store(make_image(1), nullptr);
+  ASSERT_NE(id, kBadImageId);  // the crash-mid-write "succeeded"
+  EXPECT_EQ(backend.list().size(), 1u);
+  EXPECT_FALSE(backend.load(id, nullptr).has_value());  // CRC catches it
+}
+
+TEST(BackendFaults, CorruptionDetectedOnEveryBlobStoreSubclass) {
+  const sim::CostModel costs{};
+  LocalDiskBackend local{costs};
+  RemoteBackend remote{costs};
+  MemoryBackend memory{costs};
+  BlobStoreBackend* backends[] = {&local, &remote, &memory};
+  for (BlobStoreBackend* backend : backends) {
+    const ImageId id = backend->store(make_image(9), nullptr);
+    ASSERT_NE(id, kBadImageId);
+    ASSERT_TRUE(backend->load(id, nullptr).has_value());
+    EXPECT_EQ(backend->newest_id(), id);
+    ASSERT_TRUE(backend->corrupt_blob(id, /*offset=*/17, /*count=*/5));
+    EXPECT_FALSE(backend->load(id, nullptr).has_value());
+  }
+}
+
+TEST(BackendFaults, CorruptBlobRejectsBadTargets) {
+  LocalDiskBackend backend{sim::CostModel{}};
+  EXPECT_EQ(backend.newest_id(), kBadImageId);
+  EXPECT_FALSE(backend.corrupt_blob(7, 0, 1));  // unknown id
+  const ImageId id = backend.store(make_image(1), nullptr);
+  EXPECT_FALSE(backend.corrupt_blob(id, 0, 1, std::byte{0}));  // zero mask = no-op
+  EXPECT_TRUE(backend.load(id, nullptr).has_value());
+}
+
+TEST(BackendFaults, CorruptionOffsetWrapsWithinBlob) {
+  LocalDiskBackend backend{sim::CostModel{}};
+  const ImageId id = backend.store(make_image(1), nullptr);
+  // An offset far beyond the blob size must still land inside the blob.
+  ASSERT_TRUE(backend.corrupt_blob(id, ~0ULL - 3, 4));
+  EXPECT_FALSE(backend.load(id, nullptr).has_value());
+}
+
+TEST(BackendFaults, OutageIsTransientAndPreservesData) {
+  RemoteBackend backend{sim::CostModel{}};
+  const ImageId id = backend.store(make_image(1), nullptr);
+  ASSERT_NE(id, kBadImageId);
+
+  backend.set_outage(true);
+  EXPECT_FALSE(backend.reachable());
+  EXPECT_EQ(backend.store(make_image(2), nullptr), kBadImageId);
+  EXPECT_FALSE(backend.load(id, nullptr).has_value());
+
+  backend.set_outage(false);
+  EXPECT_TRUE(backend.load(id, nullptr).has_value());  // data was untouched
+}
+
+TEST_F(ChainTest, CorruptedDeltaFailsReconstruction) {
+  chain_.append(make_image(1), nullptr);
+  const ImageId delta_id =
+      chain_.append(delta_with_page(2, sim::page_of(0x10000), 0, 8, std::byte{0x22}), nullptr);
+  ASSERT_TRUE(backend_.corrupt_blob(delta_id, 11, 3));
+  // The newest state needs the delta, which no longer deserializes.
+  EXPECT_FALSE(chain_.reconstruct(nullptr).has_value());
+  // The full image beneath it is still intact.
+  EXPECT_TRUE(chain_.reconstruct_at(1, nullptr).has_value());
+}
+
+TEST_F(ChainTest, NewestSurvivingFallsBackPastCorruptDelta) {
+  const sim::PageNum base_page = sim::page_of(0x10000);
+  chain_.append(make_image(1), nullptr);
+  chain_.append(delta_with_page(2, base_page, 0, 8, std::byte{0x22}), nullptr);
+  const ImageId newest_delta =
+      chain_.append(delta_with_page(3, base_page, 0, 8, std::byte{0x33}), nullptr);
+  ASSERT_TRUE(backend_.corrupt_blob(newest_delta, 5, 2));
+
+  const auto survivor = chain_.reconstruct_newest_surviving(nullptr);
+  ASSERT_TRUE(survivor.has_value());
+  // Fell back exactly one sequence point: the 0x22 delta still applies.
+  EXPECT_EQ(survivor->segments[0].pages[0].data[0], std::byte{0x22});
+}
+
+TEST_F(ChainTest, NewestSurvivingFallsBackPastTornFull) {
+  chain_.append(make_image(1), nullptr);
+  backend_.inject_store_fault(StoreFault::kTornWrite);
+  ASSERT_NE(chain_.append(make_image(5), nullptr), kBadImageId);
+
+  const auto survivor = chain_.reconstruct_newest_surviving(nullptr);
+  ASSERT_TRUE(survivor.has_value());
+  EXPECT_EQ(survivor->segments[0].pages[0].data[0], std::byte{1});
+}
+
+TEST_F(ChainTest, NewestSurvivingRefusesWhenEverythingIsCorrupt) {
+  const ImageId only = chain_.append(make_image(1), nullptr);
+  ASSERT_TRUE(backend_.corrupt_blob(only, 0, 9));
+  EXPECT_FALSE(chain_.reconstruct_newest_surviving(nullptr).has_value());
+  EXPECT_FALSE(chain_.reconstruct_newest_surviving(nullptr).has_value());  // stable
+}
+
 }  // namespace
 }  // namespace ckpt::storage
