@@ -2,9 +2,14 @@
 # CI entry point.
 #
 # 1. default build: full unit suite plus the fault-injection torture soak
-#    (ctest label `torture`, see tests/test_torture.cpp).
+#    (ctest label `torture`, see tests/test_torture.cpp) and the replicated
+#    stable-storage soak (label `torture-storage`,
+#    tests/test_torture_storage.cpp).
 # 2. asan-ubsan build (CMakePresets.json / CKPT_SANITIZE): the same suite
-#    under AddressSanitizer + UndefinedBehaviorSanitizer.
+#    and both torture soaks under AddressSanitizer + UBSanitizer.
+# 3. data-loss gate: the storage-survivability bench replays the PR 1 fault
+#    schedule against 1/2/3-way replication; any recovery that lost state
+#    while an intact replica of a committed image existed fails the build.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -14,7 +19,23 @@ cmake --preset default
 cmake --build --preset default -j"${JOBS}"
 ctest --preset default -j"${JOBS}"
 ctest --preset torture
+ctest --preset torture-storage
 
 cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j"${JOBS}"
 ctest --preset asan-ubsan -j"${JOBS}"
+ctest --preset torture-asan-ubsan
+ctest --preset torture-storage-asan-ubsan
+
+# Data-loss gate (see RecoveryReport::data_loss_with_intact_replica and the
+# harness's unexpected_failures/scrub_failures counters).
+SURVIVABILITY="$(./build/bench/claim_storage_survivability)"
+echo "${SURVIVABILITY}"
+if ! grep -q "^data-loss-with-intact-replica events: 0$" <<<"${SURVIVABILITY}"; then
+  echo "CI gate: a recovery lost state although an intact replica existed" >&2
+  exit 1
+fi
+if grep -q "DATA LOSS WITH INTACT REPLICA" <<<"${SURVIVABILITY}"; then
+  echo "CI gate: a RecoveryReport flagged data loss with an intact replica" >&2
+  exit 1
+fi

@@ -1,0 +1,223 @@
+#include "cluster/recovery.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "core/capture.hpp"
+#include "core/engine.hpp"
+#include "util/table.hpp"
+
+namespace ckpt::cluster {
+
+const char* to_string(RecoveryStep step) {
+  switch (step) {
+    case RecoveryStep::kLocalNewest: return "local-newest";
+    case RecoveryStep::kRemoteNewest: return "remote-newest";
+    case RecoveryStep::kOlderSurviving: return "older-surviving";
+    case RecoveryStep::kColdStart: return "cold-start";
+  }
+  return "?";
+}
+
+std::string RecoveryReport::summary() const {
+  std::ostringstream out;
+  out << "job " << job << ": node " << failed_node << " failed at "
+      << util::format_time_ns(failed_at) << "; ";
+  if (!recovered) {
+    out << "NOT RECOVERED";
+  } else if (cold_started) {
+    out << "cold-started on node " << target_node;
+  } else {
+    out << "restored seq " << restored_sequence << " on node " << target_node << " as pid "
+        << restored_pid;
+  }
+  out << "; work lost " << util::format_time_ns(work_lost) << "; ladder:";
+  for (const RecoveryAttempt& attempt : attempts) {
+    out << " " << to_string(attempt.step) << (attempt.ok ? "=ok" : "=fail");
+  }
+  if (data_loss_with_intact_replica) out << " [DATA LOSS WITH INTACT REPLICA]";
+  return out.str();
+}
+
+RecoveryManager::RecoveryManager(Cluster& cluster, RecoveryManagerOptions options)
+    : cluster_(cluster), options_(std::move(options)) {}
+
+RecoveryManager::Job& RecoveryManager::job_ref(JobId job) {
+  auto it = jobs_.find(job);
+  if (it == jobs_.end()) {
+    throw std::invalid_argument("RecoveryManager: unknown job " + std::to_string(job));
+  }
+  return it->second;
+}
+
+const RecoveryManager::Job* RecoveryManager::find_job(JobId job) const {
+  auto it = jobs_.find(job);
+  return it == jobs_.end() ? nullptr : &it->second;
+}
+
+RecoveryManager::JobId RecoveryManager::launch(int home, const std::string& guest_type,
+                                               std::vector<std::byte> config,
+                                               const sim::SpawnOptions& spawn) {
+  Node& node = cluster_.node(home);
+  if (!node.up()) {
+    throw std::invalid_argument("RecoveryManager: launch on failed node " +
+                                std::to_string(home));
+  }
+  Job job;
+  job.home = home;
+  job.guest_type = guest_type;
+  job.config = config;
+  job.spawn = spawn;
+  job.pid = node.kernel().spawn(guest_type, std::move(config), spawn);
+  job.store = std::make_unique<storage::ReplicatedStore>(
+      std::vector<storage::BlobStoreBackend*>{&node.disk(), &cluster_.remote_storage()},
+      options_.store);
+  job.chain = std::make_unique<storage::CheckpointChain>(job.store.get());
+
+  const JobId id = next_job_++;
+  jobs_.emplace(id, std::move(job));
+  return id;
+}
+
+bool RecoveryManager::checkpoint(JobId job_id) {
+  Job& job = job_ref(job_id);
+  if (job.home < 0 || !cluster_.node(job.home).up()) return false;
+  sim::SimKernel& kernel = cluster_.node(job.home).kernel();
+  sim::Process* proc = kernel.find_process(job.pid);
+  if (proc == nullptr || !proc->alive()) return false;
+
+  storage::CheckpointImage image = core::capture_kernel_level(kernel, *proc, {});
+  image.pid = job.pid;
+  image.process_name = proc->name;
+  image.guest = proc->guest_image;
+  image.kind = storage::ImageKind::kFull;
+
+  auto charge = [&kernel](SimTime t) { kernel.charge_time(t); };
+  if (job.chain->append(std::move(image), charge) == storage::kBadImageId) return false;
+  ++job.checkpoints;
+  return true;
+}
+
+RecoveryReport RecoveryManager::recover(JobId job_id) {
+  Job& job = job_ref(job_id);
+  RecoveryReport report;
+  report.job = job_id;
+  report.failed_node = job.home;
+  report.failed_at = cluster_.now();
+
+  // A rung can only run if there is a surviving node to restart on; without
+  // one this is a capacity outage, not a storage verdict.
+  const std::vector<int> up = cluster_.up_nodes();
+  if (up.empty()) {
+    report.attempts.push_back({RecoveryStep::kColdStart, false, "no surviving node"});
+    reports_.push_back(report);
+    return reports_.back();
+  }
+  report.target_node = up.front();
+  sim::SimKernel& target = cluster_.node(report.target_node).kernel();
+  auto charge = [&target](SimTime t) { target.charge_time(t); };
+
+  // --- The degradation ladder -----------------------------------------------
+  std::optional<storage::CheckpointImage> image;
+  const storage::ImageId newest = job.chain->newest_image_id();
+
+  auto rung = [&](RecoveryStep step, auto&& attempt) {
+    if (image.has_value()) return;
+    RecoveryAttempt record;
+    record.step = step;
+    image = attempt();
+    record.ok = image.has_value();
+    if (!record.ok) {
+      record.detail = newest == storage::kBadImageId ? "no committed image" : "unreadable";
+    } else {
+      record.detail = "seq " + std::to_string(image->sequence);
+    }
+    report.attempts.push_back(std::move(record));
+  };
+
+  rung(RecoveryStep::kLocalNewest, [&]() -> std::optional<storage::CheckpointImage> {
+    if (newest == storage::kBadImageId) return std::nullopt;
+    return job.store->load_from(kLocalReplica, newest, charge);
+  });
+  rung(RecoveryStep::kRemoteNewest, [&]() -> std::optional<storage::CheckpointImage> {
+    if (newest == storage::kBadImageId) return std::nullopt;
+    return job.store->load_from(kRemoteReplica, newest, charge);
+  });
+  rung(RecoveryStep::kOlderSurviving,
+       [&] { return job.chain->reconstruct_newest_surviving(charge); });
+
+  if (image.has_value()) {
+    const core::RestartResult rr = core::restart_from_image(target, *image);
+    if (rr.ok) {
+      report.recovered = true;
+      report.from_image = true;
+      report.restored_pid = rr.pid;
+      report.restored_sequence = image->sequence;
+      report.work_lost =
+          report.failed_at > image->taken_at ? report.failed_at - image->taken_at : 0;
+      job.pid = rr.pid;
+    } else {
+      report.attempts.push_back({RecoveryStep::kOlderSurviving, false, rr.error});
+    }
+  }
+
+  if (!report.recovered && options_.allow_cold_start) {
+    RecoveryAttempt record;
+    record.step = RecoveryStep::kColdStart;
+    job.pid = target.spawn(job.guest_type, job.config, job.spawn);
+    record.ok = true;
+    record.detail = "fresh pid " + std::to_string(job.pid);
+    report.attempts.push_back(std::move(record));
+    report.recovered = true;
+    report.cold_started = true;
+    report.restored_pid = job.pid;
+    report.work_lost = report.failed_at;
+  }
+
+  // The gate: cold-starting (or failing outright) while a committed image
+  // still has an intact replica means the ladder lost recoverable state.
+  if (!report.from_image && job.store->any_intact_committed()) {
+    report.data_loss_with_intact_replica = true;
+  }
+
+  if (report.recovered) {
+    job.home = report.target_node;
+    // Future checkpoints must land on the *new* home's disk; scrubbing then
+    // re-replicates the committed history onto it (self-healing).
+    job.store->retarget_replica(kLocalReplica, &cluster_.node(job.home).disk());
+    if (options_.scrub_after_recovery) job.store->scrub(charge);
+  }
+
+  reports_.push_back(std::move(report));
+  return reports_.back();
+}
+
+void RecoveryManager::watch() {
+  cluster_.on_failure([this](Cluster&, int node_id) {
+    for (auto& [id, job] : jobs_) {
+      if (job.home == node_id) recover(id);
+    }
+  });
+}
+
+sim::Pid RecoveryManager::pid_of(JobId job) const {
+  const Job* j = find_job(job);
+  return j == nullptr ? sim::kNoPid : j->pid;
+}
+
+int RecoveryManager::home_of(JobId job) const {
+  const Job* j = find_job(job);
+  return j == nullptr ? -1 : j->home;
+}
+
+std::uint64_t RecoveryManager::checkpoints_taken(JobId job) const {
+  const Job* j = find_job(job);
+  return j == nullptr ? 0 : j->checkpoints;
+}
+
+storage::ReplicatedStore& RecoveryManager::store(JobId job) { return *job_ref(job).store; }
+
+storage::CheckpointChain& RecoveryManager::chain(JobId job) { return *job_ref(job).chain; }
+
+}  // namespace ckpt::cluster

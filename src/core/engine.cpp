@@ -177,9 +177,24 @@ RestartResult CheckpointEngine::restart_on(sim::SimKernel& target_kernel,
     return result;
   }
   auto charge = [&](SimTime t) { target_kernel.charge_time(t); };
-  auto image = options.fall_back_to_older_images
-                   ? state->chain.reconstruct_newest_surviving(charge)
-                   : state->chain.reconstruct(charge);
+  auto reconstruct = [&] {
+    return options.fall_back_to_older_images
+               ? state->chain.reconstruct_newest_surviving(charge)
+               : state->chain.reconstruct(charge);
+  };
+  // Load with the same bounded retry as the store path: a restart racing a
+  // transient storage outage waits it out instead of refusing.
+  auto image = reconstruct();
+  if (!image.has_value()) {
+    storage::Retrier retrier(options_.store_retry,
+                             static_cast<std::uint64_t>(original_pid) ^ 0x10AD);
+    while (!image.has_value()) {
+      const std::optional<SimTime> delay = retrier.next_delay();
+      if (!delay.has_value()) break;
+      charge(*delay);
+      image = reconstruct();
+    }
+  }
   if (!image.has_value()) {
     result.error = name_ + ": checkpoint chain unreadable (storage lost or corrupt)";
     return result;
@@ -236,7 +251,25 @@ CheckpointResult CheckpointEngine::perform_kernel_checkpoint(sim::SimKernel& ker
   result.pages = image.page_count();
 
   auto charge = [&](SimTime t) { kernel.charge_time(t); };
+  // Store with bounded retry: a transient StoreFault (rejection, outage
+  // window) costs backoff time instead of a lost checkpoint.  A failed
+  // append never advances the chain, so re-appending is safe.  The image is
+  // only copied when a retry is actually possible.
+  const bool may_retry = options_.store_retry.max_attempts > 1;
+  std::optional<storage::CheckpointImage> spare;
+  if (may_retry) spare = image;
   result.image_id = state.chain.append(std::move(image), charge);
+  if (result.image_id == storage::kBadImageId && may_retry) {
+    storage::Retrier retrier(options_.store_retry,
+                             (static_cast<std::uint64_t>(proc.pid) << 20) ^ state.taken);
+    while (result.image_id == storage::kBadImageId) {
+      const std::optional<SimTime> delay = retrier.next_delay();
+      if (!delay.has_value()) break;
+      charge(*delay);
+      result.image_id = state.chain.append(*spare, charge);
+    }
+    result.store_retries = retrier.retries();
+  }
 
   if (shadow_pid != sim::kNoPid) {
     kernel.terminate(kernel.process(shadow_pid), 0);

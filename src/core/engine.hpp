@@ -29,6 +29,7 @@
 #include "sim/kernel.hpp"
 #include "storage/backend.hpp"
 #include "storage/chain.hpp"
+#include "storage/retry.hpp"
 
 namespace ckpt::core {
 
@@ -51,6 +52,11 @@ struct EngineOptions {
   std::function<std::unique_ptr<DirtyTracker>()> tracker_factory;
   /// Force a full image every N checkpoints to bound chain length.
   std::uint64_t full_every = 8;
+  /// Retry schedule for transient storage faults on both the store path
+  /// (the backend rejected the image) and the load path (the chain did not
+  /// reconstruct).  Backoff is charged through the sim clock.  The default
+  /// performs no retries — identical to the pre-retry behaviour.
+  storage::RetryPolicy store_retry;
 };
 
 struct CheckpointResult {
@@ -63,6 +69,8 @@ struct CheckpointResult {
   SimTime completed_at = 0;
   std::uint64_t payload_bytes = 0;
   std::uint64_t pages = 0;
+  /// Store retries the engine's RetryPolicy granted before success/giving up.
+  std::uint64_t store_retries = 0;
 
   [[nodiscard]] SimTime initiation_latency() const { return started_at - initiated_at; }
   [[nodiscard]] SimTime total_latency() const { return completed_at - initiated_at; }

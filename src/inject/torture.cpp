@@ -1,6 +1,7 @@
 #include "inject/torture.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <stdexcept>
@@ -10,6 +11,7 @@
 #include "inject/injectors.hpp"
 #include "mechanisms/catalog.hpp"
 #include "sim/guests.hpp"
+#include "storage/replicated.hpp"
 
 namespace ckpt::inject {
 
@@ -57,7 +59,7 @@ void run_guest_steps(sim::SimKernel& kernel, sim::Pid pid, std::uint64_t steps) 
 /// deserializes, belongs to `pid` and is a full image — exactly what a
 /// fallback restart must restore.  Goes straight to the raw blobs, not
 /// through the engine's chain, so engine bookkeeping bugs cannot hide.
-std::optional<storage::CheckpointImage> newest_loadable(storage::BlobStoreBackend& backend,
+std::optional<storage::CheckpointImage> newest_loadable(storage::StorageBackend& backend,
                                                         sim::Pid pid) {
   const std::vector<storage::ImageId> ids = backend.list();
   for (auto it = ids.rbegin(); it != ids.rend(); ++it) {
@@ -89,9 +91,10 @@ std::string TortureReport::summary() const {
   std::ostringstream out;
   out << engine << ": " << cycles << " cycles, " << checkpoints_ok << " checkpoints ok / "
       << checkpoints_failed << " refused, " << restarts_ok << " restarts ok / "
-      << restarts_refused << " correctly refused; violations: " << divergences
-      << " divergence, " << corrupt_restarts << " corrupt-restart, " << unexpected_failures
-      << " unexpected-failure";
+      << restarts_refused << " correctly refused, " << scrub_repairs
+      << " scrub repairs; violations: " << divergences << " divergence, "
+      << corrupt_restarts << " corrupt-restart, " << unexpected_failures
+      << " unexpected-failure, " << scrub_failures << " scrub-failure";
   return out.str();
 }
 
@@ -127,16 +130,42 @@ TortureReport TortureHarness::run(const TortureTarget& target) {
   sim::register_standard_guests();
   storage::LocalDiskBackend local{kernel.costs()};
   storage::RemoteBackend remote{kernel.costs()};
+  std::vector<std::unique_ptr<storage::RemoteBackend>> extra_remotes;
+  std::vector<storage::BlobStoreBackend*> replicas;
+  std::unique_ptr<storage::ReplicatedStore> replicated;
   mechanisms::MechanismContext context{&kernel, &local, &remote};
+  if (options_.replicated_storage) {
+    if (options_.replicas < 2) {
+      throw std::invalid_argument(
+          "TortureHarness: replicated_storage needs >= 2 replicas");
+    }
+    replicas.push_back(&local);
+    replicas.push_back(&remote);
+    for (std::uint32_t i = 2; i < options_.replicas; ++i) {
+      extra_remotes.push_back(std::make_unique<storage::RemoteBackend>(kernel.costs()));
+      replicas.push_back(extra_remotes.back().get());
+    }
+    storage::ReplicatedOptions repl_options;
+    repl_options.retry = options_.retry;
+    repl_options.retry.jitter_seed = seed;
+    replicated = std::make_unique<storage::ReplicatedStore>(replicas, repl_options);
+    // Both context slots are the replicated store, so local-disk designs
+    // (CRAK, BLCR, ...) and remote-storage designs write through it alike.
+    context.local = replicated.get();
+    context.remote = replicated.get();
+  }
   std::unique_ptr<mechanisms::Mechanism> mech = entry->factory(context);
 
-  auto* backend = dynamic_cast<storage::BlobStoreBackend*>(mech->engine()->backend());
-  if (backend == nullptr) {
-    throw std::invalid_argument("TortureHarness: " + target.catalog_name +
-                                " has no blob-store backend to torture");
+  storage::StorageBackend& store = *mech->engine()->backend();
+  storage::BlobStoreBackend* blob = nullptr;
+  if (!options_.replicated_storage) {
+    blob = dynamic_cast<storage::BlobStoreBackend*>(&store);
+    if (blob == nullptr) {
+      throw std::invalid_argument("TortureHarness: " + target.catalog_name +
+                                  " has no blob-store backend to torture");
+    }
   }
 
-  StorageInjector storage_inj(*backend);
   ProcessInjector process_inj(kernel);
   FaultPlan plan(seed, options_.fault_mix.empty() ? FaultPlan::default_mix()
                                                   : options_.fault_mix);
@@ -165,10 +194,20 @@ TortureReport TortureHarness::run(const TortureTarget& target) {
 
   auto note = [&report](std::string text) { report.diagnostics.push_back(std::move(text)); };
 
+  // Storage is "down" for a restart only when NO copy is reachable: the
+  // single backend in outage, or (replicated) every replica unreachable.
+  // One replica in outage does not excuse a failed restart — that is
+  // exactly the survivability the replication must provide.
+  auto storage_down = [&]() -> bool {
+    if (!options_.replicated_storage) return blob->in_outage();
+    return std::none_of(replicas.begin(), replicas.end(),
+                        [](const storage::BlobStoreBackend* r) { return r->reachable(); });
+  };
+
   // Attempt a restart of the (dead) current pid; adopt the restored process
   // on success.  Returns whether the soak has a live process again.
   auto attempt_restart = [&](std::uint64_t cycle, FaultKind fk) -> bool {
-    const bool expected_ok = good_count > 0 && !backend->in_outage();
+    const bool expected_ok = good_count > 0 && !storage_down();
     core::RestartResult rr = mech->restart(kernel, pid, restart_options);
     if (!rr.ok) {
       if (expected_ok) {
@@ -186,7 +225,7 @@ TortureReport TortureHarness::run(const TortureTarget& target) {
                " survived [", to_string(fk), "]"));
     } else {
       ++report.restarts_ok;
-      std::optional<storage::CheckpointImage> truth = newest_loadable(*backend, pid);
+      std::optional<storage::CheckpointImage> truth = newest_loadable(store, pid);
       if (!truth) {
         ++report.divergences;
         note(cat("cycle ", cycle, ": verifier found no intact image for pid ", pid,
@@ -233,6 +272,15 @@ TortureReport TortureHarness::run(const TortureTarget& target) {
     const std::uint64_t span = options_.max_steps - options_.min_steps + 1;
     const std::uint64_t steps = options_.min_steps + rng.next_below(span);
 
+    // In replicated mode every storage fault lands on one rng-chosen
+    // replica; the others stay healthy, which is what the self-healing
+    // invariants lean on.
+    storage::BlobStoreBackend* victim = blob;
+    if (options_.replicated_storage) {
+      victim = replicas[rng.next_below(replicas.size())];
+    }
+    StorageInjector storage_inj(*victim);
+
     if (fault.kind == FaultKind::kStorageOutage) storage_inj.begin_outage();
 
     // 1. Run window — with kKillProcess the process fail-stops partway in,
@@ -249,13 +297,16 @@ TortureReport TortureHarness::run(const TortureTarget& target) {
     if (fault.kind == FaultKind::kStoreReject) storage_inj.fail_next_store();
     if (fault.kind == FaultKind::kTornStore) storage_inj.tear_next_store();
     const core::CheckpointResult cr = mech->checkpoint(kernel, pid);
-    backend->inject_store_fault(storage::StoreFault::kNone);  // disarm if unconsumed
+    victim->inject_store_fault(storage::StoreFault::kNone);  // disarm if unconsumed
     if (cr.ok) {
       ++report.checkpoints_ok;
       ++chain_len;
-      if (fault.kind == FaultKind::kTornStore) {
+      if (!options_.replicated_storage && fault.kind == FaultKind::kTornStore) {
         newest_good = false;  // "succeeded", but the blob on disk is torn
       } else {
+        // Replicated commit means read-back verification passed on at least
+        // one replica — a torn stage was caught and retried or outvoted, so
+        // a committed image is intact by construction.
         ++good_count;
         newest_good = true;
       }
@@ -264,8 +315,14 @@ TortureReport TortureHarness::run(const TortureTarget& target) {
     }
 
     // 3. Silent media corruption of the newest image of the current chain.
+    // Replicated: only the victim's copy is damaged; the image stays intact
+    // on its peers and the end-of-cycle scrub must repair the copy.
+    bool corrupted_this_cycle = false;
     if (fault.kind == FaultKind::kCorruptImage && chain_len > 0) {
-      if (storage_inj.corrupt_newest(rng, fault.param) && newest_good) {
+      const bool hit = storage_inj.corrupt_newest(rng, fault.param);
+      if (options_.replicated_storage) {
+        corrupted_this_cycle = hit;
+      } else if (hit && newest_good) {
         --good_count;
         newest_good = false;
       }
@@ -285,6 +342,20 @@ TortureReport TortureHarness::run(const TortureTarget& target) {
       // Transient outage: once storage is back, a retry must succeed iff
       // intact images survived.
       if (!live) live = attempt_restart(cycle, fault.kind);
+    }
+
+    // 6. Self-healing closed loop: scrub after every cycle.  Any copy this
+    // cycle's fault corrupted or kept from being written (outage, rejection)
+    // must be restored from a healthy peer — with >= 2 replicas and a
+    // single-replica fault, "unrepairable" is always a harness violation.
+    if (options_.replicated_storage) {
+      const storage::ScrubReport sr = replicated->scrub(storage::ChargeFn{});
+      report.scrub_repairs += sr.repaired;
+      if (sr.unrepairable > 0 || (corrupted_this_cycle && sr.repaired == 0)) {
+        ++report.scrub_failures;
+        note(cat("cycle ", cycle, ": scrub failed to heal [", to_string(fault.kind),
+                 "]: ", sr.summary()));
+      }
     }
 
     if (!live) respawn();

@@ -16,8 +16,21 @@
 //   * unexpected_failures — a restart failed although an intact image
 //                           survived (lost more work than the faults cost).
 //
-// All three must be zero for TortureReport::ok().  Every run is bit-
-// reproducible from TortureOptions::seed.
+// In replicated-storage mode (TortureOptions::replicated_storage) the
+// engine writes through a ReplicatedStore fanned over N replicas, storage
+// faults target one rng-chosen replica per cycle, and a fourth violation
+// class is tracked:
+//
+//   * scrub_failures      — the end-of-cycle scrub left injected damage
+//                           unrepaired although a healthy peer existed.
+//
+// Because commit requires read-back verification on at least one replica,
+// the invariant under test sharpens to: a restart may NEVER fail while any
+// committed image exists — zero unrecoverable restarts whenever >= 1 intact
+// replica survives.
+//
+// All violation counters must be zero for TortureReport::ok().  Every run
+// is bit-reproducible from TortureOptions::seed.
 #pragma once
 
 #include <cstdint>
@@ -29,6 +42,7 @@
 #include "inject/fault.hpp"
 #include "mechanisms/mechanism.hpp"
 #include "sim/kernel.hpp"
+#include "storage/retry.hpp"
 
 namespace ckpt::inject {
 
@@ -43,6 +57,18 @@ struct TortureOptions {
   std::vector<FaultPlan::Weighted> fault_mix;
   /// Guest working-set size (bytes) — keeps image sizes bounded.
   std::uint64_t array_bytes = 16 * 1024;
+  /// Replicated stable-storage mode: the engine's backend becomes a
+  /// ReplicatedStore over `replicas` blob stores (node-local disk plus
+  /// remotes) with atomic two-phase publish and `retry`.  Storage faults
+  /// then hit one rng-chosen replica per cycle, every cycle ends with a
+  /// scrub, and injected single-replica damage must be repaired.
+  bool replicated_storage = false;
+  /// Replica fan-out in replicated mode; must be >= 2 (one replica is just
+  /// the unreplicated harness).
+  std::uint32_t replicas = 2;
+  /// Retry schedule the ReplicatedStore applies per staged write and per
+  /// load sweep in replicated mode.
+  storage::RetryPolicy retry = storage::RetryPolicy::bounded(3, 50 * kMillisecond);
 };
 
 struct TortureReport {
@@ -52,16 +78,19 @@ struct TortureReport {
   std::uint64_t checkpoints_failed = 0;
   std::uint64_t restarts_ok = 0;
   std::uint64_t restarts_refused = 0;  ///< correctly refused (nothing intact)
+  std::uint64_t scrub_repairs = 0;     ///< replica copies healed by scrub
   std::map<FaultKind, std::uint64_t> faults;
 
   // --- Violations (all must be zero) ---------------------------------------
   std::uint64_t divergences = 0;
   std::uint64_t corrupt_restarts = 0;
   std::uint64_t unexpected_failures = 0;
+  std::uint64_t scrub_failures = 0;  ///< scrub left injected damage in place
   std::vector<std::string> diagnostics;
 
   [[nodiscard]] bool ok() const {
-    return divergences == 0 && corrupt_restarts == 0 && unexpected_failures == 0;
+    return divergences == 0 && corrupt_restarts == 0 && unexpected_failures == 0 &&
+           scrub_failures == 0;
   }
   [[nodiscard]] std::string summary() const;
 

@@ -43,6 +43,21 @@ ImageId BlobStoreBackend::put_blob(std::vector<std::byte> blob) {
   return id;
 }
 
+std::optional<std::vector<std::byte>> BlobStoreBackend::read_blob(
+    ImageId id, const ChargeFn& charge) const {
+  if (!reachable()) return std::nullopt;
+  auto it = blobs_.find(id);
+  if (it == blobs_.end()) return std::nullopt;
+  if (charge) charge(io_cost(it->second.size()));
+  return it->second;
+}
+
+ImageId BlobStoreBackend::put_raw(std::vector<std::byte> blob, const ChargeFn& charge) {
+  if (!reachable()) return kBadImageId;
+  if (charge) charge(io_cost(blob.size()));
+  return put_blob(std::move(blob));
+}
+
 bool BlobStoreBackend::corrupt_blob(ImageId id, std::uint64_t offset, std::uint64_t count,
                                     std::byte mask) {
   auto it = blobs_.find(id);

@@ -103,6 +103,19 @@ class BlobStoreBackend : public StorageBackend {
   void set_outage(bool outage) { outage_ = outage; }
   [[nodiscard]] bool in_outage() const { return outage_; }
 
+  // --- Raw blob access (replication / scrub, src/storage/replicated) --------
+  /// The serialized bytes of a stored blob, without deserializing: the
+  /// replication layer verifies and copies images as opaque CRC-checked
+  /// blobs.  nullopt when the id is unknown or the backend is unreachable.
+  /// Charges io_cost through `charge`.
+  [[nodiscard]] std::optional<std::vector<std::byte>> read_blob(ImageId id,
+                                                                const ChargeFn& charge) const;
+
+  /// Persist pre-serialized bytes (replica staging and scrub repair).
+  /// Honours outage state and any armed store fault exactly like store(),
+  /// and charges io_cost.  Returns kBadImageId when unreachable or faulted.
+  ImageId put_raw(std::vector<std::byte> blob, const ChargeFn& charge);
+
  protected:
   /// Persist `blob`, honouring any armed store fault and outage state.
   ImageId put_blob(std::vector<std::byte> blob);

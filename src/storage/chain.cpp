@@ -52,17 +52,33 @@ std::optional<CheckpointImage> CheckpointChain::reconstruct_newest_surviving(
   return std::nullopt;
 }
 
-void CheckpointChain::prune() {
-  // Keep from the last full image onward.
-  std::ptrdiff_t last_full = -1;
-  for (std::size_t i = 0; i < entries_.size(); ++i) {
-    if (entries_[i].kind == ImageKind::kFull) last_full = static_cast<std::ptrdiff_t>(i);
+void CheckpointChain::prune(const ChargeFn& charge) {
+  // Keep from the newest *verified-loadable* full image onward.  Pruning up
+  // to the newest full image regardless would delete exactly the older
+  // states reconstruct_newest_surviving() falls back to when that image
+  // turns out torn or corrupt at restart time.
+  std::ptrdiff_t keep_from = -1;
+  for (std::ptrdiff_t i = static_cast<std::ptrdiff_t>(entries_.size()) - 1; i >= 0; --i) {
+    const Entry& entry = entries_[static_cast<std::size_t>(i)];
+    if (entry.kind != ImageKind::kFull) continue;
+    if (backend_->load(entry.id, charge).has_value()) {
+      keep_from = i;
+      break;
+    }
   }
-  if (last_full <= 0) return;
-  for (std::ptrdiff_t i = 0; i < last_full; ++i) {
+  if (keep_from <= 0) return;
+  for (std::ptrdiff_t i = 0; i < keep_from; ++i) {
     backend_->erase(entries_[static_cast<std::size_t>(i)].id);
   }
-  entries_.erase(entries_.begin(), entries_.begin() + last_full);
+  entries_.erase(entries_.begin(), entries_.begin() + keep_from);
+}
+
+ImageId CheckpointChain::newest_image_id() const {
+  return entries_.empty() ? kBadImageId : entries_.back().id;
+}
+
+std::uint64_t CheckpointChain::newest_sequence() const {
+  return entries_.empty() ? 0 : entries_.back().sequence;
 }
 
 std::size_t CheckpointChain::links_from_last_full() const {

@@ -45,9 +45,20 @@ class CheckpointChain {
       const ChargeFn& charge) const;
 
   /// Drop images no longer needed to reconstruct the newest state.
-  void prune();
+  ///
+  /// "Needed" includes the fallback path: reconstruct_newest_surviving()
+  /// may have to reach *past* the newest full image when that image is torn
+  /// or corrupt, so pruning only discards entries older than the newest
+  /// full image that provably still loads.  If no full image verifies,
+  /// nothing is pruned — better to hold disk than to strand the restart.
+  /// The verification loads charge through `charge` like any other read.
+  void prune(const ChargeFn& charge = {});
 
   [[nodiscard]] std::uint64_t next_sequence() const { return next_sequence_; }
+  /// Backend id of the newest appended image (kBadImageId when empty).
+  [[nodiscard]] ImageId newest_image_id() const;
+  /// Sequence number of the newest appended image (0 when empty).
+  [[nodiscard]] std::uint64_t newest_sequence() const;
   [[nodiscard]] std::size_t length() const { return entries_.size(); }
   /// Deltas since (and including) the last full image.
   [[nodiscard]] std::size_t links_from_last_full() const;

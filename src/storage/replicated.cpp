@@ -1,0 +1,302 @@
+#include "storage/replicated.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/crc64.hpp"
+#include "util/serialize.hpp"
+
+namespace ckpt::storage {
+
+const char* to_string(StoreErrorKind kind) {
+  switch (kind) {
+    case StoreErrorKind::kNone: return "none";
+    case StoreErrorKind::kUnreachable: return "unreachable";
+    case StoreErrorKind::kRejected: return "rejected";
+    case StoreErrorKind::kTornWrite: return "torn-write";
+    case StoreErrorKind::kCorrupt: return "corrupt";
+    case StoreErrorKind::kMissing: return "missing";
+    case StoreErrorKind::kNoQuorum: return "no-quorum";
+  }
+  return "?";
+}
+
+std::string ScrubReport::summary() const {
+  std::ostringstream out;
+  out << entries << " entries / " << copies_checked << " copies audited: " << corrupt_found
+      << " corrupt, " << missing_found << " missing, " << repaired << " repaired, "
+      << unrepairable << " unrepairable, " << skipped_unreachable << " unreachable";
+  return out.str();
+}
+
+ReplicatedStore::ReplicatedStore(std::vector<BlobStoreBackend*> replicas,
+                                 ReplicatedOptions options)
+    : replicas_(std::move(replicas)), options_(options) {
+  if (replicas_.empty()) {
+    throw std::invalid_argument("ReplicatedStore: at least one replica required");
+  }
+  for (BlobStoreBackend* replica : replicas_) {
+    if (replica == nullptr) throw std::invalid_argument("ReplicatedStore: null replica");
+  }
+  if (options_.write_quorum == 0 || options_.write_quorum > replicas_.size()) {
+    throw std::invalid_argument("ReplicatedStore: write_quorum out of range");
+  }
+}
+
+ImageId ReplicatedStore::stage_on_replica(std::size_t r, const std::vector<std::byte>& blob,
+                                          std::uint64_t crc, const ChargeFn& charge,
+                                          std::uint64_t salt, std::uint64_t& retries,
+                                          StoreErrorKind& error) {
+  BlobStoreBackend& replica = *replicas_[r];
+  Retrier retrier(options_.retry, salt ^ (r + 1));
+  while (true) {
+    StoreErrorKind attempt_error;
+    if (!replica.reachable()) {
+      attempt_error = StoreErrorKind::kUnreachable;
+    } else {
+      const ImageId id = replica.put_raw(blob, charge);
+      if (id == kBadImageId) {
+        // put_raw fails for exactly two reasons on a reachable replica: an
+        // armed rejection fault, or an outage that began mid-call.
+        attempt_error = replica.reachable() ? StoreErrorKind::kRejected
+                                            : StoreErrorKind::kUnreachable;
+      } else if (!options_.verify_writes) {
+        return id;
+      } else {
+        const auto staged = replica.read_blob(id, charge);
+        if (staged.has_value() && util::crc64(*staged) == crc) return id;
+        // Torn or vanished: roll the stage back so nothing half-written
+        // survives under a live id.
+        replica.erase(id);
+        attempt_error = staged.has_value() ? StoreErrorKind::kTornWrite
+                                           : StoreErrorKind::kMissing;
+      }
+    }
+    error = attempt_error;
+    const std::optional<SimTime> delay = retrier.next_delay();
+    if (!delay.has_value()) return kBadImageId;
+    if (charge) charge(*delay);
+    ++retries;
+  }
+}
+
+StoreReceipt ReplicatedStore::store_verbose(const CheckpointImage& image,
+                                            const ChargeFn& charge) {
+  StoreReceipt receipt;
+  const std::vector<std::byte> blob = image.serialize();
+  const std::uint64_t crc = util::crc64(blob);
+  const std::uint64_t salt = ++op_counter_;
+
+  // Phase 1: stage + verify on every replica.
+  std::map<std::size_t, ImageId> placements;
+  for (std::size_t r = 0; r < replicas_.size(); ++r) {
+    const ImageId id =
+        stage_on_replica(r, blob, crc, charge, salt, receipt.retries, receipt.last_error);
+    if (id != kBadImageId) placements.emplace(r, id);
+  }
+
+  // Phase 2: publish iff the write quorum verified; otherwise roll back so
+  // a failed store leaves no trace.
+  if (placements.size() < options_.write_quorum) {
+    for (const auto& [r, id] : placements) replicas_[r]->erase(id);
+    if (receipt.last_error == StoreErrorKind::kNone) {
+      receipt.last_error = StoreErrorKind::kNoQuorum;
+    }
+    return receipt;
+  }
+
+  receipt.id = next_id_++;
+  receipt.committed_replicas = static_cast<std::uint32_t>(placements.size());
+  manifest_.emplace(receipt.id, Entry{crc, blob.size(), std::move(placements)});
+  return receipt;
+}
+
+ImageId ReplicatedStore::store(const CheckpointImage& image, const ChargeFn& charge) {
+  return store_verbose(image, charge).id;
+}
+
+std::optional<CheckpointImage> ReplicatedStore::load(ImageId id, const ChargeFn& charge) {
+  const auto it = manifest_.find(id);
+  if (it == manifest_.end()) return std::nullopt;
+  const Entry& entry = it->second;
+
+  Retrier retrier(options_.retry, id ^ 0xB10B);
+  while (true) {
+    for (const auto& [r, physical] : entry.placements) {
+      const auto blob = replicas_[r]->read_blob(physical, charge);
+      if (!blob.has_value()) continue;                    // unreachable or missing
+      if (util::crc64(*blob) != entry.crc) continue;      // corrupt copy: fail over
+      try {
+        return CheckpointImage::deserialize(*blob);
+      } catch (const ImageCorrupt&) {
+      } catch (const util::SerializeError&) {
+      }
+    }
+    const std::optional<SimTime> delay = retrier.next_delay();
+    if (!delay.has_value()) return std::nullopt;
+    if (charge) charge(*delay);
+  }
+}
+
+std::optional<CheckpointImage> ReplicatedStore::load_from(std::size_t replica, ImageId id,
+                                                          const ChargeFn& charge) {
+  const auto it = manifest_.find(id);
+  if (it == manifest_.end() || replica >= replicas_.size()) return std::nullopt;
+  const auto placement = it->second.placements.find(replica);
+  if (placement == it->second.placements.end()) return std::nullopt;
+  const auto blob = replicas_[replica]->read_blob(placement->second, charge);
+  if (!blob.has_value() || util::crc64(*blob) != it->second.crc) return std::nullopt;
+  try {
+    return CheckpointImage::deserialize(*blob);
+  } catch (const ImageCorrupt&) {
+    return std::nullopt;
+  } catch (const util::SerializeError&) {
+    return std::nullopt;
+  }
+}
+
+bool ReplicatedStore::erase(ImageId id) {
+  const auto it = manifest_.find(id);
+  if (it == manifest_.end()) return false;
+  for (const auto& [r, physical] : it->second.placements) replicas_[r]->erase(physical);
+  manifest_.erase(it);
+  return true;
+}
+
+std::vector<ImageId> ReplicatedStore::list() const {
+  std::vector<ImageId> out;
+  out.reserve(manifest_.size());
+  for (const auto& [id, entry] : manifest_) out.push_back(id);
+  return out;
+}
+
+StorageLocality ReplicatedStore::locality() const {
+  StorageLocality best = StorageLocality::kNone;
+  auto rank = [](StorageLocality l) {
+    switch (l) {
+      case StorageLocality::kRemote: return 3;
+      case StorageLocality::kLocalDisk: return 2;
+      case StorageLocality::kVolatileMemory: return 1;
+      case StorageLocality::kNone: return 0;
+    }
+    return 0;
+  };
+  for (const BlobStoreBackend* replica : replicas_) {
+    if (rank(replica->locality()) > rank(best)) best = replica->locality();
+  }
+  return best;
+}
+
+bool ReplicatedStore::reachable() const {
+  return std::any_of(replicas_.begin(), replicas_.end(),
+                     [](const BlobStoreBackend* r) { return r->reachable(); });
+}
+
+std::uint64_t ReplicatedStore::stored_bytes() const {
+  std::uint64_t total = 0;
+  for (const BlobStoreBackend* replica : replicas_) total += replica->stored_bytes();
+  return total;
+}
+
+ScrubReport ReplicatedStore::scrub(const ChargeFn& charge) {
+  ScrubReport report;
+  for (auto& [id, entry] : manifest_) {
+    ++report.entries;
+
+    // Classify every replica slot and find a healthy source copy.
+    enum class CopyState : std::uint8_t { kOk, kCorrupt, kMissing, kUnreachable };
+    std::vector<CopyState> states(replicas_.size(), CopyState::kMissing);
+    std::optional<std::vector<std::byte>> healthy;
+    for (std::size_t r = 0; r < replicas_.size(); ++r) {
+      if (!replicas_[r]->reachable()) {
+        states[r] = CopyState::kUnreachable;
+        continue;
+      }
+      const auto placement = entry.placements.find(r);
+      if (placement == entry.placements.end()) continue;  // kMissing
+      const auto blob = replicas_[r]->read_blob(placement->second, charge);
+      ++report.copies_checked;
+      if (!blob.has_value()) continue;  // placement recorded but blob gone
+      if (util::crc64(*blob) != entry.crc) {
+        states[r] = CopyState::kCorrupt;
+        continue;
+      }
+      states[r] = CopyState::kOk;
+      if (!healthy.has_value()) healthy = *blob;
+    }
+
+    // Repair every damaged or absent copy from the healthy peer.
+    for (std::size_t r = 0; r < replicas_.size(); ++r) {
+      if (states[r] == CopyState::kOk) continue;
+      if (states[r] == CopyState::kUnreachable) {
+        ++report.skipped_unreachable;
+        continue;
+      }
+      if (states[r] == CopyState::kCorrupt) {
+        ++report.corrupt_found;
+      } else {
+        ++report.missing_found;
+      }
+      if (!healthy.has_value()) {
+        ++report.unrepairable;
+        continue;
+      }
+      if (const auto placement = entry.placements.find(r);
+          placement != entry.placements.end()) {
+        replicas_[r]->erase(placement->second);
+        entry.placements.erase(placement);
+      }
+      const ImageId fresh = replicas_[r]->put_raw(*healthy, charge);
+      bool repaired = fresh != kBadImageId;
+      if (repaired) {
+        const auto written = replicas_[r]->read_blob(fresh, charge);
+        if (!written.has_value() || util::crc64(*written) != entry.crc) {
+          replicas_[r]->erase(fresh);  // repair itself tore: stay honest
+          repaired = false;
+        }
+      }
+      if (repaired) {
+        entry.placements.emplace(r, fresh);
+        ++report.repaired;
+      } else {
+        ++report.unrepairable;
+      }
+    }
+  }
+  return report;
+}
+
+void ReplicatedStore::retarget_replica(std::size_t index, BlobStoreBackend* backend) {
+  if (index >= replicas_.size() || backend == nullptr) {
+    throw std::invalid_argument("ReplicatedStore::retarget_replica: bad slot or backend");
+  }
+  // Placements recorded against the old backend are meaningless on the new
+  // one: drop them so reads fail over and scrub() re-replicates.
+  for (auto& [id, entry] : manifest_) entry.placements.erase(index);
+  replicas_[index] = backend;
+}
+
+std::uint32_t ReplicatedStore::intact_replicas(ImageId id) const {
+  const auto it = manifest_.find(id);
+  if (it == manifest_.end()) return 0;
+  std::uint32_t intact = 0;
+  for (const auto& [r, physical] : it->second.placements) {
+    const auto blob = replicas_[r]->read_blob(physical, ChargeFn{});
+    if (blob.has_value() && util::crc64(*blob) == it->second.crc) ++intact;
+  }
+  return intact;
+}
+
+bool ReplicatedStore::any_intact_committed() const {
+  for (auto it = manifest_.rbegin(); it != manifest_.rend(); ++it) {
+    if (intact_replicas(it->first) > 0) return true;
+  }
+  return false;
+}
+
+ImageId ReplicatedStore::newest_committed() const {
+  return manifest_.empty() ? kBadImageId : manifest_.rbegin()->first;
+}
+
+}  // namespace ckpt::storage

@@ -1,0 +1,42 @@
+#include "storage/retry.hpp"
+
+#include <algorithm>
+
+namespace ckpt::storage {
+
+RetryPolicy RetryPolicy::bounded(std::uint64_t retries, SimTime deadline) {
+  RetryPolicy policy;
+  policy.max_attempts = retries + 1;
+  policy.deadline = deadline;
+  return policy;
+}
+
+Retrier::Retrier(const RetryPolicy& policy, std::uint64_t salt)
+    : policy_(policy), rng_(policy.jitter_seed ^ (salt * 0x9E3779B97F4A7C15ULL)) {}
+
+std::optional<SimTime> Retrier::next_delay() {
+  if (retries_ + 1 >= policy_.max_attempts) return std::nullopt;
+  if (policy_.deadline != 0 && delayed_ >= policy_.deadline) return std::nullopt;
+
+  // backoff = initial * multiplier^retries, capped at max_backoff.
+  double backoff = static_cast<double>(policy_.initial_backoff);
+  for (std::uint64_t i = 0; i < retries_; ++i) {
+    backoff *= policy_.multiplier;
+    if (backoff >= static_cast<double>(policy_.max_backoff)) break;
+  }
+  SimTime delay = std::min<SimTime>(policy_.max_backoff, static_cast<SimTime>(backoff));
+
+  if (policy_.jitter > 0.0 && delay > 0) {
+    const double cut = policy_.jitter * rng_.next_double();
+    delay -= static_cast<SimTime>(static_cast<double>(delay) * cut);
+  }
+  if (policy_.deadline != 0) {
+    delay = std::min(delay, policy_.deadline - delayed_);
+  }
+
+  ++retries_;
+  delayed_ += delay;
+  return delay;
+}
+
+}  // namespace ckpt::storage

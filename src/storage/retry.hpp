@@ -1,0 +1,78 @@
+// Bounded retry with exponential backoff, jitter and a deadline.
+//
+// Transient storage faults (an ENOSPC-style rejection, a torn write caught
+// by read-back verification, a network outage) are survivable if the caller
+// simply tries again a moment later — the SCR/multi-level-checkpointing
+// literature treats retry as the first rung of the recovery ladder, below
+// replica failover.  RetryPolicy describes *how* to try again; Retrier
+// walks one operation's attempts, producing the simulated-time delay to
+// charge before each retry.  All jitter comes from a seeded Rng, so a retry
+// schedule is a pure function of (policy, seed): the determinism contract
+// the tests pin down.
+//
+// The default policy performs no retries at all (max_attempts == 1), which
+// degrades every caller to the pre-retry behaviour.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace ckpt::storage {
+
+struct RetryPolicy {
+  /// Total attempts, including the first (1 = no retries at all).
+  std::uint64_t max_attempts = 1;
+  /// Backoff charged before the first retry; doubles (see `multiplier`) on
+  /// each subsequent one.
+  SimTime initial_backoff = 1 * kMillisecond;
+  double multiplier = 2.0;
+  /// Ceiling on any single backoff.
+  SimTime max_backoff = 200 * kMillisecond;
+  /// Fraction of each backoff that is randomized away ("equal jitter"):
+  /// delay is drawn uniformly from [backoff * (1 - jitter), backoff].
+  /// 0 disables jitter entirely.
+  double jitter = 0.5;
+  /// Total simulated time the retries of one operation may consume;
+  /// 0 = bounded only by max_attempts.  The final backoff is clamped so the
+  /// budget is never exceeded.
+  SimTime deadline = 0;
+  /// Seed for the jitter stream.  Callers mix in per-operation salt so
+  /// concurrent operations do not share a schedule yet replay exactly.
+  std::uint64_t jitter_seed = 0x5eed;
+
+  /// Convenience: a policy that retries `retries` times within `deadline`.
+  static RetryPolicy bounded(std::uint64_t retries, SimTime deadline);
+};
+
+/// One operation's walk through a RetryPolicy.  Usage:
+///
+///   Retrier retrier(policy, salt);
+///   while (!attempt()) {
+///     auto delay = retrier.next_delay();
+///     if (!delay) break;          // policy exhausted: give up
+///     charge(*delay);             // pay the backoff in simulated time
+///   }
+class Retrier {
+ public:
+  explicit Retrier(const RetryPolicy& policy, std::uint64_t salt = 0);
+
+  /// The backoff to charge before the next attempt, or nullopt when the
+  /// policy is exhausted (attempt count or deadline).
+  std::optional<SimTime> next_delay();
+
+  /// Retries granted so far (0 after construction).
+  [[nodiscard]] std::uint64_t retries() const { return retries_; }
+  /// Total backoff handed out so far.
+  [[nodiscard]] SimTime delayed() const { return delayed_; }
+
+ private:
+  RetryPolicy policy_;
+  util::Rng rng_;
+  std::uint64_t retries_ = 0;
+  SimTime delayed_ = 0;
+};
+
+}  // namespace ckpt::storage

@@ -1,0 +1,186 @@
+// RecoveryManager: the degradation ladder, structured RecoveryReports, the
+// data-loss-with-intact-replica gate, and post-failover self-healing.
+#include <gtest/gtest.h>
+
+#include "cluster/recovery.hpp"
+#include "test_common.hpp"
+
+namespace ckpt::cluster {
+namespace {
+
+using ckpt::test::SimTest;
+
+class RecoveryTest : public SimTest {
+ protected:
+  Cluster cluster_{2, NodeConfig{}};
+  RecoveryManager manager_{cluster_};
+
+  RecoveryManager::JobId launch_and_checkpoint(int home, std::uint64_t steps = 50) {
+    const RecoveryManager::JobId job =
+        manager_.launch(home, sim::CounterGuest::kTypeName, {});
+    ckpt::test::run_steps(cluster_.node(home).kernel(), manager_.pid_of(job), steps);
+    EXPECT_TRUE(manager_.checkpoint(job));
+    return job;
+  }
+
+  static const RecoveryAttempt* find_attempt(const RecoveryReport& report,
+                                             RecoveryStep step) {
+    for (const RecoveryAttempt& attempt : report.attempts) {
+      if (attempt.step == step) return &attempt;
+    }
+    return nullptr;
+  }
+};
+
+TEST_F(RecoveryTest, LocalRungRestoresWhenHomeDiskIsReachable) {
+  // The process dies but the node survives: the newest committed image is
+  // readable from the local replica — the ladder's fast path.
+  const auto job = launch_and_checkpoint(0);
+  sim::SimKernel& kernel = cluster_.node(0).kernel();
+  kernel.terminate(kernel.process(manager_.pid_of(job)), 9);
+  kernel.reap(manager_.pid_of(job));
+
+  const RecoveryReport report = manager_.recover(job);
+  EXPECT_TRUE(report.recovered);
+  EXPECT_TRUE(report.from_image);
+  EXPECT_FALSE(report.cold_started);
+  EXPECT_FALSE(report.data_loss_with_intact_replica);
+  const RecoveryAttempt* local = find_attempt(report, RecoveryStep::kLocalNewest);
+  ASSERT_NE(local, nullptr);
+  EXPECT_TRUE(local->ok);
+  EXPECT_EQ(report.attempts.size(), 1u);  // no deeper rung was needed
+  EXPECT_TRUE(kernel.process(report.restored_pid).alive());
+}
+
+TEST_F(RecoveryTest, RemoteRungSurvivesHomeNodeFailure) {
+  const auto job = launch_and_checkpoint(0);
+  cluster_.fail_node(0);
+
+  const RecoveryReport report = manager_.recover(job);
+  EXPECT_TRUE(report.recovered);
+  EXPECT_TRUE(report.from_image);
+  EXPECT_EQ(report.target_node, 1);
+  EXPECT_EQ(manager_.home_of(job), 1);
+  EXPECT_FALSE(report.data_loss_with_intact_replica);
+
+  const RecoveryAttempt* local = find_attempt(report, RecoveryStep::kLocalNewest);
+  ASSERT_NE(local, nullptr);
+  EXPECT_FALSE(local->ok);  // home disk went down with the node
+  const RecoveryAttempt* remote = find_attempt(report, RecoveryStep::kRemoteNewest);
+  ASSERT_NE(remote, nullptr);
+  EXPECT_TRUE(remote->ok);
+  EXPECT_TRUE(cluster_.node(1).kernel().process(report.restored_pid).alive());
+}
+
+TEST_F(RecoveryTest, OlderSurvivingRungFallsBackPastCorruptNewest) {
+  const auto job = launch_and_checkpoint(0);
+  ckpt::test::run_steps(cluster_.node(0).kernel(), manager_.pid_of(job), 100);
+  ASSERT_TRUE(manager_.checkpoint(job));
+  cluster_.fail_node(0);
+  // Damage the newest image's only reachable (remote) copy.
+  ASSERT_TRUE(cluster_.remote_storage().corrupt_blob(
+      cluster_.remote_storage().newest_id(), 21, 3));
+
+  const RecoveryReport report = manager_.recover(job);
+  EXPECT_TRUE(report.recovered);
+  EXPECT_TRUE(report.from_image);
+  EXPECT_FALSE(report.data_loss_with_intact_replica);
+  const RecoveryAttempt* older = find_attempt(report, RecoveryStep::kOlderSurviving);
+  ASSERT_NE(older, nullptr);
+  EXPECT_TRUE(older->ok);
+  EXPECT_EQ(report.restored_sequence, 1u);  // fell back one sequence point
+}
+
+TEST_F(RecoveryTest, ColdStartOnlyWhenNothingWasEverCommitted) {
+  const RecoveryManager::JobId job =
+      manager_.launch(0, sim::CounterGuest::kTypeName, {});
+  cluster_.fail_node(0);
+
+  const RecoveryReport report = manager_.recover(job);
+  EXPECT_TRUE(report.recovered);
+  EXPECT_TRUE(report.cold_started);
+  EXPECT_FALSE(report.from_image);
+  // The gate must NOT fire: there was no committed image to lose.
+  EXPECT_FALSE(report.data_loss_with_intact_replica);
+  const RecoveryAttempt* cold = find_attempt(report, RecoveryStep::kColdStart);
+  ASSERT_NE(cold, nullptr);
+  EXPECT_TRUE(cold->ok);
+  EXPECT_TRUE(cluster_.node(1).kernel().process(report.restored_pid).alive());
+}
+
+TEST_F(RecoveryTest, NoSurvivingNodeIsReportedNotRecovered) {
+  const auto job = launch_and_checkpoint(0);
+  cluster_.fail_node(0);
+  cluster_.fail_node(1);
+  const RecoveryReport report = manager_.recover(job);
+  EXPECT_FALSE(report.recovered);
+  EXPECT_EQ(report.target_node, -1);
+  ASSERT_EQ(report.attempts.size(), 1u);
+  EXPECT_FALSE(report.attempts[0].ok);
+}
+
+TEST_F(RecoveryTest, FailoverRetargetsAndScrubReplicatesOntoNewHome) {
+  const auto job = launch_and_checkpoint(0);
+  cluster_.fail_node(0);
+  const RecoveryReport report = manager_.recover(job);
+  ASSERT_TRUE(report.from_image);
+
+  // Self-healing: the local replica slot now points at node 1's disk and
+  // the post-recovery scrub re-replicated the committed history onto it.
+  storage::ReplicatedStore& store = manager_.store(job);
+  const storage::ImageId newest = store.newest_committed();
+  ASSERT_NE(newest, storage::kBadImageId);
+  EXPECT_TRUE(
+      store.load_from(RecoveryManager::kLocalReplica, newest, nullptr).has_value());
+  EXPECT_EQ(store.intact_replicas(newest), 2u);
+  EXPECT_FALSE(cluster_.node(1).disk().list().empty());
+
+  // The healed job checkpoints and recovers again — the loop is closed.
+  ckpt::test::run_steps(cluster_.node(1).kernel(), manager_.pid_of(job), 50);
+  EXPECT_TRUE(manager_.checkpoint(job));
+  cluster_.fail_node(1);
+  cluster_.repair_node(0);
+  const RecoveryReport second = manager_.recover(job);
+  EXPECT_TRUE(second.recovered);
+  EXPECT_TRUE(second.from_image);
+  EXPECT_FALSE(second.data_loss_with_intact_replica);
+  EXPECT_EQ(manager_.home_of(job), 0);
+}
+
+TEST_F(RecoveryTest, WatchRecoversEveryJobOnTheFailedNode) {
+  const auto job_a = launch_and_checkpoint(0);
+  const auto job_b = launch_and_checkpoint(0);
+  const auto job_other = launch_and_checkpoint(1);
+  manager_.watch();
+
+  cluster_.fail_node(0);
+  ASSERT_EQ(manager_.reports().size(), 2u);
+  for (const RecoveryReport& report : manager_.reports()) {
+    EXPECT_TRUE(report.recovered);
+    EXPECT_TRUE(report.from_image);
+    EXPECT_FALSE(report.data_loss_with_intact_replica);
+  }
+  EXPECT_EQ(manager_.home_of(job_a), 1);
+  EXPECT_EQ(manager_.home_of(job_b), 1);
+  EXPECT_EQ(manager_.home_of(job_other), 1);  // untouched
+  EXPECT_EQ(manager_.checkpoints_taken(job_other), 1u);
+}
+
+TEST_F(RecoveryTest, ReportSummaryNamesTheLadderOutcome) {
+  const auto job = launch_and_checkpoint(0);
+  cluster_.fail_node(0);
+  const std::string summary = manager_.recover(job).summary();
+  EXPECT_NE(summary.find("local-newest=fail"), std::string::npos) << summary;
+  EXPECT_NE(summary.find("remote-newest=ok"), std::string::npos) << summary;
+  EXPECT_EQ(summary.find("DATA LOSS"), std::string::npos) << summary;
+}
+
+TEST_F(RecoveryTest, UnknownJobIsRejected) {
+  EXPECT_THROW(manager_.recover(999), std::invalid_argument);
+  EXPECT_THROW(manager_.launch(0, "no-such-guest", {}), std::exception);
+  EXPECT_EQ(manager_.pid_of(999), sim::kNoPid);
+  EXPECT_EQ(manager_.home_of(999), -1);
+}
+
+}  // namespace
+}  // namespace ckpt::cluster

@@ -326,6 +326,33 @@ TEST_F(ChainTest, NewestSurvivingFallsBackPastTornFull) {
   EXPECT_EQ(survivor->segments[0].pages[0].data[0], std::byte{1});
 }
 
+TEST_F(ChainTest, PruneKeepsFallbackWhenNewestFullIsTorn) {
+  const sim::PageNum base_page = sim::page_of(0x10000);
+  chain_.append(make_image(1), nullptr);
+  chain_.append(delta_with_page(2, base_page, 0, 8, std::byte{0x22}), nullptr);
+  backend_.inject_store_fault(StoreFault::kTornWrite);
+  ASSERT_NE(chain_.append(make_image(5), nullptr), kBadImageId);  // torn on disk
+
+  // Regression: prune() used to cut everything below the newest full image
+  // without checking it was readable, destroying the exact states
+  // reconstruct_newest_surviving() needs as fallback targets.
+  chain_.prune();
+  const auto survivor = chain_.reconstruct_newest_surviving(nullptr);
+  ASSERT_TRUE(survivor.has_value());
+  EXPECT_EQ(survivor->segments[0].pages[0].data[0], std::byte{0x22});
+}
+
+TEST_F(ChainTest, PruneKeepsFallbackWhenNewestFullIsCorrupt) {
+  chain_.append(make_image(1), nullptr);
+  const ImageId newest = chain_.append(make_image(3), nullptr);
+  ASSERT_TRUE(backend_.corrupt_blob(newest, 4, 2));
+  chain_.prune();
+  EXPECT_EQ(backend_.list().size(), 2u);  // nothing verified newer: keep all
+  const auto survivor = chain_.reconstruct_newest_surviving(nullptr);
+  ASSERT_TRUE(survivor.has_value());
+  EXPECT_EQ(survivor->segments[0].pages[0].data[0], std::byte{1});
+}
+
 TEST_F(ChainTest, NewestSurvivingRefusesWhenEverythingIsCorrupt) {
   const ImageId only = chain_.append(make_image(1), nullptr);
   ASSERT_TRUE(backend_.corrupt_blob(only, 0, 9));

@@ -1,0 +1,141 @@
+// Replicated stable-storage torture soak (ctest label: torture-storage).
+//
+// Re-runs the crash/restart torture battery with the engines writing
+// through a ReplicatedStore (atomic two-phase publish + retry + scrub),
+// storage faults targeting one replica at a time.  The sharpened verdicts:
+//
+//   * a restart NEVER fails while >= 1 intact replica of a committed image
+//     exists (zero unexpected_failures — the tentpole invariant);
+//   * under a storage-fault-only schedule, single-replica faults are fully
+//     absorbed: no checkpoint is ever lost and no restart is ever refused;
+//   * every injected single-replica corruption is repaired by the
+//     end-of-cycle scrub (zero scrub_failures);
+//   * the whole soak replays bit-identically from the seed.
+#include <gtest/gtest.h>
+
+#include "inject/torture.hpp"
+
+namespace ckpt::inject {
+namespace {
+
+constexpr std::uint64_t kSoakSeed = 0x5eed2026;
+constexpr std::uint64_t kCyclesPerEngine = 110;
+
+TortureOptions replicated_options(std::uint32_t replicas = 2) {
+  TortureOptions options;
+  options.seed = kSoakSeed;
+  options.cycles = kCyclesPerEngine;
+  options.replicated_storage = true;
+  options.replicas = replicas;
+  return options;
+}
+
+/// Storage faults only — the schedule the survivability claim is about.
+std::vector<FaultPlan::Weighted> storage_only_mix() {
+  return {
+      {FaultKind::kNone, 2},          {FaultKind::kStoreReject, 2},
+      {FaultKind::kTornStore, 2},     {FaultKind::kCorruptImage, 2},
+      {FaultKind::kStorageOutage, 2},
+  };
+}
+
+TEST(TortureStorage, FiveHundredFiftyCyclesAcrossTheBattery) {
+  const std::vector<TortureTarget> targets = default_targets();
+  ASSERT_EQ(targets.size(), 5u);
+
+  TortureHarness harness(replicated_options());
+  const std::vector<TortureReport> reports = harness.run_all(targets);
+
+  std::uint64_t total_cycles = 0;
+  std::uint64_t total_repairs = 0;
+  for (const TortureReport& report : reports) {
+    SCOPED_TRACE(report.summary());
+    total_cycles += report.cycles;
+    total_repairs += report.scrub_repairs;
+
+    EXPECT_GT(report.checkpoints_ok, 0u) << report.engine;
+    EXPECT_GT(report.restarts_ok, 0u) << report.engine;
+
+    // The tentpole invariant: zero unrecoverable restarts while an intact
+    // replica of a committed image exists, zero restarts from garbage, zero
+    // divergences, and scrub healed every injected single-replica wound.
+    EXPECT_EQ(report.divergences, 0u);
+    EXPECT_EQ(report.corrupt_restarts, 0u);
+    EXPECT_EQ(report.unexpected_failures, 0u);
+    EXPECT_EQ(report.scrub_failures, 0u);
+    EXPECT_TRUE(report.ok());
+    for (const std::string& diagnostic : report.diagnostics) {
+      ADD_FAILURE() << report.engine << ": " << diagnostic;
+    }
+  }
+  EXPECT_GE(total_cycles, 550u);
+  EXPECT_GT(total_repairs, 0u) << "scrub never repaired anything: injectors dead?";
+}
+
+TEST(TortureStorage, SingleReplicaStorageFaultsAreFullyAbsorbed) {
+  // With >= 2 replicas and faults hitting one replica per cycle, the
+  // storage layer must be transparent to the engine: every checkpoint
+  // commits (retry + quorum) and every restart succeeds (failover).
+  TortureOptions options = replicated_options();
+  options.fault_mix = storage_only_mix();
+  TortureHarness harness(options);
+  for (const TortureReport& report : harness.run_all(default_targets())) {
+    SCOPED_TRACE(report.summary());
+    EXPECT_EQ(report.checkpoints_failed, 0u) << report.engine;
+    EXPECT_EQ(report.restarts_refused, 0u) << report.engine;
+    EXPECT_EQ(report.unexpected_failures, 0u) << report.engine;
+    EXPECT_TRUE(report.ok());
+  }
+}
+
+TEST(TortureStorage, UnreplicatedStorageLosesWhatReplicationKeeps) {
+  // The control: the identical storage-fault schedule against a single
+  // backend must visibly hurt (failed checkpoints or refused restarts) —
+  // otherwise the absorption result above proves nothing.
+  TortureOptions options = replicated_options();
+  options.replicated_storage = false;
+  options.fault_mix = storage_only_mix();
+  TortureHarness harness(options);
+  std::uint64_t lost = 0;
+  for (const TortureReport& report : harness.run_all(default_targets())) {
+    SCOPED_TRACE(report.summary());
+    EXPECT_TRUE(report.ok());  // the harness model itself must stay sound
+    lost += report.checkpoints_failed + report.restarts_refused;
+  }
+  EXPECT_GT(lost, 0u);
+}
+
+TEST(TortureStorage, ThreeWayReplicationHoldsTheSameInvariants) {
+  TortureOptions options = replicated_options(/*replicas=*/3);
+  options.fault_mix = storage_only_mix();
+  TortureHarness harness(options);
+  const TortureReport report = harness.run(TortureTarget{"CRAK", nullptr});
+  SCOPED_TRACE(report.summary());
+  EXPECT_EQ(report.checkpoints_failed, 0u);
+  EXPECT_EQ(report.restarts_refused, 0u);
+  EXPECT_TRUE(report.ok());
+}
+
+TEST(TortureStorage, ReproducibleFromSeed) {
+  TortureOptions options = replicated_options();
+  options.seed = 77;
+  options.cycles = 40;
+
+  const TortureTarget crak{"CRAK", nullptr};
+  const TortureReport first = TortureHarness(options).run(crak);
+  const TortureReport second = TortureHarness(options).run(crak);
+  EXPECT_EQ(first, second) << "same seed must replay the identical soak";
+
+  options.seed = 78;
+  const TortureReport other = TortureHarness(options).run(crak);
+  EXPECT_NE(first, other) << "different seeds must produce different schedules";
+}
+
+TEST(TortureStorage, SingleReplicaConfigurationIsRejected) {
+  TortureOptions options = replicated_options(/*replicas=*/1);
+  EXPECT_THROW(TortureHarness(options).run(TortureTarget{"CRAK", nullptr}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ckpt::inject
