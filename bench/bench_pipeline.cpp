@@ -1,0 +1,263 @@
+// Commit-pipeline throughput: serial (pre-pipeline) commit path vs the
+// parallel checkpoint commit pipeline (sharded serialize + slicing-by-8
+// CRC64 + copy-free read-back verify), swept across worker count,
+// replication width and image size.
+//
+// The "legacy" baseline reproduces the pre-PR commit loop faithfully:
+// serial serialize, bytewise CRC64 over the blob, then per replica a
+// put_raw followed by a full read_blob copy re-CRC'd bytewise.  The
+// pipeline path is ReplicatedStore::store_verbose with a ThreadPool.
+//
+// Host wall-clock only — simulated-time charges are not involved (and the
+// determinism check asserts the pipeline never changes observable state).
+// Emits BENCH_pipeline.json (path = argv[1], default ./BENCH_pipeline.json)
+// for the CI archive + regression gate.
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "storage/backend.hpp"
+#include "storage/image.hpp"
+#include "storage/replicated.hpp"
+#include "util/crc64.hpp"
+#include "util/rng.hpp"
+#include "util/threadpool.hpp"
+
+using namespace ckpt;
+
+namespace {
+
+struct ImageSpec {
+  const char* name;
+  std::size_t segments;
+  std::uint64_t pages_per_segment;
+};
+
+constexpr ImageSpec kSmall{"small", 8, 16};   // 8 x 16 x 4 KiB = 512 KiB of pages
+constexpr ImageSpec kLarge{"large", 32, 64};  // 32 x 64 x 4 KiB = 8 MiB of pages
+
+storage::CheckpointImage make_image(const ImageSpec& spec, std::uint64_t seed) {
+  util::Rng rng(seed);
+  storage::CheckpointImage image;
+  image.kind = storage::ImageKind::kFull;
+  image.pid = 7;
+  image.process_name = "bench";
+  image.taken_at = seed;
+  image.threads.push_back(storage::ThreadImage{1, {}});
+  for (std::size_t s = 0; s < spec.segments; ++s) {
+    storage::MemorySegmentImage seg;
+    seg.vma = sim::Vma{sim::page_of(0x100000 + (s << 20)), spec.pages_per_segment,
+                       sim::kProtRW, sim::VmaKind::kData, "seg" + std::to_string(s)};
+    for (std::uint64_t p = 0; p < spec.pages_per_segment; ++p) {
+      storage::PageImage page;
+      page.page = seg.vma.first_page + p;
+      page.data.resize(sim::kPageSize);
+      for (std::size_t i = 0; i < page.data.size(); i += 8) {
+        const std::uint64_t word = rng.next_u64();
+        for (std::size_t b = 0; b < 8 && i + b < page.data.size(); ++b) {
+          page.data[i + b] = static_cast<std::byte>(word >> (8 * b));
+        }
+      }
+      seg.pages.push_back(std::move(page));
+    }
+    image.segments.push_back(std::move(seg));
+  }
+  return image;
+}
+
+struct ReplicaSet {
+  sim::CostModel costs{};
+  storage::LocalDiskBackend local{costs};
+  std::vector<std::unique_ptr<storage::RemoteBackend>> remotes;
+  std::vector<storage::BlobStoreBackend*> replicas;
+
+  explicit ReplicaSet(std::uint32_t width) {
+    replicas.push_back(&local);
+    for (std::uint32_t i = 1; i < width; ++i) {
+      remotes.push_back(std::make_unique<storage::RemoteBackend>(costs));
+      replicas.push_back(remotes.back().get());
+    }
+  }
+};
+
+/// The pre-pipeline commit loop: serial serialize, bytewise CRC, and a full
+/// read-back copy per replica, re-CRC'd bytewise.
+void legacy_commit(const storage::CheckpointImage& image,
+                   std::vector<storage::BlobStoreBackend*>& replicas) {
+  const std::vector<std::byte> blob = image.serialize();
+  const std::uint64_t crc = util::crc64_bytewise(blob);
+  std::vector<storage::ImageId> placed(replicas.size(), storage::kBadImageId);
+  for (std::size_t r = 0; r < replicas.size(); ++r) {
+    const storage::ImageId id = replicas[r]->put_raw(blob, nullptr);
+    const auto back = replicas[r]->read_blob(id, nullptr);
+    if (!back.has_value() || util::crc64_bytewise(*back) != crc) {
+      std::fprintf(stderr, "legacy verify failed?!\n");
+      std::exit(1);
+    }
+    placed[r] = id;
+  }
+  for (std::size_t r = 0; r < replicas.size(); ++r) replicas[r]->erase(placed[r]);
+}
+
+template <typename Fn>
+double seconds_per_commit(int iters, Fn&& commit) {
+  commit();  // warmup (touches pages, fills buffer pools)
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) commit();
+  const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
+  return elapsed.count() / iters;
+}
+
+struct Result {
+  std::string mode;  // "legacy" or "pipeline"
+  unsigned workers = 0;
+  std::uint32_t replicas = 0;
+  std::string image;
+  std::size_t blob_bytes = 0;
+  double commits_per_sec = 0;
+  double mb_per_sec = 0;  // serialized bytes landed across all replicas
+};
+
+Result measure_legacy(const ImageSpec& spec, std::uint32_t width, int iters) {
+  const storage::CheckpointImage image = make_image(spec, 0xBE7C);
+  ReplicaSet set(width);
+  const std::size_t blob_bytes = image.serialized_size();
+  const double secs =
+      seconds_per_commit(iters, [&] { legacy_commit(image, set.replicas); });
+  Result r{"legacy", 0, width, spec.name, blob_bytes, 1.0 / secs, 0};
+  r.mb_per_sec = r.commits_per_sec * static_cast<double>(blob_bytes) * width / (1 << 20);
+  return r;
+}
+
+Result measure_pipeline(const ImageSpec& spec, std::uint32_t width, unsigned workers,
+                        util::ThreadPool& pool, int iters) {
+  const storage::CheckpointImage image = make_image(spec, 0xBE7C);
+  ReplicaSet set(width);
+  storage::ReplicatedOptions options;
+  options.pool = &pool;
+  storage::ReplicatedStore store(set.replicas, options);
+  const std::size_t blob_bytes = image.serialized_size();
+  const double secs = seconds_per_commit(iters, [&] {
+    const storage::StoreReceipt receipt = store.store_verbose(image, nullptr);
+    if (!receipt.ok()) {
+      std::fprintf(stderr, "pipeline commit failed?!\n");
+      std::exit(1);
+    }
+    store.erase(receipt.id);
+  });
+  Result r{"pipeline", workers, width, spec.name, blob_bytes, 1.0 / secs, 0};
+  r.mb_per_sec = r.commits_per_sec * static_cast<double>(blob_bytes) * width / (1 << 20);
+  return r;
+}
+
+/// 1-worker vs 8-worker stores over the same images must leave bit-identical
+/// replica contents and identical manifests.
+bool identical_1v8() {
+  util::ThreadPool one(1), eight(8);
+  auto drive = [](util::ThreadPool& pool, ReplicaSet& set) {
+    storage::ReplicatedOptions options;
+    options.pool = &pool;
+    storage::ReplicatedStore store(set.replicas, options);
+    for (std::uint64_t i = 0; i < 3; ++i) {
+      if (!store.store_verbose(make_image(kSmall, i), nullptr).ok()) return false;
+    }
+    return true;
+  };
+  ReplicaSet set_a(3), set_b(3);
+  if (!drive(one, set_a) || !drive(eight, set_b)) return false;
+  for (std::size_t r = 0; r < 3; ++r) {
+    const auto ids_a = set_a.replicas[r]->list();
+    const auto ids_b = set_b.replicas[r]->list();
+    if (ids_a != ids_b) return false;
+    for (std::size_t i = 0; i < ids_a.size(); ++i) {
+      const auto blob_a = set_a.replicas[r]->read_blob(ids_a[i], nullptr);
+      const auto blob_b = set_b.replicas[r]->read_blob(ids_b[i], nullptr);
+      if (blob_a != blob_b) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = argc > 1 ? argv[1] : "BENCH_pipeline.json";
+  bench::print_header(
+      "bench_pipeline -- parallel checkpoint commit pipeline throughput",
+      "sharded serialize + slicing-by-8 CRC64 + copy-free verify vs the "
+      "serial bytewise commit loop (section 4.1 concurrent-commit branch)");
+
+  const bool deterministic = identical_1v8();
+  std::printf("determinism: 1-worker and 8-worker stores bit-identical: %s\n\n",
+              deterministic ? "yes" : "NO");
+
+  util::ThreadPool pool1(1), pool2(2), pool4(4), pool8(8);
+  const std::vector<std::pair<unsigned, util::ThreadPool*>> pools{
+      {1, &pool1}, {2, &pool2}, {4, &pool4}, {8, &pool8}};
+
+  std::vector<Result> results;
+  util::TextTable table(
+      {"image", "replicas", "mode", "workers", "commits/s", "MiB/s landed"});
+  double legacy_large_3way = 0, pipeline_large_3way_4w = 0;
+  for (const ImageSpec* spec : {&kSmall, &kLarge}) {
+    const int iters = spec == &kSmall ? 10 : 3;
+    for (std::uint32_t width : {1u, 2u, 3u}) {
+      const Result legacy = measure_legacy(*spec, width, iters);
+      results.push_back(legacy);
+      table.add_row({legacy.image, std::to_string(width), "legacy", "-",
+                     util::format_double(legacy.commits_per_sec, 2),
+                     util::format_double(legacy.mb_per_sec, 1)});
+      if (spec == &kLarge && width == 3) legacy_large_3way = legacy.commits_per_sec;
+      for (const auto& [workers, pool] : pools) {
+        const Result r = measure_pipeline(*spec, width, workers, *pool, iters);
+        results.push_back(r);
+        table.add_row({r.image, std::to_string(width), "pipeline",
+                       std::to_string(workers),
+                       util::format_double(r.commits_per_sec, 2),
+                       util::format_double(r.mb_per_sec, 1)});
+        if (spec == &kLarge && width == 3 && workers == 4) {
+          pipeline_large_3way_4w = r.commits_per_sec;
+        }
+      }
+    }
+  }
+  bench::print_table(table);
+
+  const double speedup =
+      legacy_large_3way > 0 ? pipeline_large_3way_4w / legacy_large_3way : 0;
+  std::printf("speedup (large image, 3-way, 4 workers vs legacy serial): %.2fx\n",
+              speedup);
+  bench::print_verdict(
+      deterministic && speedup >= 2.0,
+      "the commit pipeline is >= 2x the serial path on large 3-way commits "
+      "while leaving bit-identical replica state for any worker count");
+
+  std::FILE* json = std::fopen(json_path.c_str(), "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(json, "{\n  \"bench\": \"bench_pipeline\",\n");
+  std::fprintf(json, "  \"identical_1v8\": %s,\n", deterministic ? "true" : "false");
+  std::fprintf(json, "  \"speedup_large_3way_4workers\": %.4f,\n", speedup);
+  std::fprintf(json, "  \"target_speedup\": 2.0,\n");
+  std::fprintf(json, "  \"holds\": %s,\n",
+               deterministic && speedup >= 2.0 ? "true" : "false");
+  std::fprintf(json, "  \"configs\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
+    std::fprintf(json,
+                 "    {\"mode\": \"%s\", \"workers\": %u, \"replicas\": %u, "
+                 "\"image\": \"%s\", \"blob_bytes\": %zu, "
+                 "\"commits_per_sec\": %.4f, \"mb_per_sec\": %.4f}%s\n",
+                 r.mode.c_str(), r.workers, r.replicas, r.image.c_str(), r.blob_bytes,
+                 r.commits_per_sec, r.mb_per_sec, i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("wrote %s\n", json_path.c_str());
+  return deterministic ? 0 : 1;
+}

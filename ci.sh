@@ -10,6 +10,12 @@
 # 3. data-loss gate: the storage-survivability bench replays the PR 1 fault
 #    schedule against 1/2/3-way replication; any recovery that lost state
 #    while an intact replica of a committed image existed fails the build.
+# 4. pipeline gate: bench_pipeline measures the parallel commit pipeline
+#    against the legacy serial commit loop and archives BENCH_pipeline.json.
+#    Hard-fails if 1-worker and 8-worker commits are not bit-identical, or
+#    if the large/3-way/4-worker speedup regresses below 1.3x (the headline
+#    target is >= 2x, reported in the JSON).  CKPT_WORKERS sets the shared
+#    pool width for the test suites (default: hardware concurrency, clamped).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -39,3 +45,18 @@ if grep -q "DATA LOSS WITH INTACT REPLICA" <<<"${SURVIVABILITY}"; then
   echo "CI gate: a RecoveryReport flagged data loss with an intact replica" >&2
   exit 1
 fi
+
+# Commit-pipeline gate: determinism is a hard invariant; throughput gets a
+# loose regression floor (1.3x) so a noisy shared runner cannot flake the
+# build, while the JSON archives the actual measured speedup (target 2x).
+./build/bench/bench_pipeline BENCH_pipeline.json
+if ! grep -q '"identical_1v8": true' BENCH_pipeline.json; then
+  echo "CI gate: 1-worker and 8-worker commits are not bit-identical" >&2
+  exit 1
+fi
+SPEEDUP="$(sed -n 's/.*"speedup_large_3way_4workers": \([0-9.]*\).*/\1/p' BENCH_pipeline.json)"
+if ! awk -v s="${SPEEDUP}" 'BEGIN { exit !(s >= 1.3) }'; then
+  echo "CI gate: pipeline speedup ${SPEEDUP}x regressed below the 1.3x floor" >&2
+  exit 1
+fi
+echo "pipeline gate: speedup ${SPEEDUP}x (floor 1.3x, target 2x), determinism ok"

@@ -12,6 +12,7 @@
 #include "mechanisms/catalog.hpp"
 #include "sim/guests.hpp"
 #include "storage/replicated.hpp"
+#include "util/threadpool.hpp"
 
 namespace ckpt::inject {
 
@@ -132,6 +133,9 @@ TortureReport TortureHarness::run(const TortureTarget& target) {
   storage::RemoteBackend remote{kernel.costs()};
   std::vector<std::unique_ptr<storage::RemoteBackend>> extra_remotes;
   std::vector<storage::BlobStoreBackend*> replicas;
+  // Pinned-width commit pool (declared before the store so it outlives it);
+  // workers == 0 leaves the store on the shared CKPT_WORKERS pool.
+  std::unique_ptr<util::ThreadPool> pinned_pool;
   std::unique_ptr<storage::ReplicatedStore> replicated;
   mechanisms::MechanismContext context{&kernel, &local, &remote};
   if (options_.replicated_storage) {
@@ -148,6 +152,10 @@ TortureReport TortureHarness::run(const TortureTarget& target) {
     storage::ReplicatedOptions repl_options;
     repl_options.retry = options_.retry;
     repl_options.retry.jitter_seed = seed;
+    if (options_.workers > 0) {
+      pinned_pool = std::make_unique<util::ThreadPool>(options_.workers);
+      repl_options.pool = pinned_pool.get();
+    }
     replicated = std::make_unique<storage::ReplicatedStore>(replicas, repl_options);
     // Both context slots are the replicated store, so local-disk designs
     // (CRAK, BLCR, ...) and remote-storage designs write through it alike.

@@ -1,5 +1,6 @@
 #include "storage/backend.hpp"
 
+#include "util/crc64.hpp"
 #include "util/serialize.hpp"
 
 namespace ckpt::storage {
@@ -50,6 +51,15 @@ std::optional<std::vector<std::byte>> BlobStoreBackend::read_blob(
   if (it == blobs_.end()) return std::nullopt;
   if (charge) charge(io_cost(it->second.size()));
   return it->second;
+}
+
+std::optional<std::uint64_t> BlobStoreBackend::blob_crc64(ImageId id,
+                                                          const ChargeFn& charge) const {
+  if (!reachable()) return std::nullopt;
+  auto it = blobs_.find(id);
+  if (it == blobs_.end()) return std::nullopt;
+  if (charge) charge(io_cost(it->second.size()));
+  return util::crc64(it->second);
 }
 
 ImageId BlobStoreBackend::put_raw(std::vector<std::byte> blob, const ChargeFn& charge) {

@@ -111,6 +111,14 @@ class BlobStoreBackend : public StorageBackend {
   [[nodiscard]] std::optional<std::vector<std::byte>> read_blob(ImageId id,
                                                                 const ChargeFn& charge) const;
 
+  /// CRC64 of a stored blob computed in place — a read-back verify without
+  /// materializing a host-side copy.  Same reachability guards and the same
+  /// io_cost charge as read_blob (the simulated media is still read in
+  /// full); only the host copy is gone.  nullopt when the id is unknown or
+  /// the backend is unreachable.
+  [[nodiscard]] std::optional<std::uint64_t> blob_crc64(ImageId id,
+                                                        const ChargeFn& charge) const;
+
   /// Persist pre-serialized bytes (replica staging and scrub repair).
   /// Honours outage state and any armed store fault exactly like store(),
   /// and charges io_cost.  Returns kBadImageId when unreachable or faulted.

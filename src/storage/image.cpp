@@ -2,6 +2,7 @@
 
 #include "util/crc64.hpp"
 #include "util/serialize.hpp"
+#include "util/threadpool.hpp"
 
 namespace ckpt::storage {
 
@@ -31,7 +32,12 @@ std::uint64_t CheckpointImage::page_count() const {
 
 namespace {
 
-void encode_vma(Serializer& s, const sim::Vma& vma) {
+// Encoders are written against a generic sink so the same code drives the
+// byte emitter (Serializer), the exact-size pass (SizeCounter) and the
+// sharded parallel path — they cannot drift apart.
+
+template <typename Sink>
+void encode_vma(Sink& s, const sim::Vma& vma) {
   s.put(vma.first_page);
   s.put(vma.page_count);
   s.put(vma.prot);
@@ -49,11 +55,78 @@ sim::Vma decode_vma(Deserializer& d) {
   return vma;
 }
 
-void encode_regs(Serializer& s, const sim::Registers& regs) {
+template <typename Sink>
+void encode_regs(Sink& s, const sim::Registers& regs) {
   s.put(regs.pc);
   s.put(regs.sp);
   for (std::uint64_t g : regs.gpr) s.put(g);
 }
+
+/// Everything preceding the segment payloads, including the segment-count
+/// prefix — the body is prelude ++ segment* ++ trailer.
+template <typename Sink>
+void encode_prelude(Sink& s, const CheckpointImage& image) {
+  s.put(image.kind);
+  s.put(image.sequence);
+  s.put(image.parent_sequence);
+  s.put(image.pid);
+  s.put_string(image.process_name);
+  s.put_string(image.hostname);
+  s.put(image.taken_at);
+  s.put_string(image.guest.type_name);
+  s.put_bytes(image.guest.config);
+
+  s.put_vector(image.threads, [](auto& s2, const ThreadImage& t) {
+    s2.put(t.tid);
+    encode_regs(s2, t.regs);
+  });
+
+  s.template put<std::uint64_t>(image.segments.size());
+}
+
+template <typename Sink>
+void encode_segment(Sink& s, const MemorySegmentImage& seg) {
+  encode_vma(s, seg.vma);
+  s.put_vector(seg.pages, [](auto& s2, const PageImage& page) {
+    s2.put(page.page);
+    s2.put(page.offset);
+    s2.put_bytes(page.data);
+  });
+}
+
+template <typename Sink>
+void encode_trailer(Sink& s, const CheckpointImage& image) {
+  s.put(image.brk);
+  s.put(image.heap_base);
+  s.put(image.mmap_next);
+  s.put(image.sig_pending);
+  s.put(image.sig_mask);
+  s.put_vector(image.sig_dispositions, [](auto& s2, std::uint8_t d) { s2.put(d); });
+
+  s.put_vector(image.files, [](auto& s2, const FileDescriptorImage& f) {
+    s2.put(f.fd);
+    s2.put(f.kind);
+    s2.put_string(f.path);
+    s2.put(f.offset);
+    s2.put(f.flags);
+    s2.template put<std::uint8_t>(f.was_deleted ? 1 : 0);
+    s2.template put<std::uint8_t>(f.contents.has_value() ? 1 : 0);
+    if (f.contents.has_value()) s2.put_bytes(*f.contents);
+  });
+
+  s.put_vector(image.bound_ports, [](auto& s2, std::uint16_t p) { s2.put(p); });
+}
+
+/// Exact body size (without the 12-byte version+CRC envelope).
+std::uint64_t body_size(const CheckpointImage& image) {
+  util::SizeCounter counter;
+  encode_prelude(counter, image);
+  for (const MemorySegmentImage& seg : image.segments) encode_segment(counter, seg);
+  encode_trailer(counter, image);
+  return counter.size();
+}
+
+constexpr std::size_t kEnvelopeBytes = sizeof(std::uint32_t) + sizeof(std::uint64_t);
 
 sim::Registers decode_regs(Deserializer& d) {
   sim::Registers regs;
@@ -65,57 +138,75 @@ sim::Registers decode_regs(Deserializer& d) {
 
 }  // namespace
 
+std::uint64_t CheckpointImage::serialized_size() const {
+  return kEnvelopeBytes + body_size(*this);
+}
+
 std::vector<std::byte> CheckpointImage::serialize() const {
-  Serializer body;
-  body.put(kind);
-  body.put(sequence);
-  body.put(parent_sequence);
-  body.put(pid);
-  body.put_string(process_name);
-  body.put_string(hostname);
-  body.put(taken_at);
-  body.put_string(guest.type_name);
-  body.put_bytes(guest.config);
+  const std::uint64_t body_bytes = body_size(*this);
 
-  body.put_vector(threads, [](Serializer& s, const ThreadImage& t) {
-    s.put(t.tid);
-    encode_regs(s, t.regs);
-  });
-
-  body.put_vector(segments, [](Serializer& s, const MemorySegmentImage& seg) {
-    encode_vma(s, seg.vma);
-    s.put_vector(seg.pages, [](Serializer& s2, const PageImage& page) {
-      s2.put(page.page);
-      s2.put(page.offset);
-      s2.put_bytes(page.data);
-    });
-  });
-
-  body.put(brk);
-  body.put(heap_base);
-  body.put(mmap_next);
-  body.put(sig_pending);
-  body.put(sig_mask);
-  body.put_vector(sig_dispositions, [](Serializer& s, std::uint8_t d) { s.put(d); });
-
-  body.put_vector(files, [](Serializer& s, const FileDescriptorImage& f) {
-    s.put(f.fd);
-    s.put(f.kind);
-    s.put_string(f.path);
-    s.put(f.offset);
-    s.put(f.flags);
-    s.put<std::uint8_t>(f.was_deleted ? 1 : 0);
-    s.put<std::uint8_t>(f.contents.has_value() ? 1 : 0);
-    if (f.contents.has_value()) s.put_bytes(*f.contents);
-  });
-
-  body.put_vector(bound_ports, [](Serializer& s, std::uint16_t p) { s.put(p); });
+  Serializer body(util::BufferPool::shared().acquire());
+  body.reserve(body_bytes);
+  encode_prelude(body, *this);
+  for (const MemorySegmentImage& seg : segments) encode_segment(body, seg);
+  encode_trailer(body, *this);
 
   // Envelope: version | crc(body) | body
   Serializer out;
+  out.reserve(kEnvelopeBytes + body.size());
   out.put(kFormatVersion);
   out.put(util::crc64(body.bytes()));
   out.put_raw(body.bytes());
+  util::BufferPool::shared().release(std::move(body).take());
+  return std::move(out).take();
+}
+
+std::vector<std::byte> CheckpointImage::serialize(util::ThreadPool& pool) const {
+  // Sharding only pays when there is more than one segment to fan out.
+  if (segments.size() < 2 || pool.worker_count() < 2) return serialize();
+
+  Serializer prelude(util::BufferPool::shared().acquire());
+  encode_prelude(prelude, *this);
+  Serializer trailer(util::BufferPool::shared().acquire());
+  encode_trailer(trailer, *this);
+
+  // Per-segment shards: encoded and CRC64'd concurrently, joined in segment
+  // order below, so the result never depends on worker scheduling.
+  struct Shard {
+    std::vector<std::byte> bytes;
+    std::uint64_t crc = 0;
+  };
+  std::vector<Shard> shards(segments.size());
+  pool.run(segments.size(), [&](std::size_t i) {
+    util::SizeCounter counter;
+    encode_segment(counter, segments[i]);
+    Serializer s(util::BufferPool::shared().acquire());
+    s.reserve(counter.size());
+    encode_segment(s, segments[i]);
+    shards[i].bytes = std::move(s).take();
+    shards[i].crc = util::crc64(shards[i].bytes);
+  });
+
+  std::uint64_t total = prelude.size() + trailer.size();
+  std::uint64_t body_crc = util::crc64(prelude.bytes());
+  for (const Shard& shard : shards) {
+    total += shard.bytes.size();
+    body_crc = util::crc64_combine(body_crc, shard.crc, shard.bytes.size());
+  }
+  body_crc = util::crc64(trailer.bytes(), body_crc);
+
+  Serializer out;
+  out.reserve(kEnvelopeBytes + total);
+  out.put(kFormatVersion);
+  out.put(body_crc);
+  out.put_raw(prelude.bytes());
+  util::BufferPool::shared().release(std::move(prelude).take());
+  for (Shard& shard : shards) {
+    out.put_raw(shard.bytes);
+    util::BufferPool::shared().release(std::move(shard.bytes));
+  }
+  out.put_raw(trailer.bytes());
+  util::BufferPool::shared().release(std::move(trailer).take());
   return std::move(out).take();
 }
 

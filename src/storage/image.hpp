@@ -24,6 +24,10 @@
 #include "sim/types.hpp"
 #include "util/units.hpp"
 
+namespace ckpt::util {
+class ThreadPool;
+}
+
 namespace ckpt::storage {
 
 enum class ImageKind : std::uint8_t { kFull, kIncremental };
@@ -97,6 +101,14 @@ struct CheckpointImage {
 
   // --- Wire format ------------------------------------------------------------------
   [[nodiscard]] std::vector<std::byte> serialize() const;
+  /// Sharded encode: each memory segment is encoded and CRC64'd on a worker
+  /// of `pool` into a pooled scratch buffer, shards are joined in segment
+  /// order and the envelope CRC is assembled with crc64_combine — the
+  /// output is bit-identical to serialize() for any worker count.
+  [[nodiscard]] std::vector<std::byte> serialize(util::ThreadPool& pool) const;
+  /// Exact size of the serialize() output in bytes (one counting pass, no
+  /// encoding) — both serializers reserve this up front.
+  [[nodiscard]] std::uint64_t serialized_size() const;
   static CheckpointImage deserialize(std::span<const std::byte> bytes);
 };
 

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <sstream>
 #include <stdexcept>
+#include <unordered_set>
 
 #include "util/crc64.hpp"
 #include "util/serialize.hpp"
+#include "util/threadpool.hpp"
 
 namespace ckpt::storage {
 
@@ -42,6 +44,12 @@ ReplicatedStore::ReplicatedStore(std::vector<BlobStoreBackend*> replicas,
   if (options_.write_quorum == 0 || options_.write_quorum > replicas_.size()) {
     throw std::invalid_argument("ReplicatedStore: write_quorum out of range");
   }
+  const std::unordered_set<const BlobStoreBackend*> distinct(replicas_.begin(),
+                                                             replicas_.end());
+  distinct_replicas_ = distinct.size() == replicas_.size();
+  if (!options_.serial_commit) {
+    pool_ = options_.pool != nullptr ? options_.pool : &util::ThreadPool::shared();
+  }
 }
 
 ImageId ReplicatedStore::stage_on_replica(std::size_t r, const std::vector<std::byte>& blob,
@@ -64,13 +72,15 @@ ImageId ReplicatedStore::stage_on_replica(std::size_t r, const std::vector<std::
       } else if (!options_.verify_writes) {
         return id;
       } else {
-        const auto staged = replica.read_blob(id, charge);
-        if (staged.has_value() && util::crc64(*staged) == crc) return id;
+        // Read-back verify in place: the simulated media is read in full
+        // (same charge as read_blob) but no host-side copy is made.
+        const auto staged_crc = replica.blob_crc64(id, charge);
+        if (staged_crc == crc) return id;
         // Torn or vanished: roll the stage back so nothing half-written
         // survives under a live id.
         replica.erase(id);
-        attempt_error = staged.has_value() ? StoreErrorKind::kTornWrite
-                                           : StoreErrorKind::kMissing;
+        attempt_error = staged_crc.has_value() ? StoreErrorKind::kTornWrite
+                                               : StoreErrorKind::kMissing;
       }
     }
     error = attempt_error;
@@ -84,16 +94,47 @@ ImageId ReplicatedStore::stage_on_replica(std::size_t r, const std::vector<std::
 StoreReceipt ReplicatedStore::store_verbose(const CheckpointImage& image,
                                             const ChargeFn& charge) {
   StoreReceipt receipt;
-  const std::vector<std::byte> blob = image.serialize();
+  const std::vector<std::byte> blob =
+      pool_ != nullptr ? image.serialize(*pool_) : image.serialize();
   const std::uint64_t crc = util::crc64(blob);
   const std::uint64_t salt = ++op_counter_;
 
-  // Phase 1: stage + verify on every replica.
+  // Phase 1: stage + verify on every replica.  With a pool the fan-out runs
+  // one task per replica; each task ledgers its sim-time charges, and the
+  // join replays them through the caller's ChargeFn in replica order — the
+  // exact charge sequence of the sequential loop.  (Replica slots sharing a
+  // backend object fall back to the sequential loop: their staging would
+  // race on one blob map.)
   std::map<std::size_t, ImageId> placements;
-  for (std::size_t r = 0; r < replicas_.size(); ++r) {
-    const ImageId id =
-        stage_on_replica(r, blob, crc, charge, salt, receipt.retries, receipt.last_error);
-    if (id != kBadImageId) placements.emplace(r, id);
+  if (pool_ != nullptr && distinct_replicas_ && replicas_.size() >= 2 &&
+      pool_->worker_count() >= 2) {
+    struct StageOutcome {
+      ImageId id = kBadImageId;
+      std::uint64_t retries = 0;
+      StoreErrorKind error = StoreErrorKind::kNone;
+      std::vector<SimTime> charges;
+    };
+    std::vector<StageOutcome> outcomes(replicas_.size());
+    pool_->run(replicas_.size(), [&](std::size_t r) {
+      StageOutcome& out = outcomes[r];
+      const ChargeFn ledger = [&out](SimTime t) { out.charges.push_back(t); };
+      out.id = stage_on_replica(r, blob, crc, ledger, salt, out.retries, out.error);
+    });
+    for (std::size_t r = 0; r < outcomes.size(); ++r) {
+      StageOutcome& out = outcomes[r];
+      if (charge) {
+        for (SimTime t : out.charges) charge(t);
+      }
+      receipt.retries += out.retries;
+      if (out.error != StoreErrorKind::kNone) receipt.last_error = out.error;
+      if (out.id != kBadImageId) placements.emplace(r, out.id);
+    }
+  } else {
+    for (std::size_t r = 0; r < replicas_.size(); ++r) {
+      const ImageId id = stage_on_replica(r, blob, crc, charge, salt, receipt.retries,
+                                          receipt.last_error);
+      if (id != kBadImageId) placements.emplace(r, id);
+    }
   }
 
   // Phase 2: publish iff the write quorum verified; otherwise roll back so
@@ -201,11 +242,54 @@ std::uint64_t ReplicatedStore::stored_bytes() const {
 
 ScrubReport ReplicatedStore::scrub(const ChargeFn& charge) {
   ScrubReport report;
+  enum class CopyState : std::uint8_t { kOk, kCorrupt, kMissing, kUnreachable };
+
+  // Phase 1 — audit reads, sequential in (entry, replica) order so the
+  // charge sequence matches the old one-entry-at-a-time audit exactly.
+  // Copies are held so phase 3 can repair from the healthy one without
+  // re-reading it, and so phase 2 can verify them off the hot thread.
+  struct Copy {
+    std::optional<std::vector<std::byte>> blob;
+    bool crc_ok = false;
+  };
+  struct EntryAudit {
+    Entry* entry = nullptr;
+    std::vector<Copy> copies;
+  };
+  std::vector<EntryAudit> audits;
+  audits.reserve(manifest_.size());
   for (auto& [id, entry] : manifest_) {
     ++report.entries;
+    EntryAudit audit{&entry, std::vector<Copy>(replicas_.size())};
+    for (std::size_t r = 0; r < replicas_.size(); ++r) {
+      if (!replicas_[r]->reachable()) continue;
+      const auto placement = entry.placements.find(r);
+      if (placement == entry.placements.end()) continue;
+      audit.copies[r].blob = replicas_[r]->read_blob(placement->second, charge);
+      ++report.copies_checked;
+    }
+    audits.push_back(std::move(audit));
+  }
 
-    // Classify every replica slot and find a healthy source copy.
-    enum class CopyState : std::uint8_t { kOk, kCorrupt, kMissing, kUnreachable };
+  // Phase 2 — CRC-verify every audited copy across all manifest entries in
+  // one flat fan-out (pure computation: no charges, no backend access).
+  std::vector<std::pair<std::size_t, std::size_t>> flat;  // (audit, replica)
+  for (std::size_t a = 0; a < audits.size(); ++a) {
+    for (std::size_t r = 0; r < replicas_.size(); ++r) {
+      if (audits[a].copies[r].blob.has_value()) flat.emplace_back(a, r);
+    }
+  }
+  util::parallel_for(pool_, flat.size(), [&](std::size_t i) {
+    const auto [a, r] = flat[i];
+    Copy& copy = audits[a].copies[r];
+    copy.crc_ok = util::crc64(*copy.blob) == audits[a].entry->crc;
+  });
+
+  // Phase 3 — classify and repair, sequential in manifest order.  The
+  // healthy source copy is the one already read during the audit: loaded
+  // once per entry and reused for every repair of that entry.
+  for (EntryAudit& audit : audits) {
+    Entry& entry = *audit.entry;
     std::vector<CopyState> states(replicas_.size(), CopyState::kMissing);
     std::optional<std::vector<std::byte>> healthy;
     for (std::size_t r = 0; r < replicas_.size(); ++r) {
@@ -213,17 +297,14 @@ ScrubReport ReplicatedStore::scrub(const ChargeFn& charge) {
         states[r] = CopyState::kUnreachable;
         continue;
       }
-      const auto placement = entry.placements.find(r);
-      if (placement == entry.placements.end()) continue;  // kMissing
-      const auto blob = replicas_[r]->read_blob(placement->second, charge);
-      ++report.copies_checked;
-      if (!blob.has_value()) continue;  // placement recorded but blob gone
-      if (util::crc64(*blob) != entry.crc) {
+      Copy& copy = audit.copies[r];
+      if (!copy.blob.has_value()) continue;  // no placement, or blob gone
+      if (!copy.crc_ok) {
         states[r] = CopyState::kCorrupt;
         continue;
       }
       states[r] = CopyState::kOk;
-      if (!healthy.has_value()) healthy = *blob;
+      if (!healthy.has_value()) healthy = std::move(copy.blob);
     }
 
     // Repair every damaged or absent copy from the healthy peer.
@@ -250,8 +331,9 @@ ScrubReport ReplicatedStore::scrub(const ChargeFn& charge) {
       const ImageId fresh = replicas_[r]->put_raw(*healthy, charge);
       bool repaired = fresh != kBadImageId;
       if (repaired) {
-        const auto written = replicas_[r]->read_blob(fresh, charge);
-        if (!written.has_value() || util::crc64(*written) != entry.crc) {
+        // Verify the repair in place (same media read, no host copy).
+        const auto written_crc = replicas_[r]->blob_crc64(fresh, charge);
+        if (written_crc != entry.crc) {
           replicas_[r]->erase(fresh);  // repair itself tore: stay honest
           repaired = false;
         }
@@ -282,8 +364,7 @@ std::uint32_t ReplicatedStore::intact_replicas(ImageId id) const {
   if (it == manifest_.end()) return 0;
   std::uint32_t intact = 0;
   for (const auto& [r, physical] : it->second.placements) {
-    const auto blob = replicas_[r]->read_blob(physical, ChargeFn{});
-    if (blob.has_value() && util::crc64(*blob) == it->second.crc) ++intact;
+    if (replicas_[r]->blob_crc64(physical, ChargeFn{}) == it->second.crc) ++intact;
   }
   return intact;
 }

@@ -28,6 +28,16 @@
 //     detects corrupt or missing copies by CRC64, and repairs them from a
 //     healthy peer.  Combined with retarget_replica() this also
 //     re-replicates history onto a replacement disk after failover.
+//
+// The commit path is a *parallel pipeline* (paper §4.1's concurrent
+// kernel-thread direction, mapped onto host threads): the image is
+// serialized in per-segment shards on a worker pool, the N replica
+// stage+verify fan-out runs concurrently (one task per replica), and scrub
+// CRC-verifies all audited copies across all manifest entries in one flat
+// fan-out.  Determinism is preserved throughout — ordered joins, per-replica
+// charge ledgers replayed in replica order, per-replica retry salt — so a
+// 1-worker and an 8-worker run produce bit-identical replica contents,
+// manifests and simulated-clock charges.
 #pragma once
 
 #include <cstdint>
@@ -38,6 +48,10 @@
 
 #include "storage/backend.hpp"
 #include "storage/retry.hpp"
+
+namespace ckpt::util {
+class ThreadPool;
+}
 
 namespace ckpt::storage {
 
@@ -67,6 +81,17 @@ struct ReplicatedOptions {
   /// this reverts to write-and-hope (the pre-PR behaviour, kept only for
   /// the bench that quantifies what verification buys).
   bool verify_writes = true;
+  /// Worker pool for the commit pipeline: sharded serialize, concurrent
+  /// replica staging, and scrub CRC verification.  nullptr selects the
+  /// process-wide ThreadPool::shared() (sized by CKPT_WORKERS).  Parallelism
+  /// is host wall-clock only — per-replica sim-time charges are ledgered on
+  /// the workers and replayed through the caller's ChargeFn in replica
+  /// order, so sim cost accounting, retry jitter and every stored byte are
+  /// identical to a serial run for any worker count.
+  util::ThreadPool* pool = nullptr;
+  /// Force the fully serial pre-pipeline path (no pool at all); kept as the
+  /// perf baseline bench_pipeline measures the pipeline against.
+  bool serial_commit = false;
 };
 
 /// Outcome detail for one logical store (store() itself keeps the plain
@@ -160,6 +185,8 @@ class ReplicatedStore final : public StorageBackend {
 
   std::vector<BlobStoreBackend*> replicas_;
   ReplicatedOptions options_;
+  util::ThreadPool* pool_ = nullptr;  ///< null ⇒ serial commit path
+  bool distinct_replicas_ = true;     ///< replica slots never share a backend
   std::map<ImageId, Entry> manifest_;
   ImageId next_id_ = 1;
   std::uint64_t op_counter_ = 0;  ///< salt so every operation's jitter differs

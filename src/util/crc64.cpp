@@ -1,6 +1,7 @@
 #include "util/crc64.hpp"
 
 #include <array>
+#include <bit>
 
 namespace ckpt::util {
 namespace {
@@ -21,9 +22,100 @@ constexpr std::array<std::uint64_t, 256> make_table() {
 
 const std::array<std::uint64_t, 256> kTable = make_table();
 
+// Slicing-by-8: kSliced[k][b] is the register contribution of byte value b
+// advanced through k further zero bytes, so an aligned 8-byte block needs
+// eight independent lookups instead of eight dependent shift-xor rounds.
+constexpr std::array<std::array<std::uint64_t, 256>, 8> make_sliced_tables() {
+  std::array<std::array<std::uint64_t, 256>, 8> tables{};
+  tables[0] = make_table();
+  for (std::size_t k = 1; k < 8; ++k) {
+    for (std::size_t i = 0; i < 256; ++i) {
+      const std::uint64_t prev = tables[k - 1][i];
+      tables[k][i] = (prev << 8) ^ tables[0][static_cast<std::size_t>(prev >> 56)];
+    }
+  }
+  return tables;
+}
+
+const std::array<std::array<std::uint64_t, 256>, 8> kSliced = make_sliced_tables();
+
+// --- GF(2) linear algebra for crc64_combine --------------------------------
+//
+// Advancing the CRC register across n zero bytes is a linear operator on the
+// 64-bit register; column i of `Gf2Matrix` is the operator applied to basis
+// vector 1<<i.  crc64_combine raises the one-zero-byte operator to the n-th
+// power by square-and-multiply, zlib's crc32_combine technique adapted to
+// the non-reflected ECMA-182 register.
+
+using Gf2Matrix = std::array<std::uint64_t, 64>;
+
+std::uint64_t gf2_apply(const Gf2Matrix& m, std::uint64_t v) {
+  std::uint64_t out = 0;
+  while (v != 0) {
+    out ^= m[static_cast<std::size_t>(std::countr_zero(v))];
+    v &= v - 1;
+  }
+  return out;
+}
+
+Gf2Matrix gf2_multiply(const Gf2Matrix& a, const Gf2Matrix& b) {
+  Gf2Matrix out{};
+  for (std::size_t i = 0; i < 64; ++i) out[i] = gf2_apply(a, b[i]);
+  return out;
+}
+
+Gf2Matrix make_zero_byte_matrix() {
+  // One zero bit: r' = (r << 1) ^ (msb(r) ? poly : 0).
+  Gf2Matrix bit{};
+  for (std::size_t i = 0; i < 63; ++i) bit[i] = 1ULL << (i + 1);
+  bit[63] = kPoly;
+  // One zero byte = eight zero bits: square three times.
+  Gf2Matrix byte = gf2_multiply(bit, bit);   // 2 bits
+  byte = gf2_multiply(byte, byte);           // 4 bits
+  return gf2_multiply(byte, byte);           // 8 bits
+}
+
+const Gf2Matrix kZeroByte = make_zero_byte_matrix();
+
 }  // namespace
 
 std::uint64_t crc64(std::span<const std::byte> data, std::uint64_t seed) {
+  std::uint64_t crc = ~seed;
+  const std::byte* p = data.data();
+  std::size_t n = data.size();
+  while (n >= 8) {
+    // Fold the whole register into this 8-byte block (big-endian: the first
+    // message byte meets the register's top byte), then one lookup per lane.
+    const std::uint64_t block =
+        (std::to_integer<std::uint64_t>(p[0]) << 56) |
+        (std::to_integer<std::uint64_t>(p[1]) << 48) |
+        (std::to_integer<std::uint64_t>(p[2]) << 40) |
+        (std::to_integer<std::uint64_t>(p[3]) << 32) |
+        (std::to_integer<std::uint64_t>(p[4]) << 24) |
+        (std::to_integer<std::uint64_t>(p[5]) << 16) |
+        (std::to_integer<std::uint64_t>(p[6]) << 8) |
+        std::to_integer<std::uint64_t>(p[7]);
+    const std::uint64_t y = crc ^ block;
+    crc = kSliced[7][(y >> 56) & 0xFF] ^ kSliced[6][(y >> 48) & 0xFF] ^
+          kSliced[5][(y >> 40) & 0xFF] ^ kSliced[4][(y >> 32) & 0xFF] ^
+          kSliced[3][(y >> 24) & 0xFF] ^ kSliced[2][(y >> 16) & 0xFF] ^
+          kSliced[1][(y >> 8) & 0xFF] ^ kSliced[0][y & 0xFF];
+    p += 8;
+    n -= 8;
+  }
+  for (; n != 0; ++p, --n) {
+    const auto idx = static_cast<std::size_t>(
+        (crc >> 56) ^ std::to_integer<std::uint64_t>(*p));
+    crc = (crc << 8) ^ kTable[idx & 0xFF];
+  }
+  return ~crc;
+}
+
+std::uint64_t crc64(const void* data, std::size_t size, std::uint64_t seed) {
+  return crc64(std::span(static_cast<const std::byte*>(data), size), seed);
+}
+
+std::uint64_t crc64_bytewise(std::span<const std::byte> data, std::uint64_t seed) {
   std::uint64_t crc = ~seed;
   for (std::byte b : data) {
     const auto idx = static_cast<std::size_t>(
@@ -33,8 +125,21 @@ std::uint64_t crc64(std::span<const std::byte> data, std::uint64_t seed) {
   return ~crc;
 }
 
-std::uint64_t crc64(const void* data, std::size_t size, std::uint64_t seed) {
-  return crc64(std::span(static_cast<const std::byte*>(data), size), seed);
+std::uint64_t crc64_combine(std::uint64_t crc_a, std::uint64_t crc_b,
+                            std::uint64_t len_b) {
+  // crc(A ++ B) = shift(crc(A), len_b) ^ crc(B): the pre/post inversions of
+  // the two halves cancel under the shift's linearity.
+  if (len_b == 0 || crc_a == 0) return crc_a ^ crc_b;
+  std::uint64_t shifted = crc_a;
+  Gf2Matrix power = kZeroByte;
+  std::uint64_t n = len_b;
+  while (true) {
+    if ((n & 1) != 0) shifted = gf2_apply(power, shifted);
+    n >>= 1;
+    if (n == 0) break;
+    power = gf2_multiply(power, power);
+  }
+  return shifted ^ crc_b;
 }
 
 }  // namespace ckpt::util

@@ -1,6 +1,13 @@
 // CRC64 (ECMA-182) used for checkpoint-image integrity and for the
 // probabilistic-checkpointing block hashes [Nam et al., "Probabilistic
 // Checkpointing"].
+//
+// The default crc64() runs slicing-by-8 (eight 256-entry tables, one table
+// lookup per input byte position in an 8-byte block) — the commit pipeline
+// CRCs every blob at serialize, stage-verify, load and scrub time, so the
+// bytewise loop was the single hottest loop in the repo.  crc64_bytewise()
+// keeps the original one-table implementation as the reference the
+// equivalence tests pin the sliced version against.
 #pragma once
 
 #include <cstddef>
@@ -16,5 +23,21 @@ std::uint64_t crc64(std::span<const std::byte> data, std::uint64_t seed = 0);
 
 /// Convenience overload for raw buffers.
 std::uint64_t crc64(const void* data, std::size_t size, std::uint64_t seed = 0);
+
+/// Reference single-table, byte-at-a-time implementation (the pre-pipeline
+/// hot loop).  Bit-identical to crc64(); kept for equivalence tests and as
+/// the serial baseline in bench_pipeline.
+std::uint64_t crc64_bytewise(std::span<const std::byte> data, std::uint64_t seed = 0);
+
+/// Combine independently computed checksums of adjacent buffers:
+///
+///   crc64_combine(crc64(A), crc64(B), B.size()) == crc64(A ++ B)
+///
+/// in O(log len_b) GF(2) matrix work, no data pass.  This is what lets the
+/// parallel serializer CRC its shards on workers *concurrently* and still
+/// join them into the exact envelope checksum a serial pass produces —
+/// seed-chaining alone would force shard i to wait for shard i-1's result.
+std::uint64_t crc64_combine(std::uint64_t crc_a, std::uint64_t crc_b,
+                            std::uint64_t len_b);
 
 }  // namespace ckpt::util

@@ -30,6 +30,15 @@ class Serializer {
  public:
   Serializer() = default;
 
+  /// Adopt `reuse` as the backing buffer: contents are cleared, capacity is
+  /// retained (pair with util::BufferPool to kill per-checkpoint regrowth).
+  explicit Serializer(std::vector<std::byte> reuse) : bytes_(std::move(reuse)) {
+    bytes_.clear();
+  }
+
+  /// Pre-size the backing buffer (see SizeCounter for exact estimation).
+  void reserve(std::size_t n) { bytes_.reserve(n); }
+
   template <typename T>
     requires std::is_integral_v<T> || std::is_enum_v<T>
   void put(T value) {
@@ -74,6 +83,43 @@ class Serializer {
 
  private:
   std::vector<std::byte> bytes_;
+};
+
+/// Serializer-shaped sink that only counts bytes.  Encoders written against
+/// a generic sink (`template <typename Sink>`) run once against a
+/// SizeCounter to learn the exact output size, then once against a
+/// Serializer whose buffer was reserve()d to that size — one allocation,
+/// zero regrowth on the image hot path.
+class SizeCounter {
+ public:
+  template <typename T>
+    requires std::is_integral_v<T> || std::is_enum_v<T>
+  void put(T) {
+    using U = std::make_unsigned_t<typename std::conditional_t<
+        std::is_enum_v<T>, std::underlying_type<T>, std::type_identity<T>>::type>;
+    size_ += sizeof(U);
+  }
+
+  void put_double(double) { size_ += sizeof(std::uint64_t); }
+
+  void put_bytes(std::span<const std::byte> data) {
+    size_ += sizeof(std::uint64_t) + data.size();
+  }
+
+  void put_string(std::string_view s) { size_ += sizeof(std::uint64_t) + s.size(); }
+
+  void put_raw(std::span<const std::byte> data) { size_ += data.size(); }
+
+  template <typename T, typename Fn>
+  void put_vector(const std::vector<T>& items, Fn&& encode_one) {
+    size_ += sizeof(std::uint64_t);
+    for (const T& item : items) encode_one(*this, item);
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+ private:
+  std::size_t size_ = 0;
 };
 
 /// Sequential reader over a byte span; throws SerializeError on underrun.

@@ -2,11 +2,15 @@
 // RetryPolicy (determinism, deadline, zero-retry degradation).
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "storage/backend.hpp"
 #include "storage/image.hpp"
 #include "storage/replicated.hpp"
 #include "storage/retry.hpp"
 #include "util/crc64.hpp"
+#include "util/threadpool.hpp"
 
 namespace ckpt::storage {
 namespace {
@@ -344,6 +348,122 @@ TEST_F(ReplicatedTest, ZeroRetryStoreMakesExactlyOneAttempt) {
   // The one-shot faults were consumed by the single attempts; the next
   // store succeeds — the pre-retry behaviour, unchanged.
   EXPECT_TRUE(store.store_verbose(make_image(17), nullptr).ok());
+}
+
+// --- Commit-pipeline determinism ---------------------------------------------
+//
+// The pipeline's contract: for ANY worker count (including the fully serial
+// pre-pipeline path), a store produces bit-identical replica contents,
+// identical manifests, and the identical sequence of sim-time charges.
+
+CheckpointImage make_wide_image(std::uint64_t tag, std::size_t segments) {
+  CheckpointImage image = make_image(tag);
+  image.segments.clear();
+  for (std::size_t s = 0; s < segments; ++s) {
+    MemorySegmentImage seg;
+    seg.vma = sim::Vma{sim::page_of(0x10000 + (s << 16)), 4, sim::kProtRW,
+                       sim::VmaKind::kData, "seg" + std::to_string(s)};
+    for (std::uint64_t p = 0; p < 4; ++p) {
+      PageImage page;
+      page.page = seg.vma.first_page + p;
+      page.data.assign(sim::kPageSize,
+                       static_cast<std::byte>((tag * 31 + s * 7 + p) & 0xFF));
+      seg.pages.push_back(std::move(page));
+    }
+    image.segments.push_back(std::move(seg));
+  }
+  return image;
+}
+
+TEST(PipelineDeterminism, ShardedSerializeIsBitIdenticalForAnyWorkerCount) {
+  const CheckpointImage image = make_wide_image(9, /*segments=*/13);
+  const std::vector<std::byte> serial = image.serialize();
+  EXPECT_EQ(serial.size(), image.serialized_size());
+
+  util::ThreadPool one(1), eight(8);
+  EXPECT_EQ(image.serialize(one), serial);
+  EXPECT_EQ(image.serialize(eight), serial);
+  // And the output still round-trips through the CRC-checked envelope.
+  const CheckpointImage back = CheckpointImage::deserialize(image.serialize(eight));
+  EXPECT_EQ(back.segments.size(), image.segments.size());
+}
+
+struct PipelineRun {
+  std::vector<std::vector<std::byte>> replica_blobs;  // flattened, replica order
+  std::vector<ImageId> manifest;
+  std::vector<SimTime> charges;
+  std::uint64_t retries = 0;
+
+  friend bool operator==(const PipelineRun&, const PipelineRun&) = default;
+};
+
+/// Drive an identical faulted workload through a 3-replica store configured
+/// with `options`, recording everything observable.
+PipelineRun drive_pipeline(ReplicatedOptions options) {
+  sim::CostModel costs;
+  LocalDiskBackend local{costs};
+  RemoteBackend remote_a{costs};
+  RemoteBackend remote_b{costs};
+  options.retry = RetryPolicy::bounded(4, 80 * kMillisecond);
+  options.retry.jitter_seed = 0x7777;
+  ReplicatedStore store({&local, &remote_a, &remote_b}, options);
+
+  PipelineRun run;
+  const ChargeFn charge = [&run](SimTime t) { run.charges.push_back(t); };
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    // A different replica misbehaves each round; retries must heal it.
+    BlobStoreBackend& victim = store.replica(i % 3);
+    if (i % 2 == 0) victim.inject_store_fault(StoreFault::kTornWrite);
+    const StoreReceipt receipt = store.store_verbose(make_wide_image(i, 5), charge);
+    run.retries += receipt.retries;
+    EXPECT_TRUE(receipt.ok()) << "round " << i;
+  }
+  store.replica(1).corrupt_blob(store.replica(1).newest_id(), 10, 64);
+  store.scrub(charge);
+
+  run.manifest = store.list();
+  for (std::size_t r = 0; r < store.replica_count(); ++r) {
+    for (ImageId id : store.replica(r).list()) {
+      auto blob = store.replica(r).read_blob(id, nullptr);
+      run.replica_blobs.push_back(blob.value_or(std::vector<std::byte>{}));
+    }
+  }
+  return run;
+}
+
+TEST(PipelineDeterminism, OneWorkerAndEightWorkersProduceIdenticalStateAndCharges) {
+  util::ThreadPool one(1), four(4), eight(8);
+
+  ReplicatedOptions serial;
+  serial.serial_commit = true;
+  const PipelineRun baseline = drive_pipeline(serial);
+
+  ReplicatedOptions pooled1;
+  pooled1.pool = &one;
+  EXPECT_EQ(drive_pipeline(pooled1), baseline);
+
+  ReplicatedOptions pooled4;
+  pooled4.pool = &four;
+  EXPECT_EQ(drive_pipeline(pooled4), baseline);
+
+  ReplicatedOptions pooled8;
+  pooled8.pool = &eight;
+  EXPECT_EQ(drive_pipeline(pooled8), baseline);
+}
+
+TEST(PipelineDeterminism, DuplicateReplicaSlotsFallBackToTheSequentialLoop) {
+  // Two slots sharing one backend would race under the parallel fan-out;
+  // the store must detect this and stage sequentially (and still work).
+  sim::CostModel costs;
+  RemoteBackend shared_backend{costs};
+  util::ThreadPool eight(8);
+  ReplicatedOptions options;
+  options.pool = &eight;
+  ReplicatedStore store({&shared_backend, &shared_backend}, options);
+  const StoreReceipt receipt = store.store_verbose(make_wide_image(3, 4), nullptr);
+  EXPECT_TRUE(receipt.ok());
+  EXPECT_EQ(receipt.committed_replicas, 2u);
+  EXPECT_TRUE(store.load(receipt.id, nullptr).has_value());
 }
 
 }  // namespace

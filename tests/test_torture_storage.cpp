@@ -131,6 +131,24 @@ TEST(TortureStorage, ReproducibleFromSeed) {
   EXPECT_NE(first, other) << "different seeds must produce different schedules";
 }
 
+TEST(TortureStorage, WorkerCountNeverChangesTheSoak) {
+  // The parallel commit pipeline must be invisible to the simulation: the
+  // full battery replays bit-identically whether the store commits through
+  // one worker or eight.
+  TortureOptions options = replicated_options(/*replicas=*/3);
+  options.cycles = 35;
+
+  options.workers = 1;
+  const std::vector<TortureReport> serial = TortureHarness(options).run_all(default_targets());
+  options.workers = 8;
+  const std::vector<TortureReport> pooled = TortureHarness(options).run_all(default_targets());
+
+  ASSERT_EQ(serial.size(), pooled.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], pooled[i]) << serial[i].engine;
+  }
+}
+
 TEST(TortureStorage, SingleReplicaConfigurationIsRejected) {
   TortureOptions options = replicated_options(/*replicas=*/1);
   EXPECT_THROW(TortureHarness(options).run(TortureTarget{"CRAK", nullptr}),

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
+#include <span>
+#include <vector>
 
 #include "util/crc64.hpp"
 #include "util/rng.hpp"
@@ -32,6 +35,90 @@ TEST(Crc64, SeedChaining) {
 TEST(Crc64, Deterministic) {
   const char data[] = "checkpoint";
   EXPECT_EQ(crc64(data, 10), crc64(data, 10));
+}
+
+// --- slicing-by-8 vs bytewise reference equivalence -------------------------
+//
+// crc64() is now slicing-by-8; crc64_bytewise() keeps the original loop.
+// The two must agree on every length (head/tail handling), every alignment,
+// and under seeding/chaining — exhaustively over the sizes that matter.
+
+std::vector<std::byte> patterned(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::byte> data(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    data[i] = static_cast<std::byte>(rng.next_u64() & 0xFF);
+  }
+  return data;
+}
+
+TEST(Crc64, SlicedMatchesBytewiseOnEveryLengthUpTo512) {
+  const std::vector<std::byte> data = patterned(512, 0xC0FFEE);
+  for (std::size_t len = 0; len <= data.size(); ++len) {
+    const std::span<const std::byte> view(data.data(), len);
+    ASSERT_EQ(crc64(view), crc64_bytewise(view)) << "len " << len;
+  }
+}
+
+TEST(Crc64, SlicedMatchesBytewiseOnUnalignedHeadsAndTails) {
+  const std::vector<std::byte> data = patterned(4096 + 16, 0xA11CE);
+  for (std::size_t head = 0; head < 8; ++head) {
+    for (std::size_t tail = 0; tail < 8; ++tail) {
+      const std::span<const std::byte> view(data.data() + head,
+                                            data.size() - head - tail);
+      ASSERT_EQ(crc64(view), crc64_bytewise(view)) << "head " << head << " tail " << tail;
+    }
+  }
+}
+
+TEST(Crc64, SlicedMatchesBytewiseUnderSeeding) {
+  const std::vector<std::byte> data = patterned(1000, 0x5EED);
+  for (std::uint64_t seed : {0ULL, 1ULL, 0xDEADBEEFULL, ~0ULL}) {
+    ASSERT_EQ(crc64(data, seed), crc64_bytewise(data, seed)) << "seed " << seed;
+  }
+}
+
+TEST(Crc64, SlicedChainsAtEverySplitPoint) {
+  const std::vector<std::byte> data = patterned(96, 0xBEEF);
+  const std::uint64_t whole = crc64(data);
+  for (std::size_t split = 0; split <= data.size(); ++split) {
+    const std::span<const std::byte> a(data.data(), split);
+    const std::span<const std::byte> b(data.data() + split, data.size() - split);
+    ASSERT_EQ(crc64(b, crc64(a)), whole) << "split " << split;
+  }
+}
+
+TEST(Crc64, CombineJoinsIndependentChecksums) {
+  const std::vector<std::byte> data = patterned(777, 0xFACADE);
+  const std::uint64_t whole = crc64(data);
+  for (std::size_t split : {std::size_t{0}, std::size_t{1}, std::size_t{8},
+                            std::size_t{100}, std::size_t{776}, std::size_t{777}}) {
+    const std::span<const std::byte> a(data.data(), split);
+    const std::span<const std::byte> b(data.data() + split, data.size() - split);
+    ASSERT_EQ(crc64_combine(crc64(a), crc64(b), b.size()), whole) << "split " << split;
+  }
+}
+
+TEST(Crc64, CombineFoldsManyShardsInOrder) {
+  const std::vector<std::byte> data = patterned(10000, 0x10AD);
+  constexpr std::size_t kShard = 333;  // deliberately not a multiple of 8
+  std::uint64_t folded = 0;  // crc of the empty prefix
+  for (std::size_t off = 0; off < data.size(); off += kShard) {
+    const std::size_t len = std::min(kShard, data.size() - off);
+    const std::span<const std::byte> shard(data.data() + off, len);
+    folded = crc64_combine(folded, crc64(shard), len);
+  }
+  EXPECT_EQ(folded, crc64(data));
+}
+
+TEST(Crc64, CombineHandlesLargeLengthsWithoutADataPass) {
+  // Sanity: combine(x, crc(0^n), n) must equal crc(A ++ 0^n) for a huge-ish
+  // n we can still afford to check directly once.
+  const std::vector<std::byte> a = patterned(64, 0xAB);
+  std::vector<std::byte> padded = a;
+  padded.resize(a.size() + (1 << 20));  // 1 MiB of zeros appended
+  const std::span<const std::byte> zeros(padded.data() + a.size(), 1 << 20);
+  EXPECT_EQ(crc64_combine(crc64(a), crc64(zeros), zeros.size()), crc64(padded));
 }
 
 TEST(Serializer, RoundTripPrimitives) {
@@ -77,6 +164,36 @@ TEST(Serializer, BogusLengthPrefixThrows) {
   EXPECT_THROW(
       d.get_vector<std::uint8_t>([](Deserializer& d2) { return d2.get<std::uint8_t>(); }),
       SerializeError);
+}
+
+TEST(Serializer, SizeCounterPredictsExactOutputSize) {
+  auto encode = [](auto& s) {
+    s.template put<std::uint8_t>(7);
+    s.template put<std::uint64_t>(1234567);
+    s.put_double(2.71828);
+    s.put_string("size estimation");
+    const std::vector<std::byte> raw(37, std::byte{0xEE});
+    s.put_bytes(raw);
+    s.put_raw(std::span<const std::byte>(raw.data(), 5));
+    const std::vector<std::uint32_t> values{9, 8, 7, 6};
+    s.put_vector(values, [](auto& s2, std::uint32_t v) { s2.put(v); });
+  };
+  SizeCounter counter;
+  encode(counter);
+  Serializer s;
+  encode(s);
+  EXPECT_EQ(counter.size(), s.size());
+}
+
+TEST(Serializer, ReuseConstructorKeepsCapacityAndStartsEmpty) {
+  std::vector<std::byte> scratch(4096, std::byte{0xAA});
+  const std::size_t capacity = scratch.capacity();
+  Serializer s(std::move(scratch));
+  EXPECT_EQ(s.size(), 0u);
+  s.put<std::uint32_t>(42);
+  Deserializer d(s.bytes());
+  EXPECT_EQ(d.get<std::uint32_t>(), 42u);
+  EXPECT_GE(std::move(s).take().capacity(), capacity);
 }
 
 TEST(Rng, DeterministicForSeed) {
