@@ -1,0 +1,166 @@
+// Observability overhead: the commit pipeline with a live Observer (trace +
+// metrics) vs the identical pipeline with observability disabled (null
+// Observer*, the default).  The instrumentation discipline — one pointer
+// test per hook when disabled, ledgered replay on the caller when enabled —
+// is only honest if the enabled path stays within noise, so the CI gate
+// requires < 2% throughput overhead on the large-image 3-way 4-worker
+// commit loop.
+//
+// Host wall-clock only.  Emits BENCH_obs.json (path = argv[1], default
+// ./BENCH_obs.json) for the CI archive + gate.
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "obs/observer.hpp"
+#include "storage/backend.hpp"
+#include "storage/image.hpp"
+#include "storage/replicated.hpp"
+#include "util/rng.hpp"
+#include "util/threadpool.hpp"
+
+using namespace ckpt;
+
+namespace {
+
+storage::CheckpointImage make_image(std::size_t segments, std::uint64_t pages_per_segment,
+                                    std::uint64_t seed) {
+  util::Rng rng(seed);
+  storage::CheckpointImage image;
+  image.kind = storage::ImageKind::kFull;
+  image.pid = 7;
+  image.process_name = "bench";
+  image.taken_at = seed;
+  image.threads.push_back(storage::ThreadImage{1, {}});
+  for (std::size_t s = 0; s < segments; ++s) {
+    storage::MemorySegmentImage seg;
+    seg.vma = sim::Vma{sim::page_of(0x100000 + (s << 20)), pages_per_segment,
+                       sim::kProtRW, sim::VmaKind::kData, "seg" + std::to_string(s)};
+    for (std::uint64_t p = 0; p < pages_per_segment; ++p) {
+      storage::PageImage page;
+      page.page = seg.vma.first_page + p;
+      page.data.resize(sim::kPageSize);
+      for (std::size_t i = 0; i < page.data.size(); i += 8) {
+        const std::uint64_t word = rng.next_u64();
+        for (std::size_t b = 0; b < 8 && i + b < page.data.size(); ++b) {
+          page.data[i + b] = static_cast<std::byte>(word >> (8 * b));
+        }
+      }
+      seg.pages.push_back(std::move(page));
+    }
+    image.segments.push_back(std::move(seg));
+  }
+  return image;
+}
+
+struct ReplicaSet {
+  sim::CostModel costs{};
+  storage::LocalDiskBackend local{costs};
+  std::vector<std::unique_ptr<storage::RemoteBackend>> remotes;
+  std::vector<storage::BlobStoreBackend*> replicas;
+
+  explicit ReplicaSet(std::uint32_t width) {
+    replicas.push_back(&local);
+    for (std::uint32_t i = 1; i < width; ++i) {
+      remotes.push_back(std::make_unique<storage::RemoteBackend>(costs));
+      replicas.push_back(remotes.back().get());
+    }
+  }
+};
+
+template <typename Fn>
+double seconds_per_commit(int iters, Fn&& commit) {
+  commit();  // warmup
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) commit();
+  const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
+  return elapsed.count() / iters;
+}
+
+double measure(const storage::CheckpointImage& image, util::ThreadPool& pool,
+               obs::Observer* observer, int iters) {
+  ReplicaSet set(3);
+  storage::ReplicatedOptions options;
+  options.pool = &pool;
+  options.observer = observer;
+  storage::ReplicatedStore store(set.replicas, options);
+  return seconds_per_commit(iters, [&] {
+    const storage::StoreReceipt receipt = store.store_verbose(image, nullptr);
+    if (!receipt.ok()) {
+      std::fprintf(stderr, "commit failed?!\n");
+      std::exit(1);
+    }
+    store.erase(receipt.id);
+    // A long-lived deployment drains the trace between checkpoints; clear
+    // per commit so memory growth never masquerades as tracing cost.
+    if (observer != nullptr) observer->reset();
+  });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = argc > 1 ? argv[1] : "BENCH_obs.json";
+  bench::print_header(
+      "bench_obs -- lifecycle tracing + metrics overhead on the commit pipeline",
+      "a null Observer* must cost one pointer test; an attached Observer must "
+      "stay < 2% on large 3-way 4-worker commits");
+
+  const storage::CheckpointImage image = make_image(32, 64, 0xBE7C);  // ~8 MiB
+  util::ThreadPool pool(4);
+  constexpr int kIters = 8;
+
+  obs::Observer observer;
+  observer.set_clock([] { return SimTime{0}; });
+
+  // Interleave A/B/A to split turbo/cache drift across both arms.
+  const double off_a = measure(image, pool, nullptr, kIters);
+  const double on = measure(image, pool, &observer, kIters);
+  const double off_b = measure(image, pool, nullptr, kIters);
+  const double off = std::min(off_a, off_b);
+  const double overhead_pct = (on / off - 1.0) * 100.0;
+
+  // Count the events one observed commit records.
+  {
+    ReplicaSet set(3);
+    storage::ReplicatedOptions options;
+    options.pool = &pool;
+    options.observer = &observer;
+    storage::ReplicatedStore store(set.replicas, options);
+    observer.reset();
+    const storage::StoreReceipt receipt = store.store_verbose(image, nullptr);
+    if (!receipt.ok()) return 1;
+    store.erase(receipt.id);
+  }
+  const std::size_t events_per_commit = observer.trace().events().size();
+
+  util::TextTable table({"observer", "s/commit", "commits/s"});
+  table.add_row({"disabled", util::format_double(off, 6),
+                 util::format_double(1.0 / off, 2)});
+  table.add_row({"enabled", util::format_double(on, 6),
+                 util::format_double(1.0 / on, 2)});
+  bench::print_table(table);
+  std::printf("events per observed commit: %zu\n", events_per_commit);
+  std::printf("enabled-tracing overhead: %.3f%%\n", overhead_pct);
+  bench::print_verdict(overhead_pct < 2.0,
+                       "attached trace+metrics stay under 2% commit overhead");
+
+  std::FILE* json = std::fopen(json_path.c_str(), "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(json, "{\n  \"bench\": \"bench_obs\",\n");
+  std::fprintf(json, "  \"secs_per_commit_disabled\": %.6f,\n", off);
+  std::fprintf(json, "  \"secs_per_commit_enabled\": %.6f,\n", on);
+  std::fprintf(json, "  \"events_per_commit\": %zu,\n", events_per_commit);
+  std::fprintf(json, "  \"overhead_pct\": %.4f,\n", overhead_pct);
+  std::fprintf(json, "  \"target_overhead_pct\": 2.0,\n");
+  std::fprintf(json, "  \"holds\": %s\n}\n", overhead_pct < 2.0 ? "true" : "false");
+  std::fclose(json);
+  std::printf("wrote %s\n", json_path.c_str());
+  return 0;
+}

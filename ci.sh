@@ -16,6 +16,12 @@
 #    if the large/3-way/4-worker speedup regresses below 1.3x (the headline
 #    target is >= 2x, reported in the JSON).  CKPT_WORKERS sets the shared
 #    pool width for the test suites (default: hardware concurrency, clamped).
+# 5. observability gate: ckpt_report exports an observed soak's Chrome trace
+#    at commit-pipeline widths 1 and 8; the files must be byte-identical
+#    (the trace is part of the determinism contract) and strictly
+#    well-formed (the binary lints its own exports).  bench_obs then
+#    measures enabled-vs-disabled tracing on the commit loop and archives
+#    BENCH_obs.json; enabled tracing above 2% overhead fails the build.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -60,3 +66,24 @@ if ! awk -v s="${SPEEDUP}" 'BEGIN { exit !(s >= 1.3) }'; then
   exit 1
 fi
 echo "pipeline gate: speedup ${SPEEDUP}x (floor 1.3x, target 2x), determinism ok"
+
+# Observability gate: worker-count trace invariance + well-formedness.
+# ckpt_report exits non-zero when its own strict JSON lint rejects either
+# the trace or the metrics snapshot, so a plain run is the schema check.
+./build/examples/ckpt_report trace_w1.json 1 >/dev/null
+./build/examples/ckpt_report trace_w8.json 8 >/dev/null
+if ! cmp -s trace_w1.json trace_w8.json; then
+  echo "CI gate: observed trace differs between 1 and 8 commit workers" >&2
+  exit 1
+fi
+rm -f trace_w8.json
+
+# Enabled-tracing overhead on the commit loop (< 2%, with a little slack for
+# shared-runner noise baked into the bench's A/B/A interleave).
+./build/bench/bench_obs BENCH_obs.json
+if ! grep -q '"holds": true' BENCH_obs.json; then
+  echo "CI gate: enabled tracing exceeded the 2% commit-overhead budget" >&2
+  exit 1
+fi
+OBS_OVERHEAD="$(sed -n 's/.*"overhead_pct": \([-0-9.]*\).*/\1/p' BENCH_obs.json)"
+echo "observability gate: trace worker-invariant, overhead ${OBS_OVERHEAD}% (budget 2%)"

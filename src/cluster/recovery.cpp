@@ -6,6 +6,7 @@
 
 #include "core/capture.hpp"
 #include "core/engine.hpp"
+#include "obs/observer.hpp"
 #include "util/table.hpp"
 
 namespace ckpt::cluster {
@@ -87,6 +88,10 @@ bool RecoveryManager::checkpoint(JobId job_id) {
   sim::Process* proc = kernel.find_process(job.pid);
   if (proc == nullptr || !proc->alive()) return false;
 
+  obs::SpanGuard span(obs::tracer(options_.store.observer), "checkpoint", "ckpt",
+                      obs::kControlTrack,
+                      {obs::TraceArg::num("job", job_id),
+                       obs::TraceArg::num("pid", static_cast<std::uint64_t>(job.pid))});
   storage::CheckpointImage image = core::capture_kernel_level(kernel, *proc, {});
   image.pid = job.pid;
   image.process_name = proc->name;
@@ -94,8 +99,12 @@ bool RecoveryManager::checkpoint(JobId job_id) {
   image.kind = storage::ImageKind::kFull;
 
   auto charge = [&kernel](SimTime t) { kernel.charge_time(t); };
-  if (job.chain->append(std::move(image), charge) == storage::kBadImageId) return false;
+  if (job.chain->append(std::move(image), charge) == storage::kBadImageId) {
+    span.end({obs::TraceArg::str("outcome", "store-failed")});
+    return false;
+  }
   ++job.checkpoints;
+  span.end({obs::TraceArg::str("outcome", "ok")});
   return true;
 }
 
@@ -106,11 +115,22 @@ RecoveryReport RecoveryManager::recover(JobId job_id) {
   report.failed_node = job.home;
   report.failed_at = cluster_.now();
 
+  obs::Observer* observer = options_.store.observer;
+  obs::TraceRecorder* trace = obs::tracer(observer);
+  obs::SpanGuard span(trace, "recovery", "recovery", obs::kControlTrack,
+                      {obs::TraceArg::num("job", job_id),
+                       obs::TraceArg::num("failed_node",
+                                          static_cast<std::uint64_t>(
+                                              report.failed_node < 0 ? 0 : report.failed_node))});
+  if (observer != nullptr) observer->metrics().add("recovery.attempts");
+
   // A rung can only run if there is a surviving node to restart on; without
   // one this is a capacity outage, not a storage verdict.
   const std::vector<int> up = cluster_.up_nodes();
   if (up.empty()) {
     report.attempts.push_back({RecoveryStep::kColdStart, false, "no surviving node"});
+    span.end({obs::TraceArg::str("outcome", "no-surviving-node")});
+    if (observer != nullptr) observer->metrics().add("recovery.failed");
     reports_.push_back(report);
     return reports_.back();
   }
@@ -126,6 +146,8 @@ RecoveryReport RecoveryManager::recover(JobId job_id) {
     if (image.has_value()) return;
     RecoveryAttempt record;
     record.step = step;
+    obs::SpanGuard rung_span(trace, std::string("rung:") + to_string(step), "recovery",
+                             obs::kControlTrack);
     image = attempt();
     record.ok = image.has_value();
     if (!record.ok) {
@@ -133,6 +155,8 @@ RecoveryReport RecoveryManager::recover(JobId job_id) {
     } else {
       record.detail = "seq " + std::to_string(image->sequence);
     }
+    rung_span.end({obs::TraceArg::str("outcome", record.ok ? "ok" : "fail"),
+                   obs::TraceArg::str("detail", record.detail)});
     report.attempts.push_back(std::move(record));
   };
 
@@ -165,9 +189,12 @@ RecoveryReport RecoveryManager::recover(JobId job_id) {
   if (!report.recovered && options_.allow_cold_start) {
     RecoveryAttempt record;
     record.step = RecoveryStep::kColdStart;
+    obs::SpanGuard cold_span(trace, "rung:cold-start", "recovery", obs::kControlTrack);
     job.pid = target.spawn(job.guest_type, job.config, job.spawn);
     record.ok = true;
     record.detail = "fresh pid " + std::to_string(job.pid);
+    cold_span.end({obs::TraceArg::str("outcome", "ok"),
+                   obs::TraceArg::num("pid", static_cast<std::uint64_t>(job.pid))});
     report.attempts.push_back(std::move(record));
     report.recovered = true;
     report.cold_started = true;
@@ -187,6 +214,23 @@ RecoveryReport RecoveryManager::recover(JobId job_id) {
     // re-replicates the committed history onto it (self-healing).
     job.store->retarget_replica(kLocalReplica, &cluster_.node(job.home).disk());
     if (options_.scrub_after_recovery) job.store->scrub(charge);
+  }
+
+  span.end({obs::TraceArg::str("outcome", !report.recovered         ? "failed"
+                                          : report.cold_started     ? "cold-start"
+                                                                    : "restored"),
+            obs::TraceArg::num("work_lost_ns", report.work_lost),
+            obs::TraceArg::num("rungs_tried", report.attempts.size())});
+  if (observer != nullptr) {
+    obs::MetricsRegistry& metrics = observer->metrics();
+    if (!report.recovered) {
+      metrics.add("recovery.failed");
+    } else {
+      metrics.add(report.cold_started ? "recovery.cold_starts" : "recovery.from_image");
+      metrics.observe("recovery.work_lost_ns", report.work_lost,
+                      obs::MetricsRegistry::latency_bounds());
+    }
+    if (report.data_loss_with_intact_replica) metrics.add("recovery.data_loss_gate_hits");
   }
 
   reports_.push_back(std::move(report));

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/observer.hpp"
 #include "util/log.hpp"
 
 namespace ckpt::core {
@@ -56,6 +57,12 @@ void AutonomicManager::arm_timer() {
 
 void AutonomicManager::tick() {
   ++ticks_;
+  if (obs::Observer* observer = kernel_.observer()) {
+    observer->trace().instant("autonomic.tick", "policy", obs::kControlTrack,
+                              {obs::TraceArg::num("managed", managed_.size()),
+                               obs::TraceArg::num("interval_ns", interval_)});
+    observer->metrics().add("autonomic.ticks");
+  }
   // Drop processes that have exited.
   managed_.erase(std::remove_if(managed_.begin(), managed_.end(),
                                 [&](sim::Pid pid) {
@@ -96,6 +103,12 @@ void AutonomicManager::observe_failure() {
   }
   last_failure_at_ = now;
   ++failures_seen_;
+  if (obs::Observer* observer = kernel_.observer()) {
+    observer->trace().instant("autonomic.failure_observed", "policy", obs::kControlTrack,
+                              {obs::TraceArg::num("failures", failures_seen_),
+                               obs::TraceArg::num("mtbf_ns", mtbf_estimate_)});
+    observer->metrics().add("autonomic.failures_observed");
+  }
   update_interval();
 }
 
@@ -103,6 +116,15 @@ void AutonomicManager::update_interval() {
   if (!policy_.adapt_interval || cost_estimate_ == 0) return;
   const SimTime young = young_interval(cost_estimate_, mtbf_estimate_);
   interval_ = std::clamp(young, policy_.min_interval, policy_.max_interval);
+  if (obs::Observer* observer = kernel_.observer()) {
+    obs::MetricsRegistry& metrics = observer->metrics();
+    metrics.set_gauge("autonomic.interval_ns", static_cast<std::int64_t>(interval_));
+    metrics.set_gauge("autonomic.mtbf_estimate_ns",
+                      static_cast<std::int64_t>(mtbf_estimate_));
+    metrics.set_gauge("autonomic.cost_estimate_ns",
+                      static_cast<std::int64_t>(cost_estimate_));
+    observer->trace().counter("autonomic.interval_ns", obs::kControlTrack, interval_);
+  }
 }
 
 bool AutonomicManager::suspend_for_maintenance() {

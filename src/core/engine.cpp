@@ -2,9 +2,21 @@
 
 #include <stdexcept>
 
+#include "obs/observer.hpp"
 #include "util/log.hpp"
 
 namespace ckpt::core {
+namespace {
+
+/// Mapped pages of the target's address space (dirty-ratio denominator).
+std::uint64_t mapped_pages(const sim::Process& proc) {
+  if (proc.aspace == nullptr) return 0;
+  std::uint64_t total = 0;
+  for (const auto& vma : proc.aspace->vmas()) total += vma.page_count;
+  return total;
+}
+
+}  // namespace
 
 const char* to_string(ConsistencyMode mode) {
   switch (mode) {
@@ -69,6 +81,12 @@ RestartResult restart_from_image(sim::SimKernel& kernel,
   kernel.resume_process(proc);
   result.ok = true;
   result.pid = pid;
+  if (obs::Observer* observer = kernel.observer()) {
+    observer->trace().instant(
+        "restart.restored", "restart", static_cast<std::uint64_t>(pid),
+        {obs::TraceArg::num("original_pid", static_cast<std::uint64_t>(image.pid)),
+         obs::TraceArg::num("warnings", result.warnings.size())});
+  }
   return result;
 }
 
@@ -170,10 +188,16 @@ RestartResult CheckpointEngine::restart_on(sim::SimKernel& target_kernel,
                                            sim::Pid original_pid,
                                            const RestartOptions& options) {
   RestartResult result;
+  obs::Observer* observer = target_kernel.observer();
+  obs::SpanGuard span(obs::tracer(observer), "restart", "restart", obs::kControlTrack,
+                      {obs::TraceArg::str("engine", name_),
+                       obs::TraceArg::num("pid", static_cast<std::uint64_t>(original_pid))});
   const ProcState* state = find_state(original_pid);
   if (state == nullptr || state->chain.length() == 0) {
     result.error = name_ + ": no checkpoints recorded for pid " +
                    std::to_string(original_pid);
+    span.end({obs::TraceArg::str("outcome", "no-chain")});
+    if (observer != nullptr) observer->metrics().add("restart.failed");
     return result;
   }
   auto charge = [&](SimTime t) { target_kernel.charge_time(t); };
@@ -197,9 +221,17 @@ RestartResult CheckpointEngine::restart_on(sim::SimKernel& target_kernel,
   }
   if (!image.has_value()) {
     result.error = name_ + ": checkpoint chain unreadable (storage lost or corrupt)";
+    span.end({obs::TraceArg::str("outcome", "chain-unreadable")});
+    if (observer != nullptr) observer->metrics().add("restart.failed");
     return result;
   }
-  return restart_from_image(target_kernel, *image, options);
+  result = restart_from_image(target_kernel, *image, options);
+  span.end({obs::TraceArg::str("outcome", result.ok ? "ok" : "restore-failed"),
+            obs::TraceArg::num("sequence", image->sequence)});
+  if (observer != nullptr) {
+    observer->metrics().add(result.ok ? "restart.completed" : "restart.failed");
+  }
+  return result;
 }
 
 CheckpointResult CheckpointEngine::perform_kernel_checkpoint(sim::SimKernel& kernel,
@@ -209,6 +241,23 @@ CheckpointResult CheckpointEngine::perform_kernel_checkpoint(sim::SimKernel& ker
   result.initiated_at = initiated_at;
   result.started_at = kernel.now();
   const SimTime charge_before = kernel.step_charge();
+
+  obs::Observer* observer = kernel.observer();
+  obs::TraceRecorder* trace = obs::tracer(observer);
+  const std::uint64_t track = static_cast<std::uint64_t>(proc.pid);
+  if (trace != nullptr) {
+    // The request may have waited for a delivery point (signal engines) or a
+    // kernel-thread wakeup; render that deferral as a retroactive span.
+    const SimTime started = kernel.effective_now();
+    if (started > initiated_at) {
+      trace->begin_at(initiated_at, "deferral", "ckpt", track);
+      trace->end_at(started, "deferral", track);
+    }
+    trace->begin("checkpoint", "ckpt", track,
+                 {obs::TraceArg::str("engine", name_),
+                  obs::TraceArg::str("consistency", to_string(options_.consistency)),
+                  obs::TraceArg::num("pid", static_cast<std::uint64_t>(proc.pid))});
+  }
 
   ProcState& state = state_for(proc.pid);
 
@@ -226,18 +275,22 @@ CheckpointResult CheckpointEngine::perform_kernel_checkpoint(sim::SimKernel& ker
   sim::Process* capture_target = &proc;
   sim::Pid shadow_pid = sim::kNoPid;
   const bool was_runnable = proc.runnable();
-  switch (options_.consistency) {
-    case ConsistencyMode::kStopTarget:
-      kernel.stop_process(proc);
-      break;
-    case ConsistencyMode::kForkAndCopy:
-      shadow_pid = kernel.fork_process(proc, /*freeze_child=*/true);
-      capture_target = &kernel.process(shadow_pid);
-      break;
-    case ConsistencyMode::kConcurrent:
-      break;  // no protection — the hazard the survey warns about
+  {
+    obs::SpanGuard quiesce(trace, "quiesce", "ckpt", track);
+    switch (options_.consistency) {
+      case ConsistencyMode::kStopTarget:
+        kernel.stop_process(proc);
+        break;
+      case ConsistencyMode::kForkAndCopy:
+        shadow_pid = kernel.fork_process(proc, /*freeze_child=*/true);
+        capture_target = &kernel.process(shadow_pid);
+        break;
+      case ConsistencyMode::kConcurrent:
+        break;  // no protection — the hazard the survey warns about
+    }
   }
 
+  if (trace != nullptr) trace->begin("capture", "ckpt", track);
   storage::CheckpointImage image =
       capture_kernel_level(kernel, *capture_target, capture);
   // The image describes the *application*, not the shadow copy.
@@ -249,6 +302,13 @@ CheckpointResult CheckpointEngine::perform_kernel_checkpoint(sim::SimKernel& ker
   result.kind = image.kind;
   result.payload_bytes = image.payload_bytes();
   result.pages = image.page_count();
+  if (trace != nullptr) {
+    trace->end("capture", track,
+               {obs::TraceArg::str("kind", to_string(result.kind)),
+                obs::TraceArg::num("pages", result.pages),
+                obs::TraceArg::num("bytes", result.payload_bytes)});
+    trace->begin("store", "ckpt", track);
+  }
 
   auto charge = [&](SimTime t) { kernel.charge_time(t); };
   // Store with bounded retry: a transient StoreFault (rejection, outage
@@ -270,6 +330,11 @@ CheckpointResult CheckpointEngine::perform_kernel_checkpoint(sim::SimKernel& ker
     }
     result.store_retries = retrier.retries();
   }
+  if (trace != nullptr) {
+    trace->end("store", track,
+               {obs::TraceArg::num("image_id", result.image_id),
+                obs::TraceArg::num("retries", result.store_retries)});
+  }
 
   if (shadow_pid != sim::kNoPid) {
     kernel.terminate(kernel.process(shadow_pid), 0);
@@ -286,6 +351,13 @@ CheckpointResult CheckpointEngine::perform_kernel_checkpoint(sim::SimKernel& ker
   if (result.image_id == storage::kBadImageId) {
     result.error = name_ + ": storage backend rejected the image";
     result.completed_at = kernel.now() + consumed;
+    if (trace != nullptr) {
+      trace->end("checkpoint", track, {obs::TraceArg::str("outcome", "store-failed")});
+    }
+    if (observer != nullptr) {
+      observer->metrics().add("ckpt.failed");
+      observer->metrics().add("ckpt.store_retries", result.store_retries);
+    }
     return result;
   }
 
@@ -294,6 +366,30 @@ CheckpointResult CheckpointEngine::perform_kernel_checkpoint(sim::SimKernel& ker
 
   result.ok = true;
   result.completed_at = kernel.now() + consumed;
+  if (trace != nullptr) {
+    trace->end("checkpoint", track, {obs::TraceArg::str("outcome", "ok")});
+  }
+  if (observer != nullptr) {
+    obs::MetricsRegistry& metrics = observer->metrics();
+    metrics.add("ckpt.completed");
+    metrics.add(result.kind == storage::ImageKind::kIncremental ? "ckpt.incremental"
+                                                                : "ckpt.full");
+    metrics.add("ckpt.bytes_captured", result.payload_bytes);
+    metrics.add("ckpt.store_retries", result.store_retries);
+    metrics.observe("ckpt.total_latency_ns", result.completed_at - result.initiated_at,
+                    obs::MetricsRegistry::latency_bounds());
+    metrics.observe("ckpt.initiation_latency_ns", result.started_at - result.initiated_at,
+                    obs::MetricsRegistry::latency_bounds());
+    metrics.observe("ckpt.image_bytes", result.payload_bytes,
+                    obs::MetricsRegistry::size_bounds());
+    if (result.kind == storage::ImageKind::kIncremental) {
+      const std::uint64_t total = mapped_pages(proc);
+      if (total > 0) {
+        metrics.observe("ckpt.dirty_ratio_pct", result.pages * 100 / total,
+                        obs::MetricsRegistry::percent_bounds());
+      }
+    }
+  }
   util::logf(util::LogLevel::kDebug, "engine", "%s: checkpointed pid %d (%s, %llu bytes)",
              name_.c_str(), proc.pid, to_string(result.kind),
              static_cast<unsigned long long>(result.payload_bytes));

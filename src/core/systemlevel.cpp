@@ -2,7 +2,24 @@
 
 #include <cstring>
 
+#include "obs/observer.hpp"
+
 namespace ckpt::core {
+namespace {
+
+/// Initiation marker: every engine front-end emits one, so traces show the
+/// request entering the system even when execution is deferred.
+void note_initiate(sim::SimKernel& kernel, const std::string& engine, const char* interface,
+                   sim::Pid pid) {
+  obs::Observer* observer = kernel.observer();
+  if (observer == nullptr) return;
+  observer->trace().instant("initiate", "ckpt", static_cast<std::uint64_t>(pid),
+                            {obs::TraceArg::str("engine", engine),
+                             obs::TraceArg::str("interface", interface)});
+  observer->metrics().add("ckpt.initiated");
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // SyscallEngine
@@ -36,6 +53,8 @@ std::int64_t SyscallEngine::handle_dump(sim::SimKernel& kernel, sim::Process& ca
     target = kernel.find_process(static_cast<sim::Pid>(a0));
     if (target == nullptr || !target->alive()) return -3;  // ESRCH
   }
+  note_initiate(kernel, name_, mode_ == TargetMode::kCurrent ? "syscall-self" : "syscall",
+                target->pid);
   CheckpointResult result = perform_kernel_checkpoint(kernel, *target, kernel.now());
   record_result(result);
   return result.ok ? static_cast<std::int64_t>(result.image_id) : -5;  // EIO
@@ -48,6 +67,7 @@ std::uint64_t SyscallEngine::request_checkpoint_async(sim::SimKernel& kernel, si
   // An external tool invokes the syscall with the target's pid; the kernel
   // services it in the tool's context (hence the address-space switch paid
   // inside the capture when copying the target's pages).
+  note_initiate(kernel, name_, "syscall", target->pid);
   CheckpointResult result = perform_kernel_checkpoint(kernel, *target, kernel.now());
   return record_result(std::move(result));
 }
@@ -78,6 +98,7 @@ std::uint64_t KernelSignalEngine::request_checkpoint_async(sim::SimKernel& kerne
   const std::uint64_t ticket = new_ticket();
   record_pending(ticket);
   pending_[pid].push_back(PendingRequest{ticket, kernel.now()});
+  note_initiate(kernel, name_, "kernel-signal", pid);
   // kill(pid, SIGCKPT): the action is deferred until the target's next
   // kernel->user transition — the deferral claim C6 quantifies.
   kernel.send_signal(pid, sig_);
@@ -193,6 +214,7 @@ std::uint64_t KernelThreadEngine::enqueue(sim::SimKernel& kernel, sim::Pid pid) 
   const std::uint64_t ticket = new_ticket();
   record_pending(ticket);
   queue_.push_back(Request{ticket, pid, kernel.now()});
+  note_initiate(kernel, name_, to_string(config_.interface), pid);
   kernel.wake(thread_pid_);
   return ticket;
 }
@@ -214,7 +236,7 @@ sim::KStepResult KernelThreadEngine::thread_body(sim::SimKernel& kernel) {
                              ? kernel.find_process(active_->shadow_pid)
                              : target;
   if (source == nullptr || !source->alive()) {
-    abort_session("target died during checkpoint");
+    abort_session(kernel, "target died during checkpoint");
     return queue_.empty() ? sim::KStepResult::kSleep : sim::KStepResult::kContinue;
   }
 
@@ -240,6 +262,20 @@ void KernelThreadEngine::begin_session(sim::SimKernel& kernel, Request request) 
   session.started_at = kernel.now() + kernel.step_charge();
   session.was_runnable = target->runnable();
 
+  obs::TraceRecorder* trace = obs::tracer(kernel.observer());
+  const std::uint64_t track = static_cast<std::uint64_t>(target->pid);
+  if (trace != nullptr) {
+    // Queue wait + thread wakeup latency, rendered retroactively.
+    if (session.started_at > request.initiated_at) {
+      trace->begin_at(request.initiated_at, "deferral", "ckpt", track);
+      trace->end_at(session.started_at, "deferral", track);
+    }
+    trace->begin("checkpoint", "ckpt", track,
+                 {obs::TraceArg::str("engine", name_),
+                  obs::TraceArg::str("consistency", to_string(options_.consistency)),
+                  obs::TraceArg::num("pid", track)});
+  }
+
   ProcState& state = state_for(target->pid);
   session.take_delta = options_.incremental && state.tracker != nullptr &&
                        state.taken > 0 &&
@@ -251,17 +287,22 @@ void KernelThreadEngine::begin_session(sim::SimKernel& kernel, Request request) 
   }
 
   sim::Process* source = target;
-  switch (options_.consistency) {
-    case ConsistencyMode::kStopTarget:
-      kernel.stop_process(*target);
-      break;
-    case ConsistencyMode::kForkAndCopy:
-      session.shadow_pid = kernel.fork_process(*target, /*freeze_child=*/true);
-      source = &kernel.process(session.shadow_pid);
-      break;
-    case ConsistencyMode::kConcurrent:
-      break;
+  {
+    obs::SpanGuard quiesce(trace, "quiesce", "ckpt", track);
+    switch (options_.consistency) {
+      case ConsistencyMode::kStopTarget:
+        kernel.stop_process(*target);
+        break;
+      case ConsistencyMode::kForkAndCopy:
+        session.shadow_pid = kernel.fork_process(*target, /*freeze_child=*/true);
+        source = &kernel.process(session.shadow_pid);
+        break;
+      case ConsistencyMode::kConcurrent:
+        break;
+    }
   }
+  // The capture span stays open across quanta; finish/abort closes it.
+  if (trace != nullptr) trace->begin("capture", "ckpt", track);
 
   session.capture = std::make_unique<PagedCaptureSession>(kernel, *source, capture);
   active_ = std::move(session);
@@ -287,9 +328,23 @@ void KernelThreadEngine::finish_session(sim::SimKernel& kernel) {
   result.payload_bytes = image.payload_bytes();
   result.pages = image.page_count();
 
+  obs::Observer* observer = kernel.observer();
+  obs::TraceRecorder* trace = obs::tracer(observer);
+  const std::uint64_t track = static_cast<std::uint64_t>(session.request.target);
+  if (trace != nullptr) {
+    trace->end("capture", track,
+               {obs::TraceArg::str("kind", to_string(result.kind)),
+                obs::TraceArg::num("pages", result.pages),
+                obs::TraceArg::num("bytes", result.payload_bytes)});
+    trace->begin("store", "ckpt", track);
+  }
+
   ProcState& state = state_for(session.request.target);
   auto charge = [&](SimTime t) { kernel.charge_time(t); };
   result.image_id = state.chain.append(std::move(image), charge);
+  if (trace != nullptr) {
+    trace->end("store", track, {obs::TraceArg::num("image_id", result.image_id)});
+  }
 
   if (session.shadow_pid != sim::kNoPid) {
     if (sim::Process* shadow = kernel.find_process(session.shadow_pid)) {
@@ -315,15 +370,44 @@ void KernelThreadEngine::finish_session(sim::SimKernel& kernel) {
   // already charged (page copies, the storage write) counts toward the
   // completion instant.
   result.completed_at = kernel.now() + kernel.step_charge();
+  if (trace != nullptr) {
+    trace->end("checkpoint", track,
+               {obs::TraceArg::str("outcome", result.ok ? "ok" : "store-failed")});
+  }
+  if (observer != nullptr) {
+    obs::MetricsRegistry& metrics = observer->metrics();
+    if (result.ok) {
+      metrics.add("ckpt.completed");
+      metrics.add(result.kind == storage::ImageKind::kIncremental ? "ckpt.incremental"
+                                                                  : "ckpt.full");
+      metrics.add("ckpt.bytes_captured", result.payload_bytes);
+      metrics.observe("ckpt.total_latency_ns", result.completed_at - result.initiated_at,
+                      obs::MetricsRegistry::latency_bounds());
+      metrics.observe("ckpt.initiation_latency_ns",
+                      result.started_at - result.initiated_at,
+                      obs::MetricsRegistry::latency_bounds());
+      metrics.observe("ckpt.image_bytes", result.payload_bytes,
+                      obs::MetricsRegistry::size_bounds());
+    } else {
+      metrics.add("ckpt.failed");
+    }
+  }
   complete_ticket(session.request.ticket, std::move(result));
   active_.reset();
 }
 
-void KernelThreadEngine::abort_session(const std::string& reason) {
+void KernelThreadEngine::abort_session(sim::SimKernel& kernel, const std::string& reason) {
   CheckpointResult result;
   result.initiated_at = active_->request.initiated_at;
   result.started_at = active_->started_at;
   result.error = name_ + ": " + reason;
+  if (obs::Observer* observer = kernel.observer()) {
+    const std::uint64_t track = static_cast<std::uint64_t>(active_->request.target);
+    observer->trace().end("capture", track);
+    observer->trace().end("checkpoint", track,
+                          {obs::TraceArg::str("outcome", "aborted")});
+    observer->metrics().add("ckpt.aborted");
+  }
   complete_ticket(active_->request.ticket, std::move(result));
   active_.reset();
 }

@@ -130,7 +130,7 @@ class KernelThreadEngine final : public CheckpointEngine {
   sim::KStepResult thread_body(sim::SimKernel& kernel);
   void begin_session(sim::SimKernel& kernel, Request request);
   void finish_session(sim::SimKernel& kernel);
-  void abort_session(const std::string& reason);
+  void abort_session(sim::SimKernel& kernel, const std::string& reason);
 
   ThreadConfig config_;
   std::string device_path_;

@@ -1,24 +1,102 @@
 #include "inject/injectors.hpp"
 
+#include "obs/observer.hpp"
+
 namespace ckpt::inject {
+namespace {
+
+/// Instant on the control track + a fault.* counter under the same name.
+void note_injection(obs::Observer* observer, const char* name,
+                    std::vector<obs::TraceArg> args = {}) {
+  if (observer == nullptr) return;
+  observer->trace().instant(name, "fault", obs::kControlTrack, std::move(args));
+  observer->metrics().add(std::string("fault.") + name);
+}
+
+}  // namespace
+
+void StorageInjector::fail_next_store() {
+  note_injection(observer_, "inject.store_reject");
+  backend_->inject_store_fault(storage::StoreFault::kReject);
+}
+
+void StorageInjector::tear_next_store() {
+  note_injection(observer_, "inject.torn_store");
+  backend_->inject_store_fault(storage::StoreFault::kTornWrite);
+}
 
 bool StorageInjector::corrupt_newest(util::Rng& rng, std::uint64_t count) {
   const storage::ImageId id = backend_->newest_id();
   if (id == storage::kBadImageId) return false;
   // Offset anywhere in the blob; corrupt_blob wraps, so any offset is valid.
   const std::uint64_t offset = rng.next_u64() >> 32;
-  return backend_->corrupt_blob(id, offset, count == 0 ? 1 : count);
+  const bool hit = backend_->corrupt_blob(id, offset, count == 0 ? 1 : count);
+  if (hit) {
+    note_injection(observer_, "inject.corrupt_image",
+                   {obs::TraceArg::num("image_id", id),
+                    obs::TraceArg::num("bytes", count == 0 ? 1 : count)});
+  }
+  return hit;
+}
+
+void StorageInjector::begin_outage() {
+  note_injection(observer_, "inject.outage_begin");
+  backend_->set_outage(true);
+}
+
+void StorageInjector::end_outage() {
+  note_injection(observer_, "inject.outage_end");
+  backend_->set_outage(false);
+}
+
+void ProcessInjector::kill_at(sim::Pid pid, SimTime when) {
+  note_injection(observer_, "inject.kill_process",
+                 {obs::TraceArg::num("pid", static_cast<std::uint64_t>(pid)),
+                  obs::TraceArg::num("at_ns", when)});
+  kernel_->kill_process_at(when, pid);
+}
+
+void ProcessInjector::stop_at(sim::Pid pid, SimTime when) {
+  note_injection(observer_, "inject.stop_process",
+                 {obs::TraceArg::num("pid", static_cast<std::uint64_t>(pid)),
+                  obs::TraceArg::num("at_ns", when)});
+  kernel_->stop_process_at(when, pid);
+}
+
+bool ProcessInjector::drop_signal(sim::Pid pid, sim::Signal sig) {
+  const bool dropped = kernel_->drop_pending_signal(pid, sig);
+  if (dropped) {
+    note_injection(observer_, "inject.drop_signal",
+                   {obs::TraceArg::num("pid", static_cast<std::uint64_t>(pid))});
+  }
+  return dropped;
+}
+
+void NodeInjector::fail_stop_now(int node_id) {
+  note_injection(observer_, "inject.fail_node",
+                 {obs::TraceArg::num("node", static_cast<std::uint64_t>(node_id))});
+  cluster_->fail_node(node_id);
 }
 
 void NodeInjector::fail_stop_at(int node_id, SimTime when) {
-  cluster_->add_event(when, [node_id](cluster::Cluster& c) {
-    if (c.node(node_id).up()) c.fail_node(node_id);
+  obs::Observer* observer = observer_;
+  cluster_->add_event(when, [node_id, observer](cluster::Cluster& c) {
+    if (c.node(node_id).up()) {
+      note_injection(observer, "inject.fail_node",
+                     {obs::TraceArg::num("node", static_cast<std::uint64_t>(node_id))});
+      c.fail_node(node_id);
+    }
   });
 }
 
 void NodeInjector::repair_at(int node_id, SimTime when) {
-  cluster_->add_event(when, [node_id](cluster::Cluster& c) {
-    if (!c.node(node_id).up()) c.repair_node(node_id);
+  obs::Observer* observer = observer_;
+  cluster_->add_event(when, [node_id, observer](cluster::Cluster& c) {
+    if (!c.node(node_id).up()) {
+      note_injection(observer, "inject.repair_node",
+                     {obs::TraceArg::num("node", static_cast<std::uint64_t>(node_id))});
+      c.repair_node(node_id);
+    }
   });
 }
 

@@ -6,6 +6,11 @@
 // checkpoint signal) and cluster (fail-stop a node at a scheduled cluster
 // time, e.g. between a capture and the store that would persist it).  All
 // randomness comes from the caller's Rng, so injections replay exactly.
+//
+// Every injector takes an optional obs::Observer; when attached, each
+// injection emits an instant trace event on the control track plus a
+// fault.* counter, so torture timelines show *when* damage was planted,
+// not just what failed later.
 #pragma once
 
 #include <cstdint>
@@ -15,60 +20,68 @@
 #include "storage/backend.hpp"
 #include "util/rng.hpp"
 
+namespace ckpt::obs {
+class Observer;
+}
+
 namespace ckpt::inject {
 
 /// Storage layer: fault the blob store a checkpoint chain writes through.
 class StorageInjector {
  public:
-  explicit StorageInjector(storage::BlobStoreBackend& backend) : backend_(&backend) {}
+  explicit StorageInjector(storage::BlobStoreBackend& backend,
+                           obs::Observer* observer = nullptr)
+      : backend_(&backend), observer_(observer) {}
 
   /// Next store fails cleanly (nothing persisted).
-  void fail_next_store() { backend_->inject_store_fault(storage::StoreFault::kReject); }
+  void fail_next_store();
 
   /// Next store persists a torn (truncated) blob under a valid id.
-  void tear_next_store() { backend_->inject_store_fault(storage::StoreFault::kTornWrite); }
+  void tear_next_store();
 
   /// Flip `count` bytes of the newest stored blob at an rng-chosen offset.
   /// Returns false when the backend is empty.
   bool corrupt_newest(util::Rng& rng, std::uint64_t count);
 
-  void begin_outage() { backend_->set_outage(true); }
-  void end_outage() { backend_->set_outage(false); }
+  void begin_outage();
+  void end_outage();
 
   [[nodiscard]] storage::BlobStoreBackend& backend() { return *backend_; }
 
  private:
   storage::BlobStoreBackend* backend_;
+  obs::Observer* observer_;
 };
 
 /// Kernel layer: fault the process being checkpointed.
 class ProcessInjector {
  public:
-  explicit ProcessInjector(sim::SimKernel& kernel) : kernel_(&kernel) {}
+  explicit ProcessInjector(sim::SimKernel& kernel, obs::Observer* observer = nullptr)
+      : kernel_(&kernel), observer_(observer) {}
 
   /// Fail-stop `pid` at simulated time `when` (terminated + reaped).
-  void kill_at(sim::Pid pid, SimTime when) { kernel_->kill_process_at(when, pid); }
+  void kill_at(sim::Pid pid, SimTime when);
 
   /// Freeze `pid` at simulated time `when` (checkpoint-signal starvation:
   /// a stopped target never reaches a kernel->user transition).
-  void stop_at(sim::Pid pid, SimTime when) { kernel_->stop_process_at(when, pid); }
+  void stop_at(sim::Pid pid, SimTime when);
 
   /// Drop a pending checkpoint signal before it is delivered.
-  bool drop_signal(sim::Pid pid, sim::Signal sig) {
-    return kernel_->drop_pending_signal(pid, sig);
-  }
+  bool drop_signal(sim::Pid pid, sim::Signal sig);
 
  private:
   sim::SimKernel* kernel_;
+  obs::Observer* observer_;
 };
 
 /// Cluster layer: fail-stop whole nodes on the cluster's event clock.
 class NodeInjector {
  public:
-  explicit NodeInjector(cluster::Cluster& cluster) : cluster_(&cluster) {}
+  explicit NodeInjector(cluster::Cluster& cluster, obs::Observer* observer = nullptr)
+      : cluster_(&cluster), observer_(observer) {}
 
   /// Fail-stop `node_id` immediately (e.g. between capture and store).
-  void fail_stop_now(int node_id) { cluster_->fail_node(node_id); }
+  void fail_stop_now(int node_id);
 
   /// Schedule a fail-stop at cluster time `when`.
   void fail_stop_at(int node_id, SimTime when);
@@ -78,6 +91,7 @@ class NodeInjector {
 
  private:
   cluster::Cluster* cluster_;
+  obs::Observer* observer_;
 };
 
 }  // namespace ckpt::inject

@@ -10,6 +10,7 @@
 #include "core/capture.hpp"
 #include "inject/injectors.hpp"
 #include "mechanisms/catalog.hpp"
+#include "obs/observer.hpp"
 #include "sim/guests.hpp"
 #include "storage/replicated.hpp"
 #include "util/threadpool.hpp"
@@ -128,6 +129,13 @@ TortureReport TortureHarness::run(const TortureTarget& target) {
 
   const std::uint64_t seed = mix_seed(options_.seed, target.catalog_name);
   sim::SimKernel kernel(2, sim::CostModel{}, seed);
+  obs::Observer* observer = options_.observer;
+  obs::TraceRecorder* trace = obs::tracer(observer);
+  // Wire the trace clock to this engine's kernel for the duration of the
+  // soak; detached again before the kernel dies (see the end of run()).
+  if (observer != nullptr) kernel.set_observer(observer);
+  obs::SpanGuard soak_span(trace, "soak", "torture", obs::kControlTrack,
+                           {obs::TraceArg::str("engine", target.catalog_name)});
   sim::register_standard_guests();
   storage::LocalDiskBackend local{kernel.costs()};
   storage::RemoteBackend remote{kernel.costs()};
@@ -152,6 +160,7 @@ TortureReport TortureHarness::run(const TortureTarget& target) {
     storage::ReplicatedOptions repl_options;
     repl_options.retry = options_.retry;
     repl_options.retry.jitter_seed = seed;
+    repl_options.observer = observer;
     if (options_.workers > 0) {
       pinned_pool = std::make_unique<util::ThreadPool>(options_.workers);
       repl_options.pool = pinned_pool.get();
@@ -174,7 +183,7 @@ TortureReport TortureHarness::run(const TortureTarget& target) {
     }
   }
 
-  ProcessInjector process_inj(kernel);
+  ProcessInjector process_inj(kernel, observer);
   FaultPlan plan(seed, options_.fault_mix.empty() ? FaultPlan::default_mix()
                                                   : options_.fault_mix);
   util::Rng& rng = plan.rng();
@@ -284,10 +293,23 @@ TortureReport TortureHarness::run(const TortureTarget& target) {
     // replica; the others stay healthy, which is what the self-healing
     // invariants lean on.
     storage::BlobStoreBackend* victim = blob;
+    std::uint64_t victim_index = 0;
     if (options_.replicated_storage) {
-      victim = replicas[rng.next_below(replicas.size())];
+      victim_index = rng.next_below(replicas.size());
+      victim = replicas[victim_index];
     }
-    StorageInjector storage_inj(*victim);
+    StorageInjector storage_inj(*victim, observer);
+
+    obs::SpanGuard cycle_span(trace, "cycle", "torture", obs::kControlTrack,
+                              {obs::TraceArg::num("cycle", cycle),
+                               obs::TraceArg::str("fault", to_string(fault.kind)),
+                               obs::TraceArg::num("param", fault.param),
+                               obs::TraceArg::num("victim", victim_index),
+                               obs::TraceArg::num("steps", steps)});
+    if (observer != nullptr) {
+      observer->metrics().add("torture.cycles");
+      observer->metrics().add(std::string("torture.fault.") + to_string(fault.kind));
+    }
 
     if (fault.kind == FaultKind::kStorageOutage) storage_inj.begin_outage();
 
@@ -366,9 +388,19 @@ TortureReport TortureHarness::run(const TortureTarget& target) {
       }
     }
 
+    cycle_span.end({obs::TraceArg::str("outcome", live ? "live" : "respawned")});
     if (!live) respawn();
   }
 
+  soak_span.end({obs::TraceArg::num("checkpoints_ok", report.checkpoints_ok),
+                 obs::TraceArg::num("restarts_ok", report.restarts_ok),
+                 obs::TraceArg::num("scrub_repairs", report.scrub_repairs)});
+  // The per-engine kernel dies with this frame; unbind the trace clock so
+  // the observer never calls into a destroyed kernel.
+  if (observer != nullptr) {
+    kernel.set_observer(nullptr);
+    observer->set_clock({});
+  }
   return report;
 }
 

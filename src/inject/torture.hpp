@@ -74,6 +74,12 @@ struct TortureOptions {
   /// soak must be bit-identical for every value — the pipeline determinism
   /// tests run the battery at 1 and 8 workers and diff the reports.
   std::uint32_t workers = 0;
+  /// Observability sink (null = disabled).  Attached to the per-engine
+  /// kernel and the replicated store, so a soak produces a per-cycle
+  /// lifecycle timeline plus fault/ckpt/store/scrub metrics.  The exported
+  /// trace is part of the determinism contract: byte-identical for any
+  /// `workers` value.
+  obs::Observer* observer = nullptr;
 };
 
 struct TortureReport {

@@ -1,0 +1,246 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+
+namespace ckpt::obs {
+
+void json_append_quoted(std::string& out, std::string_view text) {
+  out.push_back('"');
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out.push_back(hex[(c >> 4) & 0xF]);
+          out.push_back(hex[c & 0xF]);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+std::string json_quoted(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  json_append_quoted(out, text);
+  return out;
+}
+
+void json_append_micros(std::string& out, std::uint64_t nanoseconds) {
+  out += std::to_string(nanoseconds / 1000);
+  const std::uint64_t frac = nanoseconds % 1000;
+  out.push_back('.');
+  out.push_back(static_cast<char>('0' + frac / 100));
+  out.push_back(static_cast<char>('0' + (frac / 10) % 10));
+  out.push_back(static_cast<char>('0' + frac % 10));
+}
+
+namespace {
+
+/// Recursive-descent JSON syntax checker.
+class Lint {
+ public:
+  explicit Lint(std::string_view text) : text_(text) {}
+
+  bool run(std::string* error) {
+    skip_ws();
+    if (!value()) return fail(error);
+    skip_ws();
+    if (pos_ != text_.size()) {
+      reason_ = "trailing bytes after document";
+      return fail(error);
+    }
+    return true;
+  }
+
+ private:
+  bool fail(std::string* error) const {
+    if (error != nullptr) {
+      *error = "offset " + std::to_string(pos_) + ": " +
+               (reason_.empty() ? "malformed JSON" : reason_);
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool eof() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+
+  void skip_ws() {
+    while (!eof() && (peek() == ' ' || peek() == '\t' || peek() == '\n' || peek() == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      reason_ = "bad literal";
+      return false;
+    }
+    pos_ += word.size();
+    return true;
+  }
+
+  bool string() {
+    if (eof() || peek() != '"') {
+      reason_ = "expected string";
+      return false;
+    }
+    ++pos_;
+    while (!eof()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        reason_ = "raw control character in string";
+        return false;
+      }
+      if (c == '\\') {
+        if (eof()) break;
+        const char esc = text_[pos_++];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            if (eof() || std::isxdigit(static_cast<unsigned char>(peek())) == 0) {
+              reason_ = "bad \\u escape";
+              return false;
+            }
+            ++pos_;
+          }
+        } else if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' && esc != 'f' &&
+                   esc != 'n' && esc != 'r' && esc != 't') {
+          reason_ = "bad escape";
+          return false;
+        }
+      }
+    }
+    reason_ = "unterminated string";
+    return false;
+  }
+
+  bool digits() {
+    if (eof() || std::isdigit(static_cast<unsigned char>(peek())) == 0) {
+      reason_ = "expected digit";
+      return false;
+    }
+    while (!eof() && std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    return true;
+  }
+
+  bool number() {
+    if (!eof() && peek() == '-') ++pos_;
+    if (!eof() && peek() == '0') {
+      ++pos_;
+    } else if (!digits()) {
+      return false;
+    }
+    if (!eof() && peek() == '.') {
+      ++pos_;
+      if (!digits()) return false;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (!digits()) return false;
+    }
+    return true;
+  }
+
+  bool value() {
+    if (++depth_ > 128) {
+      reason_ = "nesting too deep";
+      return false;
+    }
+    skip_ws();
+    if (eof()) {
+      reason_ = "unexpected end of document";
+      return false;
+    }
+    bool ok = false;
+    switch (peek()) {
+      case '{': ok = object(); break;
+      case '[': ok = array(); break;
+      case '"': ok = string(); break;
+      case 't': ok = literal("true"); break;
+      case 'f': ok = literal("false"); break;
+      case 'n': ok = literal("null"); break;
+      default: ok = number(); break;
+    }
+    --depth_;
+    return ok;
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (eof() || peek() != ':') {
+        reason_ = "expected ':'";
+        return false;
+      }
+      ++pos_;
+      if (!value()) return false;
+      skip_ws();
+      if (!eof() && peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (!eof() && peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      reason_ = "expected ',' or '}'";
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      if (!value()) return false;
+      skip_ws();
+      if (!eof() && peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (!eof() && peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      reason_ = "expected ',' or ']'";
+      return false;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+  std::string reason_;
+};
+
+}  // namespace
+
+bool json_lint(std::string_view text, std::string* error) {
+  return Lint(text).run(error);
+}
+
+}  // namespace ckpt::obs

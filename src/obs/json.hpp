@@ -1,0 +1,33 @@
+// Minimal deterministic JSON helpers for the observability exporters.
+//
+// The trace and metrics exporters must produce byte-identical output for a
+// fixed seed and any worker count, so everything here is exact: strings are
+// escaped with a fixed table, integers print in decimal, and simulated
+// nanoseconds render as fixed-point microseconds (three decimals) rather
+// than going through double formatting.  json_lint() is a strict syntax
+// checker used by the tests, the ckpt_report example and the CI gate to
+// prove exported documents are well-formed without an external tool.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ckpt::obs {
+
+/// Append `text` to `out` as a quoted JSON string (RFC 8259 escaping).
+void json_append_quoted(std::string& out, std::string_view text);
+
+/// `text` as a quoted JSON string.
+[[nodiscard]] std::string json_quoted(std::string_view text);
+
+/// Append integer nanoseconds as fixed-point microseconds ("12.345") — the
+/// Chrome trace-event `ts` unit — without any floating-point formatting.
+void json_append_micros(std::string& out, std::uint64_t nanoseconds);
+
+/// Strict JSON well-formedness check (full recursive-descent parse, no
+/// semantic interpretation).  On failure, `error` (when non-null) receives
+/// a byte offset + reason.
+[[nodiscard]] bool json_lint(std::string_view text, std::string* error = nullptr);
+
+}  // namespace ckpt::obs

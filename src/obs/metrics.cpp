@@ -1,0 +1,143 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace ckpt::obs {
+
+void MetricsRegistry::add(std::string_view name, std::uint64_t delta) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+std::uint64_t MetricsRegistry::counter(std::string_view name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void MetricsRegistry::set_gauge(std::string_view name, std::int64_t value) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    gauges_.emplace(std::string(name), value);
+  } else {
+    it->second = value;
+  }
+}
+
+std::int64_t MetricsRegistry::gauge(std::string_view name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0 : it->second;
+}
+
+void MetricsRegistry::observe(std::string_view name, std::uint64_t value,
+                              std::span<const std::uint64_t> bounds) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    HistogramData fresh;
+    fresh.bounds.assign(bounds.begin(), bounds.end());
+    if (!std::is_sorted(fresh.bounds.begin(), fresh.bounds.end())) {
+      throw std::invalid_argument("MetricsRegistry: histogram bounds must be sorted");
+    }
+    fresh.counts.assign(fresh.bounds.size() + 1, 0);
+    it = histograms_.emplace(std::string(name), std::move(fresh)).first;
+  } else if (it->second.bounds.size() != bounds.size() ||
+             !std::equal(bounds.begin(), bounds.end(), it->second.bounds.begin())) {
+    throw std::invalid_argument("MetricsRegistry: histogram '" + std::string(name) +
+                                "' re-registered with different bounds");
+  }
+  HistogramData& h = it->second;
+  const auto slot = std::lower_bound(h.bounds.begin(), h.bounds.end(), value);
+  ++h.counts[static_cast<std::size_t>(slot - h.bounds.begin())];
+  if (h.count == 0 || value < h.min) h.min = value;
+  if (value > h.max) h.max = value;
+  ++h.count;
+  h.sum += value;
+}
+
+const HistogramData* MetricsRegistry::histogram(std::string_view name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+std::span<const std::uint64_t> MetricsRegistry::latency_bounds() {
+  // 10us .. 10s in decades, simulated nanoseconds.
+  static constexpr std::array<std::uint64_t, 7> kBounds{
+      10 * kMicrosecond, 100 * kMicrosecond, 1 * kMillisecond, 10 * kMillisecond,
+      100 * kMillisecond, 1 * kSecond, 10 * kSecond};
+  return kBounds;
+}
+
+std::span<const std::uint64_t> MetricsRegistry::size_bounds() {
+  // 4 KiB .. 64 MiB in powers of four.
+  static constexpr std::array<std::uint64_t, 7> kBounds{
+      4 * kKiB, 16 * kKiB, 64 * kKiB, 256 * kKiB, 1 * kMiB, 4 * kMiB, 64 * kMiB};
+  return kBounds;
+}
+
+std::span<const std::uint64_t> MetricsRegistry::percent_bounds() {
+  static constexpr std::array<std::uint64_t, 6> kBounds{1, 5, 10, 25, 50, 75};
+  return kBounds;
+}
+
+void MetricsRegistry::clear() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+std::string MetricsRegistry::snapshot_json() const {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    json_append_quoted(out, name);
+    out += ": ";
+    out += std::to_string(value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges_) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    json_append_quoted(out, name);
+    out += ": ";
+    out += std::to_string(value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    json_append_quoted(out, name);
+    out += ": {\"count\": " + std::to_string(h.count) + ", \"sum\": " +
+           std::to_string(h.sum) + ", \"min\": " + std::to_string(h.count > 0 ? h.min : 0) +
+           ", \"max\": " + std::to_string(h.max) + ", \"bounds\": [";
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += std::to_string(h.bounds[i]);
+    }
+    out += "], \"buckets\": [";
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += std::to_string(h.counts[i]);
+    }
+    out += "]}";
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace ckpt::obs

@@ -1,0 +1,70 @@
+// Named counters, gauges and fixed-bucket histograms.
+//
+// The autonomic policies (Young's interval, replica placement, retry
+// budgets) consume aggregate signals: checkpoint latency, bytes written,
+// incremental dirty ratio, retry counts, scrub repairs, replica outages.
+// MetricsRegistry collects them under stable dotted names and snapshots
+// them as deterministically ordered JSON (names sorted lexicographically,
+// integer-only values), so two runs of the same seed produce byte-identical
+// snapshots regardless of registration order or worker count.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace ckpt::obs {
+
+/// Fixed-bucket histogram: counts[i] covers value <= bounds[i]; the last
+/// slot is the overflow bucket.  Bounds are fixed by the first observation
+/// under a name; later observations must agree (enforced).
+struct HistogramData {
+  std::vector<std::uint64_t> bounds;
+  std::vector<std::uint64_t> counts;  ///< bounds.size() + 1 slots
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+
+  friend bool operator==(const HistogramData&, const HistogramData&) = default;
+};
+
+class MetricsRegistry {
+ public:
+  // --- Counters (monotonic) --------------------------------------------------
+  void add(std::string_view name, std::uint64_t delta = 1);
+  [[nodiscard]] std::uint64_t counter(std::string_view name) const;
+
+  // --- Gauges (last value wins) ---------------------------------------------
+  void set_gauge(std::string_view name, std::int64_t value);
+  [[nodiscard]] std::int64_t gauge(std::string_view name) const;
+
+  // --- Histograms ------------------------------------------------------------
+  void observe(std::string_view name, std::uint64_t value,
+               std::span<const std::uint64_t> bounds);
+  [[nodiscard]] const HistogramData* histogram(std::string_view name) const;
+
+  /// Canonical bucket ladders (simulated nanoseconds / bytes / percent).
+  [[nodiscard]] static std::span<const std::uint64_t> latency_bounds();
+  [[nodiscard]] static std::span<const std::uint64_t> size_bounds();
+  [[nodiscard]] static std::span<const std::uint64_t> percent_bounds();
+
+  /// Deterministic JSON snapshot: {"counters":{...},"gauges":{...},
+  /// "histograms":{...}} with every section sorted by name.
+  [[nodiscard]] std::string snapshot_json() const;
+
+  void clear();
+
+  friend bool operator==(const MetricsRegistry&, const MetricsRegistry&) = default;
+
+ private:
+  std::map<std::string, std::uint64_t, std::less<>> counters_;
+  std::map<std::string, std::int64_t, std::less<>> gauges_;
+  std::map<std::string, HistogramData, std::less<>> histograms_;
+};
+
+}  // namespace ckpt::obs

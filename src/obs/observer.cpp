@@ -1,0 +1,5 @@
+#include "obs/observer.hpp"
+
+// Header-only today; this TU pins the library's vtable-free symbols and
+// gives the build a stable home for future out-of-line additions.
+namespace ckpt::obs {}

@@ -1,0 +1,48 @@
+// The Observer sink: one attachable bundle of TraceRecorder + MetricsRegistry.
+//
+// Every instrumented layer (SimKernel, CheckpointEngine, ReplicatedStore,
+// RecoveryManager, the fault injectors, TortureHarness) takes an
+// `Observer*` that defaults to null.  The disabled path is therefore a
+// single pointer test per hook — no virtual dispatch, no allocation, no
+// formatting — so observability costs nothing unless a sink is attached.
+//
+// Wiring: attach the Observer to a SimKernel first
+// (`kernel.set_observer(&obs)`), which binds the trace clock to the
+// kernel's *effective* time (now() + step_charge(), so events emitted while
+// the scheduler clock is frozen inside a step still advance).  Layers
+// without a kernel (ReplicatedStore) reuse the same Observer and inherit
+// that clock.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace ckpt::obs {
+
+class Observer {
+ public:
+  [[nodiscard]] TraceRecorder& trace() { return trace_; }
+  [[nodiscard]] const TraceRecorder& trace() const { return trace_; }
+  [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] const MetricsRegistry& metrics() const { return metrics_; }
+
+  void set_clock(TraceRecorder::Clock clock) { trace_.set_clock(std::move(clock)); }
+  [[nodiscard]] SimTime now() const { return trace_.now(); }
+
+  /// Drop recorded events and metric values (the clock binding stays).
+  void reset() {
+    trace_.clear();
+    metrics_.clear();
+  }
+
+ private:
+  TraceRecorder trace_;
+  MetricsRegistry metrics_;
+};
+
+/// Null-tolerant tracer accessor for call sites holding an Observer*.
+[[nodiscard]] inline TraceRecorder* tracer(Observer* observer) {
+  return observer == nullptr ? nullptr : &observer->trace();
+}
+
+}  // namespace ckpt::obs

@@ -1,0 +1,166 @@
+#include "obs/trace.hpp"
+
+#include <utility>
+
+#include "obs/json.hpp"
+
+namespace ckpt::obs {
+
+const char* phase_letter(EventPhase phase) {
+  switch (phase) {
+    case EventPhase::kBegin: return "B";
+    case EventPhase::kEnd: return "E";
+    case EventPhase::kInstant: return "i";
+    case EventPhase::kCounter: return "C";
+  }
+  return "?";
+}
+
+void TraceRecorder::push(SimTime ts, EventPhase phase, std::string name,
+                         std::string category, std::uint64_t track,
+                         std::vector<TraceArg> args) {
+  TraceEvent event;
+  event.seq = next_seq_++;
+  event.ts = ts;
+  event.track = track;
+  event.phase = phase;
+  event.name = std::move(name);
+  event.category = std::move(category);
+  event.args = std::move(args);
+  events_.push_back(std::move(event));
+}
+
+void TraceRecorder::begin(std::string name, std::string category, std::uint64_t track,
+                          std::vector<TraceArg> args) {
+  push(now(), EventPhase::kBegin, std::move(name), std::move(category), track,
+       std::move(args));
+}
+
+void TraceRecorder::end(std::string name, std::uint64_t track, std::vector<TraceArg> args) {
+  push(now(), EventPhase::kEnd, std::move(name), {}, track, std::move(args));
+}
+
+void TraceRecorder::instant(std::string name, std::string category, std::uint64_t track,
+                            std::vector<TraceArg> args) {
+  push(now(), EventPhase::kInstant, std::move(name), std::move(category), track,
+       std::move(args));
+}
+
+void TraceRecorder::counter(std::string name, std::uint64_t track, std::uint64_t value) {
+  push(now(), EventPhase::kCounter, std::move(name), {}, track,
+       {TraceArg::num("value", value)});
+}
+
+void TraceRecorder::begin_at(SimTime ts, std::string name, std::string category,
+                             std::uint64_t track, std::vector<TraceArg> args) {
+  push(ts, EventPhase::kBegin, std::move(name), std::move(category), track,
+       std::move(args));
+}
+
+void TraceRecorder::end_at(SimTime ts, std::string name, std::uint64_t track,
+                           std::vector<TraceArg> args) {
+  push(ts, EventPhase::kEnd, std::move(name), {}, track, std::move(args));
+}
+
+void TraceRecorder::instant_at(SimTime ts, std::string name, std::string category,
+                               std::uint64_t track, std::vector<TraceArg> args) {
+  push(ts, EventPhase::kInstant, std::move(name), std::move(category), track,
+       std::move(args));
+}
+
+void TraceRecorder::clear() {
+  events_.clear();
+  next_seq_ = 0;
+}
+
+std::string TraceRecorder::export_chrome_json() const {
+  std::string out;
+  out.reserve(128 + events_.size() * 96);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  // Lane-naming metadata so Perfetto labels the well-known tracks.
+  out +=
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+      "\"args\":{\"name\":\"ckpt-sim\"}},\n";
+  out +=
+      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+      "\"args\":{\"name\":\"control\"}},\n";
+  out +=
+      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,"
+      "\"args\":{\"name\":\"storage\"}}";
+  for (const TraceEvent& event : events_) {
+    out += ",\n{\"name\":";
+    json_append_quoted(out, event.name);
+    if (!event.category.empty()) {
+      out += ",\"cat\":";
+      json_append_quoted(out, event.category);
+    }
+    out += ",\"ph\":\"";
+    out += phase_letter(event.phase);
+    out += "\",\"ts\":";
+    json_append_micros(out, event.ts);
+    out += ",\"pid\":1,\"tid\":";
+    out += std::to_string(event.track);
+    if (event.phase == EventPhase::kInstant) out += ",\"s\":\"t\"";
+    out += ",\"seq\":";
+    out += std::to_string(event.seq);
+    if (!event.args.empty()) {
+      out += ",\"args\":{";
+      bool first = true;
+      for (const TraceArg& arg : event.args) {
+        if (!first) out.push_back(',');
+        first = false;
+        json_append_quoted(out, arg.key);
+        out.push_back(':');
+        if (arg.is_number) {
+          out += std::to_string(arg.number);
+        } else {
+          json_append_quoted(out, arg.text);
+        }
+      }
+      out.push_back('}');
+    }
+    out.push_back('}');
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+std::map<std::string, TraceRecorder::PhaseStat> TraceRecorder::phase_totals() const {
+  std::map<std::string, PhaseStat> totals;
+  // Per-track stacks of open begins; unmatched events are simply skipped so
+  // a truncated trace still renders a sensible table.
+  std::map<std::uint64_t, std::vector<const TraceEvent*>> open;
+  for (const TraceEvent& event : events_) {
+    if (event.phase == EventPhase::kBegin) {
+      open[event.track].push_back(&event);
+    } else if (event.phase == EventPhase::kEnd) {
+      auto& stack = open[event.track];
+      if (stack.empty()) continue;
+      const TraceEvent* begin = stack.back();
+      stack.pop_back();
+      PhaseStat& stat = totals[begin->name];
+      ++stat.count;
+      if (event.ts > begin->ts) stat.total += event.ts - begin->ts;
+    }
+  }
+  return totals;
+}
+
+SpanGuard::SpanGuard(TraceRecorder* recorder, std::string name, std::string category,
+                     std::uint64_t track, std::vector<TraceArg> args)
+    : recorder_(recorder), name_(std::move(name)), track_(track),
+      open_(recorder != nullptr) {
+  if (recorder_ != nullptr) {
+    recorder_->begin(name_, std::move(category), track_, std::move(args));
+  }
+}
+
+void SpanGuard::end(std::vector<TraceArg> args) {
+  if (!open_) return;
+  open_ = false;
+  recorder_->end(name_, track_, std::move(args));
+}
+
+SpanGuard::~SpanGuard() { end(); }
+
+}  // namespace ckpt::obs

@@ -1,0 +1,148 @@
+// Span-based structured tracing for the checkpoint lifecycle.
+//
+// CRAFT (arXiv:1708.02030) and the OpenCHK extensions (arXiv:2006.16616)
+// both argue that a C/R framework needs first-class phase/cost
+// introspection before adaptive policies (Young's interval, replica
+// placement) can be trusted.  TraceRecorder is that layer: a flat log of
+// begin/end/instant/counter events stamped with *simulated* time and a
+// monotonic sequence number, exported as Chrome trace-event JSON
+// (chrome://tracing / Perfetto).
+//
+// Determinism contract (the torture soak uses traces as a correctness
+// oracle, diffing byte-for-byte across worker counts):
+//
+//   * Events carry sim-time and a seq number only — never host time, host
+//     thread ids or pointer values.
+//   * Instrumented parallel sections never emit from pool workers.  They
+//     ledger per-task events with *relative* charge offsets and replay them
+//     on the caller in task (replica/shard) order — the same discipline as
+//     the PR 3 charge ledgers (see ReplicatedStore::store_verbose).
+//   * Export renders integers and fixed-point microseconds only; no
+//     floating-point formatting, no map iteration over unordered state.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace ckpt::obs {
+
+/// Chrome trace-event phases we emit: duration begin/end, a thread-scoped
+/// instant, and a counter sample.
+enum class EventPhase : std::uint8_t { kBegin, kEnd, kInstant, kCounter };
+
+[[nodiscard]] const char* phase_letter(EventPhase phase);
+
+/// One key/value argument.  Values are unsigned integers or strings —
+/// floats are deliberately absent so exports are bit-stable.
+struct TraceArg {
+  std::string key;
+  std::string text;
+  std::uint64_t number = 0;
+  bool is_number = false;
+
+  static TraceArg num(std::string key, std::uint64_t value) {
+    return TraceArg{std::move(key), {}, value, true};
+  }
+  static TraceArg str(std::string key, std::string value) {
+    return TraceArg{std::move(key), std::move(value), 0, false};
+  }
+
+  friend bool operator==(const TraceArg&, const TraceArg&) = default;
+};
+
+struct TraceEvent {
+  std::uint64_t seq = 0;  ///< monotonic emission order
+  SimTime ts = 0;         ///< simulated nanoseconds
+  std::uint64_t track = 0;  ///< exported as the Chrome `tid` (a lane)
+  EventPhase phase = EventPhase::kInstant;
+  std::string name;
+  std::string category;
+  std::vector<TraceArg> args;
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+
+/// Well-known lanes.  Per-process lifecycle spans use the sim pid as the
+/// track, which never collides with these (pids start at 2... but lanes are
+/// cosmetic; only determinism matters).
+inline constexpr std::uint64_t kControlTrack = 0;  ///< managers, harness cycles
+inline constexpr std::uint64_t kStorageTrack = 1;  ///< scrub / storage maintenance
+
+class TraceRecorder {
+ public:
+  using Clock = std::function<SimTime()>;
+
+  /// Timestamp source for the clock-less emit overloads; typically wired to
+  /// the sim kernel's effective time (now() + step_charge()) on attach.
+  void set_clock(Clock clock) { clock_ = std::move(clock); }
+  [[nodiscard]] SimTime now() const { return clock_ ? clock_() : 0; }
+
+  // --- Emission (clocked) ----------------------------------------------------
+  void begin(std::string name, std::string category, std::uint64_t track,
+             std::vector<TraceArg> args = {});
+  void end(std::string name, std::uint64_t track, std::vector<TraceArg> args = {});
+  void instant(std::string name, std::string category, std::uint64_t track,
+               std::vector<TraceArg> args = {});
+  void counter(std::string name, std::uint64_t track, std::uint64_t value);
+
+  // --- Emission (explicit timestamp) ----------------------------------------
+  void begin_at(SimTime ts, std::string name, std::string category, std::uint64_t track,
+                std::vector<TraceArg> args = {});
+  void end_at(SimTime ts, std::string name, std::uint64_t track,
+              std::vector<TraceArg> args = {});
+  void instant_at(SimTime ts, std::string name, std::string category, std::uint64_t track,
+                  std::vector<TraceArg> args = {});
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const { return events_; }
+  [[nodiscard]] std::uint64_t next_seq() const { return next_seq_; }
+  void clear();
+
+  /// Chrome trace-event JSON: {"displayTimeUnit":"ms","traceEvents":[...]}.
+  /// Events appear in seq order; loads directly in Perfetto / about:tracing.
+  [[nodiscard]] std::string export_chrome_json() const;
+
+  /// Fold matched begin/end pairs into per-name inclusive totals (count +
+  /// summed sim-time) — the ckpt-report phase-breakdown table.
+  struct PhaseStat {
+    std::uint64_t count = 0;
+    SimTime total = 0;
+  };
+  [[nodiscard]] std::map<std::string, PhaseStat> phase_totals() const;
+
+ private:
+  void push(SimTime ts, EventPhase phase, std::string name, std::string category,
+            std::uint64_t track, std::vector<TraceArg> args);
+
+  Clock clock_;
+  std::vector<TraceEvent> events_;
+  std::uint64_t next_seq_ = 0;
+};
+
+/// RAII span: begin on construction, end on destruction (or early via
+/// end()).  A null recorder makes every operation a no-op, so call sites
+/// stay branch-free.
+class SpanGuard {
+ public:
+  SpanGuard(TraceRecorder* recorder, std::string name, std::string category,
+            std::uint64_t track, std::vector<TraceArg> args = {});
+  ~SpanGuard();
+
+  SpanGuard(const SpanGuard&) = delete;
+  SpanGuard& operator=(const SpanGuard&) = delete;
+
+  /// Close the span now, attaching result arguments to the end event.
+  void end(std::vector<TraceArg> args = {});
+
+ private:
+  TraceRecorder* recorder_;
+  std::string name_;
+  std::uint64_t track_;
+  bool open_;
+};
+
+}  // namespace ckpt::obs

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/observer.hpp"
 #include "sim/userapi.hpp"
 #include "util/log.hpp"
 
@@ -26,7 +27,19 @@ SimKernel::SimKernel(int ncpus, CostModel costs, std::uint64_t seed)
   if (ncpus < 1) throw std::invalid_argument("SimKernel: ncpus must be >= 1");
 }
 
-SimKernel::~SimKernel() = default;
+SimKernel::~SimKernel() {
+  // The attached observer's trace clock captures `this` (see set_observer);
+  // unbind it so an observer outliving the kernel — a failed cluster node,
+  // a per-soak kernel — never calls into freed memory.
+  if (observer_ != nullptr) observer_->set_clock({});
+}
+
+void SimKernel::set_observer(obs::Observer* observer) {
+  observer_ = observer;
+  if (observer_ != nullptr) {
+    observer_->set_clock([this] { return effective_now(); });
+  }
+}
 
 // ---------------------------------------------------------------------------
 // Process lifecycle

@@ -36,6 +36,10 @@
 #include "util/rng.hpp"
 #include "util/units.hpp"
 
+namespace ckpt::obs {
+class Observer;
+}
+
 namespace ckpt::sim {
 
 class UserApi;
@@ -248,6 +252,17 @@ class SimKernel {
   /// deltas of this counter.
   [[nodiscard]] SimTime step_charge() const { return step_consumed_; }
 
+  /// Effective time as a trace timestamp: the frozen round clock plus time
+  /// charged so far inside the current step.  Equals now() between steps.
+  [[nodiscard]] SimTime effective_now() const { return clock_ + step_consumed_; }
+
+  // --- Observability (src/obs) ------------------------------------------------
+  /// Attach (or detach with nullptr) an observability sink.  Attaching wires
+  /// the sink's trace clock to this kernel's effective time; all layers
+  /// running on this kernel pick the observer up from here.
+  void set_observer(obs::Observer* observer);
+  [[nodiscard]] obs::Observer* observer() const { return observer_; }
+
   /// The task currently executing (the `current` macro).  Null between
   /// steps; syscall handlers see the caller.
   [[nodiscard]] Process* current() { return current_; }
@@ -311,6 +326,8 @@ class SimKernel {
 
   std::vector<PendingTimer> timers_;
   std::uint64_t timer_seq_ = 0;
+
+  obs::Observer* observer_ = nullptr;
 
   // Execution context while stepping.
   Process* current_ = nullptr;

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "obs/observer.hpp"
 #include "util/crc64.hpp"
 #include "util/serialize.hpp"
 #include "util/threadpool.hpp"
@@ -55,7 +56,7 @@ ReplicatedStore::ReplicatedStore(std::vector<BlobStoreBackend*> replicas,
 ImageId ReplicatedStore::stage_on_replica(std::size_t r, const std::vector<std::byte>& blob,
                                           std::uint64_t crc, const ChargeFn& charge,
                                           std::uint64_t salt, std::uint64_t& retries,
-                                          StoreErrorKind& error) {
+                                          StoreErrorKind& error, StageTraceLog* log) {
   BlobStoreBackend& replica = *replicas_[r];
   Retrier retrier(options_.retry, salt ^ (r + 1));
   while (true) {
@@ -84,6 +85,7 @@ ImageId ReplicatedStore::stage_on_replica(std::size_t r, const std::vector<std::
       }
     }
     error = attempt_error;
+    if (log != nullptr) log->retry_marks.emplace_back(log->spent, attempt_error);
     const std::optional<SimTime> delay = retrier.next_delay();
     if (!delay.has_value()) return kBadImageId;
     if (charge) charge(*delay);
@@ -94,10 +96,50 @@ ImageId ReplicatedStore::stage_on_replica(std::size_t r, const std::vector<std::
 StoreReceipt ReplicatedStore::store_verbose(const CheckpointImage& image,
                                             const ChargeFn& charge) {
   StoreReceipt receipt;
+  obs::Observer* observer = options_.observer;
+  obs::TraceRecorder* trace = obs::tracer(observer);
+
+  if (trace != nullptr) {
+    trace->begin("serialize", "storage", obs::kStorageTrack,
+                 {obs::TraceArg::num("replicas", replicas_.size())});
+  }
   const std::vector<std::byte> blob =
       pool_ != nullptr ? image.serialize(*pool_) : image.serialize();
   const std::uint64_t crc = util::crc64(blob);
+  if (trace != nullptr) {
+    trace->end("serialize", obs::kStorageTrack, {obs::TraceArg::num("bytes", blob.size())});
+  }
   const std::uint64_t salt = ++op_counter_;
+
+  // One replica-stage span per replica, rendered from the stage's trace
+  // ledger with explicit timestamps (base + charge offset).  Both commit
+  // paths call this only after the replica's charges have been (re)played
+  // through the caller's ChargeFn, so events, timestamps and seq order are
+  // byte-identical whether staging ran serially or on the pool.
+  const auto emit_stage = [&](std::size_t r, SimTime base, const StageTraceLog& log,
+                              ImageId id) {
+    if (trace == nullptr) return;
+    trace->begin_at(base, "replica-stage", "storage", obs::kStorageTrack,
+                    {obs::TraceArg::num("replica", r)});
+    std::uint64_t outages = 0;
+    for (const auto& [offset, kind] : log.retry_marks) {
+      if (kind == StoreErrorKind::kUnreachable) ++outages;
+      trace->instant_at(base + offset, "stage-retry", "storage", obs::kStorageTrack,
+                        {obs::TraceArg::num("replica", r),
+                         obs::TraceArg::str("error", to_string(kind))});
+    }
+    std::vector<obs::TraceArg> end_args{
+        obs::TraceArg::num("replica", r),
+        obs::TraceArg::str("outcome", id != kBadImageId ? "verified" : "failed"),
+        obs::TraceArg::num("retries", log.retry_marks.size())};
+    if (id == kBadImageId && !log.retry_marks.empty()) {
+      end_args.push_back(
+          obs::TraceArg::str("error", to_string(log.retry_marks.back().second)));
+    }
+    trace->end_at(base + log.spent, "replica-stage", obs::kStorageTrack,
+                  std::move(end_args));
+    if (outages > 0) observer->metrics().add("store.replica_outages", outages);
+  };
 
   // Phase 1: stage + verify on every replica.  With a pool the fan-out runs
   // one task per replica; each task ledgers its sim-time charges, and the
@@ -113,27 +155,47 @@ StoreReceipt ReplicatedStore::store_verbose(const CheckpointImage& image,
       std::uint64_t retries = 0;
       StoreErrorKind error = StoreErrorKind::kNone;
       std::vector<SimTime> charges;
+      StageTraceLog log;
     };
     std::vector<StageOutcome> outcomes(replicas_.size());
     pool_->run(replicas_.size(), [&](std::size_t r) {
       StageOutcome& out = outcomes[r];
-      const ChargeFn ledger = [&out](SimTime t) { out.charges.push_back(t); };
-      out.id = stage_on_replica(r, blob, crc, ledger, salt, out.retries, out.error);
+      const ChargeFn ledger = [&out](SimTime t) {
+        out.log.spent += t;
+        out.charges.push_back(t);
+      };
+      out.id = stage_on_replica(r, blob, crc, ledger, salt, out.retries, out.error,
+                                &out.log);
     });
     for (std::size_t r = 0; r < outcomes.size(); ++r) {
       StageOutcome& out = outcomes[r];
+      const SimTime base = trace != nullptr ? trace->now() : 0;
       if (charge) {
         for (SimTime t : out.charges) charge(t);
       }
       receipt.retries += out.retries;
       if (out.error != StoreErrorKind::kNone) receipt.last_error = out.error;
       if (out.id != kBadImageId) placements.emplace(r, out.id);
+      emit_stage(r, base, out.log, out.id);
     }
   } else {
     for (std::size_t r = 0; r < replicas_.size(); ++r) {
-      const ImageId id = stage_on_replica(r, blob, crc, charge, salt, receipt.retries,
-                                          receipt.last_error);
+      StageTraceLog log;
+      const SimTime base = trace != nullptr ? trace->now() : 0;
+      ChargeFn wrapped = charge;
+      if (trace != nullptr) {
+        // Mirror the worker ledger: spent accumulates even when the caller
+        // passed no ChargeFn, so serial and parallel traces agree.
+        wrapped = [&log, &charge](SimTime t) {
+          log.spent += t;
+          if (charge) charge(t);
+        };
+      }
+      const ImageId id = stage_on_replica(r, blob, crc, wrapped, salt, receipt.retries,
+                                          receipt.last_error,
+                                          trace != nullptr ? &log : nullptr);
       if (id != kBadImageId) placements.emplace(r, id);
+      emit_stage(r, base, log, id);
     }
   }
 
@@ -144,12 +206,32 @@ StoreReceipt ReplicatedStore::store_verbose(const CheckpointImage& image,
     if (receipt.last_error == StoreErrorKind::kNone) {
       receipt.last_error = StoreErrorKind::kNoQuorum;
     }
+    if (observer != nullptr) {
+      observer->trace().instant(
+          "commit-failed", "storage", obs::kStorageTrack,
+          {obs::TraceArg::str("error", to_string(receipt.last_error)),
+           obs::TraceArg::num("staged", placements.size()),
+           obs::TraceArg::num("quorum", options_.write_quorum)});
+      observer->metrics().add("store.commit_failed");
+      observer->metrics().add("store.stage_retries", receipt.retries);
+    }
     return receipt;
   }
 
   receipt.id = next_id_++;
   receipt.committed_replicas = static_cast<std::uint32_t>(placements.size());
   manifest_.emplace(receipt.id, Entry{crc, blob.size(), std::move(placements)});
+  if (observer != nullptr) {
+    observer->trace().instant(
+        "commit", "storage", obs::kStorageTrack,
+        {obs::TraceArg::num("id", receipt.id),
+         obs::TraceArg::num("replicas", receipt.committed_replicas),
+         obs::TraceArg::num("bytes", blob.size())});
+    obs::MetricsRegistry& metrics = observer->metrics();
+    metrics.add("store.committed");
+    metrics.add("store.stage_retries", receipt.retries);
+    metrics.add("store.bytes_committed", blob.size());
+  }
   return receipt;
 }
 
@@ -242,6 +324,9 @@ std::uint64_t ReplicatedStore::stored_bytes() const {
 
 ScrubReport ReplicatedStore::scrub(const ChargeFn& charge) {
   ScrubReport report;
+  obs::Observer* observer = options_.observer;
+  obs::SpanGuard span(obs::tracer(observer), "scrub", "storage", obs::kStorageTrack,
+                      {obs::TraceArg::num("replicas", replicas_.size())});
   enum class CopyState : std::uint8_t { kOk, kCorrupt, kMissing, kUnreachable };
 
   // Phase 1 — audit reads, sequential in (entry, replica) order so the
@@ -345,6 +430,21 @@ ScrubReport ReplicatedStore::scrub(const ChargeFn& charge) {
         ++report.unrepairable;
       }
     }
+  }
+  span.end({obs::TraceArg::num("entries", report.entries),
+            obs::TraceArg::num("copies", report.copies_checked),
+            obs::TraceArg::num("corrupt", report.corrupt_found),
+            obs::TraceArg::num("missing", report.missing_found),
+            obs::TraceArg::num("repaired", report.repaired),
+            obs::TraceArg::num("unrepairable", report.unrepairable)});
+  if (observer != nullptr) {
+    obs::MetricsRegistry& metrics = observer->metrics();
+    metrics.add("scrub.runs");
+    metrics.add("scrub.copies_checked", report.copies_checked);
+    metrics.add("scrub.corrupt_found", report.corrupt_found);
+    metrics.add("scrub.missing_found", report.missing_found);
+    metrics.add("scrub.repaired", report.repaired);
+    metrics.add("scrub.unrepairable", report.unrepairable);
   }
   return report;
 }

@@ -53,6 +53,10 @@ namespace ckpt::util {
 class ThreadPool;
 }
 
+namespace ckpt::obs {
+class Observer;
+}
+
 namespace ckpt::storage {
 
 /// Why a store/load step failed — the "last underlying StoreFault" a caller
@@ -92,6 +96,11 @@ struct ReplicatedOptions {
   /// Force the fully serial pre-pipeline path (no pool at all); kept as the
   /// perf baseline bench_pipeline measures the pipeline against.
   bool serial_commit = false;
+  /// Observability sink (null = disabled).  Store/scrub phases emit spans on
+  /// the storage track; per-replica events are recorded with explicit
+  /// timestamps derived from the replayed charge ledgers, so traces are
+  /// byte-identical across worker counts.
+  obs::Observer* observer = nullptr;
 };
 
 /// Outcome detail for one logical store (store() itself keeps the plain
@@ -176,12 +185,23 @@ class ReplicatedStore final : public StorageBackend {
     std::map<std::size_t, ImageId> placements;  ///< replica index -> physical id
   };
 
+  /// Per-replica trace ledger: cumulative sim-time charged through the
+  /// (wrapped) ChargeFn plus retry marks at their relative offsets.  The
+  /// caller turns it into span events with explicit timestamps after the
+  /// charges have been (re)played — identically on the serial and parallel
+  /// paths, which is what keeps traces invariant under CKPT_WORKERS.
+  struct StageTraceLog {
+    SimTime spent = 0;
+    std::vector<std::pair<SimTime, StoreErrorKind>> retry_marks;
+  };
+
   /// Stage + verify `blob` on replica `r`, retrying per policy.  On success
-  /// returns the physical id; on failure records the last error.
+  /// returns the physical id; on failure records the last error.  `log` (may
+  /// be null) must be the same object the caller's charge wrapper feeds.
   ImageId stage_on_replica(std::size_t r, const std::vector<std::byte>& blob,
                            std::uint64_t crc, const ChargeFn& charge,
                            std::uint64_t salt, std::uint64_t& retries,
-                           StoreErrorKind& error);
+                           StoreErrorKind& error, StageTraceLog* log);
 
   std::vector<BlobStoreBackend*> replicas_;
   ReplicatedOptions options_;

@@ -1,11 +1,13 @@
 #include "util/log.hpp"
 
+#include <atomic>
+#include <cstdarg>
 #include <cstdio>
 
 namespace ckpt::util {
 namespace {
 
-LogLevel g_level = LogLevel::kWarn;
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -21,14 +23,24 @@ const char* level_name(LogLevel level) {
 
 }  // namespace
 
-LogLevel log_level() { return g_level; }
-void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
 
 void log_message(LogLevel level, std::string_view component, std::string_view message) {
-  if (level < g_level) return;
+  if (level < log_level()) return;
   std::fprintf(stderr, "[%s] %.*s: %.*s\n", level_name(level),
                static_cast<int>(component.size()), component.data(),
                static_cast<int>(message.size()), message.data());
+}
+
+void logf(LogLevel level, const char* component, const char* fmt, ...) {
+  if (level < log_level()) return;  // skip formatting entirely when filtered
+  char buffer[1024];
+  std::va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buffer, sizeof(buffer), fmt, args);
+  va_end(args);
+  log_message(level, component, buffer);
 }
 
 }  // namespace ckpt::util

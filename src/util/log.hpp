@@ -1,28 +1,27 @@
 // Minimal leveled logger.  Quiet by default so tests and benchmarks stay
 // clean; examples raise the level to narrate what the simulator is doing.
+//
+// logf is a real varargs function carrying [[gnu::format]], so every format
+// string is checked against its arguments at compile time (-Wformat fires
+// under the project-wide -Wall).  The level threshold is atomic: harness
+// threads may log concurrently with a test thread adjusting verbosity.
 #pragma once
 
-#include <cstdio>
-#include <string>
 #include <string_view>
 
 namespace ckpt::util {
 
 enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
 
-/// Global threshold; messages below it are dropped.
+/// Global threshold; messages below it are dropped.  Reads/writes are
+/// relaxed-atomic — a level change is advisory, not a synchronisation point.
 LogLevel log_level();
 void set_log_level(LogLevel level);
 
 void log_message(LogLevel level, std::string_view component, std::string_view message);
 
-/// printf-style convenience wrapper.
-template <typename... Args>
-void logf(LogLevel level, std::string_view component, const char* fmt, Args... args) {
-  if (level < log_level()) return;
-  char buffer[1024];
-  std::snprintf(buffer, sizeof(buffer), fmt, args...);
-  log_message(level, component, buffer);
-}
+/// printf-style convenience wrapper with compile-time format checking.
+[[gnu::format(printf, 3, 4)]]
+void logf(LogLevel level, const char* component, const char* fmt, ...);
 
 }  // namespace ckpt::util
