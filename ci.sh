@@ -22,6 +22,15 @@
 #    well-formed (the binary lints its own exports).  bench_obs then
 #    measures enabled-vs-disabled tracing on the commit loop and archives
 #    BENCH_obs.json; enabled tracing above 2% overhead fails the build.
+# 6. dedup gate: bench_dedup stores the same dirty-rate image sweep through
+#    the flat blob path and the content-addressed DedupStore and archives
+#    BENCH_dedup.json.  Hard-fails if durable bytes per commit at a 10%
+#    dirty rate exceed 0.3x the flat path, if any round-trip is not
+#    bit-identical, or if replicated dedup replica contents differ between
+#    1 and 8 commit workers.
+# 7. docs lint: ARCHITECTURE.md must mention every src/ module, DESIGN.md
+#    section numbering must be contiguous, and every intra-repo markdown
+#    link in the top-level docs must resolve to an existing path.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -87,3 +96,45 @@ if ! grep -q '"holds": true' BENCH_obs.json; then
 fi
 OBS_OVERHEAD="$(sed -n 's/.*"overhead_pct": \([-0-9.]*\).*/\1/p' BENCH_obs.json)"
 echo "observability gate: trace worker-invariant, overhead ${OBS_OVERHEAD}% (budget 2%)"
+
+# Dedup gate: durable volume must track the dirty rate, and the
+# content-addressed store must never bend the correctness invariants to get
+# there (exact round-trips, worker-count-invariant replicas).
+./build/bench/bench_dedup BENCH_dedup.json
+if ! grep -q '"holds": true' BENCH_dedup.json; then
+  echo "CI gate: dedup store failed its volume/correctness gate" >&2
+  exit 1
+fi
+DEDUP_RATIO="$(sed -n 's/.*"ratio_10pct_dirty": \([0-9.]*\).*/\1/p' BENCH_dedup.json)"
+echo "dedup gate: ${DEDUP_RATIO}x durable bytes at 10% dirty (ceiling 0.3x), round-trips exact"
+
+# Docs lint.
+for module in src/*/; do
+  name="$(basename "${module}")"
+  if ! grep -q "src/${name}" ARCHITECTURE.md; then
+    echo "docs lint: ARCHITECTURE.md does not mention module src/${name}" >&2
+    exit 1
+  fi
+done
+expected=1
+while read -r section; do
+  if [ "${section}" -ne "${expected}" ]; then
+    echo "docs lint: DESIGN.md section ${section} breaks contiguous numbering (expected ${expected})" >&2
+    exit 1
+  fi
+  expected=$((expected + 1))
+done < <(sed -n 's/^## \([0-9][0-9]*\).*/\1/p' DESIGN.md)
+for doc in README.md ARCHITECTURE.md DESIGN.md EXPERIMENTS.md ROADMAP.md; do
+  while read -r link; do
+    case "${link}" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    target="${link%%#*}"
+    [ -z "${target}" ] && continue
+    if [ ! -e "${target}" ]; then
+      echo "docs lint: ${doc} links to missing path '${target}'" >&2
+      exit 1
+    fi
+  done < <(grep -o '](\([^)]*\))' "${doc}" | sed 's/^](\(.*\))$/\1/')
+done
+echo "docs lint: module map complete, section numbering contiguous, links resolve"

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "obs/observer.hpp"
+#include "storage/dedup.hpp"
 #include "util/log.hpp"
 
 namespace ckpt::core {
@@ -363,6 +364,30 @@ CheckpointResult CheckpointEngine::perform_kernel_checkpoint(sim::SimKernel& ker
 
   ++state.taken;
   if (state.tracker != nullptr) state.tracker->begin_interval(kernel, proc);
+
+  // A fresh full image is the one moment pruning can pay off: everything
+  // before the newest verified full image leaves the fallback-keep set, and
+  // chunk GC can then return the bytes only those images referenced.
+  if (options_.prune_after_full && result.kind == storage::ImageKind::kFull &&
+      state.chain.length() > 1) {
+    obs::SpanGuard prune_span(trace, "prune", "ckpt", track);
+    const std::size_t before = state.chain.length();
+    state.chain.prune(charge);
+    std::uint64_t chunks_freed = 0;
+    std::uint64_t bytes_freed = 0;
+    if (auto* reclaimable = dynamic_cast<storage::ChunkReclaimable*>(backend_)) {
+      const storage::GcReport report = reclaimable->gc(charge);
+      chunks_freed = report.chunks_freed;
+      bytes_freed = report.bytes_freed;
+    }
+    if (observer != nullptr) {
+      obs::MetricsRegistry& metrics = observer->metrics();
+      metrics.add("gc.runs");
+      metrics.add("gc.images_pruned", before - state.chain.length());
+      metrics.add("gc.chunks_freed", chunks_freed);
+      metrics.add("gc.bytes_freed", bytes_freed);
+    }
+  }
 
   result.ok = true;
   result.completed_at = kernel.now() + consumed;

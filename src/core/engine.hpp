@@ -57,6 +57,13 @@ struct EngineOptions {
   /// reconstruct).  Backoff is charged through the sim clock.  The default
   /// performs no retries — identical to the pre-retry behaviour.
   storage::RetryPolicy store_retry;
+  /// After each successful *full* checkpoint, prune the chain down to its
+  /// fallback-keep set (CheckpointChain::live_set) and, when the backend is
+  /// ChunkReclaimable (DedupStore, ReplicatedStore in dedup mode), collect
+  /// unreferenced content chunks — so dropping old sequence points actually
+  /// returns media bytes.  The verification loads and GC charge sim time
+  /// through the checkpointing context like every other storage access.
+  bool prune_after_full = false;
 };
 
 struct CheckpointResult {

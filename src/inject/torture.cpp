@@ -146,6 +146,11 @@ TortureReport TortureHarness::run(const TortureTarget& target) {
   std::unique_ptr<util::ThreadPool> pinned_pool;
   std::unique_ptr<storage::ReplicatedStore> replicated;
   mechanisms::MechanismContext context{&kernel, &local, &remote};
+  if (options_.dedup && !options_.replicated_storage) {
+    throw std::invalid_argument(
+        "TortureHarness: dedup requires replicated_storage (a shared chunk on a "
+        "single media copy amplifies one corruption across the whole chain)");
+  }
   if (options_.replicated_storage) {
     if (options_.replicas < 2) {
       throw std::invalid_argument(
@@ -161,6 +166,7 @@ TortureReport TortureHarness::run(const TortureTarget& target) {
     repl_options.retry = options_.retry;
     repl_options.retry.jitter_seed = seed;
     repl_options.observer = observer;
+    repl_options.dedup = options_.dedup;
     if (options_.workers > 0) {
       pinned_pool = std::make_unique<util::ThreadPool>(options_.workers);
       repl_options.pool = pinned_pool.get();

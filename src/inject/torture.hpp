@@ -74,6 +74,15 @@ struct TortureOptions {
   /// soak must be bit-identical for every value — the pipeline determinism
   /// tests run the battery at 1 and 8 workers and diff the reports.
   std::uint32_t workers = 0;
+  /// Content-addressed dedup on the torture store (storage/dedup).  Only
+  /// valid together with replicated_storage: with a single media copy, one
+  /// corrupt *shared* chunk can invalidate several committed images at
+  /// once, which breaks the harness's corruption model (a silent-corruption
+  /// fault damages at most the newest image) — and is exactly the
+  /// amplification replication exists to absorb.  The harness throws
+  /// std::invalid_argument on dedup without replication.  The soak
+  /// invariants (and the 1-vs-8-worker identity) must hold unchanged.
+  bool dedup = false;
   /// Observability sink (null = disabled).  Attached to the per-engine
   /// kernel and the replicated store, so a soak produces a per-cycle
   /// lifecycle timeline plus fault/ckpt/store/scrub metrics.  The exported
@@ -82,6 +91,9 @@ struct TortureOptions {
   obs::Observer* observer = nullptr;
 };
 
+/// Everything one soak produced.  Pure function of TortureOptions (seed
+/// included): equality of two reports is the determinism check the
+/// reproducibility and worker-count tests rely on.
 struct TortureReport {
   std::string engine;
   std::uint64_t cycles = 0;
@@ -99,10 +111,13 @@ struct TortureReport {
   std::uint64_t scrub_failures = 0;  ///< scrub left injected damage in place
   std::vector<std::string> diagnostics;
 
+  /// True iff every violation counter is zero — the soak verdict.
   [[nodiscard]] bool ok() const {
     return divergences == 0 && corrupt_restarts == 0 && unexpected_failures == 0 &&
            scrub_failures == 0;
   }
+  /// One-line human rendering (engine, cycles, counters) for SCOPED_TRACE
+  /// and the standalone soak binary.
   [[nodiscard]] std::string summary() const;
 
   friend bool operator==(const TortureReport&, const TortureReport&) = default;
@@ -128,9 +143,17 @@ class TortureHarness {
  public:
   explicit TortureHarness(TortureOptions options) : options_(options) {}
 
-  /// Torture one engine; fresh kernel + storage per call.
+  /// Torture one engine; fresh kernel + storage per call.  All simulated
+  /// time (guest steps, storage I/O, retry backoff) is charged through the
+  /// per-run kernel, and every random draw derives from options.seed, so
+  /// the same options replay the identical soak bit-for-bit — including
+  /// under any `workers` value and with any observer attached.  Throws
+  /// std::invalid_argument on inconsistent options (replicas < 2 in
+  /// replicated mode, dedup without replicated_storage).
   TortureReport run(const TortureTarget& target);
 
+  /// run() for each target in order, each from the same seed (targets are
+  /// independent soaks, not a shared schedule).
   std::vector<TortureReport> run_all(const std::vector<TortureTarget>& targets);
 
  private:

@@ -86,6 +86,13 @@ std::span<const std::uint64_t> MetricsRegistry::percent_bounds() {
   return kBounds;
 }
 
+std::span<const std::uint64_t> MetricsRegistry::permille_bounds() {
+  // Dense below 300‰ (the dedup gate region), coarse above.
+  static constexpr std::array<std::uint64_t, 10> kBounds{1,   5,   10,  25,  50,
+                                                         100, 200, 300, 500, 1000};
+  return kBounds;
+}
+
 void MetricsRegistry::clear() {
   counters_.clear();
   gauges_.clear();

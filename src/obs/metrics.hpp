@@ -52,6 +52,9 @@ class MetricsRegistry {
   [[nodiscard]] static std::span<const std::uint64_t> latency_bounds();
   [[nodiscard]] static std::span<const std::uint64_t> size_bounds();
   [[nodiscard]] static std::span<const std::uint64_t> percent_bounds();
+  /// Ratio ladder in permille (0–1000‰) for stored/logical-style ratios —
+  /// the dedup store observes its per-commit durable-byte ratio here.
+  [[nodiscard]] static std::span<const std::uint64_t> permille_bounds();
 
   /// Deterministic JSON snapshot: {"counters":{...},"gauges":{...},
   /// "histograms":{...}} with every section sorted by name.

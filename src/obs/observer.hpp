@@ -12,6 +12,15 @@
 // the scheduler clock is frozen inside a step still advance).  Layers
 // without a kernel (ReplicatedStore) reuse the same Observer and inherit
 // that clock.
+//
+// Determinism contract: everything an Observer records derives from
+// simulated time and deterministic sequence numbers — never host time,
+// host thread ids or pointers — and instrumented parallel sections must
+// not emit from pool workers (they ledger sim-time charges and render
+// events after the ordered join).  Exports are therefore byte-identical
+// across runs and for any CKPT_WORKERS value, and attaching an Observer
+// never perturbs the simulation it observes: hooks record, they never
+// charge sim time themselves.
 #pragma once
 
 #include "obs/metrics.hpp"
@@ -21,12 +30,20 @@ namespace ckpt::obs {
 
 class Observer {
  public:
+  /// Span/instant/counter event log, stamped with sim-time + monotonic
+  /// seq; exports deterministic Chrome trace-event JSON.
   [[nodiscard]] TraceRecorder& trace() { return trace_; }
   [[nodiscard]] const TraceRecorder& trace() const { return trace_; }
+  /// Counters/gauges/histograms; snapshots are sorted and integer-only, so
+  /// two identical runs serialize byte-identically.
   [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
   [[nodiscard]] const MetricsRegistry& metrics() const { return metrics_; }
 
+  /// Bind the trace clock (normally done by kernel.set_observer, which
+  /// also unbinds it on kernel destruction).  The clock must read
+  /// *simulated* time; binding a host clock would break replay identity.
   void set_clock(TraceRecorder::Clock clock) { trace_.set_clock(std::move(clock)); }
+  /// Current trace-clock reading (0 when no clock is bound).
   [[nodiscard]] SimTime now() const { return trace_.now(); }
 
   /// Drop recorded events and metric values (the clock binding stays).

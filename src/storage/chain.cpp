@@ -52,25 +52,36 @@ std::optional<CheckpointImage> CheckpointChain::reconstruct_newest_surviving(
   return std::nullopt;
 }
 
-void CheckpointChain::prune(const ChargeFn& charge) {
-  // Keep from the newest *verified-loadable* full image onward.  Pruning up
-  // to the newest full image regardless would delete exactly the older
-  // states reconstruct_newest_surviving() falls back to when that image
-  // turns out torn or corrupt at restart time.
-  std::ptrdiff_t keep_from = -1;
+std::size_t CheckpointChain::live_from(const ChargeFn& charge) const {
+  // Keep from the newest *verified-loadable* full image onward.  Keeping
+  // only from the newest full image regardless would delete exactly the
+  // older states reconstruct_newest_surviving() falls back to when that
+  // image turns out torn or corrupt at restart time.  No verifying full
+  // image means everything stays live.
   for (std::ptrdiff_t i = static_cast<std::ptrdiff_t>(entries_.size()) - 1; i >= 0; --i) {
     const Entry& entry = entries_[static_cast<std::size_t>(i)];
     if (entry.kind != ImageKind::kFull) continue;
     if (backend_->load(entry.id, charge).has_value()) {
-      keep_from = i;
-      break;
+      return static_cast<std::size_t>(i);
     }
   }
-  if (keep_from <= 0) return;
-  for (std::ptrdiff_t i = 0; i < keep_from; ++i) {
-    backend_->erase(entries_[static_cast<std::size_t>(i)].id);
-  }
-  entries_.erase(entries_.begin(), entries_.begin() + keep_from);
+  return 0;
+}
+
+std::vector<ImageId> CheckpointChain::live_set(const ChargeFn& charge) const {
+  std::vector<ImageId> ids;
+  const std::size_t from = live_from(charge);
+  ids.reserve(entries_.size() - from);
+  for (std::size_t i = from; i < entries_.size(); ++i) ids.push_back(entries_[i].id);
+  return ids;
+}
+
+void CheckpointChain::prune(const ChargeFn& charge) {
+  const std::size_t keep_from = live_from(charge);
+  if (keep_from == 0) return;
+  for (std::size_t i = 0; i < keep_from; ++i) backend_->erase(entries_[i].id);
+  entries_.erase(entries_.begin(),
+                 entries_.begin() + static_cast<std::ptrdiff_t>(keep_from));
 }
 
 ImageId CheckpointChain::newest_image_id() const {

@@ -54,6 +54,15 @@ class CheckpointChain {
   /// The verification loads charge through `charge` like any other read.
   void prune(const ChargeFn& charge = {});
 
+  /// Backend ids of the entries the restart path may still need — the
+  /// "fallback-keep set": everything from the newest verified-loadable full
+  /// image onward, or every entry when no full image verifies.  prune()
+  /// keeps exactly this set, and chunk GC (DedupStore::gc) can only reclaim
+  /// content no id in this set references, because references are released
+  /// strictly per erased image.  Sharing the walk keeps the two from ever
+  /// disagreeing about what a fallback restart can reach.
+  [[nodiscard]] std::vector<ImageId> live_set(const ChargeFn& charge = {}) const;
+
   [[nodiscard]] std::uint64_t next_sequence() const { return next_sequence_; }
   /// Backend id of the newest appended image (kBadImageId when empty).
   [[nodiscard]] ImageId newest_image_id() const;
@@ -71,6 +80,9 @@ class CheckpointChain {
     ImageId id;
     ImageKind kind;
   };
+
+  /// Index of the first entry in the fallback-keep set (see live_set()).
+  [[nodiscard]] std::size_t live_from(const ChargeFn& charge) const;
 
   StorageBackend* backend_;
   std::vector<Entry> entries_;

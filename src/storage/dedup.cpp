@@ -1,0 +1,543 @@
+#include "storage/dedup.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "obs/observer.hpp"
+#include "util/crc64.hpp"
+#include "util/serialize.hpp"
+
+namespace ckpt::storage {
+
+using util::Deserializer;
+using util::SerializeError;
+using util::Serializer;
+
+namespace {
+
+/// Manifest envelope version.  Deliberately distinct from
+/// CheckpointImage::kFormatVersion so a manifest blob handed to the flat
+/// deserializer fails the version check instead of garbage-parsing.
+constexpr std::uint32_t kDedupManifestVersion = 0xD5;
+
+/// A delta chain longer than this at *decode* time means the manifest or a
+/// chunk blob lies about its base links (encode bounds depth far lower).
+constexpr std::uint32_t kMaxDecodeDepth = 64;
+
+/// Chunk blob header: encoding byte, raw-content CRC and size, and for
+/// deltas the base chunk key.  Payload is the rest of the blob.
+constexpr std::size_t kRawHeaderBytes = 1 + 8 + 4;
+constexpr std::size_t kDeltaHeaderBytes = kRawHeaderBytes + 8 + 4 + 4;
+
+/// A zero run shorter than this stays inside the literal record — a run
+/// record costs 8 bytes of framing, so breaking the literal earlier loses.
+constexpr std::size_t kMinZeroRun = 9;
+
+/// Zero-run-length encode: alternating (zero_run, literal_len, literal
+/// bytes) records covering the buffer exactly.  Deterministic function of
+/// the input bytes.
+std::vector<std::byte> rle_encode(std::span<const std::byte> xored) {
+  Serializer s;
+  std::size_t pos = 0;
+  const std::size_t n = xored.size();
+  while (pos < n) {
+    const std::size_t zero_start = pos;
+    while (pos < n && xored[pos] == std::byte{0}) ++pos;
+    const std::size_t zero_run = pos - zero_start;
+    const std::size_t lit_start = pos;
+    while (pos < n) {
+      if (xored[pos] != std::byte{0}) {
+        ++pos;
+        continue;
+      }
+      std::size_t z = pos;
+      while (z < n && xored[z] == std::byte{0}) ++z;
+      if (z - pos >= kMinZeroRun || z == n) break;  // long run: start a record
+      pos = z;                                      // short run: keep literal
+    }
+    s.put<std::uint32_t>(static_cast<std::uint32_t>(zero_run));
+    s.put<std::uint32_t>(static_cast<std::uint32_t>(pos - lit_start));
+    s.put_raw(xored.subspan(lit_start, pos - lit_start));
+  }
+  return std::move(s).take();
+}
+
+/// Inverse of rle_encode; throws SerializeError on any malformed framing.
+std::vector<std::byte> rle_decode(Deserializer& d, std::uint32_t raw_size) {
+  std::vector<std::byte> out;
+  out.reserve(raw_size);
+  while (out.size() < raw_size) {
+    const auto zero_run = d.get<std::uint32_t>();
+    const auto literal = d.get<std::uint32_t>();
+    if (zero_run == 0 && literal == 0) throw SerializeError("rle: empty record");
+    if (out.size() + zero_run + static_cast<std::uint64_t>(literal) > raw_size) {
+      throw SerializeError("rle: record overruns raw size");
+    }
+    out.resize(out.size() + zero_run, std::byte{0});
+    const auto lit = d.get_raw(literal);
+    out.insert(out.end(), lit.begin(), lit.end());
+  }
+  return out;
+}
+
+void put_key(Serializer& s, const ChunkKey& key) {
+  s.put(key.crc);
+  s.put(key.size);
+  s.put(key.ordinal);
+}
+
+ChunkKey get_key(Deserializer& d) {
+  ChunkKey key;
+  key.crc = d.get<std::uint64_t>();
+  key.size = d.get<std::uint32_t>();
+  key.ordinal = d.get<std::uint32_t>();
+  return key;
+}
+
+std::vector<std::byte> build_chunk_blob(ChunkEncoding encoding, const ChunkKey& key,
+                                        const std::optional<ChunkKey>& base,
+                                        std::span<const std::byte> payload) {
+  Serializer s;
+  s.reserve((base ? kDeltaHeaderBytes : kRawHeaderBytes) + payload.size());
+  s.put(encoding);
+  s.put(key.crc);
+  s.put(key.size);
+  if (base) put_key(s, *base);
+  s.put_raw(payload);
+  return std::move(s).take();
+}
+
+/// Per-manifest reference record: everything a fetcher needs to locate and
+/// validate a chunk blob without decoding it.
+struct RefRecord {
+  std::uint64_t blob_crc = 0;
+  std::uint64_t blob_bytes = 0;
+};
+
+/// Memoizing chunk resolver for ChunkTable::decode: fetches each unique
+/// chunk once, validates blob CRC, header identity and raw-content CRC, and
+/// reconstructs delta chunks recursively.  All failures throw
+/// SerializeError; decode() converts that to nullopt.
+class ChunkResolver {
+ public:
+  ChunkResolver(const std::map<ChunkKey, RefRecord>& refs,
+                const ChunkTable::ChunkFetch& fetch)
+      : refs_(refs), fetch_(fetch) {}
+
+  const std::vector<std::byte>& resolve(const ChunkKey& key, std::uint32_t depth) {
+    if (depth > kMaxDecodeDepth) throw SerializeError("chunk: delta chain too deep");
+    if (const auto it = cache_.find(key); it != cache_.end()) return it->second;
+
+    const auto ref = refs_.find(key);
+    if (ref == refs_.end()) throw SerializeError("chunk: key not in manifest refs");
+    auto blob = fetch_(key, ref->second.blob_crc);
+    if (!blob.has_value()) throw SerializeError("chunk: blob unavailable");
+    if (util::crc64(*blob) != ref->second.blob_crc) {
+      throw SerializeError("chunk: blob CRC mismatch");
+    }
+
+    Deserializer d(*blob);
+    const auto encoding = d.get<ChunkEncoding>();
+    const auto raw_crc = d.get<std::uint64_t>();
+    const auto raw_size = d.get<std::uint32_t>();
+    if (raw_crc != key.crc || raw_size != key.size) {
+      throw SerializeError("chunk: header does not match key");
+    }
+
+    std::vector<std::byte> raw;
+    if (encoding == ChunkEncoding::kRaw) {
+      const auto payload = d.get_raw(d.remaining());
+      if (payload.size() != raw_size) throw SerializeError("chunk: raw size mismatch");
+      raw.assign(payload.begin(), payload.end());
+    } else if (encoding == ChunkEncoding::kXorRle) {
+      const ChunkKey base = get_key(d);
+      const std::vector<std::byte>& base_raw = resolve(base, depth + 1);
+      if (base_raw.size() != raw_size) throw SerializeError("chunk: base size mismatch");
+      raw = rle_decode(d, raw_size);
+      for (std::size_t i = 0; i < raw.size(); ++i) raw[i] ^= base_raw[i];
+    } else {
+      throw SerializeError("chunk: unknown encoding");
+    }
+
+    if (util::crc64(raw) != key.crc) throw SerializeError("chunk: content CRC mismatch");
+    return cache_.emplace(key, std::move(raw)).first->second;
+  }
+
+ private:
+  const std::map<ChunkKey, RefRecord>& refs_;
+  const ChunkTable::ChunkFetch& fetch_;
+  std::map<ChunkKey, std::vector<std::byte>> cache_;
+};
+
+}  // namespace
+
+// --- ChunkTable --------------------------------------------------------------
+
+ChunkTable::EncodedImage ChunkTable::encode(const CheckpointImage& image) {
+  EncodedImage out;
+  std::set<ChunkKey> in_closure;
+
+  // Pin `key` and its transitive delta bases into the closure, first-touch
+  // order — segment/page order drives this, so the refs list (and therefore
+  // the manifest bytes) never depend on host scheduling.
+  const auto pin = [&](const ChunkKey& key) {
+    std::optional<ChunkKey> cursor = key;
+    while (cursor.has_value() && in_closure.insert(*cursor).second) {
+      out.refs.push_back(*cursor);
+      cursor = chunks_.at(*cursor).base;
+    }
+  };
+
+  for (const MemorySegmentImage& segment : image.segments) {
+    for (const PageImage& page : segment.pages) {
+      out.logical_bytes += page.data.size();
+
+      const std::uint64_t crc = util::crc64(page.data);
+      const auto size = static_cast<std::uint32_t>(page.data.size());
+      Bucket& bucket = buckets_[{crc, size}];
+
+      // Hash hit is only a candidate: byte-compare against every chunk in
+      // the bucket (pending ones included, for intra-image reuse).
+      ChunkKey key{crc, size, 0};
+      bool reused = false;
+      for (const ChunkKey& candidate : bucket.keys) {
+        if (chunks_.at(candidate).raw == page.data) {
+          key = candidate;
+          reused = true;
+          break;
+        }
+      }
+
+      if (reused) {
+        ++out.reused_refs;
+      } else {
+        key.ordinal = bucket.next_ordinal++;
+        Chunk chunk;
+        chunk.raw = page.data;
+        chunk.pending = true;
+
+        // Delta-encode against the predecessor version of this (pid, page)
+        // when it is a committed, equally-sized chunk on a short enough
+        // chain — and only when the delta actually wins.
+        if (options_.delta_encode) {
+          const auto prev = predecessor_.find({image.pid, page.page});
+          if (prev != predecessor_.end()) {
+            const auto base_it = chunks_.find(prev->second);
+            if (base_it != chunks_.end() && !base_it->second.pending &&
+                base_it->second.raw.size() == page.data.size() &&
+                base_it->second.depth < options_.max_delta_depth) {
+              std::vector<std::byte> xored(page.data.size());
+              for (std::size_t i = 0; i < xored.size(); ++i) {
+                xored[i] = page.data[i] ^ base_it->second.raw[i];
+              }
+              std::vector<std::byte> payload = rle_encode(xored);
+              if (kDeltaHeaderBytes + payload.size() <
+                  kRawHeaderBytes + page.data.size()) {
+                chunk.base = prev->second;
+                chunk.depth = base_it->second.depth + 1;
+                chunk.blob =
+                    build_chunk_blob(ChunkEncoding::kXorRle, key, chunk.base, payload);
+                ++out.delta_fresh;
+              }
+            }
+          }
+        }
+        if (chunk.blob.empty()) {
+          chunk.blob = build_chunk_blob(ChunkEncoding::kRaw, key, std::nullopt, page.data);
+        }
+        chunk.blob_crc = util::crc64(chunk.blob);
+
+        out.stored_bytes += chunk.blob.size();
+        out.fresh.push_back({key, chunk.blob, chunk.blob_crc});
+        bucket.keys.push_back(key);
+        chunks_.emplace(key, std::move(chunk));
+      }
+
+      pin(key);
+      out.successors.push_back({{image.pid, page.page}, key});
+    }
+  }
+
+  // Manifest body: flat prelude/trailer (shared codec with image.cpp), the
+  // reference table, then per-segment page→chunk mappings.
+  Serializer body;
+  encode_image_prelude(body, image);
+  encode_image_trailer(body, image);
+  body.put<std::uint64_t>(out.refs.size());
+  for (const ChunkKey& key : out.refs) {
+    const Chunk& chunk = chunks_.at(key);
+    put_key(body, key);
+    body.put(chunk.blob_crc);
+    body.put<std::uint64_t>(chunk.blob.size());
+  }
+  {
+    std::size_t next_page = 0;
+    for (const MemorySegmentImage& segment : image.segments) {
+      encode_image_vma(body, segment.vma);
+      body.put<std::uint64_t>(segment.pages.size());
+      for (const PageImage& page : segment.pages) {
+        body.put(page.page);
+        body.put(page.offset);
+        put_key(body, out.successors[next_page++].second);
+      }
+    }
+  }
+
+  Serializer envelope;
+  envelope.reserve(12 + body.size());
+  envelope.put(kDedupManifestVersion);
+  envelope.put(util::crc64(body.bytes()));
+  envelope.put_raw(body.bytes());
+  out.manifest = std::move(envelope).take();
+  out.manifest_crc = util::crc64(out.manifest);
+  out.stored_bytes += out.manifest.size();
+  return out;
+}
+
+void ChunkTable::commit(const EncodedImage& enc) {
+  for (const FreshChunk& fresh : enc.fresh) chunks_.at(fresh.key).pending = false;
+  for (const ChunkKey& key : enc.refs) ++chunks_.at(key).refs;
+  for (const auto& [page, key] : enc.successors) predecessor_[page] = key;
+
+  ++stats_.images;
+  stats_.chunks_created += enc.fresh.size();
+  stats_.chunks_reused += enc.reused_refs;
+  stats_.delta_chunks += enc.delta_fresh;
+  stats_.bytes_logical += enc.logical_bytes;
+  stats_.bytes_stored += enc.stored_bytes;
+}
+
+void ChunkTable::abort(const EncodedImage& enc) {
+  // Reverse creation order so ordinal rollback unwinds cleanly when one
+  // encode created several chunks in the same bucket.
+  for (auto it = enc.fresh.rbegin(); it != enc.fresh.rend(); ++it) {
+    const ChunkKey& key = it->key;
+    const auto bucket_it = buckets_.find({key.crc, key.size});
+    if (bucket_it == buckets_.end()) continue;
+    Bucket& bucket = bucket_it->second;
+    std::erase(bucket.keys, key);
+    if (key.ordinal + 1 == bucket.next_ordinal) --bucket.next_ordinal;
+    if (bucket.keys.empty() && bucket.next_ordinal == 0) buckets_.erase(bucket_it);
+    chunks_.erase(key);
+  }
+}
+
+void ChunkTable::release(const std::vector<ChunkKey>& refs) {
+  for (const ChunkKey& key : refs) {
+    const auto it = chunks_.find(key);
+    if (it != chunks_.end() && it->second.refs > 0) --it->second.refs;
+  }
+}
+
+std::vector<ChunkTable::FreedChunk> ChunkTable::collect_garbage() {
+  std::vector<FreedChunk> freed;
+  for (auto it = chunks_.begin(); it != chunks_.end();) {
+    if (!it->second.pending && it->second.refs == 0) {
+      freed.push_back({it->first, it->second.blob.size()});
+      // The ordinal stays reserved (bucket.next_ordinal is not rolled
+      // back): a key freed here must never be reissued for different
+      // content, or a stale manifest could resolve to wrong bytes.
+      const auto bucket_it = buckets_.find({it->first.crc, it->first.size});
+      if (bucket_it != buckets_.end()) std::erase(bucket_it->second.keys, it->first);
+      it = chunks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Predecessor entries naming freed chunks can no longer seed deltas.
+  for (auto it = predecessor_.begin(); it != predecessor_.end();) {
+    if (!chunks_.contains(it->second)) {
+      it = predecessor_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  stats_.gc_chunks_freed += freed.size();
+  for (const FreedChunk& f : freed) stats_.gc_bytes_freed += f.blob_bytes;
+  return freed;
+}
+
+std::vector<std::byte> ChunkTable::blob_copy(const ChunkKey& key) const {
+  return chunks_.at(key).blob;
+}
+
+std::uint64_t ChunkTable::blob_crc(const ChunkKey& key) const {
+  return chunks_.at(key).blob_crc;
+}
+
+std::uint64_t ChunkTable::blob_bytes(const ChunkKey& key) const {
+  return chunks_.at(key).blob.size();
+}
+
+bool ChunkTable::contains(const ChunkKey& key) const { return chunks_.contains(key); }
+
+std::vector<ChunkKey> ChunkTable::live_keys() const {
+  std::vector<ChunkKey> keys;
+  keys.reserve(chunks_.size());
+  for (const auto& [key, chunk] : chunks_) keys.push_back(key);
+  return keys;
+}
+
+std::optional<CheckpointImage> ChunkTable::decode(std::span<const std::byte> manifest,
+                                                  const ChunkFetch& fetch) {
+  try {
+    Deserializer envelope(manifest);
+    if (envelope.get<std::uint32_t>() != kDedupManifestVersion) return std::nullopt;
+    const auto expected_crc = envelope.get<std::uint64_t>();
+    const auto body_bytes = envelope.get_raw(envelope.remaining());
+    if (util::crc64(body_bytes) != expected_crc) return std::nullopt;
+
+    Deserializer d(body_bytes);
+    CheckpointImage image;
+    const std::uint64_t segment_count = decode_image_prelude(d, image);
+    decode_image_trailer(d, image);
+
+    std::map<ChunkKey, RefRecord> refs;
+    const auto ref_count = d.get<std::uint64_t>();
+    for (std::uint64_t i = 0; i < ref_count; ++i) {
+      const ChunkKey key = get_key(d);
+      RefRecord record;
+      record.blob_crc = d.get<std::uint64_t>();
+      record.blob_bytes = d.get<std::uint64_t>();
+      refs.emplace(key, record);
+    }
+
+    ChunkResolver resolver(refs, fetch);
+    image.segments.reserve(segment_count);
+    for (std::uint64_t i = 0; i < segment_count; ++i) {
+      MemorySegmentImage segment;
+      segment.vma = decode_image_vma(d);
+      const auto page_count = d.get<std::uint64_t>();
+      segment.pages.reserve(page_count);
+      for (std::uint64_t j = 0; j < page_count; ++j) {
+        PageImage page;
+        page.page = d.get<sim::PageNum>();
+        page.offset = d.get<std::uint32_t>();
+        page.data = resolver.resolve(get_key(d), 0);
+        segment.pages.push_back(std::move(page));
+      }
+      image.segments.push_back(std::move(segment));
+    }
+    if (!d.at_end()) return std::nullopt;
+    return image;
+  } catch (const SerializeError&) {
+    return std::nullopt;
+  }
+}
+
+// --- DedupStore --------------------------------------------------------------
+
+DedupStore::DedupStore(BlobStoreBackend* media, DedupOptions options)
+    : media_(media), table_(options), observer_(options.observer) {
+  if (media_ == nullptr) {
+    throw std::invalid_argument("DedupStore: media backend must not be null");
+  }
+}
+
+ImageId DedupStore::store(const CheckpointImage& image, const ChargeFn& charge) {
+  ChunkTable::EncodedImage enc = table_.encode(image);
+
+  // Stage fresh chunks, then the manifest; on any failure erase staged
+  // blobs in reverse and abort the encode — the media never holds a
+  // half-visible image and the identity table never learns phantom chunks.
+  std::vector<std::pair<ChunkKey, ImageId>> staged;
+  staged.reserve(enc.fresh.size());
+  bool failed = false;
+  for (ChunkTable::FreshChunk& fresh : enc.fresh) {
+    const ImageId blob_id = media_->put_raw(std::move(fresh.blob), charge);
+    if (blob_id == kBadImageId) {
+      failed = true;
+      break;
+    }
+    staged.push_back({fresh.key, blob_id});
+  }
+  ImageId manifest_id = kBadImageId;
+  if (!failed) {
+    manifest_id = media_->put_raw(enc.manifest, charge);
+    failed = manifest_id == kBadImageId;
+  }
+  if (failed) {
+    for (auto it = staged.rbegin(); it != staged.rend(); ++it) media_->erase(it->second);
+    table_.abort(enc);
+    return kBadImageId;
+  }
+
+  for (const auto& [key, blob_id] : staged) placements_.emplace(key, blob_id);
+  table_.commit(enc);
+  const ImageId id = next_id_++;
+  images_.emplace(id, Entry{manifest_id, enc.refs});
+
+  if (observer_ != nullptr) {
+    auto& m = observer_->metrics();
+    m.add("dedup.images");
+    m.add("dedup.chunks_new", enc.fresh.size());
+    m.add("dedup.chunks_reused", enc.reused_refs);
+    m.add("dedup.delta_chunks", enc.delta_fresh);
+    m.add("dedup.bytes_logical", enc.logical_bytes);
+    m.add("dedup.bytes_stored", enc.stored_bytes);
+    const std::uint64_t permille =
+        enc.logical_bytes == 0 ? 1000 : enc.stored_bytes * 1000 / enc.logical_bytes;
+    m.observe("dedup.stored_permille", permille, obs::MetricsRegistry::permille_bounds());
+    m.set_gauge("dedup.chunks_live", static_cast<std::int64_t>(table_.live_count()));
+  }
+  return id;
+}
+
+std::optional<CheckpointImage> DedupStore::load(ImageId id, const ChargeFn& charge) {
+  const auto it = images_.find(id);
+  if (it == images_.end()) return std::nullopt;
+  const auto manifest = media_->read_blob(it->second.manifest, charge);
+  if (!manifest.has_value()) return std::nullopt;
+  // The resolver memoizes, so each unique chunk is read (and charged) once.
+  const auto fetch = [&](const ChunkKey& key,
+                         std::uint64_t) -> std::optional<std::vector<std::byte>> {
+    const auto placement = placements_.find(key);
+    if (placement == placements_.end()) return std::nullopt;
+    return media_->read_blob(placement->second, charge);
+  };
+  return ChunkTable::decode(*manifest, fetch);
+}
+
+bool DedupStore::erase(ImageId id) {
+  const auto it = images_.find(id);
+  if (it == images_.end()) return false;
+  media_->erase(it->second.manifest);
+  table_.release(it->second.refs);
+  images_.erase(it);
+  return true;
+}
+
+std::vector<ImageId> DedupStore::list() const {
+  std::vector<ImageId> ids;
+  ids.reserve(images_.size());
+  for (const auto& [id, entry] : images_) ids.push_back(id);
+  return ids;
+}
+
+StorageLocality DedupStore::locality() const { return media_->locality(); }
+
+bool DedupStore::reachable() const { return media_->reachable(); }
+
+std::uint64_t DedupStore::stored_bytes() const { return media_->stored_bytes(); }
+
+GcReport DedupStore::gc(const ChargeFn&) {
+  GcReport report;
+  for (const ChunkTable::FreedChunk& freed : table_.collect_garbage()) {
+    ++report.chunks_freed;
+    report.bytes_freed += freed.blob_bytes;
+    const auto placement = placements_.find(freed.key);
+    if (placement != placements_.end()) {
+      media_->erase(placement->second);
+      placements_.erase(placement);
+    }
+  }
+  report.chunks_live = table_.live_count();
+  if (observer_ != nullptr) {
+    observer_->metrics().set_gauge("dedup.chunks_live",
+                                   static_cast<std::int64_t>(report.chunks_live));
+  }
+  return report;
+}
+
+}  // namespace ckpt::storage

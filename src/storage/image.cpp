@@ -138,6 +138,64 @@ sim::Registers decode_regs(Deserializer& d) {
 
 }  // namespace
 
+void encode_image_prelude(Serializer& s, const CheckpointImage& image) {
+  encode_prelude(s, image);
+}
+
+void encode_image_trailer(Serializer& s, const CheckpointImage& image) {
+  encode_trailer(s, image);
+}
+
+void encode_image_vma(Serializer& s, const sim::Vma& vma) { encode_vma(s, vma); }
+
+sim::Vma decode_image_vma(Deserializer& d) { return decode_vma(d); }
+
+std::uint64_t decode_image_prelude(Deserializer& d, CheckpointImage& image) {
+  image.kind = d.get<ImageKind>();
+  image.sequence = d.get<std::uint64_t>();
+  image.parent_sequence = d.get<std::uint64_t>();
+  image.pid = d.get<sim::Pid>();
+  image.process_name = d.get_string();
+  image.hostname = d.get_string();
+  image.taken_at = d.get<SimTime>();
+  image.guest.type_name = d.get_string();
+  image.guest.config = d.get_bytes();
+
+  image.threads = d.get_vector<ThreadImage>([](Deserializer& d2) {
+    ThreadImage t;
+    t.tid = d2.get<sim::Tid>();
+    t.regs = decode_regs(d2);
+    return t;
+  });
+
+  return d.get<std::uint64_t>();
+}
+
+void decode_image_trailer(Deserializer& d, CheckpointImage& image) {
+  image.brk = d.get<sim::VAddr>();
+  image.heap_base = d.get<sim::VAddr>();
+  image.mmap_next = d.get<sim::VAddr>();
+  image.sig_pending = d.get<std::uint64_t>();
+  image.sig_mask = d.get<std::uint64_t>();
+  image.sig_dispositions =
+      d.get_vector<std::uint8_t>([](Deserializer& d2) { return d2.get<std::uint8_t>(); });
+
+  image.files = d.get_vector<FileDescriptorImage>([](Deserializer& d2) {
+    FileDescriptorImage f;
+    f.fd = d2.get<sim::Fd>();
+    f.kind = d2.get<sim::FileKind>();
+    f.path = d2.get_string();
+    f.offset = d2.get<std::uint64_t>();
+    f.flags = d2.get<std::uint32_t>();
+    f.was_deleted = d2.get<std::uint8_t>() != 0;
+    if (d2.get<std::uint8_t>() != 0) f.contents = d2.get_bytes();
+    return f;
+  });
+
+  image.bound_ports =
+      d.get_vector<std::uint16_t>([](Deserializer& d2) { return d2.get<std::uint16_t>(); });
+}
+
 std::uint64_t CheckpointImage::serialized_size() const {
   return kEnvelopeBytes + body_size(*this);
 }
@@ -224,59 +282,23 @@ CheckpointImage CheckpointImage::deserialize(std::span<const std::byte> bytes) {
 
   Deserializer d(body_bytes);
   CheckpointImage image;
-  image.kind = d.get<ImageKind>();
-  image.sequence = d.get<std::uint64_t>();
-  image.parent_sequence = d.get<std::uint64_t>();
-  image.pid = d.get<sim::Pid>();
-  image.process_name = d.get_string();
-  image.hostname = d.get_string();
-  image.taken_at = d.get<SimTime>();
-  image.guest.type_name = d.get_string();
-  image.guest.config = d.get_bytes();
+  const std::uint64_t segment_count = decode_image_prelude(d, image);
 
-  image.threads = d.get_vector<ThreadImage>([](Deserializer& d2) {
-    ThreadImage t;
-    t.tid = d2.get<sim::Tid>();
-    t.regs = decode_regs(d2);
-    return t;
-  });
-
-  image.segments = d.get_vector<MemorySegmentImage>([](Deserializer& d2) {
+  image.segments.reserve(segment_count);
+  for (std::uint64_t i = 0; i < segment_count; ++i) {
     MemorySegmentImage seg;
-    seg.vma = decode_vma(d2);
-    seg.pages = d2.get_vector<PageImage>([](Deserializer& d3) {
+    seg.vma = decode_vma(d);
+    seg.pages = d.get_vector<PageImage>([](Deserializer& d3) {
       PageImage page;
       page.page = d3.get<sim::PageNum>();
       page.offset = d3.get<std::uint32_t>();
       page.data = d3.get_bytes();
       return page;
     });
-    return seg;
-  });
+    image.segments.push_back(std::move(seg));
+  }
 
-  image.brk = d.get<sim::VAddr>();
-  image.heap_base = d.get<sim::VAddr>();
-  image.mmap_next = d.get<sim::VAddr>();
-  image.sig_pending = d.get<std::uint64_t>();
-  image.sig_mask = d.get<std::uint64_t>();
-  image.sig_dispositions =
-      d.get_vector<std::uint8_t>([](Deserializer& d2) { return d2.get<std::uint8_t>(); });
-
-  image.files = d.get_vector<FileDescriptorImage>([](Deserializer& d2) {
-    FileDescriptorImage f;
-    f.fd = d2.get<sim::Fd>();
-    f.kind = d2.get<sim::FileKind>();
-    f.path = d2.get_string();
-    f.offset = d2.get<std::uint64_t>();
-    f.flags = d2.get<std::uint32_t>();
-    f.was_deleted = d2.get<std::uint8_t>() != 0;
-    if (d2.get<std::uint8_t>() != 0) f.contents = d2.get_bytes();
-    return f;
-  });
-
-  image.bound_ports =
-      d.get_vector<std::uint16_t>([](Deserializer& d2) { return d2.get<std::uint16_t>(); });
-
+  decode_image_trailer(d, image);
   return image;
 }
 

@@ -26,6 +26,8 @@
 
 namespace ckpt::util {
 class ThreadPool;
+class Serializer;
+class Deserializer;
 }
 
 namespace ckpt::storage {
@@ -117,5 +119,22 @@ class ImageCorrupt : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
 };
+
+// --- Wire-format building blocks ---------------------------------------------
+// The flat body is prelude ++ segment payloads ++ trailer.  The dedup
+// manifest codec (storage/dedup) reuses the prelude/trailer/VMA encoders for
+// everything except the page payloads, so a new CheckpointImage field cannot
+// silently drift between the flat and deduplicated wire formats —
+// deserialize() itself decodes through the same functions.
+
+/// Header, identity and thread state, ending with the segment count.
+void encode_image_prelude(util::Serializer& s, const CheckpointImage& image);
+/// Heap bounds, signals, files and ports (everything after the segments).
+void encode_image_trailer(util::Serializer& s, const CheckpointImage& image);
+/// Counterpart of encode_image_prelude; returns the segment count.
+std::uint64_t decode_image_prelude(util::Deserializer& d, CheckpointImage& image);
+void decode_image_trailer(util::Deserializer& d, CheckpointImage& image);
+void encode_image_vma(util::Serializer& s, const sim::Vma& vma);
+sim::Vma decode_image_vma(util::Deserializer& d);
 
 }  // namespace ckpt::storage

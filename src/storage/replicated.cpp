@@ -27,9 +27,11 @@ const char* to_string(StoreErrorKind kind) {
 
 std::string ScrubReport::summary() const {
   std::ostringstream out;
-  out << entries << " entries / " << copies_checked << " copies audited: " << corrupt_found
-      << " corrupt, " << missing_found << " missing, " << repaired << " repaired, "
-      << unrepairable << " unrepairable, " << skipped_unreachable << " unreachable";
+  out << entries << " entries";
+  if (chunks > 0) out << " + " << chunks << " chunks";
+  out << " / " << copies_checked << " copies audited: " << corrupt_found << " corrupt, "
+      << missing_found << " missing, " << repaired << " repaired, " << unrepairable
+      << " unrepairable, " << skipped_unreachable << " unreachable";
   return out.str();
 }
 
@@ -50,6 +52,14 @@ ReplicatedStore::ReplicatedStore(std::vector<BlobStoreBackend*> replicas,
   distinct_replicas_ = distinct.size() == replicas_.size();
   if (!options_.serial_commit) {
     pool_ = options_.pool != nullptr ? options_.pool : &util::ThreadPool::shared();
+  }
+  if (options_.dedup) {
+    // The table is pure host-side identity bookkeeping shared by all
+    // replicas; metrics go through options_.observer from this layer, so
+    // the table's own observer hook stays disabled.
+    DedupOptions table_options = options_.dedup_options;
+    table_options.observer = nullptr;
+    table_ = std::make_unique<ChunkTable>(table_options);
   }
 }
 
@@ -93,8 +103,217 @@ ImageId ReplicatedStore::stage_on_replica(std::size_t r, const std::vector<std::
   }
 }
 
+ReplicatedStore::DedupStage ReplicatedStore::stage_dedup_on_replica(
+    std::size_t r, const ChunkTable::EncodedImage& enc,
+    const std::vector<ChunkKey>& missing, const ChargeFn& charge, std::uint64_t salt,
+    std::uint64_t& retries, StoreErrorKind& error, StageTraceLog* log) {
+  DedupStage stage;
+  // Chunks first (closure order), manifest last — a reader can only see the
+  // manifest once every chunk it references is durable on this replica.
+  for (const ChunkKey& key : missing) {
+    const ImageId id = stage_on_replica(r, table_->blob_copy(key), table_->blob_crc(key),
+                                        charge, salt, retries, error, log);
+    if (id == kBadImageId) {
+      for (auto it = stage.chunks.rbegin(); it != stage.chunks.rend(); ++it) {
+        replicas_[r]->erase(it->second);
+      }
+      stage.chunks.clear();
+      return stage;
+    }
+    stage.chunks.emplace_back(key, id);
+  }
+  stage.manifest_id = stage_on_replica(r, enc.manifest, enc.manifest_crc, charge, salt,
+                                       retries, error, log);
+  if (stage.manifest_id == kBadImageId) {
+    for (auto it = stage.chunks.rbegin(); it != stage.chunks.rend(); ++it) {
+      replicas_[r]->erase(it->second);
+    }
+    stage.chunks.clear();
+  }
+  return stage;
+}
+
+StoreReceipt ReplicatedStore::store_verbose_dedup(const CheckpointImage& image,
+                                                  const ChargeFn& charge) {
+  StoreReceipt receipt;
+  obs::Observer* observer = options_.observer;
+  obs::TraceRecorder* trace = obs::tracer(observer);
+
+  if (trace != nullptr) {
+    trace->begin("serialize", "storage", obs::kStorageTrack,
+                 {obs::TraceArg::num("replicas", replicas_.size())});
+  }
+  ChunkTable::EncodedImage enc = table_->encode(image);
+  if (trace != nullptr) {
+    trace->end("serialize", obs::kStorageTrack,
+               {obs::TraceArg::num("bytes", enc.stored_bytes),
+                obs::TraceArg::num("logical_bytes", enc.logical_bytes),
+                obs::TraceArg::num("fresh_chunks", enc.fresh.size()),
+                obs::TraceArg::num("reused_refs", enc.reused_refs)});
+  }
+  const std::uint64_t salt = ++op_counter_;
+
+  // Per-replica diff against the placement map, computed up front so the
+  // parallel fan-out only ever reads shared state.  Fresh chunks are missing
+  // everywhere by definition; reused chunks are missing only on replicas
+  // that sat out the store that created them.
+  std::vector<std::vector<ChunkKey>> missing(replicas_.size());
+  for (std::size_t r = 0; r < replicas_.size(); ++r) {
+    for (const ChunkKey& key : enc.refs) {
+      const auto it = chunk_placements_.find(key);
+      if (it == chunk_placements_.end() || !it->second.contains(r)) {
+        missing[r].push_back(key);
+      }
+    }
+  }
+
+  const auto emit_stage = [&](std::size_t r, SimTime base, const StageTraceLog& log,
+                              ImageId id, std::uint64_t staged_chunks) {
+    if (trace == nullptr) return;
+    trace->begin_at(base, "replica-stage", "storage", obs::kStorageTrack,
+                    {obs::TraceArg::num("replica", r),
+                     obs::TraceArg::num("chunks", staged_chunks)});
+    std::uint64_t outages = 0;
+    for (const auto& [offset, kind] : log.retry_marks) {
+      if (kind == StoreErrorKind::kUnreachable) ++outages;
+      trace->instant_at(base + offset, "stage-retry", "storage", obs::kStorageTrack,
+                        {obs::TraceArg::num("replica", r),
+                         obs::TraceArg::str("error", to_string(kind))});
+    }
+    std::vector<obs::TraceArg> end_args{
+        obs::TraceArg::num("replica", r),
+        obs::TraceArg::str("outcome", id != kBadImageId ? "verified" : "failed"),
+        obs::TraceArg::num("retries", log.retry_marks.size())};
+    if (id == kBadImageId && !log.retry_marks.empty()) {
+      end_args.push_back(
+          obs::TraceArg::str("error", to_string(log.retry_marks.back().second)));
+    }
+    trace->end_at(base + log.spent, "replica-stage", obs::kStorageTrack,
+                  std::move(end_args));
+    if (outages > 0) observer->metrics().add("store.replica_outages", outages);
+  };
+
+  // Phase 1: stage the per-replica diff + manifest on every replica.  Same
+  // ledger-replay contract as the flat path: with a pool, each replica's
+  // sim-time charges are recorded by the worker and replayed through the
+  // caller's ChargeFn in replica order.
+  std::vector<DedupStage> stages(replicas_.size());
+  if (pool_ != nullptr && distinct_replicas_ && replicas_.size() >= 2 &&
+      pool_->worker_count() >= 2) {
+    struct StageOutcome {
+      std::uint64_t retries = 0;
+      StoreErrorKind error = StoreErrorKind::kNone;
+      std::vector<SimTime> charges;
+      StageTraceLog log;
+    };
+    std::vector<StageOutcome> outcomes(replicas_.size());
+    pool_->run(replicas_.size(), [&](std::size_t r) {
+      StageOutcome& out = outcomes[r];
+      const ChargeFn ledger = [&out](SimTime t) {
+        out.log.spent += t;
+        out.charges.push_back(t);
+      };
+      stages[r] = stage_dedup_on_replica(r, enc, missing[r], ledger, salt, out.retries,
+                                         out.error, &out.log);
+    });
+    for (std::size_t r = 0; r < outcomes.size(); ++r) {
+      StageOutcome& out = outcomes[r];
+      const SimTime base = trace != nullptr ? trace->now() : 0;
+      if (charge) {
+        for (SimTime t : out.charges) charge(t);
+      }
+      receipt.retries += out.retries;
+      if (out.error != StoreErrorKind::kNone) receipt.last_error = out.error;
+      emit_stage(r, base, out.log, stages[r].manifest_id, stages[r].chunks.size());
+    }
+  } else {
+    for (std::size_t r = 0; r < replicas_.size(); ++r) {
+      StageTraceLog log;
+      const SimTime base = trace != nullptr ? trace->now() : 0;
+      ChargeFn wrapped = charge;
+      if (trace != nullptr) {
+        wrapped = [&log, &charge](SimTime t) {
+          log.spent += t;
+          if (charge) charge(t);
+        };
+      }
+      stages[r] = stage_dedup_on_replica(r, enc, missing[r], wrapped, salt,
+                                         receipt.retries, receipt.last_error,
+                                         trace != nullptr ? &log : nullptr);
+      emit_stage(r, base, log, stages[r].manifest_id, stages[r].chunks.size());
+    }
+  }
+
+  std::map<std::size_t, ImageId> placements;
+  for (std::size_t r = 0; r < stages.size(); ++r) {
+    if (stages[r].manifest_id != kBadImageId) placements.emplace(r, stages[r].manifest_id);
+  }
+
+  // Phase 2: publish iff the write quorum verified; otherwise roll every
+  // replica's newly staged blobs back and forget the encode.
+  if (placements.size() < options_.write_quorum) {
+    for (std::size_t r = 0; r < stages.size(); ++r) {
+      if (stages[r].manifest_id == kBadImageId) continue;
+      replicas_[r]->erase(stages[r].manifest_id);
+      for (auto it = stages[r].chunks.rbegin(); it != stages[r].chunks.rend(); ++it) {
+        replicas_[r]->erase(it->second);
+      }
+    }
+    table_->abort(enc);
+    if (receipt.last_error == StoreErrorKind::kNone) {
+      receipt.last_error = StoreErrorKind::kNoQuorum;
+    }
+    if (observer != nullptr) {
+      observer->trace().instant(
+          "commit-failed", "storage", obs::kStorageTrack,
+          {obs::TraceArg::str("error", to_string(receipt.last_error)),
+           obs::TraceArg::num("staged", placements.size()),
+           obs::TraceArg::num("quorum", options_.write_quorum)});
+      observer->metrics().add("store.commit_failed");
+      observer->metrics().add("store.stage_retries", receipt.retries);
+    }
+    return receipt;
+  }
+
+  receipt.id = next_id_++;
+  receipt.committed_replicas = static_cast<std::uint32_t>(placements.size());
+  for (std::size_t r = 0; r < stages.size(); ++r) {
+    if (stages[r].manifest_id == kBadImageId) continue;  // scrub re-replicates
+    for (const auto& [key, physical] : stages[r].chunks) {
+      chunk_placements_[key].emplace(r, physical);
+    }
+  }
+  table_->commit(enc);
+  manifest_.emplace(receipt.id, Entry{enc.manifest_crc, enc.manifest.size(),
+                                      std::move(placements), enc.refs});
+  if (observer != nullptr) {
+    observer->trace().instant(
+        "commit", "storage", obs::kStorageTrack,
+        {obs::TraceArg::num("id", receipt.id),
+         obs::TraceArg::num("replicas", receipt.committed_replicas),
+         obs::TraceArg::num("bytes", enc.stored_bytes)});
+    obs::MetricsRegistry& metrics = observer->metrics();
+    metrics.add("store.committed");
+    metrics.add("store.stage_retries", receipt.retries);
+    metrics.add("store.bytes_committed", enc.stored_bytes);
+    metrics.add("dedup.images");
+    metrics.add("dedup.chunks_new", enc.fresh.size());
+    metrics.add("dedup.chunks_reused", enc.reused_refs);
+    metrics.add("dedup.delta_chunks", enc.delta_fresh);
+    metrics.add("dedup.bytes_logical", enc.logical_bytes);
+    metrics.add("dedup.bytes_stored", enc.stored_bytes);
+    const std::uint64_t permille =
+        enc.logical_bytes == 0 ? 1000 : enc.stored_bytes * 1000 / enc.logical_bytes;
+    metrics.observe("dedup.stored_permille", permille,
+                    obs::MetricsRegistry::permille_bounds());
+    metrics.set_gauge("dedup.chunks_live", static_cast<std::int64_t>(table_->live_count()));
+  }
+  return receipt;
+}
+
 StoreReceipt ReplicatedStore::store_verbose(const CheckpointImage& image,
                                             const ChargeFn& charge) {
+  if (table_ != nullptr) return store_verbose_dedup(image, charge);
   StoreReceipt receipt;
   obs::Observer* observer = options_.observer;
   obs::TraceRecorder* trace = obs::tracer(observer);
@@ -250,6 +469,33 @@ std::optional<CheckpointImage> ReplicatedStore::load(ImageId id, const ChargeFn&
       const auto blob = replicas_[r]->read_blob(physical, charge);
       if (!blob.has_value()) continue;                    // unreachable or missing
       if (util::crc64(*blob) != entry.crc) continue;      // corrupt copy: fail over
+      if (table_ != nullptr) {
+        // Dedup: resolve each chunk with per-chunk cross-replica failover —
+        // the manifest's own replica first (locality), then any other copy.
+        // A chunk that is corrupt on one replica and healthy on another
+        // still reconstructs the image.
+        const auto fetch = [&, r = r](const ChunkKey& key, std::uint64_t expected)
+            -> std::optional<std::vector<std::byte>> {
+          const auto cp = chunk_placements_.find(key);
+          if (cp == chunk_placements_.end()) return std::nullopt;
+          const auto try_copy =
+              [&](std::size_t rr, ImageId chunk_id) -> std::optional<std::vector<std::byte>> {
+            auto copy = replicas_[rr]->read_blob(chunk_id, charge);
+            if (copy.has_value() && util::crc64(*copy) == expected) return copy;
+            return std::nullopt;
+          };
+          if (const auto own = cp->second.find(r); own != cp->second.end()) {
+            if (auto copy = try_copy(r, own->second)) return copy;
+          }
+          for (const auto& [rr, chunk_id] : cp->second) {
+            if (rr == r) continue;
+            if (auto copy = try_copy(rr, chunk_id)) return copy;
+          }
+          return std::nullopt;
+        };
+        if (auto image = ChunkTable::decode(*blob, fetch)) return image;
+        continue;
+      }
       try {
         return CheckpointImage::deserialize(*blob);
       } catch (const ImageCorrupt&) {
@@ -270,6 +516,21 @@ std::optional<CheckpointImage> ReplicatedStore::load_from(std::size_t replica, I
   if (placement == it->second.placements.end()) return std::nullopt;
   const auto blob = replicas_[replica]->read_blob(placement->second, charge);
   if (!blob.has_value() || util::crc64(*blob) != it->second.crc) return std::nullopt;
+  if (table_ != nullptr) {
+    // Strictly this replica — no chunk failover.  The degradation ladder
+    // uses load_from to probe what *one* replica can restore by itself.
+    const auto fetch = [&](const ChunkKey& key, std::uint64_t expected)
+        -> std::optional<std::vector<std::byte>> {
+      const auto cp = chunk_placements_.find(key);
+      if (cp == chunk_placements_.end()) return std::nullopt;
+      const auto own = cp->second.find(replica);
+      if (own == cp->second.end()) return std::nullopt;
+      auto copy = replicas_[replica]->read_blob(own->second, charge);
+      if (copy.has_value() && util::crc64(*copy) == expected) return copy;
+      return std::nullopt;
+    };
+    return ChunkTable::decode(*blob, fetch);
+  }
   try {
     return CheckpointImage::deserialize(*blob);
   } catch (const ImageCorrupt&) {
@@ -283,6 +544,9 @@ bool ReplicatedStore::erase(ImageId id) {
   const auto it = manifest_.find(id);
   if (it == manifest_.end()) return false;
   for (const auto& [r, physical] : it->second.placements) replicas_[r]->erase(physical);
+  // Dedup: the erased entry's closure references are released; the chunk
+  // blobs themselves stay on the replicas until gc() finds them orphaned.
+  if (table_ != nullptr) table_->release(it->second.chunks);
   manifest_.erase(it);
   return true;
 }
@@ -333,27 +597,42 @@ ScrubReport ReplicatedStore::scrub(const ChargeFn& charge) {
   // charge sequence matches the old one-entry-at-a-time audit exactly.
   // Copies are held so phase 3 can repair from the healthy one without
   // re-reading it, and so phase 2 can verify them off the hot thread.
+  // The audit unit is a (crc, placements) pair — manifest entries and, in
+  // dedup mode, every live content chunk go through the same three phases:
+  // a chunk torn, corrupted or absent on one replica is repaired from a
+  // healthy peer copy exactly like a whole image.  (Never from the host
+  // ChunkTable cache: scrub certifies what the *media* holds, and repairing
+  // from host memory would mask real durable-data loss.)
   struct Copy {
     std::optional<std::vector<std::byte>> blob;
     bool crc_ok = false;
   };
-  struct EntryAudit {
-    Entry* entry = nullptr;
+  struct BlobAudit {
+    std::uint64_t crc = 0;
+    std::map<std::size_t, ImageId>* placements = nullptr;
     std::vector<Copy> copies;
   };
-  std::vector<EntryAudit> audits;
+  std::vector<BlobAudit> audits;
   audits.reserve(manifest_.size());
   for (auto& [id, entry] : manifest_) {
     ++report.entries;
-    EntryAudit audit{&entry, std::vector<Copy>(replicas_.size())};
+    audits.push_back(BlobAudit{entry.crc, &entry.placements, {}});
+  }
+  if (table_ != nullptr) {
+    for (const ChunkKey& key : table_->live_keys()) {
+      ++report.chunks;
+      audits.push_back(BlobAudit{table_->blob_crc(key), &chunk_placements_[key], {}});
+    }
+  }
+  for (BlobAudit& audit : audits) {
+    audit.copies.resize(replicas_.size());
     for (std::size_t r = 0; r < replicas_.size(); ++r) {
       if (!replicas_[r]->reachable()) continue;
-      const auto placement = entry.placements.find(r);
-      if (placement == entry.placements.end()) continue;
+      const auto placement = audit.placements->find(r);
+      if (placement == audit.placements->end()) continue;
       audit.copies[r].blob = replicas_[r]->read_blob(placement->second, charge);
       ++report.copies_checked;
     }
-    audits.push_back(std::move(audit));
   }
 
   // Phase 2 — CRC-verify every audited copy across all manifest entries in
@@ -367,14 +646,14 @@ ScrubReport ReplicatedStore::scrub(const ChargeFn& charge) {
   util::parallel_for(pool_, flat.size(), [&](std::size_t i) {
     const auto [a, r] = flat[i];
     Copy& copy = audits[a].copies[r];
-    copy.crc_ok = util::crc64(*copy.blob) == audits[a].entry->crc;
+    copy.crc_ok = util::crc64(*copy.blob) == audits[a].crc;
   });
 
-  // Phase 3 — classify and repair, sequential in manifest order.  The
-  // healthy source copy is the one already read during the audit: loaded
-  // once per entry and reused for every repair of that entry.
-  for (EntryAudit& audit : audits) {
-    Entry& entry = *audit.entry;
+  // Phase 3 — classify and repair, sequential in audit order (manifest
+  // entries, then live chunks).  The healthy source copy is the one already
+  // read during the audit: loaded once per blob and reused for every repair
+  // of that blob.
+  for (BlobAudit& audit : audits) {
     std::vector<CopyState> states(replicas_.size(), CopyState::kMissing);
     std::optional<std::vector<std::byte>> healthy;
     for (std::size_t r = 0; r < replicas_.size(); ++r) {
@@ -408,23 +687,23 @@ ScrubReport ReplicatedStore::scrub(const ChargeFn& charge) {
         ++report.unrepairable;
         continue;
       }
-      if (const auto placement = entry.placements.find(r);
-          placement != entry.placements.end()) {
+      if (const auto placement = audit.placements->find(r);
+          placement != audit.placements->end()) {
         replicas_[r]->erase(placement->second);
-        entry.placements.erase(placement);
+        audit.placements->erase(placement);
       }
       const ImageId fresh = replicas_[r]->put_raw(*healthy, charge);
       bool repaired = fresh != kBadImageId;
       if (repaired) {
         // Verify the repair in place (same media read, no host copy).
         const auto written_crc = replicas_[r]->blob_crc64(fresh, charge);
-        if (written_crc != entry.crc) {
+        if (written_crc != audit.crc) {
           replicas_[r]->erase(fresh);  // repair itself tore: stay honest
           repaired = false;
         }
       }
       if (repaired) {
-        entry.placements.emplace(r, fresh);
+        audit.placements->emplace(r, fresh);
         ++report.repaired;
       } else {
         ++report.unrepairable;
@@ -432,6 +711,7 @@ ScrubReport ReplicatedStore::scrub(const ChargeFn& charge) {
     }
   }
   span.end({obs::TraceArg::num("entries", report.entries),
+            obs::TraceArg::num("chunks", report.chunks),
             obs::TraceArg::num("copies", report.copies_checked),
             obs::TraceArg::num("corrupt", report.corrupt_found),
             obs::TraceArg::num("missing", report.missing_found),
@@ -454,8 +734,10 @@ void ReplicatedStore::retarget_replica(std::size_t index, BlobStoreBackend* back
     throw std::invalid_argument("ReplicatedStore::retarget_replica: bad slot or backend");
   }
   // Placements recorded against the old backend are meaningless on the new
-  // one: drop them so reads fail over and scrub() re-replicates.
+  // one: drop them so reads fail over and scrub() re-replicates — manifest
+  // copies and content chunks alike.
   for (auto& [id, entry] : manifest_) entry.placements.erase(index);
+  for (auto& [key, placements] : chunk_placements_) placements.erase(index);
   replicas_[index] = backend;
 }
 
@@ -464,9 +746,54 @@ std::uint32_t ReplicatedStore::intact_replicas(ImageId id) const {
   if (it == manifest_.end()) return 0;
   std::uint32_t intact = 0;
   for (const auto& [r, physical] : it->second.placements) {
-    if (replicas_[r]->blob_crc64(physical, ChargeFn{}) == it->second.crc) ++intact;
+    if (replicas_[r]->blob_crc64(physical, ChargeFn{}) != it->second.crc) continue;
+    if (table_ != nullptr) {
+      // A dedup image is only as durable as its closure: the replica counts
+      // only when every referenced chunk also verifies on it.
+      bool closure_intact = true;
+      for (const ChunkKey& key : it->second.chunks) {
+        const auto cp = chunk_placements_.find(key);
+        if (cp == chunk_placements_.end()) {
+          closure_intact = false;
+          break;
+        }
+        const auto own = cp->second.find(r);
+        if (own == cp->second.end() ||
+            replicas_[r]->blob_crc64(own->second, ChargeFn{}) != table_->blob_crc(key)) {
+          closure_intact = false;
+          break;
+        }
+      }
+      if (!closure_intact) continue;
+    }
+    ++intact;
   }
   return intact;
+}
+
+GcReport ReplicatedStore::gc(const ChargeFn&) {
+  GcReport report;
+  if (table_ == nullptr) return report;
+  for (const ChunkTable::FreedChunk& freed : table_->collect_garbage()) {
+    ++report.chunks_freed;
+    report.bytes_freed += freed.blob_bytes;
+    const auto cp = chunk_placements_.find(freed.key);
+    if (cp != chunk_placements_.end()) {
+      for (const auto& [r, physical] : cp->second) replicas_[r]->erase(physical);
+      chunk_placements_.erase(cp);
+    }
+  }
+  report.chunks_live = table_->live_count();
+  if (options_.observer != nullptr) {
+    options_.observer->metrics().set_gauge("dedup.chunks_live",
+                                           static_cast<std::int64_t>(report.chunks_live));
+  }
+  return report;
+}
+
+const DedupStats& ReplicatedStore::dedup_stats() const {
+  static const DedupStats kEmpty;
+  return table_ != nullptr ? table_->stats() : kEmpty;
 }
 
 bool ReplicatedStore::any_intact_committed() const {

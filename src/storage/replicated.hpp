@@ -42,11 +42,13 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "storage/backend.hpp"
+#include "storage/dedup.hpp"
 #include "storage/retry.hpp"
 
 namespace ckpt::util {
@@ -101,6 +103,18 @@ struct ReplicatedOptions {
   /// timestamps derived from the replayed charge ledgers, so traces are
   /// byte-identical across worker counts.
   obs::Observer* observer = nullptr;
+  /// Content-addressed dedup mode (storage/dedup): images are split by a
+  /// shared ChunkTable into a manifest plus content chunks, and store()
+  /// stages on each replica only the chunks *that replica* is missing —
+  /// a replica that sat out an earlier store (outage, retarget) catches up
+  /// via later stores and scrub().  All determinism guarantees of the flat
+  /// path carry over: per-replica charge ledgers are replayed in replica
+  /// order, so replica contents, traces and sim-time are byte-identical for
+  /// any worker count.
+  bool dedup = false;
+  /// Chunking knobs for dedup mode.  The observer field inside is ignored —
+  /// ReplicatedStore emits dedup.* metrics through `observer` above.
+  DedupOptions dedup_options;
 };
 
 /// Outcome detail for one logical store (store() itself keeps the plain
@@ -117,6 +131,7 @@ struct StoreReceipt {
 /// scrub() audit/repair summary.
 struct ScrubReport {
   std::uint64_t entries = 0;            ///< committed entries audited
+  std::uint64_t chunks = 0;             ///< live content chunks audited (dedup)
   std::uint64_t copies_checked = 0;     ///< replica copies CRC-verified
   std::uint64_t corrupt_found = 0;      ///< copies failing the manifest CRC
   std::uint64_t missing_found = 0;      ///< replicas lacking a copy
@@ -128,7 +143,7 @@ struct ScrubReport {
   [[nodiscard]] std::string summary() const;
 };
 
-class ReplicatedStore final : public StorageBackend {
+class ReplicatedStore final : public StorageBackend, public ChunkReclaimable {
  public:
   ReplicatedStore(std::vector<BlobStoreBackend*> replicas, ReplicatedOptions options = {});
 
@@ -141,11 +156,18 @@ class ReplicatedStore final : public StorageBackend {
   /// unreachable replica silently fails over to the next.  The whole sweep
   /// retries under the RetryPolicy (transient outages).
   std::optional<CheckpointImage> load(ImageId id, const ChargeFn& charge) override;
+  /// Drop the committed entry and its replica blobs (charge-free, like any
+  /// backend erase).  Dedup mode releases the entry's chunk references;
+  /// shared chunk blobs stay on media until gc().
   bool erase(ImageId id) override;
+  /// Committed logical ids in ascending order (deterministic).
   [[nodiscard]] std::vector<ImageId> list() const override;
   /// Best survivability among replicas: remote beats local beats memory.
   [[nodiscard]] StorageLocality locality() const override;
+  /// True while at least one replica is reachable.
   [[nodiscard]] bool reachable() const override;
+  /// Durable bytes summed across replicas (dedup mode: manifests + chunk
+  /// blobs, including not-yet-collected garbage).
   [[nodiscard]] std::uint64_t stored_bytes() const override;
 
   // --- Replication-aware paths ------------------------------------------------
@@ -166,9 +188,23 @@ class ReplicatedStore final : public StorageBackend {
   void retarget_replica(std::size_t index, BlobStoreBackend* backend);
 
   [[nodiscard]] std::size_t replica_count() const { return replicas_.size(); }
+  /// Direct access to one replica backend (tests and fault injectors aim
+  /// per-replica damage through this).
   [[nodiscard]] BlobStoreBackend& replica(std::size_t index) { return *replicas_.at(index); }
 
+  /// Dedup mode only: reclaim content chunks no committed entry references,
+  /// erasing their blobs on every replica holding a copy.  No-op (empty
+  /// report) in flat mode.
+  GcReport gc(const ChargeFn& charge) override;
+
+  /// Dedup accounting (zeroed stats in flat mode).
+  [[nodiscard]] const DedupStats& dedup_stats() const;
+  [[nodiscard]] bool dedup_enabled() const { return table_ != nullptr; }
+
   /// Copies of `id` that are reachable right now and pass the manifest CRC.
+  /// In dedup mode a replica only counts as intact when the manifest *and*
+  /// every chunk in the entry's closure verify on that replica — an image is
+  /// only as durable as its closure.
   [[nodiscard]] std::uint32_t intact_replicas(ImageId id) const;
   /// True when any committed entry still has >= 1 intact copy — the bound
   /// the torture harness and the RecoveryReport data-loss gate check
@@ -180,9 +216,11 @@ class ReplicatedStore final : public StorageBackend {
 
  private:
   struct Entry {
-    std::uint64_t crc = 0;
-    std::uint64_t bytes = 0;
+    std::uint64_t crc = 0;    ///< blob CRC (dedup mode: the manifest blob's)
+    std::uint64_t bytes = 0;  ///< blob size (dedup mode: the manifest blob's)
     std::map<std::size_t, ImageId> placements;  ///< replica index -> physical id
+    /// Dedup mode: the chunk closure pinned at commit (empty in flat mode).
+    std::vector<ChunkKey> chunks;
   };
 
   /// Per-replica trace ledger: cumulative sim-time charged through the
@@ -203,11 +241,32 @@ class ReplicatedStore final : public StorageBackend {
                            std::uint64_t salt, std::uint64_t& retries,
                            StoreErrorKind& error, StageTraceLog* log);
 
+  /// Dedup-mode stage of one image on replica `r`: writes the chunks this
+  /// replica is missing (in closure order), then the manifest, each under
+  /// stage_on_replica's retry+verify.  Any failure rolls this replica's
+  /// newly staged blobs back.
+  struct DedupStage {
+    ImageId manifest_id = kBadImageId;
+    std::vector<std::pair<ChunkKey, ImageId>> chunks;  ///< newly staged
+  };
+  DedupStage stage_dedup_on_replica(std::size_t r,
+                                    const ChunkTable::EncodedImage& enc,
+                                    const std::vector<ChunkKey>& missing,
+                                    const ChargeFn& charge, std::uint64_t salt,
+                                    std::uint64_t& retries, StoreErrorKind& error,
+                                    StageTraceLog* log);
+
+  StoreReceipt store_verbose_dedup(const CheckpointImage& image, const ChargeFn& charge);
+
   std::vector<BlobStoreBackend*> replicas_;
   ReplicatedOptions options_;
   util::ThreadPool* pool_ = nullptr;  ///< null ⇒ serial commit path
   bool distinct_replicas_ = true;     ///< replica slots never share a backend
   std::map<ImageId, Entry> manifest_;
+  std::unique_ptr<ChunkTable> table_;  ///< non-null iff options_.dedup
+  /// chunk → (replica index → physical blob id); a replica missing from a
+  /// chunk's map simply has no copy yet (stores and scrub top it up).
+  std::map<ChunkKey, std::map<std::size_t, ImageId>> chunk_placements_;
   ImageId next_id_ = 1;
   std::uint64_t op_counter_ = 0;  ///< salt so every operation's jitter differs
 };

@@ -91,12 +91,17 @@ class ThreadPool {
 };
 
 /// Convenience: run on `pool` when non-null, inline (index order) otherwise.
+/// Same contract as ThreadPool::run — callers own determinism: any sim-time
+/// the bodies would charge must be ledgered per index and replayed in index
+/// order after the call, never charged from inside a body.
 void parallel_for(ThreadPool* pool, std::size_t count,
                   const std::function<void(std::size_t)>& body);
 
 /// Bounded freelist of byte buffers so per-checkpoint scratch allocations
 /// (shard encoders, staging copies) reuse capacity instead of regrowing a
-/// fresh vector every commit.
+/// fresh vector every commit.  Purely a host-allocation optimization:
+/// buffers come back cleared, so pooling can never leak bytes between
+/// commits or change any output, and it charges no sim time.
 class BufferPool {
  public:
   /// An empty buffer, with whatever capacity a previous release() left in it.

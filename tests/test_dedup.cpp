@@ -1,0 +1,621 @@
+// Content-addressed dedup store (storage/dedup): manifest+chunk round-trips,
+// hash-then-byte-compare collision safety, delta encoding, refcounted
+// chain-aware GC, and the replicated chunk-diff protocol.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <bitset>
+#include <optional>
+#include <random>
+#include <vector>
+
+#include "storage/backend.hpp"
+#include "storage/chain.hpp"
+#include "storage/dedup.hpp"
+#include "storage/image.hpp"
+#include "storage/replicated.hpp"
+#include "util/crc64.hpp"
+#include "util/threadpool.hpp"
+
+namespace ckpt::storage {
+namespace {
+
+constexpr sim::VAddr kBase = 0x10000;
+
+PageImage make_page(sim::PageNum page, std::vector<std::byte> data) {
+  PageImage out;
+  out.page = page;
+  out.data = std::move(data);
+  return out;
+}
+
+std::vector<std::byte> filled(std::size_t size, std::uint8_t fill) {
+  return std::vector<std::byte>(size, static_cast<std::byte>(fill));
+}
+
+/// A full image whose single data segment carries `pages` (page numbers are
+/// consecutive from page_of(kBase)).
+CheckpointImage make_image(std::uint64_t tag, std::vector<std::vector<std::byte>> pages) {
+  CheckpointImage image;
+  image.kind = ImageKind::kFull;
+  image.pid = 42;
+  image.process_name = "app";
+  image.taken_at = tag;
+  image.threads.push_back(ThreadImage{1, {}});
+  image.threads[0].regs.pc = tag;
+  MemorySegmentImage seg;
+  seg.vma = sim::Vma{sim::page_of(kBase), static_cast<std::uint64_t>(pages.size()),
+                     sim::kProtRW, sim::VmaKind::kData, "data"};
+  for (std::size_t i = 0; i < pages.size(); ++i) {
+    seg.pages.push_back(make_page(seg.vma.first_page + i, std::move(pages[i])));
+  }
+  image.segments.push_back(std::move(seg));
+  return image;
+}
+
+/// An image exercising every serialized field: multiple segments, sub-page
+/// payloads, saved file contents, signals, ports.
+CheckpointImage make_rich_image(std::uint64_t tag) {
+  CheckpointImage image = make_image(tag, {filled(sim::kPageSize, 0x11),
+                                           filled(sim::kPageSize, 0x22)});
+  MemorySegmentImage stack;
+  stack.vma = sim::Vma{sim::page_of(0x7f0000), 2, sim::kProtRW, sim::VmaKind::kStack, "stack"};
+  PageImage partial;
+  partial.page = stack.vma.first_page;
+  partial.offset = 64;
+  partial.data = filled(96, 0x33);
+  stack.pages.push_back(partial);
+  image.segments.push_back(std::move(stack));
+  image.brk = kBase + 4 * sim::kPageSize;
+  image.heap_base = kBase;
+  image.mmap_next = 0x800000;
+  image.sig_pending = 0x5;
+  image.sig_mask = 0xA;
+  image.sig_dispositions = {0, 1, 2};
+  FileDescriptorImage file;
+  file.fd = 3;
+  file.path = "/tmp/data";
+  file.offset = 17;
+  file.contents = filled(200, 0x44);
+  image.files.push_back(std::move(file));
+  image.bound_ports = {8080};
+  return image;
+}
+
+class DedupTest : public ::testing::Test {
+ protected:
+  sim::CostModel costs_{};
+  LocalDiskBackend media_{costs_};
+};
+
+// --- Round-trip fidelity -----------------------------------------------------
+
+TEST_F(DedupTest, RoundTripIsBitIdenticalToFlatSerialization) {
+  DedupStore store(&media_);
+  const CheckpointImage original = make_rich_image(7);
+  const ImageId id = store.store(original, nullptr);
+  ASSERT_NE(id, kBadImageId);
+  const auto loaded = store.load(id, nullptr);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->serialize(), original.serialize());
+}
+
+TEST_F(DedupTest, IdenticalPagesAreStoredOnce) {
+  DedupStore store(&media_);
+  std::vector<std::vector<std::byte>> pages(8, filled(sim::kPageSize, 0x77));
+  const ImageId id = store.store(make_image(1, std::move(pages)), nullptr);
+  ASSERT_NE(id, kBadImageId);
+  EXPECT_EQ(store.stats().chunks_created, 1u);
+  EXPECT_EQ(store.stats().chunks_reused, 7u);
+  // One page of content plus a small manifest, not eight pages.
+  EXPECT_LT(store.stats().bytes_stored, 2 * sim::kPageSize);
+  const auto loaded = store.load(id, nullptr);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->segments[0].pages.size(), 8u);
+}
+
+TEST_F(DedupTest, UnchangedContentIsNeverRewritten) {
+  DedupStore store(&media_);
+  CheckpointImage first = make_image(1, {filled(sim::kPageSize, 0x01),
+                                         filled(sim::kPageSize, 0x02),
+                                         filled(sim::kPageSize, 0x03)});
+  ASSERT_NE(store.store(first, nullptr), kBadImageId);
+  const std::uint64_t chunks_after_first = store.stats().chunks_created;
+  const std::uint64_t media_after_first = media_.stored_bytes();
+
+  // Same content again: only a manifest hits the media.
+  CheckpointImage second = first;
+  second.taken_at = 2;
+  const ImageId id2 = store.store(second, nullptr);
+  ASSERT_NE(id2, kBadImageId);
+  EXPECT_EQ(store.stats().chunks_created, chunks_after_first);
+  EXPECT_LT(media_.stored_bytes() - media_after_first, sim::kPageSize / 2);
+  const auto loaded = store.load(id2, nullptr);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->serialize(), second.serialize());
+}
+
+// --- Delta encoding ----------------------------------------------------------
+
+TEST_F(DedupTest, SmallPageDiffsDeltaEncodeAgainstThePredecessor) {
+  DedupStore store(&media_);
+  std::vector<std::byte> v1(sim::kPageSize);
+  for (std::size_t i = 0; i < v1.size(); ++i) {
+    v1[i] = static_cast<std::byte>(i * 31 + 7);
+  }
+  std::vector<std::byte> v2 = v1;
+  for (std::size_t i = 100; i < 108; ++i) {
+    v2[i] = static_cast<std::byte>(0xEE);
+  }
+  ASSERT_NE(store.store(make_image(1, {v1}), nullptr), kBadImageId);
+  const std::uint64_t stored_v1 = store.stats().bytes_stored;
+  const ImageId id2 = store.store(make_image(2, {v2}), nullptr);
+  ASSERT_NE(id2, kBadImageId);
+  EXPECT_EQ(store.stats().delta_chunks, 1u);
+  // The 8-byte diff must cost far less than a raw page on media.
+  EXPECT_LT(store.stats().bytes_stored - stored_v1, sim::kPageSize / 4);
+  const auto loaded = store.load(id2, nullptr);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->segments[0].pages[0].data, v2);
+}
+
+TEST_F(DedupTest, DeltaChainDepthIsBounded) {
+  DedupOptions options;
+  options.max_delta_depth = 2;
+  DedupStore store(&media_, options);
+  std::vector<std::vector<std::byte>> versions;
+  std::vector<std::byte> page(sim::kPageSize);
+  for (std::size_t i = 0; i < page.size(); ++i) {
+    page[i] = static_cast<std::byte>(i);
+  }
+  std::vector<ImageId> ids;
+  for (std::uint64_t v = 0; v < 5; ++v) {
+    page[5] = static_cast<std::byte>(0xC0 + v);  // tiny mutation per version
+    versions.push_back(page);
+    const ImageId id = store.store(make_image(v + 1, {page}), nullptr);
+    ASSERT_NE(id, kBadImageId);
+    ids.push_back(id);
+  }
+  // v2 (depth 1) and v3 (depth 2) delta; v4 would exceed the bound and is
+  // stored raw; v5 deltas against the fresh raw base.
+  EXPECT_EQ(store.stats().delta_chunks, 3u);
+  for (std::size_t v = 0; v < ids.size(); ++v) {
+    const auto loaded = store.load(ids[v], nullptr);
+    ASSERT_TRUE(loaded.has_value()) << "version " << v;
+    EXPECT_EQ(loaded->segments[0].pages[0].data, versions[v]) << "version " << v;
+  }
+}
+
+// --- Hash collisions ---------------------------------------------------------
+
+/// Engineer two distinct 16-byte contents with the same CRC64.  CRC is
+/// affine over GF(2) for fixed-length input: crc(m1) == crc(m2) iff
+/// L(m1 ^ m2) == 0 where L(x) = crc(x) ^ crc(0...0).  The 128 basis images
+/// L(e_i) span at most 64 dimensions, so Gaussian elimination must find a
+/// nonzero kernel vector d; any m and m ^ d then collide.
+std::array<std::vector<std::byte>, 2> colliding_contents() {
+  constexpr std::size_t kBits = 128;
+  constexpr std::size_t kBytes = kBits / 8;
+  const std::vector<std::byte> zeros(kBytes, std::byte{0});
+  const std::uint64_t crc_zero = util::crc64(zeros);
+
+  struct Row {
+    std::uint64_t value = 0;
+    std::bitset<kBits> combo;
+  };
+  std::array<std::optional<Row>, 64> basis;
+  std::bitset<kBits> kernel;
+  for (std::size_t i = 0; i < kBits && kernel.none(); ++i) {
+    std::vector<std::byte> unit = zeros;
+    unit[i / 8] = static_cast<std::byte>(1u << (i % 8));
+    Row row{util::crc64(unit) ^ crc_zero, {}};
+    row.combo.set(i);
+    bool placed = false;
+    while (row.value != 0) {
+      const int lead = 63 - std::countl_zero(row.value);
+      auto& slot = basis[static_cast<std::size_t>(lead)];
+      if (!slot.has_value()) {
+        slot = row;
+        placed = true;
+        break;
+      }
+      row.value ^= slot->value;
+      row.combo ^= slot->combo;
+    }
+    if (!placed) {
+      kernel = row.combo;  // L(kernel) == 0 with kernel != 0 (bit i is fresh)
+    }
+  }
+  // Build m1 (arbitrary) and m2 = m1 ^ d.
+  std::vector<std::byte> m1(kBytes, std::byte{0x5A});
+  std::vector<std::byte> m2 = m1;
+  for (std::size_t i = 0; i < kBits; ++i) {
+    if (kernel.test(i)) {
+      m2[i / 8] ^= static_cast<std::byte>(1u << (i % 8));
+    }
+  }
+  return {m1, m2};
+}
+
+TEST_F(DedupTest, CrcCollisionsCoexistUnderDistinctOrdinals) {
+  const auto [m1, m2] = colliding_contents();
+  ASSERT_NE(m1, m2) << "kernel vector must be nonzero";
+  ASSERT_EQ(util::crc64(m1), util::crc64(m2)) << "engineered collision failed";
+
+  DedupOptions options;
+  options.delta_encode = false;  // isolate the identity path
+  DedupStore store(&media_, options);
+  const ImageId id = store.store(make_image(1, {m1, m2}), nullptr);
+  ASSERT_NE(id, kBadImageId);
+  // Same (crc, size), different bytes: the byte-compare must keep both as
+  // distinct chunks rather than silently aliasing one onto the other.
+  EXPECT_EQ(store.stats().chunks_created, 2u);
+  EXPECT_EQ(store.stats().chunks_reused, 0u);
+  const auto loaded = store.load(id, nullptr);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->segments[0].pages[0].data, m1);
+  EXPECT_EQ(loaded->segments[0].pages[1].data, m2);
+}
+
+// --- Property: random image chains round-trip --------------------------------
+
+TEST_F(DedupTest, RandomImageChainsRoundTripBitIdentically) {
+  std::mt19937_64 rng(0xD5D5'2026ULL);
+  DedupStore store(&media_);
+  std::vector<std::pair<ImageId, std::vector<std::byte>>> expected;
+
+  std::uniform_int_distribution<int> page_count(1, 6);
+  std::uniform_int_distribution<int> byte_dist(0, 255);
+  std::uniform_int_distribution<int> size_pick(0, 2);
+
+  std::vector<std::vector<std::byte>> pages;
+  for (int round = 0; round < 24; ++round) {
+    if (pages.empty() || round % 6 == 0) {
+      pages.clear();
+      const int n = page_count(rng);
+      for (int p = 0; p < n; ++p) {
+        const std::size_t sizes[] = {64, 1024, sim::kPageSize};
+        std::vector<std::byte> data(sizes[size_pick(rng)]);
+        for (auto& b : data) b = static_cast<std::byte>(byte_dist(rng));
+        pages.push_back(std::move(data));
+      }
+    } else {
+      // Mutate a random subset of bytes in one random page.
+      auto& victim = pages[rng() % pages.size()];
+      const int edits = 1 + static_cast<int>(rng() % 16);
+      for (int e = 0; e < edits; ++e) {
+        victim[rng() % victim.size()] = static_cast<std::byte>(byte_dist(rng));
+      }
+    }
+    CheckpointImage image = make_image(static_cast<std::uint64_t>(round + 1), pages);
+    const std::vector<std::byte> flat = image.serialize();
+    const ImageId id = store.store(image, nullptr);
+    ASSERT_NE(id, kBadImageId) << "round " << round;
+    expected.emplace_back(id, flat);
+  }
+  for (const auto& [id, flat] : expected) {
+    const auto loaded = store.load(id, nullptr);
+    ASSERT_TRUE(loaded.has_value()) << "id " << id;
+    EXPECT_EQ(loaded->serialize(), flat) << "id " << id;
+  }
+  // The mutation-heavy chain must have actually exercised dedup and deltas.
+  EXPECT_GT(store.stats().chunks_reused, 0u);
+  EXPECT_GT(store.stats().delta_chunks, 0u);
+  EXPECT_LT(store.stats().stored_permille(), 1000u);
+}
+
+// --- Failure atomicity -------------------------------------------------------
+
+TEST_F(DedupTest, FailedStoreLeavesNoTraceOnMediaOrInTheTable) {
+  DedupStore store(&media_);
+  media_.inject_store_fault(StoreFault::kReject);
+  const ImageId id = store.store(make_image(1, {filled(sim::kPageSize, 0x01)}), nullptr);
+  EXPECT_EQ(id, kBadImageId);
+  EXPECT_TRUE(media_.list().empty());
+  EXPECT_EQ(store.chunk_count(), 0u);
+  EXPECT_EQ(store.stats().images, 0u);
+  // The table must be clean enough for the next store to succeed normally.
+  const ImageId retry = store.store(make_image(2, {filled(sim::kPageSize, 0x02)}), nullptr);
+  ASSERT_NE(retry, kBadImageId);
+  EXPECT_TRUE(store.load(retry, nullptr).has_value());
+}
+
+TEST_F(DedupTest, TornChunkWriteSurfacesAsLoadFailureNeverWrongBytes) {
+  DedupStore store(&media_);
+  media_.inject_store_fault(StoreFault::kTornWrite);
+  // The torn write hits the first staged chunk blob; the single-media
+  // DedupStore (unlike ReplicatedStore) does not read back at commit, so the
+  // damage must surface at load as nullopt via the blob CRC.
+  const ImageId id = store.store(make_image(1, {filled(sim::kPageSize, 0x01)}), nullptr);
+  ASSERT_NE(id, kBadImageId);
+  EXPECT_FALSE(store.load(id, nullptr).has_value());
+}
+
+// --- GC and the chain fallback set -------------------------------------------
+
+TEST_F(DedupTest, EraseThenGcReclaimsOnlyOrphanedChunks) {
+  DedupStore store(&media_);
+  const auto pa = filled(sim::kPageSize, 0xA1);
+  const auto pb = filled(sim::kPageSize, 0xB2);
+  const auto pc = filled(sim::kPageSize, 0xC3);
+  const ImageId first = store.store(make_image(1, {pa, pb}), nullptr);
+  const ImageId second = store.store(make_image(2, {pb, pc}), nullptr);
+  ASSERT_NE(first, kBadImageId);
+  ASSERT_NE(second, kBadImageId);
+  ASSERT_EQ(store.chunk_count(), 3u);
+
+  EXPECT_TRUE(store.erase(first));
+  const GcReport report = store.gc(nullptr);
+  // Only `pa` is orphaned; `pb` is still pinned by the second image.
+  EXPECT_EQ(report.chunks_freed, 1u);
+  EXPECT_GT(report.bytes_freed, 0u);
+  EXPECT_EQ(report.chunks_live, 2u);
+  const auto loaded = store.load(second, nullptr);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->segments[0].pages[0].data, pb);
+  EXPECT_EQ(loaded->segments[0].pages[1].data, pc);
+
+  EXPECT_TRUE(store.erase(second));
+  EXPECT_EQ(store.gc(nullptr).chunks_live, 0u);
+  EXPECT_TRUE(media_.list().empty());
+  EXPECT_EQ(media_.stored_bytes(), 0u);
+}
+
+TEST_F(DedupTest, GcKeepsDeltaBasesAliveThroughTheClosure) {
+  DedupStore store(&media_);
+  std::vector<std::byte> v1(sim::kPageSize);
+  for (std::size_t i = 0; i < v1.size(); ++i) {
+    v1[i] = static_cast<std::byte>(i * 13);
+  }
+  std::vector<std::byte> v2 = v1;
+  v2[9] = std::byte{0xFF};
+  const ImageId first = store.store(make_image(1, {v1}), nullptr);
+  const ImageId second = store.store(make_image(2, {v2}), nullptr);
+  ASSERT_EQ(store.stats().delta_chunks, 1u);
+
+  // Erasing the image that *introduced* the base must not strand the delta:
+  // the second image's closure pinned the base chunk too.
+  EXPECT_TRUE(store.erase(first));
+  EXPECT_EQ(store.gc(nullptr).chunks_freed, 0u);
+  const auto loaded = store.load(second, nullptr);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->segments[0].pages[0].data, v2);
+}
+
+CheckpointImage chain_image(ImageKind kind, std::uint8_t fill) {
+  CheckpointImage image = make_image(fill, {filled(sim::kPageSize, fill)});
+  image.kind = kind;
+  return image;
+}
+
+TEST_F(DedupTest, PruneThenGcFreesOnlyChunksOutsideTheLiveSet) {
+  DedupStore store(&media_);
+  CheckpointChain chain(&store);
+  ASSERT_NE(chain.append(chain_image(ImageKind::kFull, 0x01), nullptr), kBadImageId);
+  ASSERT_NE(chain.append(chain_image(ImageKind::kIncremental, 0x02), nullptr), kBadImageId);
+  ASSERT_NE(chain.append(chain_image(ImageKind::kFull, 0x03), nullptr), kBadImageId);
+  const ImageId tail = chain.append(chain_image(ImageKind::kIncremental, 0x04), nullptr);
+  ASSERT_NE(tail, kBadImageId);
+
+  const std::vector<ImageId> live = chain.live_set(nullptr);
+  ASSERT_EQ(live.size(), 2u);  // newest full + its delta
+  const auto before = chain.reconstruct(nullptr);
+  ASSERT_TRUE(before.has_value());
+
+  chain.prune(nullptr);
+  EXPECT_EQ(chain.length(), 2u);
+  // prune kept exactly live_set(): the store's remaining ids match it.
+  std::vector<ImageId> remaining = store.list();
+  std::vector<ImageId> want = live;
+  std::sort(remaining.begin(), remaining.end());
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(remaining, want);
+
+  const GcReport report = store.gc(nullptr);
+  EXPECT_EQ(report.chunks_freed, 2u);  // pages 0x01 and 0x02 are unreachable
+  const auto after = chain.reconstruct(nullptr);
+  ASSERT_TRUE(after.has_value());
+  EXPECT_EQ(after->serialize(), before->serialize());
+}
+
+TEST_F(DedupTest, GcNeverFreesWhatTheSurvivingRestartPathNeeds) {
+  // The regression the shared live_set() walk prevents: when the newest full
+  // image is corrupt, prune must keep the older history and GC must not free
+  // any chunk reconstruct_newest_surviving() still reaches through it.
+  DedupStore store(&media_);
+  CheckpointChain chain(&store);
+  ASSERT_NE(chain.append(chain_image(ImageKind::kFull, 0x01), nullptr), kBadImageId);
+  ASSERT_NE(chain.append(chain_image(ImageKind::kIncremental, 0x02), nullptr), kBadImageId);
+  ASSERT_NE(chain.append(chain_image(ImageKind::kFull, 0x03), nullptr), kBadImageId);
+  // The manifest is the last blob a dedup store() writes: newest_id() right
+  // after the append is the new full image's manifest.
+  const ImageId newest_full_manifest = media_.newest_id();
+  ASSERT_NE(chain.append(chain_image(ImageKind::kIncremental, 0x04), nullptr), kBadImageId);
+
+  ASSERT_TRUE(media_.corrupt_blob(newest_full_manifest, 0, 64));
+
+  // No verifying full image newer than the first: everything stays live.
+  EXPECT_EQ(chain.live_set(nullptr).size(), 4u);
+  chain.prune(nullptr);
+  EXPECT_EQ(chain.length(), 4u);
+  EXPECT_EQ(store.gc(nullptr).chunks_freed, 0u);
+
+  // The fallback restart must still reach the pre-corruption sequence point.
+  const auto survived = chain.reconstruct_newest_surviving(nullptr);
+  ASSERT_TRUE(survived.has_value());
+  EXPECT_EQ(survived->segments[0].pages[0].data, filled(sim::kPageSize, 0x02));
+}
+
+// --- Replicated dedup mode ---------------------------------------------------
+
+class ReplicatedDedupTest : public ::testing::Test {
+ protected:
+  sim::CostModel costs_{};
+  LocalDiskBackend local_{costs_};
+  RemoteBackend remote_{costs_};
+
+  ReplicatedStore make_store(ReplicatedOptions options = {}) {
+    options.dedup = true;
+    return ReplicatedStore({&local_, &remote_}, options);
+  }
+
+  static CheckpointImage four_pages(std::uint64_t tag, std::uint8_t changed = 0) {
+    std::vector<std::vector<std::byte>> pages;
+    for (std::uint8_t p = 0; p < 4; ++p) {
+      pages.push_back(filled(sim::kPageSize, static_cast<std::uint8_t>(0x10 + p)));
+    }
+    if (changed != 0) {
+      pages[1] = filled(sim::kPageSize, changed);
+    }
+    return make_image(tag, std::move(pages));
+  }
+};
+
+TEST_F(ReplicatedDedupTest, StoresStageOnlyTheChunksEachReplicaIsMissing) {
+  ReplicatedStore store = make_store();
+  const StoreReceipt first = store.store_verbose(four_pages(1), nullptr);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first.committed_replicas, 2u);
+  // 4 chunks + 1 manifest per replica.
+  EXPECT_EQ(local_.list().size(), 5u);
+  EXPECT_EQ(remote_.list().size(), 5u);
+
+  const StoreReceipt second = store.store_verbose(four_pages(2, /*changed=*/0x99), nullptr);
+  ASSERT_TRUE(second.ok());
+  // Only the changed page's chunk plus the new manifest travel.
+  EXPECT_EQ(local_.list().size(), 7u);
+  EXPECT_EQ(remote_.list().size(), 7u);
+  EXPECT_EQ(store.intact_replicas(first.id), 2u);
+  EXPECT_EQ(store.intact_replicas(second.id), 2u);
+  const auto loaded = store.load(second.id, nullptr);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->segments[0].pages[1].data, filled(sim::kPageSize, 0x99));
+}
+
+TEST_F(ReplicatedDedupTest, ReplicaThatMissedAStoreCatchesUpViaScrub) {
+  ReplicatedStore store = make_store();
+  const StoreReceipt first = store.store_verbose(four_pages(1), nullptr);
+  ASSERT_TRUE(first.ok());
+
+  remote_.set_outage(true);
+  const StoreReceipt second = store.store_verbose(four_pages(2, 0x99), nullptr);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.committed_replicas, 1u);
+  remote_.set_outage(false);
+  EXPECT_EQ(store.intact_replicas(second.id), 1u);
+
+  const ScrubReport report = store.scrub(nullptr);
+  EXPECT_GT(report.missing_found, 0u);
+  EXPECT_EQ(report.missing_found, report.repaired);
+  EXPECT_EQ(report.unrepairable, 0u);
+  EXPECT_GT(report.chunks, 0u);
+  EXPECT_EQ(store.intact_replicas(second.id), 2u);
+  const auto loaded = store.load_from(1, second.id, nullptr);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->segments[0].pages[1].data, filled(sim::kPageSize, 0x99));
+}
+
+TEST_F(ReplicatedDedupTest, ScrubRepairsACorruptChunkCopyFromThePeer) {
+  ReplicatedStore store = make_store();
+  const StoreReceipt receipt = store.store_verbose(four_pages(1), nullptr);
+  ASSERT_TRUE(receipt.ok());
+  // Chunks stage before the manifest, so the replica's first blob id is a
+  // content chunk.
+  ASSERT_TRUE(local_.corrupt_blob(local_.list().front(), 0, 32));
+  EXPECT_EQ(store.intact_replicas(receipt.id), 1u);
+
+  const ScrubReport report = store.scrub(nullptr);
+  EXPECT_GE(report.corrupt_found, 1u);
+  EXPECT_GE(report.repaired, 1u);
+  EXPECT_EQ(report.unrepairable, 0u);
+  EXPECT_EQ(store.intact_replicas(receipt.id), 2u);
+  EXPECT_TRUE(store.load_from(0, receipt.id, nullptr).has_value());
+}
+
+TEST_F(ReplicatedDedupTest, RetargetedReplicaIsRebuiltChunksAndAll) {
+  ReplicatedStore store = make_store();
+  const StoreReceipt first = store.store_verbose(four_pages(1), nullptr);
+  const StoreReceipt second = store.store_verbose(four_pages(2, 0x99), nullptr);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+
+  RemoteBackend replacement{costs_};
+  store.retarget_replica(1, &replacement);
+  EXPECT_EQ(store.intact_replicas(first.id), 1u);
+
+  const ScrubReport report = store.scrub(nullptr);
+  EXPECT_GT(report.repaired, 0u);
+  EXPECT_EQ(report.unrepairable, 0u);
+  // Full history (both manifests and the whole chunk set) lives on the
+  // replacement now.
+  EXPECT_EQ(store.intact_replicas(first.id), 2u);
+  EXPECT_EQ(store.intact_replicas(second.id), 2u);
+  EXPECT_TRUE(store.load_from(1, first.id, nullptr).has_value());
+  EXPECT_TRUE(store.load_from(1, second.id, nullptr).has_value());
+}
+
+TEST_F(ReplicatedDedupTest, EraseThenGcFreesChunkBlobsOnEveryReplica) {
+  ReplicatedStore store = make_store();
+  const StoreReceipt first = store.store_verbose(four_pages(1), nullptr);
+  const StoreReceipt second = store.store_verbose(four_pages(2, 0x99), nullptr);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  const std::size_t local_before = local_.list().size();
+
+  EXPECT_TRUE(store.erase(first.id));
+  const GcReport report = store.gc(nullptr);
+  // Page 1's original content was only referenced by the first image.
+  EXPECT_EQ(report.chunks_freed, 1u);
+  // Manifest + freed chunk gone from each replica.
+  EXPECT_EQ(local_.list().size(), local_before - 2);
+  EXPECT_EQ(remote_.list().size(), local_before - 2);
+  EXPECT_TRUE(store.load(second.id, nullptr).has_value());
+  EXPECT_EQ(store.intact_replicas(second.id), 2u);
+}
+
+TEST_F(ReplicatedDedupTest, WorkerCountNeverChangesReplicaContentsOrCharges) {
+  struct Run {
+    std::vector<std::vector<std::byte>> local_blobs;
+    std::vector<std::vector<std::byte>> remote_blobs;
+    std::vector<SimTime> charges;
+    std::vector<ImageId> ids;
+  };
+  auto run_with = [&](unsigned workers) {
+    util::ThreadPool pool(workers);
+    sim::CostModel costs{};
+    LocalDiskBackend local{costs};
+    RemoteBackend remote{costs};
+    ReplicatedOptions options;
+    options.dedup = true;
+    options.pool = &pool;
+    ReplicatedStore store({&local, &remote}, options);
+
+    Run run;
+    const ChargeFn charge = [&](SimTime t) { run.charges.push_back(t); };
+    for (std::uint64_t tag = 1; tag <= 4; ++tag) {
+      const StoreReceipt receipt =
+          store.store_verbose(four_pages(tag, static_cast<std::uint8_t>(0x90 + tag)), charge);
+      EXPECT_TRUE(receipt.ok());
+      run.ids.push_back(receipt.id);
+    }
+    for (const ImageId id : local.list()) {
+      run.local_blobs.push_back(*local.read_blob(id, nullptr));
+    }
+    for (const ImageId id : remote.list()) {
+      run.remote_blobs.push_back(*remote.read_blob(id, nullptr));
+    }
+    return run;
+  };
+
+  const Run serial = run_with(1);
+  const Run pooled = run_with(8);
+  EXPECT_EQ(serial.ids, pooled.ids);
+  EXPECT_EQ(serial.charges, pooled.charges);
+  EXPECT_EQ(serial.local_blobs, pooled.local_blobs);
+  EXPECT_EQ(serial.remote_blobs, pooled.remote_blobs);
+}
+
+}  // namespace
+}  // namespace ckpt::storage

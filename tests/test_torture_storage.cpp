@@ -149,6 +149,62 @@ TEST(TortureStorage, WorkerCountNeverChangesTheSoak) {
   }
 }
 
+TEST(TortureStorage, DedupReplicatedSoakHoldsTheSameInvariants) {
+  // The content-addressed store must not introduce any new violation class:
+  // shared chunks mean one corrupt blob can sit under several images, and
+  // the replicated closure-aware scrub must still heal every single-replica
+  // wound before it can spread.
+  TortureOptions options = replicated_options();
+  options.dedup = true;
+  const std::vector<TortureReport> reports =
+      TortureHarness(options).run_all(default_targets());
+  std::uint64_t total_repairs = 0;
+  for (const TortureReport& report : reports) {
+    SCOPED_TRACE(report.summary());
+    total_repairs += report.scrub_repairs;
+    EXPECT_GT(report.checkpoints_ok, 0u) << report.engine;
+    EXPECT_GT(report.restarts_ok, 0u) << report.engine;
+    EXPECT_EQ(report.divergences, 0u);
+    EXPECT_EQ(report.corrupt_restarts, 0u);
+    EXPECT_EQ(report.unexpected_failures, 0u);
+    EXPECT_EQ(report.scrub_failures, 0u);
+    EXPECT_TRUE(report.ok());
+    for (const std::string& diagnostic : report.diagnostics) {
+      ADD_FAILURE() << report.engine << ": " << diagnostic;
+    }
+  }
+  EXPECT_GT(total_repairs, 0u) << "scrub never repaired anything: injectors dead?";
+}
+
+TEST(TortureStorage, DedupWorkerCountNeverChangesTheSoak) {
+  // Dedup staging fans chunk writes across the pool; the per-replica charge
+  // ledgers must keep the soak bit-identical for any worker count.
+  TortureOptions options = replicated_options(/*replicas=*/3);
+  options.cycles = 35;
+  options.dedup = true;
+
+  options.workers = 1;
+  const std::vector<TortureReport> serial = TortureHarness(options).run_all(default_targets());
+  options.workers = 8;
+  const std::vector<TortureReport> pooled = TortureHarness(options).run_all(default_targets());
+
+  ASSERT_EQ(serial.size(), pooled.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], pooled[i]) << serial[i].engine;
+  }
+}
+
+TEST(TortureStorage, DedupWithoutReplicationIsRejected) {
+  // A shared chunk on a single media copy would let one silent corruption
+  // damage several committed images at once, breaking the harness's
+  // newest-image corruption model — the combination is refused outright.
+  TortureOptions options = replicated_options();
+  options.replicated_storage = false;
+  options.dedup = true;
+  EXPECT_THROW(TortureHarness(options).run(TortureTarget{"CRAK", nullptr}),
+               std::invalid_argument);
+}
+
 TEST(TortureStorage, SingleReplicaConfigurationIsRejected) {
   TortureOptions options = replicated_options(/*replicas=*/1);
   EXPECT_THROW(TortureHarness(options).run(TortureTarget{"CRAK", nullptr}),
