@@ -28,7 +28,12 @@
 #    dirty rate exceed 0.3x the flat path, if any round-trip is not
 #    bit-identical, or if replicated dedup replica contents differ between
 #    1 and 8 commit workers.
-# 7. docs lint: ARCHITECTURE.md must mention every src/ module, DESIGN.md
+# 7. journal gate: the JournalCrashReplay harness (every record boundary +
+#    fuzzed intra-record corruption) must be green under the asan-ubsan
+#    build, and bench_journal must show append-commit initiation >= 1.5x
+#    faster than the two-phase publish at 4 concurrent writers with
+#    1-vs-8-worker-identical log/home contents (BENCH_journal.json).
+# 8. docs lint: ARCHITECTURE.md must mention every src/ module, DESIGN.md
 #    section numbering must be contiguous, and every intra-repo markdown
 #    link in the top-level docs must resolve to an existing path.
 set -euo pipefail
@@ -107,6 +112,22 @@ if ! grep -q '"holds": true' BENCH_dedup.json; then
 fi
 DEDUP_RATIO="$(sed -n 's/.*"ratio_10pct_dirty": \([0-9.]*\).*/\1/p' BENCH_dedup.json)"
 echo "dedup gate: ${DEDUP_RATIO}x durable bytes at 10% dirty (ceiling 0.3x), round-trips exact"
+
+# Journal gate: the crash-point replay harness must hold under the
+# sanitizers (torn-tail recovery is exactly where latent UB would hide), and
+# append-commit must actually buy its keep over the two-phase publish path.
+ctest --preset asan-ubsan -R 'JournalCrashReplay' --output-on-failure
+./build/bench/bench_journal BENCH_journal.json
+if ! grep -q '"holds": true' BENCH_journal.json; then
+  echo "CI gate: journal append-commit failed its speedup/determinism gate" >&2
+  exit 1
+fi
+JOURNAL_SPEEDUP="$(sed -n 's/.*"speedup_append_4writers": \([0-9.]*\).*/\1/p' BENCH_journal.json)"
+if ! awk -v s="${JOURNAL_SPEEDUP}" 'BEGIN { exit !(s >= 1.5) }'; then
+  echo "CI gate: append-commit speedup ${JOURNAL_SPEEDUP}x fell below the 1.5x floor" >&2
+  exit 1
+fi
+echo "journal gate: crash replay green under asan-ubsan, append-commit ${JOURNAL_SPEEDUP}x (floor 1.5x)"
 
 # Docs lint.
 for module in src/*/; do

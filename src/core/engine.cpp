@@ -4,6 +4,7 @@
 
 #include "obs/observer.hpp"
 #include "storage/dedup.hpp"
+#include "storage/journal.hpp"
 #include "util/log.hpp"
 
 namespace ckpt::core {
@@ -391,6 +392,25 @@ CheckpointResult CheckpointEngine::perform_kernel_checkpoint(sim::SimKernel& ker
 
   result.ok = true;
   result.completed_at = kernel.now() + consumed;
+
+  // Append-commit drain: the image is already durable in the log, so the
+  // migrator publishes it to the home store *after* completed_at was fixed —
+  // its charges extend the kernel clock but never the commit latency.
+  if (options_.append_commit) {
+    if (auto* journal = dynamic_cast<storage::LogStructuredBackend*>(backend_)) {
+      obs::SpanGuard drain_span(trace, "journal.drain", "ckpt", track);
+      const storage::LogStructuredBackend::MigrateReport drained = journal->migrate(charge);
+      if (observer != nullptr) {
+        obs::MetricsRegistry& metrics = observer->metrics();
+        metrics.add("journal.drain_runs");
+        metrics.add("journal.drained_images", drained.images_drained);
+        metrics.add("journal.drained_bytes", drained.bytes_drained);
+      }
+      drain_span.end({obs::TraceArg::num("drained", drained.images_drained),
+                      obs::TraceArg::num("reclaimed", drained.segments_reclaimed)});
+    }
+  }
+
   if (trace != nullptr) {
     trace->end("checkpoint", track, {obs::TraceArg::str("outcome", "ok")});
   }

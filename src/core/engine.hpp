@@ -64,6 +64,14 @@ struct EngineOptions {
   /// returns media bytes.  The verification loads and GC charge sim time
   /// through the checkpointing context like every other storage access.
   bool prune_after_full = false;
+  /// Append-commit mode (the CapROS direction): when the backend is a
+  /// storage::LogStructuredBackend, each successful checkpoint drains the
+  /// journal's migrator right after the commit point.  The drain's charges
+  /// land on the kernel clock *after* the commit latency was measured, so
+  /// CheckpointResult::total_latency covers only the sequential log append —
+  /// chunk placement in the home store happens off the critical path.
+  /// Ignored for every other backend.
+  bool append_commit = false;
 };
 
 struct CheckpointResult {

@@ -14,6 +14,8 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kKillProcess: return "kill-process";
     case FaultKind::kDropSignal: return "drop-signal";
     case FaultKind::kNodeFailStop: return "node-fail-stop";
+    case FaultKind::kJournalTornAppend: return "journal-torn-append";
+    case FaultKind::kJournalCorrupt: return "journal-corrupt";
   }
   return "?";
 }
@@ -55,6 +57,9 @@ Fault FaultPlan::next() {
       break;
     case FaultKind::kStorageOutage:
       fault.param = 1 + rng_.next_below(4);  // outage length bucket
+      break;
+    case FaultKind::kJournalCorrupt:
+      fault.param = 1 + rng_.next_below(64);  // log bytes to flip
       break;
     default:
       break;

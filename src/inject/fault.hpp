@@ -28,6 +28,8 @@ enum class FaultKind : std::uint8_t {
   kKillProcess,    ///< kernel: fail-stop the target process at a SimTime
   kDropSignal,     ///< kernel: a pending checkpoint signal is lost
   kNodeFailStop,   ///< cluster: fail-stop a node between capture and store
+  kJournalTornAppend,  ///< journal: power-fail mid-append; a torn record is persisted
+  kJournalCorrupt,     ///< journal: silent log corruption followed by crash + recovery
 };
 
 const char* to_string(FaultKind kind);

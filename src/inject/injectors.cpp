@@ -49,6 +49,35 @@ void StorageInjector::end_outage() {
   backend_->set_outage(false);
 }
 
+void JournalInjector::tear_next_append(util::Rng& rng) {
+  note_injection(observer_, "inject.journal_torn_append");
+  journal_->tear_next_append(rng.next_u64());
+}
+
+bool JournalInjector::corrupt_log(util::Rng& rng, std::uint64_t count) {
+  const std::uint64_t offset = rng.next_u64() >> 32;
+  const bool hit = journal_->corrupt_log(offset, count == 0 ? 1 : count);
+  if (hit) {
+    note_injection(observer_, "inject.journal_corrupt",
+                   {obs::TraceArg::num("bytes", count == 0 ? 1 : count)});
+  }
+  return hit;
+}
+
+void JournalInjector::crash() {
+  note_injection(observer_, "inject.journal_crash");
+  journal_->simulate_crash();
+}
+
+void JournalInjector::crash_between_drain_and_publish() {
+  note_injection(observer_, "inject.journal_drain_crash");
+  journal_->crash_between_drain_and_publish();
+}
+
+storage::JournalRecoveryReport JournalInjector::recover() {
+  return journal_->recover(storage::ChargeFn{});
+}
+
 void ProcessInjector::kill_at(sim::Pid pid, SimTime when) {
   note_injection(observer_, "inject.kill_process",
                  {obs::TraceArg::num("pid", static_cast<std::uint64_t>(pid)),

@@ -18,6 +18,7 @@
 #include "cluster/node.hpp"
 #include "sim/kernel.hpp"
 #include "storage/backend.hpp"
+#include "storage/journal.hpp"
 #include "util/rng.hpp"
 
 namespace ckpt::obs {
@@ -50,6 +51,38 @@ class StorageInjector {
 
  private:
   storage::BlobStoreBackend* backend_;
+  obs::Observer* observer_;
+};
+
+/// Journal layer: fault the log-structured backend's append stream and the
+/// migrator's drain→publish window.
+class JournalInjector {
+ public:
+  explicit JournalInjector(storage::LogStructuredBackend& journal,
+                           obs::Observer* observer = nullptr)
+      : journal_(&journal), observer_(observer) {}
+
+  /// Power-fail mid-append: the next store() persists a torn record prefix
+  /// at an rng-chosen byte of its record stream, then the journal crashes.
+  void tear_next_append(util::Rng& rng);
+
+  /// Flip `count` bytes of the live log at an rng-chosen offset.  Returns
+  /// false when the log is empty.
+  bool corrupt_log(util::Rng& rng, std::uint64_t count);
+
+  /// Power-fail now: host state is lost, only the media bytes survive.
+  void crash();
+
+  /// Arm the migrator-window crash (drained to home, publish record lost).
+  void crash_between_drain_and_publish();
+
+  /// Replay recovery after any of the crashes above.
+  storage::JournalRecoveryReport recover();
+
+  [[nodiscard]] storage::LogStructuredBackend& journal() { return *journal_; }
+
+ private:
+  storage::LogStructuredBackend* journal_;
   obs::Observer* observer_;
 };
 

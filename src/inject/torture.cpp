@@ -145,11 +145,17 @@ TortureReport TortureHarness::run(const TortureTarget& target) {
   // workers == 0 leaves the store on the shared CKPT_WORKERS pool.
   std::unique_ptr<util::ThreadPool> pinned_pool;
   std::unique_ptr<storage::ReplicatedStore> replicated;
+  std::unique_ptr<storage::LogStructuredBackend> journal_store;
   mechanisms::MechanismContext context{&kernel, &local, &remote};
   if (options_.dedup && !options_.replicated_storage) {
     throw std::invalid_argument(
         "TortureHarness: dedup requires replicated_storage (a shared chunk on a "
         "single media copy amplifies one corruption across the whole chain)");
+  }
+  if (options_.journal && !options_.replicated_storage) {
+    throw std::invalid_argument(
+        "TortureHarness: journal requires replicated_storage (the migrator needs "
+        "a durable home store to drain into)");
   }
   if (options_.replicated_storage) {
     if (options_.replicas < 2) {
@@ -176,8 +182,23 @@ TortureReport TortureHarness::run(const TortureTarget& target) {
     // (CRAK, BLCR, ...) and remote-storage designs write through it alike.
     context.local = replicated.get();
     context.remote = replicated.get();
+    if (options_.journal) {
+      storage::JournalOptions journal_options;
+      journal_options.observer = observer;
+      if (options_.workers > 0) journal_options.pool = pinned_pool.get();
+      journal_store = std::make_unique<storage::LogStructuredBackend>(replicated.get(),
+                                                                      journal_options);
+      // Engines commit by appending to the journal; the migrator drains into
+      // the replicated store at the end of each checkpoint step.
+      context.local = journal_store.get();
+      context.remote = journal_store.get();
+    }
   }
   std::unique_ptr<mechanisms::Mechanism> mech = entry->factory(context);
+  std::unique_ptr<JournalInjector> journal_inj;
+  if (journal_store != nullptr) {
+    journal_inj = std::make_unique<JournalInjector>(*journal_store, observer);
+  }
 
   storage::StorageBackend& store = *mech->engine()->backend();
   storage::BlobStoreBackend* blob = nullptr;
@@ -332,7 +353,19 @@ TortureReport TortureHarness::run(const TortureTarget& target) {
     // 2. Checkpoint attempt, possibly against a faulted store.
     if (fault.kind == FaultKind::kStoreReject) storage_inj.fail_next_store();
     if (fault.kind == FaultKind::kTornStore) storage_inj.tear_next_store();
+    if (fault.kind == FaultKind::kJournalTornAppend && journal_inj != nullptr) {
+      journal_inj->tear_next_append(rng);
+    }
     const core::CheckpointResult cr = mech->checkpoint(kernel, pid);
+    if (journal_inj != nullptr) {
+      // Append-commit: the checkpoint only reached the log.  Drain the
+      // migrator now, while this cycle's replica fault is still armed — the
+      // two-phase publish into the replicated store is what must absorb it.
+      // A torn append (during the checkpoint or mid-drain) leaves the
+      // journal crashed; recovery keeps the previous fully-committed prefix.
+      if (!journal_store->crashed()) journal_store->migrate(storage::ChargeFn{});
+      if (journal_store->crashed()) journal_inj->recover();
+    }
     victim->inject_store_fault(storage::StoreFault::kNone);  // disarm if unconsumed
     if (cr.ok) {
       ++report.checkpoints_ok;
@@ -362,6 +395,26 @@ TortureReport TortureHarness::run(const TortureTarget& target) {
         --good_count;
         newest_good = false;
       }
+    }
+    if (fault.kind == FaultKind::kJournalCorrupt && journal_inj != nullptr &&
+        journal_inj->corrupt_log(rng, fault.param)) {
+      // Silent log corruption only becomes observable through a crash:
+      // power-fail, recover the longest valid prefix, then re-derive the
+      // storage model from what actually survived — the prefix discard may
+      // take committed images (and their drained-but-now-disowned home
+      // copies) with it.
+      journal_inj->crash();
+      journal_inj->recover();
+      good_count = 0;
+      for (const storage::ImageId id : store.list()) {
+        const std::optional<storage::CheckpointImage> image =
+            store.load(id, storage::ChargeFn{});
+        if (image && image->pid == pid && image->kind == storage::ImageKind::kFull) {
+          ++good_count;
+        }
+      }
+      chain_len = good_count;
+      newest_good = good_count > 0;
     }
 
     // 4. Crash: every cycle ends with the process dead.

@@ -83,6 +83,18 @@ struct TortureOptions {
   /// std::invalid_argument on dedup without replication.  The soak
   /// invariants (and the 1-vs-8-worker identity) must hold unchanged.
   bool dedup = false;
+  /// Log-structured append-commit mode (storage/journal): the engines write
+  /// through a LogStructuredBackend whose home store is the ReplicatedStore,
+  /// and every checkpoint step ends with a migrator drain while the cycle's
+  /// replica fault is still armed — so the two-phase publish absorbs it.
+  /// Adds two fault kinds to the schedule when present in the mix:
+  /// kJournalTornAppend (power-fail mid-append; the commit must fail and
+  /// recovery must keep the previous prefix) and kJournalCorrupt (silent log
+  /// corruption + crash; recovery discards the damaged suffix and the model
+  /// is re-derived from what survived).  Requires replicated_storage — the
+  /// migrator needs a durable home store to drain into; the harness throws
+  /// std::invalid_argument otherwise.
+  bool journal = false;
   /// Observability sink (null = disabled).  Attached to the per-engine
   /// kernel and the replicated store, so a soak produces a per-cycle
   /// lifecycle timeline plus fault/ckpt/store/scrub metrics.  The exported

@@ -1,0 +1,527 @@
+// Log-structured journal (storage/journal): append-commit round-trips, group
+// commit, torn-append and silent-corruption recovery, migrator drain + segment
+// reclaim, chain/GC agreement over migrated images, scrub agreement across the
+// drain→publish crash window, the engine append-commit wiring, and the
+// exhaustive JournalCrashReplay harness (every record boundary + fuzzed
+// intra-record offsets, worker-invariant).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "core/systemlevel.hpp"
+#include "inject/replay.hpp"
+#include "storage/backend.hpp"
+#include "storage/chain.hpp"
+#include "storage/journal.hpp"
+#include "storage/replicated.hpp"
+#include "test_common.hpp"
+#include "util/threadpool.hpp"
+
+namespace ckpt::storage {
+namespace {
+
+constexpr sim::VAddr kBase = 0x10000;
+
+/// A full image whose pages derive deterministically from `tag`.  Page 0 is
+/// constant across images so the home store's cross-image dedup (when on)
+/// has something to share; the rest are tag-unique.
+CheckpointImage make_image(std::uint64_t tag, std::size_t pages = 3) {
+  CheckpointImage image;
+  image.kind = ImageKind::kFull;
+  image.pid = 42;
+  image.process_name = "journaled";
+  image.sequence = tag;
+  image.taken_at = tag * 1000;
+  image.threads.push_back(ThreadImage{1, {}});
+  image.threads[0].regs.pc = tag;
+  MemorySegmentImage seg;
+  seg.vma = sim::Vma{sim::page_of(kBase), static_cast<std::uint64_t>(pages),
+                     sim::kProtRW, sim::VmaKind::kData, "data"};
+  for (std::size_t p = 0; p < pages; ++p) {
+    PageImage page;
+    page.page = seg.vma.first_page + p;
+    page.data.resize(sim::kPageSize);
+    for (std::size_t b = 0; b < page.data.size(); ++b) {
+      const std::uint64_t v = p == 0 ? b : (tag * 131 + p * 17 + b);
+      page.data[b] = static_cast<std::byte>(v & 0xFF);
+    }
+    seg.pages.push_back(std::move(page));
+  }
+  image.segments.push_back(std::move(seg));
+  return image;
+}
+
+class JournalTest : public ::testing::Test {
+ protected:
+  sim::CostModel costs_{};
+  LocalDiskBackend home_{costs_};
+};
+
+// --- Append-commit basics ----------------------------------------------------
+
+TEST_F(JournalTest, AppendCommitRoundTripIsBitIdentical) {
+  LogStructuredBackend journal(&home_, {});
+  const CheckpointImage original = make_image(7);
+  const ImageId id = journal.store(original, ChargeFn{});
+  ASSERT_NE(id, kBadImageId);
+  const auto loaded = journal.load(id, ChargeFn{});
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->serialize(), original.serialize());
+  // Still resident: nothing touched the home store yet.
+  EXPECT_EQ(journal.resident_images(), 1u);
+  EXPECT_TRUE(home_.list().empty());
+}
+
+TEST_F(JournalTest, CommitsArePureSequentialAppends) {
+  LogStructuredBackend journal(&home_, {});
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    ASSERT_NE(journal.store(make_image(i), ChargeFn{}), kBadImageId);
+  }
+  const std::vector<JournalRecordInfo>& ledger = journal.appended_records();
+  ASSERT_FALSE(ledger.empty());
+  EXPECT_EQ(ledger.front().type, JournalRecordType::kSegmentOpen);
+  std::uint64_t expect_offset = 0;
+  std::uint64_t commits = 0;
+  for (const JournalRecordInfo& record : ledger) {
+    EXPECT_EQ(record.log_offset, expect_offset) << "appends must be gapless";
+    expect_offset += record.bytes;
+    commits += record.type == JournalRecordType::kCommit ? 1 : 0;
+  }
+  EXPECT_EQ(commits, 4u);
+  // Every commit group ends with its kCommit record.
+  EXPECT_EQ(ledger.back().type, JournalRecordType::kCommit);
+}
+
+TEST_F(JournalTest, GroupCommitDefersTheSyncToOneChargePerGroup) {
+  LogStructuredBackend journal(&home_, {});
+  std::vector<SimTime> charges;
+  const ChargeFn charge = [&](SimTime t) { charges.push_back(t); };
+
+  // Ungrouped: each store pays its own device sync (the full disk latency).
+  ASSERT_NE(journal.store(make_image(0), charge), kBadImageId);
+  const auto syncs = [&] {
+    return std::count(charges.begin(), charges.end(),
+                      static_cast<SimTime>(costs_.disk_latency_ns));
+  };
+  EXPECT_EQ(syncs(), 1);
+
+  // Grouped: three stores, still exactly one more sync at end_group().
+  charges.clear();
+  journal.begin_group();
+  for (std::uint64_t i = 1; i <= 3; ++i) {
+    ASSERT_NE(journal.store(make_image(i), charge), kBadImageId);
+  }
+  EXPECT_EQ(syncs(), 0) << "grouped stores must defer the sync";
+  EXPECT_EQ(journal.end_group(charge), static_cast<SimTime>(costs_.disk_latency_ns));
+  EXPECT_EQ(syncs(), 1);
+  // An empty group charges nothing.
+  journal.begin_group();
+  EXPECT_EQ(journal.end_group(charge), 0u);
+}
+
+// --- Crash / recovery --------------------------------------------------------
+
+TEST_F(JournalTest, TornAppendLosesOnlyTheInFlightCommit) {
+  LogStructuredBackend journal(&home_, {});
+  std::vector<std::vector<std::byte>> truths;
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    const CheckpointImage image = make_image(i);
+    truths.push_back(image.serialize());
+    ASSERT_NE(journal.store(image, ChargeFn{}), kBadImageId);
+  }
+  const std::vector<ImageId> before = journal.list();
+
+  journal.tear_next_append(1234);  // normalized into the planned record stream
+  EXPECT_EQ(journal.store(make_image(9), ChargeFn{}), kBadImageId);
+  EXPECT_TRUE(journal.crashed());
+
+  const JournalRecoveryReport report = journal.recover(ChargeFn{});
+  EXPECT_TRUE(report.tail_torn);
+  EXPECT_GT(report.bytes_discarded, 0u);
+  EXPECT_EQ(report.recovered_ids, before);
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    const auto loaded = journal.load(before[i], ChargeFn{});
+    ASSERT_TRUE(loaded.has_value()) << "image " << before[i];
+    EXPECT_EQ(loaded->serialize(), truths[i]);
+  }
+}
+
+TEST_F(JournalTest, RecoveryNeverReissuesADiscardedId) {
+  LogStructuredBackend journal(&home_, {});
+  ASSERT_NE(journal.store(make_image(0), ChargeFn{}), kBadImageId);
+  journal.tear_next_append(40);
+  const ImageId torn_would_be = 2;  // the id the torn store would have taken
+  EXPECT_EQ(journal.store(make_image(1), ChargeFn{}), kBadImageId);
+  journal.recover(ChargeFn{});
+  const ImageId reissued = journal.store(make_image(2), ChargeFn{});
+  ASSERT_NE(reissued, kBadImageId);
+  // A chain still holding the discarded id must never resolve to this image.
+  EXPECT_NE(reissued, torn_would_be);
+  EXPECT_GT(reissued, torn_would_be);
+}
+
+TEST_F(JournalTest, SilentCorruptionRecoversTheNewestFullyCommittedPrefix) {
+  LogStructuredBackend journal(&home_, {});
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    ASSERT_NE(journal.store(make_image(i), ChargeFn{}), kBadImageId);
+  }
+  // Damage the third commit group's kCommit record: images 1 and 2 are the
+  // newest fully-committed prefix; 3, 4 and 5 must all be discarded.
+  std::uint64_t commit_seen = 0;
+  std::uint64_t target_offset = 0;
+  for (const JournalRecordInfo& record : journal.appended_records()) {
+    if (record.type != JournalRecordType::kCommit) continue;
+    if (++commit_seen == 3) {
+      target_offset = record.log_offset + record.bytes / 2;
+      break;
+    }
+  }
+  ASSERT_TRUE(journal.corrupt_log(target_offset, 1));
+  journal.simulate_crash();
+  const JournalRecoveryReport report = journal.recover(ChargeFn{});
+  EXPECT_TRUE(report.tail_torn);
+  EXPECT_EQ(report.recovered_ids, (std::vector<ImageId>{1, 2}));
+  for (const ImageId id : report.recovered_ids) {
+    const auto loaded = journal.load(id, ChargeFn{});
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(loaded->serialize(), make_image(id - 1).serialize());
+  }
+}
+
+TEST_F(JournalTest, EraseSurvivesCrashAndRecovery) {
+  LogStructuredBackend journal(&home_, {});
+  const ImageId a = journal.store(make_image(0), ChargeFn{});
+  const ImageId b = journal.store(make_image(1), ChargeFn{});
+  ASSERT_NE(a, kBadImageId);
+  ASSERT_NE(b, kBadImageId);
+  EXPECT_TRUE(journal.erase(a));
+  journal.simulate_crash();
+  const JournalRecoveryReport report = journal.recover(ChargeFn{});
+  EXPECT_EQ(report.recovered_ids, (std::vector<ImageId>{b}));
+  EXPECT_FALSE(journal.load(a, ChargeFn{}).has_value());
+  EXPECT_TRUE(journal.load(b, ChargeFn{}).has_value());
+}
+
+// --- Migrator ----------------------------------------------------------------
+
+TEST_F(JournalTest, MigratorDrainsIntoHomeAndReclaimsSegments) {
+  JournalOptions options;
+  options.segment_bytes = 24 * 1024;  // force several seal/open rollovers
+  options.segments = 12;
+  LogStructuredBackend journal(&home_, options);
+  std::vector<ImageId> ids;
+  std::vector<std::vector<std::byte>> truths;
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    const CheckpointImage image = make_image(i);
+    truths.push_back(image.serialize());
+    ids.push_back(journal.store(image, ChargeFn{}));
+    ASSERT_NE(ids.back(), kBadImageId);
+  }
+  const std::uint64_t live_before = journal.log_live_bytes();
+
+  const LogStructuredBackend::MigrateReport report = journal.migrate(ChargeFn{});
+  EXPECT_TRUE(report.complete);
+  EXPECT_EQ(report.images_drained, ids.size());
+  EXPECT_GT(report.segments_reclaimed, 0u);
+  EXPECT_EQ(journal.resident_images(), 0u);
+  EXPECT_EQ(journal.migrated_images(), ids.size());
+  EXPECT_LT(journal.log_live_bytes(), live_before);
+  EXPECT_EQ(home_.list().size(), ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    ASSERT_TRUE(journal.home_id_of(ids[i]).has_value());
+    const auto loaded = journal.load(ids[i], ChargeFn{});
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(loaded->serialize(), truths[i]);
+  }
+}
+
+TEST_F(JournalTest, OnDemandMigrationFreesSpaceWhenTheLogFills) {
+  JournalOptions cramped;
+  cramped.segment_bytes = 16 * 1024;
+  cramped.segments = 3;  // less than two images' worth of log
+  cramped.migrate_on_demand = false;
+  {
+    LogStructuredBackend journal(&home_, cramped);
+    // Without on-demand migration the ring simply fills up.
+    bool filled = false;
+    for (std::uint64_t i = 0; i < 8 && !filled; ++i) {
+      filled = journal.store(make_image(i), ChargeFn{}) == kBadImageId;
+    }
+    EXPECT_TRUE(filled);
+  }
+  cramped.migrate_on_demand = true;
+  LocalDiskBackend fresh_home(costs_);
+  LogStructuredBackend journal(&fresh_home, cramped);
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    ASSERT_NE(journal.store(make_image(i), ChargeFn{}), kBadImageId) << "round " << i;
+  }
+  // Everything remains loadable, wherever it now lives.
+  for (const ImageId id : journal.list()) {
+    EXPECT_TRUE(journal.load(id, ChargeFn{}).has_value());
+  }
+}
+
+TEST_F(JournalTest, MigrationSurvivesCrashAndRecovery) {
+  LogStructuredBackend journal(&home_, {});
+  const ImageId id = journal.store(make_image(3), ChargeFn{});
+  ASSERT_NE(id, kBadImageId);
+  ASSERT_TRUE(journal.migrate(ChargeFn{}).complete);
+  journal.simulate_crash();
+  const JournalRecoveryReport report = journal.recover(ChargeFn{});
+  EXPECT_EQ(report.migrated_recovered, 1u);
+  EXPECT_EQ(report.orphans_reclaimed, 0u);
+  const auto loaded = journal.load(id, ChargeFn{});
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->serialize(), make_image(3).serialize());
+}
+
+// --- Migrator / chain / GC interaction (satellite: live_set agreement) -------
+
+TEST(JournalChain, MigratedChunksStayVisibleToTheLiveSetAcrossPruneAndGc) {
+  sim::CostModel costs{};
+  LocalDiskBackend local(costs);
+  RemoteBackend remote(costs);
+  ReplicatedOptions replicated_options;
+  replicated_options.dedup = true;
+  ReplicatedStore home({&local, &remote}, replicated_options);
+
+  JournalOptions options;
+  options.segment_bytes = 24 * 1024;
+  options.segments = 12;
+  LogStructuredBackend journal(&home, options);
+  CheckpointChain chain(&journal);
+
+  std::vector<std::vector<std::byte>> truths;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    CheckpointImage image = make_image(i);
+    const ImageId id = chain.append(image, ChargeFn{});
+    ASSERT_NE(id, kBadImageId);
+    // append() assigned sequence/parent before storing: re-derive the truth
+    // from what the chain actually persisted.
+    truths.push_back(journal.load(id, ChargeFn{})->serialize());
+  }
+
+  // Drain: every chain entry now lives in the dedup home, and the chunks the
+  // migrated manifests reference must be pinned there before any log segment
+  // is reclaimed — the live_set walk re-verifies each entry by loading it.
+  const LogStructuredBackend::MigrateReport drained = journal.migrate(ChargeFn{});
+  EXPECT_TRUE(drained.complete);
+  EXPECT_EQ(drained.images_drained, 4u);
+  const std::vector<ImageId> live = chain.live_set(ChargeFn{});
+  ASSERT_FALSE(live.empty());
+  for (const ImageId id : live) {
+    EXPECT_TRUE(journal.load(id, ChargeFn{}).has_value())
+        << "live_set id " << id << " must stay loadable after the drain";
+  }
+
+  // Prune-vs-gc agreement: prune erases everything older than the newest
+  // verified full image (through the journal, which forwards the erase to the
+  // home), and gc may reclaim only chunks no surviving entry references.
+  chain.prune(ChargeFn{});
+  const GcReport gc = journal.gc(ChargeFn{});
+  const std::vector<ImageId> kept = chain.live_set(ChargeFn{});
+  EXPECT_EQ(kept.size(), 1u) << "all-full chain prunes to the newest image";
+  const auto newest = chain.reconstruct_newest_surviving(ChargeFn{});
+  ASSERT_TRUE(newest.has_value()) << "gc must never strand the restart path "
+                                  << "(chunks reclaimed: " << gc.chunks_freed << ")";
+  EXPECT_EQ(newest->serialize(), truths.back());
+}
+
+// --- Scrub / recovery agreement (satellite: drain→publish crash window) ------
+
+TEST(JournalScrub, RecoveryAndScrubAgreeWhenACrashSplitsDrainFromPublish) {
+  sim::CostModel costs{};
+  LocalDiskBackend local(costs);
+  RemoteBackend remote(costs);
+  ReplicatedStore home({&local, &remote}, {});
+
+  LogStructuredBackend journal(&home, {});
+  const CheckpointImage image_a = make_image(0);
+  const CheckpointImage image_b = make_image(1);
+  const ImageId a = journal.store(image_a, ChargeFn{});
+  const ImageId b = journal.store(image_b, ChargeFn{});
+  ASSERT_NE(a, kBadImageId);
+  ASSERT_NE(b, kBadImageId);
+
+  // Crash in the window: the first image is durably committed in the home
+  // store, but its kMigrate publish record never reaches the log.
+  journal.crash_between_drain_and_publish();
+  const LogStructuredBackend::MigrateReport drained = journal.migrate(ChargeFn{});
+  EXPECT_FALSE(drained.complete);
+  EXPECT_TRUE(journal.crashed());
+  ASSERT_EQ(home.list().size(), 1u) << "the orphan must exist for this test to bite";
+
+  // Recovery reconciles: the home copy is disowned (no publish record), so it
+  // is erased; both images remain log-resident and loadable.  Scrub then sees
+  // a consistent store — an intact-replica image the journal cannot reach
+  // (data loss with an intact replica) must be impossible.
+  const JournalRecoveryReport report = journal.recover(ChargeFn{});
+  EXPECT_EQ(report.orphans_reclaimed, 1u);
+  EXPECT_EQ(report.resident_recovered, 2u);
+  EXPECT_TRUE(home.list().empty());
+
+  const ScrubReport scrub = home.scrub(ChargeFn{});
+  EXPECT_TRUE(scrub.clean());
+  EXPECT_EQ(scrub.unrepairable, 0u);
+
+  ASSERT_TRUE(journal.load(a, ChargeFn{}).has_value());
+  ASSERT_TRUE(journal.load(b, ChargeFn{}).has_value());
+  EXPECT_EQ(journal.load(a, ChargeFn{})->serialize(), image_a.serialize());
+  EXPECT_EQ(journal.load(b, ChargeFn{})->serialize(), image_b.serialize());
+
+  // The retried drain publishes both; scrub and the journal now agree on
+  // exactly two committed, fully-replicated images.
+  const LogStructuredBackend::MigrateReport retried = journal.migrate(ChargeFn{});
+  EXPECT_TRUE(retried.complete);
+  EXPECT_EQ(retried.images_drained, 2u);
+  EXPECT_EQ(home.list().size(), 2u);
+  EXPECT_TRUE(home.scrub(ChargeFn{}).clean());
+  for (const ImageId id : {a, b}) {
+    const auto home_id = journal.home_id_of(id);
+    ASSERT_TRUE(home_id.has_value());
+    EXPECT_GE(home.intact_replicas(*home_id), 1u);
+  }
+}
+
+// --- Group-commit determinism (satellite: mirrors PipelineDeterminism) -------
+
+struct GroupRun {
+  JournalMedia media;
+  std::vector<ImageId> ids;
+  std::vector<ImageId> recovered;
+  std::vector<SimTime> charges;
+  std::vector<std::vector<std::byte>> home_blobs;
+
+  friend bool operator==(const GroupRun&, const GroupRun&) = default;
+};
+
+/// Drive an identical group-committed, faulted workload — three "engines"
+/// sharing each group, a mid-run drain, a torn append, recovery, one more
+/// commit — recording everything observable.
+GroupRun drive_group_commit(util::ThreadPool* pool) {
+  sim::CostModel costs{};
+  LocalDiskBackend home(costs);
+  JournalOptions options;
+  options.segment_bytes = 24 * 1024;
+  options.segments = 8;
+  options.pool = pool;
+  LogStructuredBackend journal(&home, options);
+
+  GroupRun run;
+  const ChargeFn charge = [&run](SimTime t) { run.charges.push_back(t); };
+  std::uint64_t tag = 0;
+  for (std::uint64_t round = 0; round < 3; ++round) {
+    journal.begin_group();
+    for (std::uint64_t engine = 0; engine < 3; ++engine) {
+      run.ids.push_back(journal.store(make_image(tag++), charge));
+    }
+    journal.end_group(charge);
+    if (round == 1) journal.migrate(charge);
+  }
+  journal.tear_next_append(777);
+  EXPECT_EQ(journal.store(make_image(tag++), charge), kBadImageId);
+  run.recovered = journal.recover(charge).recovered_ids;
+  run.ids.push_back(journal.store(make_image(tag), charge));
+
+  run.media = journal.media_snapshot();
+  for (const ImageId id : home.list()) {
+    auto blob = home.read_blob(id, nullptr);
+    run.home_blobs.push_back(blob.value_or(std::vector<std::byte>{}));
+  }
+  return run;
+}
+
+TEST(JournalDeterminism, GroupCommitIsBitIdenticalForAnyWorkerCount) {
+  util::ThreadPool one(1), four(4), eight(8);
+  const GroupRun baseline = drive_group_commit(&one);
+  EXPECT_EQ(drive_group_commit(&four), baseline);
+  EXPECT_EQ(drive_group_commit(&eight), baseline);
+}
+
+// --- Engine wiring (EngineOptions::append_commit) ----------------------------
+
+class JournalEngineTest : public ckpt::test::SimTest {
+ protected:
+  sim::SimKernel kernel_;
+  sim::CostModel costs_{};
+  LocalDiskBackend home_{costs_};
+};
+
+TEST_F(JournalEngineTest, AppendCommitModeDrainsTheJournalAtTheCommitPoint) {
+  LogStructuredBackend journal(&home_, {});
+  core::EngineOptions options;
+  options.append_commit = true;
+  core::SyscallEngine engine("epckpt", &journal, options, kernel_,
+                             core::SyscallEngine::TargetMode::kByPid, nullptr);
+  const sim::Pid pid = kernel_.spawn(sim::CounterGuest::kTypeName);
+  ckpt::test::run_steps(kernel_, pid, 5);
+  const core::CheckpointResult result = engine.request_checkpoint(kernel_, pid);
+  ASSERT_TRUE(result.ok) << result.error;
+  // The commit landed in the log and the post-commit drain migrated it home.
+  EXPECT_EQ(journal.resident_images(), 0u);
+  EXPECT_EQ(journal.migrated_images(), 1u);
+  EXPECT_EQ(home_.list().size(), 1u);
+}
+
+TEST_F(JournalEngineTest, AppendCommitIsIgnoredForNonJournalBackends) {
+  core::EngineOptions options;
+  options.append_commit = true;
+  core::SyscallEngine engine("epckpt", &home_, options, kernel_,
+                             core::SyscallEngine::TargetMode::kByPid, nullptr);
+  const sim::Pid pid = kernel_.spawn(sim::CounterGuest::kTypeName);
+  ckpt::test::run_steps(kernel_, pid, 5);
+  const core::CheckpointResult result = engine.request_checkpoint(kernel_, pid);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(home_.list().size(), 1u);
+}
+
+// --- The crash-point replay harness (the headline deliverable) ---------------
+
+TEST(JournalCrashReplay, RecoversExactlyTheNewestFullyCommittedPrefixEverywhere) {
+  inject::CrashReplayOptions options;  // 32 commits, 220 fuzzed offsets
+  inject::JournalCrashReplay harness(options);
+  const inject::CrashReplayReport report = harness.run();
+  SCOPED_TRACE(report.summary());
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.failures, 0u);
+  EXPECT_GE(report.commits_recorded, 30u);
+  EXPECT_GE(report.fuzz_cases, 200u);
+  // One truncation per record boundary plus the empty log.
+  EXPECT_GT(report.boundary_cases, report.commits_recorded);
+  EXPECT_GT(report.torn_tails, 0u);
+  EXPECT_GT(report.images_reverified, 0u);
+  EXPECT_GT(report.migrations_checked, 0u);
+}
+
+TEST(JournalCrashReplay, ReportIsIdenticalForOneAndEightWorkers) {
+  inject::CrashReplayOptions one;
+  one.workers = 1;
+  inject::CrashReplayOptions eight;
+  eight.workers = 8;
+  const inject::CrashReplayReport report_one = inject::JournalCrashReplay(one).run();
+  const inject::CrashReplayReport report_eight = inject::JournalCrashReplay(eight).run();
+  SCOPED_TRACE(report_one.summary());
+  EXPECT_EQ(report_one, report_eight);
+  EXPECT_TRUE(report_one.ok());
+}
+
+// --- Construction guards -----------------------------------------------------
+
+TEST_F(JournalTest, ConstructorRejectsBadGeometry) {
+  EXPECT_THROW(LogStructuredBackend(nullptr, {}), std::invalid_argument);
+  JournalOptions one_segment;
+  one_segment.segments = 1;
+  EXPECT_THROW(LogStructuredBackend(&home_, one_segment), std::invalid_argument);
+  JournalOptions tiny;
+  tiny.segment_bytes = 16;
+  EXPECT_THROW(LogStructuredBackend(&home_, tiny), std::invalid_argument);
+  JournalOptions options;
+  JournalMedia mismatched;
+  mismatched.segment_bytes = options.segment_bytes / 2;
+  EXPECT_THROW(LogStructuredBackend(&home_, options, mismatched), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ckpt::storage

@@ -194,6 +194,87 @@ TEST(TortureStorage, DedupWorkerCountNeverChangesTheSoak) {
   }
 }
 
+/// The journal schedule: every storage fault the replicated battery runs,
+/// plus the two log-specific kinds (power-fail mid-append, silent log
+/// corruption + crash + recovery).
+std::vector<FaultPlan::Weighted> journal_mix() {
+  std::vector<FaultPlan::Weighted> mix = storage_only_mix();
+  mix.push_back({FaultKind::kNone, 2});
+  mix.push_back({FaultKind::kKillProcess, 2});
+  mix.push_back({FaultKind::kJournalTornAppend, 2});
+  mix.push_back({FaultKind::kJournalCorrupt, 2});
+  return mix;
+}
+
+TEST(TortureStorage, JournalReplicatedSoakHoldsTheSameInvariants) {
+  // Append-commit mode: engines write through the LogStructuredBackend, the
+  // migrator drains into the ReplicatedStore every cycle (while that cycle's
+  // replica fault is still armed), and the log-specific faults join the
+  // schedule.  A torn append must cost exactly the in-flight commit, a
+  // corrupt+crash must cost at most the discarded suffix — never a
+  // divergence, a restart from garbage, or a restart refusal while intact
+  // state exists.
+  TortureOptions options = replicated_options();
+  options.journal = true;
+  options.fault_mix = journal_mix();
+  const std::vector<TortureReport> reports =
+      TortureHarness(options).run_all(default_targets());
+  std::uint64_t total_cycles = 0;
+  std::uint64_t torn_appends = 0;
+  std::uint64_t log_corruptions = 0;
+  for (const TortureReport& report : reports) {
+    SCOPED_TRACE(report.summary());
+    total_cycles += report.cycles;
+    const auto torn = report.faults.find(FaultKind::kJournalTornAppend);
+    const auto corrupt = report.faults.find(FaultKind::kJournalCorrupt);
+    torn_appends += torn == report.faults.end() ? 0 : torn->second;
+    log_corruptions += corrupt == report.faults.end() ? 0 : corrupt->second;
+    EXPECT_GT(report.checkpoints_ok, 0u) << report.engine;
+    EXPECT_GT(report.restarts_ok, 0u) << report.engine;
+    EXPECT_EQ(report.divergences, 0u);
+    EXPECT_EQ(report.corrupt_restarts, 0u);
+    EXPECT_EQ(report.unexpected_failures, 0u);
+    EXPECT_EQ(report.scrub_failures, 0u);
+    EXPECT_TRUE(report.ok());
+    for (const std::string& diagnostic : report.diagnostics) {
+      ADD_FAILURE() << report.engine << ": " << diagnostic;
+    }
+  }
+  EXPECT_GE(total_cycles, 550u);
+  EXPECT_GT(torn_appends, 0u) << "the schedule never tore an append";
+  EXPECT_GT(log_corruptions, 0u) << "the schedule never corrupted the log";
+}
+
+TEST(TortureStorage, JournalWorkerCountNeverChangesTheSoak) {
+  // The migrator pre-decodes resident images on the pool; the soak —
+  // including every mid-cycle drain, crash and recovery — must replay
+  // bit-identically for one worker and eight.
+  TortureOptions options = replicated_options(/*replicas=*/3);
+  options.cycles = 35;
+  options.journal = true;
+  options.fault_mix = journal_mix();
+
+  options.workers = 1;
+  const std::vector<TortureReport> serial = TortureHarness(options).run_all(default_targets());
+  options.workers = 8;
+  const std::vector<TortureReport> pooled = TortureHarness(options).run_all(default_targets());
+
+  ASSERT_EQ(serial.size(), pooled.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], pooled[i]) << serial[i].engine;
+  }
+}
+
+TEST(TortureStorage, JournalWithoutReplicationIsRejected) {
+  // The migrator needs a durable home store to drain into; an unreplicated
+  // journal would quietly demote the survivability claim under test.
+  TortureOptions options = replicated_options();
+  options.replicated_storage = false;
+  options.journal = true;
+  EXPECT_THROW(TortureHarness(options).run(TortureTarget{"CRAK", nullptr}),
+               std::invalid_argument);
+}
+
 TEST(TortureStorage, DedupWithoutReplicationIsRejected) {
   // A shared chunk on a single media copy would let one silent corruption
   // damage several committed images at once, breaking the harness's
