@@ -19,11 +19,17 @@ namespace {
 constexpr std::uint32_t kRecordMagic = 0x4C4E524Au;
 /// magic u32 + type u8 + body_len u64 + trailing crc64 u64.
 constexpr std::uint64_t kEnvelopeOverhead = 4 + 1 + 8 + 8;
-/// kSeal and kSegmentOpen both carry one u64 body.
-constexpr std::uint64_t kStructuralRecordBytes = kEnvelopeOverhead + 8;
+/// kSegmentOpen carries {epoch u64, id-generation floor u64}.
+constexpr std::uint64_t kOpenRecordBytes = kEnvelopeOverhead + 16;
+/// kSeal carries {next epoch u64}.
+constexpr std::uint64_t kSealRecordBytes = kEnvelopeOverhead + 8;
 /// Ids are (generation << kGenerationShift) | counter; every recover() bumps
 /// the generation so ids discarded with a torn tail are never reissued to a
 /// different image (a chain holding the old id must not load the new one).
+/// The generation in force is stamped into every kSegmentOpen record (and
+/// re-stamped by recover()), so the bump survives even a second crash that
+/// tears every commit of the new generation — a survivors-only scan would
+/// recompute the old generation and reissue its ids.
 constexpr std::uint32_t kGenerationShift = 48;
 
 bool record_type_known(std::uint8_t raw) {
@@ -49,7 +55,7 @@ LogStructuredBackend::LogStructuredBackend(StorageBackend* home, JournalOptions 
     : home_(home), options_(options) {
   if (home_ == nullptr) throw std::invalid_argument("journal requires a home store");
   if (options_.segments < 2) throw std::invalid_argument("journal needs >= 2 segments");
-  if (options_.segment_bytes < 4 * kStructuralRecordBytes) {
+  if (options_.segment_bytes < 2 * (kOpenRecordBytes + kSealRecordBytes)) {
     throw std::invalid_argument("journal segment_bytes too small");
   }
   options_.encoding.observer = nullptr;  // per-store tables stay silent
@@ -111,6 +117,19 @@ std::optional<std::pair<std::uint32_t, std::uint64_t>> LogStructuredBackend::loc
   return std::nullopt;
 }
 
+std::vector<std::byte> LogStructuredBackend::open_record_env(std::uint64_t epoch) const {
+  util::Serializer body;
+  body.put<std::uint64_t>(epoch);
+  body.put<std::uint64_t>(generation_);  // the durable id-generation floor
+  util::Serializer env;
+  env.put<std::uint32_t>(kRecordMagic);
+  env.put<JournalRecordType>(JournalRecordType::kSegmentOpen);
+  env.put<std::uint64_t>(body.size());
+  env.put_raw(body.bytes());
+  env.put<std::uint64_t>(util::crc64(env.bytes()));
+  return std::move(env).take();
+}
+
 bool LogStructuredBackend::open_fresh_slot(const ChargeFn& charge) {
   std::int32_t fresh = -1;
   for (std::uint32_t i = 0; i < slots_.size(); ++i) {
@@ -120,25 +139,28 @@ bool LogStructuredBackend::open_fresh_slot(const ChargeFn& charge) {
     }
   }
   if (fresh < 0) return false;
+  const auto slot_index = static_cast<std::uint32_t>(fresh);
   const std::uint64_t epoch = next_epoch_++;
-  slots_[static_cast<std::uint32_t>(fresh)] = Slot{epoch, 0, false};
-  active_slot_ = fresh;
-  util::Serializer body;
-  body.put<std::uint64_t>(epoch);
   // Write the open record directly: append_record would recurse into the
-  // rollover logic this function is the bottom of.
-  util::Serializer env;
-  env.put<std::uint32_t>(kRecordMagic);
-  env.put<JournalRecordType>(JournalRecordType::kSegmentOpen);
-  env.put<std::uint64_t>(body.size());
-  env.put_raw(body.bytes());
-  env.put<std::uint64_t>(util::crc64(env.bytes()));
-  Slot& slot = slots_[static_cast<std::uint32_t>(fresh)];
-  std::memcpy(media_.slots[static_cast<std::uint32_t>(fresh)].data(), env.bytes().data(),
-              env.size());
-  ledger_.push_back({JournalRecordType::kSegmentOpen, kBadImageId,
-                     static_cast<std::uint32_t>(fresh), 0, log_live_bytes(), env.size()});
-  slot.used = env.size();
+  // rollover logic this function is the bottom of.  It still goes through
+  // the torn-append accounting — a crash inside a segment-open record must
+  // be a reachable injection point like any other intra-record offset.
+  const std::vector<std::byte> env = open_record_env(epoch);
+  if (tear_next_append_) {
+    if (*tear_next_append_ < env.size()) {
+      std::memcpy(media_.slots[slot_index].data(), env.data(), *tear_next_append_);
+      tear_next_append_.reset();
+      simulate_crash();
+      return false;
+    }
+    *tear_next_append_ -= env.size();
+  }
+  slots_[slot_index] = Slot{epoch, 0, false};
+  active_slot_ = fresh;
+  std::memcpy(media_.slots[slot_index].data(), env.data(), env.size());
+  ledger_.push_back({JournalRecordType::kSegmentOpen, kBadImageId, slot_index, 0,
+                     log_live_bytes(), env.size()});
+  slots_[slot_index].used = env.size();
   if (charge) {
     charge(static_cast<SimTime>(static_cast<double>(env.size()) /
                                 options_.costs.disk_bandwidth_bps * 1e9));
@@ -159,10 +181,12 @@ std::optional<LogStructuredBackend::RecordLoc> LogStructuredBackend::append_reco
   const std::uint64_t need = env.size();
   // Every slot must keep room for its seal record, or the chain pointer to
   // the successor segment could never be written.
-  if (need + 2 * kStructuralRecordBytes > options_.segment_bytes) return std::nullopt;
+  if (need + kOpenRecordBytes + kSealRecordBytes > options_.segment_bytes) {
+    return std::nullopt;
+  }
   if (active_slot_ < 0 && !open_fresh_slot(charge)) return std::nullopt;
   if (slots_[static_cast<std::uint32_t>(active_slot_)].used + need +
-          kStructuralRecordBytes > options_.segment_bytes) {
+          kSealRecordBytes > options_.segment_bytes) {
     // Seal the active segment and continue in a fresh one — but only when a
     // fresh one exists, so a full log never strands a half-sealed chain.
     bool have_free = false;
@@ -237,8 +261,13 @@ std::optional<LogStructuredBackend::ParsedRecord> LogStructuredBackend::parse_re
     return std::nullopt;
   }
   if (magic != kRecordMagic || !record_type_known(raw_type)) return std::nullopt;
+  // A corrupted body_len near 2^64 would wrap `total` (and the subspan
+  // arithmetic below); reject any length that cannot fit between here and
+  // the end of the slot before doing arithmetic with it.  The subtraction
+  // is underflow-safe: the envelope check above guarantees
+  // offset + kEnvelopeOverhead <= bytes.size().
+  if (body_len > bytes.size() - offset - kEnvelopeOverhead) return std::nullopt;
   const std::uint64_t total = kEnvelopeOverhead + body_len;
-  if (offset + total > bytes.size()) return std::nullopt;
   const auto record = std::span<const std::byte>(bytes).subspan(offset, total);
   const std::uint64_t stored_crc =
       util::Deserializer(record.subspan(total - 8)).get<std::uint64_t>();
@@ -255,9 +284,9 @@ std::uint64_t LogStructuredBackend::free_capacity() const {
   std::uint64_t total = 0;
   for (std::uint32_t i = 0; i < slots_.size(); ++i) {
     if (slots_[i].epoch == 0) {
-      total += options_.segment_bytes - 2 * kStructuralRecordBytes;
+      total += options_.segment_bytes - (kOpenRecordBytes + kSealRecordBytes);
     } else if (static_cast<std::int32_t>(i) == active_slot_ && !slots_[i].sealed) {
-      const std::uint64_t reserved = slots_[i].used + kStructuralRecordBytes;
+      const std::uint64_t reserved = slots_[i].used + kSealRecordBytes;
       total += reserved < options_.segment_bytes ? options_.segment_bytes - reserved : 0;
     }
   }
@@ -291,9 +320,9 @@ ImageId LogStructuredBackend::store(const CheckpointImage& image, const ChargeFn
     planned += envelope_bytes(8 + 4 + 4 + 8 + 8 + chunk.blob.size());
   }
   if (tear_next_append_ && planned > 0) *tear_next_append_ %= planned;
-  if (planned + kStructuralRecordBytes > free_capacity()) {
+  if (planned + kSealRecordBytes > free_capacity()) {
     if (options_.migrate_on_demand) migrate(charge);
-    if (planned + kStructuralRecordBytes > free_capacity()) {
+    if (planned + kSealRecordBytes > free_capacity()) {
       note_counter("journal.full_rejects");
       span.end({obs::TraceArg::str("outcome", "log-full")});
       return kBadImageId;
@@ -461,6 +490,13 @@ std::optional<ImageId> LogStructuredBackend::home_id_of(ImageId id) const {
   return it->second.home_id;
 }
 
+std::optional<std::pair<sim::Pid, std::uint64_t>> LogStructuredBackend::identity_of(
+    ImageId id) const {
+  const auto it = entries_.find(id);
+  if (it == entries_.end()) return std::nullopt;
+  return std::make_pair(it->second.pid, it->second.sequence);
+}
+
 void LogStructuredBackend::reclaim_segments(MigrateReport& report, const ChargeFn& charge) {
   // Oldest-first: a segment is reclaimable once no resident commit group
   // touches it; migrated entries whose publish record lives there are first
@@ -482,6 +518,8 @@ void LogStructuredBackend::reclaim_segments(MigrateReport& report, const ChargeF
       util::Serializer body;
       body.put<ImageId>(id);
       body.put<ImageId>(entry.home_id);
+      body.put<std::uint64_t>(static_cast<std::uint64_t>(entry.pid));
+      body.put<std::uint64_t>(entry.sequence);
       const auto loc = append_record(JournalRecordType::kMigrate, id, body.bytes(), charge);
       if (!loc) {
         compacted_all = false;  // log too full to compact; try again later
@@ -543,6 +581,8 @@ LogStructuredBackend::MigrateReport LogStructuredBackend::migrate(const ChargeFn
     util::Serializer body;
     body.put<ImageId>(ids[i]);
     body.put<ImageId>(home_id);
+    body.put<std::uint64_t>(static_cast<std::uint64_t>(entry.pid));
+    body.put<std::uint64_t>(entry.sequence);
     const auto loc = append_record(JournalRecordType::kMigrate, ids[i], body.bytes(), charge);
     if (!loc) {
       // No room (or torn) for the publish record: undo the home copy so a
@@ -615,6 +655,7 @@ JournalRecoveryReport LogStructuredBackend::recover(const ChargeFn& charge) {
     bool damaged = false;
     bool sealed = false;
     std::uint64_t epoch = 0;
+    std::uint64_t id_floor = 0;  ///< generation floor stamped into the head
     std::uint64_t next_epoch = 0;
     std::uint64_t valid_bytes = 0;
     std::uint64_t extent = 0;  ///< 1 + index of the last nonzero byte
@@ -641,11 +682,13 @@ JournalRecoveryReport LogStructuredBackend::recover(const ChargeFn& charge) {
         break;
       }
       if (off == 0) {
-        if (record->type != JournalRecordType::kSegmentOpen || record->body.size() != 8) {
+        if (record->type != JournalRecordType::kSegmentOpen || record->body.size() != 16) {
           scan.damaged = true;
           break;
         }
-        scan.epoch = util::Deserializer(record->body).get<std::uint64_t>();
+        util::Deserializer head(record->body);
+        scan.epoch = head.get<std::uint64_t>();
+        scan.id_floor = head.get<std::uint64_t>();
         scan.head_valid = scan.epoch != 0;
         if (!scan.head_valid) {
           scan.damaged = true;
@@ -772,6 +815,8 @@ JournalRecoveryReport LogStructuredBackend::recover(const ChargeFn& charge) {
             Entry entry;
             entry.migrated = true;
             entry.home_id = home_id;
+            entry.pid = static_cast<sim::Pid>(body.get<std::uint64_t>());
+            entry.sequence = body.get<std::uint64_t>();
             entry.migrate_epoch = scan.epoch;
             entries_[id] = std::move(entry);
             break;
@@ -837,11 +882,26 @@ JournalRecoveryReport LogStructuredBackend::recover(const ChargeFn& charge) {
   }
 
   // Ids are never reissued across a recovery: bump the generation past every
-  // id that could ever have been handed out from this media image.
+  // id that could ever have been handed out from this media image.  The
+  // survivors alone are not enough — a generation whose every commit was
+  // torn by a second crash leaves no surviving id, so the floor stamped
+  // into the segment-open records is consulted too (any parsed head counts,
+  // even from slots the prefix scan is about to discard).
+  std::uint64_t floor = 0;
+  for (const SlotScan& scan : scans) floor = std::max(floor, scan.id_floor);
   std::uint64_t max_id = 0;
   for (const auto& [id, entry] : entries_) max_id = std::max(max_id, id);
-  generation_ = (max_id >> kGenerationShift) + 1;
+  generation_ = std::max(floor, max_id >> kGenerationShift) + 1;
   next_id_ = (generation_ << kGenerationShift) | 1;
+  // Re-stamp the surviving open records with the bumped generation before
+  // any new-generation id can be issued: the floor is only as durable as
+  // the records that carry it, so recovery republishes it across the whole
+  // surviving chain (losing it would take damage that discards the chain —
+  // and with it every commit the retired generations could collide with).
+  for (const std::uint32_t index : chain) {
+    const std::vector<std::byte> env = open_record_env(scans[index].epoch);
+    std::memcpy(media_.slots[index].data(), env.data(), env.size());
+  }
 
   report.tail_torn = report.tail_torn || stopped_torn || any_head_damaged;
   for (const auto& [id, entry] : entries_) {

@@ -15,9 +15,13 @@
 //
 // where the trailing CRC64 covers every preceding byte of the record.  The
 // log is a ring of fixed-size segments; every segment opens with a
-// kSegmentOpen{epoch} record and a sealed segment ends with kSeal{next
-// epoch}, so recovery can re-chain segments in append order without any
-// out-of-band superblock.  Records never span segments.
+// kSegmentOpen{epoch, id generation floor} record and a sealed segment ends
+// with kSeal{next epoch}, so recovery can re-chain segments in append order
+// without any out-of-band superblock.  Records never span segments.  The
+// floor field makes the id-generation bump durable: recover() derives the
+// next generation from max(stamped floor, surviving ids) and re-stamps the
+// surviving open records, so ids discarded by one recovery are never
+// reissued even when a later crash tears every commit of the new generation.
 //
 // Commit groups are self-contained: store() runs the image through a fresh
 // dedup ChunkTable, appends each fresh chunk as a kChunk record and then one
@@ -39,6 +43,7 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "sim/costs.hpp"
@@ -83,10 +88,10 @@ struct JournalMedia {
 };
 
 enum class JournalRecordType : std::uint8_t {
-  kSegmentOpen = 1,  ///< first record of every segment; body = epoch
+  kSegmentOpen = 1,  ///< first record of every segment; body = epoch + id floor
   kChunk = 2,        ///< body = chunk key + blob crc + blob
   kCommit = 3,       ///< body = id, pid, sequence, manifest, chunk closure
-  kMigrate = 4,      ///< body = id + home-store id (publish record)
+  kMigrate = 4,      ///< body = id, home-store id, pid, sequence (publish)
   kErase = 5,        ///< body = id
   kSeal = 6,         ///< last record of a sealed segment; body = next epoch
 };
@@ -211,6 +216,10 @@ class LogStructuredBackend final : public StorageBackend, public ChunkReclaimabl
   /// Home-store id a migrated image was published under (nullopt while the
   /// image is still log-resident or unknown).
   [[nodiscard]] std::optional<ImageId> home_id_of(ImageId id) const;
+  /// (pid, sequence) the journal recorded for an image — preserved across
+  /// migration and recovery (kMigrate records republish both).
+  [[nodiscard]] std::optional<std::pair<sim::Pid, std::uint64_t>> identity_of(
+      ImageId id) const;
   [[nodiscard]] StorageBackend* home() const { return home_; }
 
  private:
@@ -252,6 +261,9 @@ class LogStructuredBackend final : public StorageBackend, public ChunkReclaimabl
   std::optional<RecordLoc> append_record(JournalRecordType type, ImageId id,
                                          std::span<const std::byte> body,
                                          const ChargeFn& charge);
+  /// Serialize a kSegmentOpen{epoch, generation_} envelope — shared by the
+  /// fresh-slot path and the recovery re-stamp of the generation floor.
+  [[nodiscard]] std::vector<std::byte> open_record_env(std::uint64_t epoch) const;
   bool open_fresh_slot(const ChargeFn& charge);
   void charge_sync(const ChargeFn& charge);
   /// Parse the record starting at `offset` in `slot`; nullopt when the bytes
@@ -276,7 +288,9 @@ class LogStructuredBackend final : public StorageBackend, public ChunkReclaimabl
   std::uint64_t next_epoch_ = 1;
   std::int32_t active_slot_ = -1;
   ImageId next_id_ = 1;
-  std::uint64_t generation_ = 0;  ///< high id bits; bumped by every recover()
+  /// High id bits; bumped by every recover() and persisted as the floor
+  /// field of every kSegmentOpen record so the bump survives later crashes.
+  std::uint64_t generation_ = 0;
   bool crashed_ = false;
   std::uint32_t group_depth_ = 0;
   bool group_sync_pending_ = false;

@@ -162,6 +162,116 @@ TEST_F(JournalTest, RecoveryNeverReissuesADiscardedId) {
   EXPECT_GT(reissued, torn_would_be);
 }
 
+TEST_F(JournalTest, RecoveryNeverReissuesIdsAfterRepeatedCrashes) {
+  LogStructuredBackend journal(&home_, {});
+  ASSERT_NE(journal.store(make_image(0), ChargeFn{}), kBadImageId);
+  journal.tear_next_append(40);
+  EXPECT_EQ(journal.store(make_image(1), ChargeFn{}), kBadImageId);
+  journal.recover(ChargeFn{});
+
+  // The first recovery opened a fresh id generation; hand one id out.
+  const ImageId issued = journal.store(make_image(2), ChargeFn{});
+  ASSERT_NE(issued, kBadImageId);
+
+  // Second crash: corruption tears every commit of the new generation, so
+  // the only survivor predates `issued`.  A recovery that derived the next
+  // generation from the survivors alone would recompute the same generation
+  // and hand `issued` to a different image — the durable floor stamped into
+  // the segment-open records must prevent that.
+  std::uint64_t target = 0;
+  for (const JournalRecordInfo& record : journal.appended_records()) {
+    if (record.type == JournalRecordType::kCommit) {
+      target = record.log_offset + record.bytes / 2;  // the newest kCommit
+    }
+  }
+  ASSERT_TRUE(journal.corrupt_log(target, 1));
+  journal.simulate_crash();
+  const JournalRecoveryReport report = journal.recover(ChargeFn{});
+  EXPECT_TRUE(report.tail_torn);
+  EXPECT_EQ(report.recovered_ids, (std::vector<ImageId>{1}));
+
+  const ImageId reissued = journal.store(make_image(3), ChargeFn{});
+  ASSERT_NE(reissued, kBadImageId);
+  EXPECT_GT(reissued, issued) << "a discarded id must stay retired forever";
+}
+
+TEST_F(JournalTest, ImplausibleLengthFieldsAreRejectedNotTrusted) {
+  LogStructuredBackend journal(&home_, {});
+  ASSERT_NE(journal.store(make_image(0), ChargeFn{}), kBadImageId);
+  ASSERT_NE(journal.store(make_image(1), ChargeFn{}), kBadImageId);
+  // XOR 0xFF across the newest commit's body_len field (envelope bytes
+  // 5..12): the corrupted length is near 2^64, and a parser that trusted it
+  // would overflow its offset arithmetic before the CRC could veto.
+  std::uint64_t target = 0;
+  for (const JournalRecordInfo& record : journal.appended_records()) {
+    if (record.type == JournalRecordType::kCommit) target = record.log_offset;
+  }
+  ASSERT_TRUE(journal.corrupt_log(target + 5, 8));
+  journal.simulate_crash();
+  const JournalRecoveryReport report = journal.recover(ChargeFn{});
+  EXPECT_TRUE(report.tail_torn);
+  EXPECT_EQ(report.recovered_ids, (std::vector<ImageId>{1}));
+  EXPECT_TRUE(journal.load(1, ChargeFn{}).has_value());
+}
+
+TEST_F(JournalTest, TornSegmentOpenRecordIsAReachableCrashPoint) {
+  JournalOptions options;
+  options.segment_bytes = 16 * 1024;
+  options.segments = 8;
+  options.migrate_on_demand = false;
+
+  // Dry run: find the first store whose group rolls into a fresh segment,
+  // and how many record bytes (chunks + seal) it appends before the open
+  // record begins — that is exactly the torn-append budget consumed when
+  // the open record starts writing.
+  LocalDiskBackend dry_home(costs_);
+  LogStructuredBackend dry(&dry_home, options);
+  std::uint64_t torn_store = 0;
+  std::uint64_t budget = 0;
+  bool found = false;
+  for (std::uint64_t i = 0; i < 8 && !found; ++i) {
+    ASSERT_NE(dry.store(make_image(i), ChargeFn{}), kBadImageId);
+    std::uint64_t commits_seen = 0;
+    std::uint64_t bytes_since_commit = 0;
+    for (const JournalRecordInfo& record : dry.appended_records()) {
+      if (!found && record.type == JournalRecordType::kSegmentOpen &&
+          record.log_offset > 0) {
+        torn_store = commits_seen;
+        budget = bytes_since_commit;
+        found = true;
+      }
+      if (record.type == JournalRecordType::kCommit) {
+        ++commits_seen;
+        bytes_since_commit = 0;
+      } else {
+        bytes_since_commit += record.bytes;
+      }
+    }
+  }
+  ASSERT_TRUE(found) << "geometry must force a mid-sequence rollover";
+
+  // Replay the same sequence and tear 10 bytes into that open record.
+  LocalDiskBackend home(costs_);
+  LogStructuredBackend journal(&home, options);
+  for (std::uint64_t i = 0; i < torn_store; ++i) {
+    ASSERT_NE(journal.store(make_image(i), ChargeFn{}), kBadImageId);
+  }
+  journal.tear_next_append(budget + 10);
+  EXPECT_EQ(journal.store(make_image(torn_store), ChargeFn{}), kBadImageId);
+  EXPECT_TRUE(journal.crashed());
+
+  const JournalRecoveryReport report = journal.recover(ChargeFn{});
+  EXPECT_TRUE(report.tail_torn);
+  std::vector<ImageId> expected;
+  for (std::uint64_t i = 1; i <= torn_store; ++i) expected.push_back(i);
+  EXPECT_EQ(report.recovered_ids, expected);
+  for (const ImageId id : expected) {
+    EXPECT_TRUE(journal.load(id, ChargeFn{}).has_value());
+  }
+  // The journal stays writable after losing the half-opened segment.
+  ASSERT_NE(journal.store(make_image(99), ChargeFn{}), kBadImageId);
+}
+
 TEST_F(JournalTest, SilentCorruptionRecoversTheNewestFullyCommittedPrefix) {
   LogStructuredBackend journal(&home_, {});
   for (std::uint64_t i = 0; i < 5; ++i) {
@@ -275,6 +385,21 @@ TEST_F(JournalTest, MigrationSurvivesCrashAndRecovery) {
   const auto loaded = journal.load(id, ChargeFn{});
   ASSERT_TRUE(loaded.has_value());
   EXPECT_EQ(loaded->serialize(), make_image(3).serialize());
+}
+
+TEST_F(JournalTest, MigratedEntriesKeepPidAndSequenceAcrossRecovery) {
+  LogStructuredBackend journal(&home_, {});
+  const ImageId id = journal.store(make_image(5), ChargeFn{});
+  ASSERT_NE(id, kBadImageId);
+  ASSERT_TRUE(journal.migrate(ChargeFn{}).complete);
+  journal.simulate_crash();
+  journal.recover(ChargeFn{});
+  // The kMigrate record republishes pid/sequence, so the replayed entry
+  // keeps the identity make_image stamped rather than silently defaulting.
+  const auto identity = journal.identity_of(id);
+  ASSERT_TRUE(identity.has_value());
+  EXPECT_EQ(identity->first, sim::Pid{42});
+  EXPECT_EQ(identity->second, 5u);
 }
 
 // --- Migrator / chain / GC interaction (satellite: live_set agreement) -------
