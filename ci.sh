@@ -33,7 +33,16 @@
 #    build, and bench_journal must show append-commit initiation >= 1.5x
 #    faster than the two-phase publish at 4 concurrent writers with
 #    1-vs-8-worker-identical log/home contents (BENCH_journal.json).
-# 8. docs lint: ARCHITECTURE.md must mention every src/ module, DESIGN.md
+# 8. fleet gate: the 500+-node autonomic fleet soak (label `fleet`,
+#    tests/test_fleet_soak.cpp — combined exponential+Weibull fail-stop,
+#    detector false-suspicions, storage faults) must be green under both
+#    builds including asan-ubsan, with zero data_loss_with_intact_replica
+#    and 1-vs-8-worker byte-identical fleet reports/metrics/traces.
+#    bench_fleet then sweeps 32..512 active nodes and archives
+#    BENCH_fleet.json; commit efficiency < 0.9 at 512 nodes, < 4x commit
+#    scaling 32->512, any data loss, or a 1-vs-8 digest mismatch fails the
+#    build.
+# 9. docs lint: ARCHITECTURE.md must mention every src/ module, DESIGN.md
 #    section numbering must be contiguous, and every intra-repo markdown
 #    link in the top-level docs must resolve to an existing path.
 set -euo pipefail
@@ -46,12 +55,14 @@ cmake --build --preset default -j"${JOBS}"
 ctest --preset default -j"${JOBS}"
 ctest --preset torture
 ctest --preset torture-storage
+ctest --preset fleet
 
 cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j"${JOBS}"
 ctest --preset asan-ubsan -j"${JOBS}"
 ctest --preset torture-asan-ubsan
 ctest --preset torture-storage-asan-ubsan
+ctest --preset fleet-asan-ubsan
 
 # Data-loss gate (see RecoveryReport::data_loss_with_intact_replica and the
 # harness's unexpected_failures/scrub_failures counters).
@@ -128,6 +139,26 @@ if ! awk -v s="${JOURNAL_SPEEDUP}" 'BEGIN { exit !(s >= 1.5) }'; then
   exit 1
 fi
 echo "journal gate: crash replay green under asan-ubsan, append-commit ${JOURNAL_SPEEDUP}x (floor 1.5x)"
+
+# Fleet gate: the soak itself ran above under both builds (ctest label
+# `fleet`); bench_fleet adds the node-count sweep with its efficiency,
+# scaling, data-loss and worker-identity floors.
+./build/bench/bench_fleet BENCH_fleet.json
+if ! grep -q '"holds": true' BENCH_fleet.json; then
+  echo "CI gate: fleet sweep failed its efficiency/scaling/data-loss gate" >&2
+  exit 1
+fi
+if ! grep -q '"data_loss_with_intact_replica": 0' BENCH_fleet.json; then
+  echo "CI gate: fleet sweep lost state although an intact replica existed" >&2
+  exit 1
+fi
+if ! grep -q '"identical_1v8": true' BENCH_fleet.json; then
+  echo "CI gate: fleet report differs between 1 and 8 workers" >&2
+  exit 1
+fi
+FLEET_EFF="$(sed -n 's/.*"efficiency_at_512": \([0-9.]*\).*/\1/p' BENCH_fleet.json)"
+FLEET_SCALE="$(sed -n 's/.*"scaling_32_to_512": \([0-9.]*\).*/\1/p' BENCH_fleet.json)"
+echo "fleet gate: soak green, efficiency ${FLEET_EFF} (floor 0.9), scaling ${FLEET_SCALE}x (floor 4x), determinism ok"
 
 # Docs lint.
 for module in src/*/; do

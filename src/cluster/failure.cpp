@@ -34,6 +34,8 @@ void FailureInjector::schedule_failure(int node_id, SimTime when, SimTime horizo
     if (!c.node(node_id).up()) return;
     ++failures_;
     c.fail_node(node_id);
+    // repair_time == 0: never repaired — no repair event, and therefore no
+    // post-repair rescheduling; this node's schedule() entry is its last.
     if (model_.repair_time != 0) {
       const SimTime back_at = c.now() + model_.repair_time;
       c.add_event(back_at, [this, node_id, horizon](Cluster& c2) {

@@ -5,6 +5,15 @@
 // after a fixed repair time.  Every failure is announced to the cluster's
 // observers — the fail-stop detectability assumption the survey adopts
 // from [33].
+//
+// `repair_time = 0` means **never repaired**: the node stays down for good,
+// no repair event is scheduled, and — because post-repair rescheduling only
+// happens from the repair event — no further failure is ever armed for that
+// node.  schedule() is then stable after arm(): exactly one entry per node
+// whose first draw landed inside the horizon, and advancing the cluster
+// never appends to it.  The fleet layer's spare-pool replacement
+// (FleetManager / NodeReplacer) depends on this: permanently-dead nodes are
+// what force replacement instead of waiting out a reboot.
 #pragma once
 
 #include <cstdint>

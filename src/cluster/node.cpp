@@ -55,6 +55,10 @@ void Cluster::on_failure(std::function<void(Cluster&, int)> fn) {
   failure_observers_.push_back(std::move(fn));
 }
 
+void Cluster::on_repair(std::function<void(Cluster&, int)> fn) {
+  repair_observers_.push_back(std::move(fn));
+}
+
 void Cluster::fail_node(int id) {
   Node& target = node(id);
   if (!target.up()) return;
@@ -66,22 +70,29 @@ void Cluster::repair_node(int id) {
   Node& target = node(id);
   if (target.up()) return;
   target.repair(now_);
+  for (const auto& observer : repair_observers_) observer(*this, id);
+}
+
+void Cluster::advance(SimTime until) {
+  // Fire cluster events due in (now_, until].  An event handler may add
+  // further events at or before `until` (e.g. a repair scheduling the next
+  // failure); the loop re-checks the sorted queue so they fire in order.
+  while (!events_.empty() && events_.front().when <= until) {
+    Event event = std::move(events_.front());
+    events_.erase(events_.begin());
+    now_ = std::max(now_, event.when);
+    event.fn(*this);
+  }
+  now_ = std::max(now_, until);
 }
 
 void Cluster::run_until(SimTime deadline, SimTime epoch) {
   while (now_ < deadline) {
     const SimTime next = std::min(deadline, now_ + epoch);
-    // Fire cluster events due in (now_, next].
-    while (!events_.empty() && events_.front().when <= next) {
-      Event event = std::move(events_.front());
-      events_.erase(events_.begin());
-      now_ = std::max(now_, event.when);
-      event.fn(*this);
-    }
+    advance(next);
     for (auto& node : nodes_) {
       if (node->up()) node->kernel().run_until(next);
     }
-    now_ = next;
   }
 }
 

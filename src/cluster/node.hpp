@@ -69,11 +69,22 @@ class Cluster {
   /// due, then run every up node's kernel to the epoch boundary.
   void run_until(SimTime deadline, SimTime epoch = 10 * kMillisecond);
 
+  /// Fire every cluster event due at or before `until` and move the cluster
+  /// clock there — *without* stepping any node kernel.  Fleet-scale callers
+  /// (FleetManager) own node execution themselves: they run guest windows in
+  /// parallel over the ThreadPool and only need the event clock (failure /
+  /// repair injections) advanced between windows.
+  void advance(SimTime until);
+
   /// Schedule a cluster-level event (failure injection, manager ticks).
   void add_event(SimTime when, std::function<void(Cluster&)> fn);
 
   /// Observer invoked on every node failure (failure detector clients).
   void on_failure(std::function<void(Cluster&, int node_id)> fn);
+
+  /// Observer invoked on every node repair (spare-pool clients: a repaired
+  /// node re-enters service as a spare).
+  void on_repair(std::function<void(Cluster&, int node_id)> fn);
 
   /// Fail / repair with observer notification.
   void fail_node(int id);
@@ -94,6 +105,7 @@ class Cluster {
   std::vector<Event> events_;
   std::uint64_t event_seq_ = 0;
   std::vector<std::function<void(Cluster&, int)>> failure_observers_;
+  std::vector<std::function<void(Cluster&, int)>> repair_observers_;
   SimTime now_ = 0;
 };
 

@@ -7,6 +7,7 @@
 #include "core/capture.hpp"
 #include "core/engine.hpp"
 #include "obs/observer.hpp"
+#include "storage/journal.hpp"
 #include "util/table.hpp"
 
 namespace ckpt::cluster {
@@ -71,14 +72,67 @@ RecoveryManager::JobId RecoveryManager::launch(int home, const std::string& gues
   job.config = config;
   job.spawn = spawn;
   job.pid = node.kernel().spawn(guest_type, std::move(config), spawn);
-  job.store = std::make_unique<storage::ReplicatedStore>(
+  job.owned_store = std::make_unique<storage::ReplicatedStore>(
       std::vector<storage::BlobStoreBackend*>{&node.disk(), &cluster_.remote_storage()},
       options_.store);
-  job.chain = std::make_unique<storage::CheckpointChain>(job.store.get());
+  job.store = job.owned_store.get();
+  job.chain = std::make_unique<storage::CheckpointChain>(job.store);
 
   const JobId id = next_job_++;
   jobs_.emplace(id, std::move(job));
   return id;
+}
+
+RecoveryManager::JobId RecoveryManager::adopt(int home, const std::string& guest_type,
+                                              std::vector<std::byte> config,
+                                              const sim::SpawnOptions& spawn,
+                                              const ExternalStoreBinding& binding) {
+  if (binding.store == nullptr) {
+    throw std::invalid_argument("RecoveryManager: adopt() needs a shared store");
+  }
+  Node& node = cluster_.node(home);
+  if (!node.up()) {
+    throw std::invalid_argument("RecoveryManager: adopt on failed node " +
+                                std::to_string(home));
+  }
+  Job job;
+  job.home = home;
+  job.guest_type = guest_type;
+  job.config = config;
+  job.spawn = spawn;
+  job.pid = node.kernel().spawn(guest_type, std::move(config), spawn);
+  job.store = binding.store;
+  job.journal = binding.journal;
+  job.external = true;
+  // The chain writes through the journal when one fronts the store, so
+  // every commit is an append (group-commit eligible) and the migrator
+  // publishes into the shared store off the critical path.
+  storage::StorageBackend* chain_backend =
+      binding.journal != nullptr ? static_cast<storage::StorageBackend*>(binding.journal)
+                                 : binding.store;
+  job.chain = std::make_unique<storage::CheckpointChain>(chain_backend);
+
+  const JobId id = next_job_++;
+  jobs_.emplace(id, std::move(job));
+  return id;
+}
+
+bool RecoveryManager::external_intact_committed(const Job& job) const {
+  if (job.chain == nullptr) return false;
+  for (const storage::CheckpointChain::Entry& entry : job.chain->entries()) {
+    if (job.journal == nullptr) {
+      if (job.store->intact_replicas(entry.id) > 0) return true;
+      continue;
+    }
+    if (const auto home_id = job.journal->home_id_of(entry.id)) {
+      if (job.store->intact_replicas(*home_id) > 0) return true;
+    } else if (job.journal->load(entry.id, storage::ChargeFn{}).has_value()) {
+      // Still log-resident: the CRC-validated decode is the intactness
+      // audit, exactly like a replica read-back.
+      return true;
+    }
+  }
+  return false;
 }
 
 bool RecoveryManager::checkpoint(JobId job_id) {
@@ -108,7 +162,7 @@ bool RecoveryManager::checkpoint(JobId job_id) {
   return true;
 }
 
-RecoveryReport RecoveryManager::recover(JobId job_id) {
+RecoveryReport RecoveryManager::recover(JobId job_id, int preferred_target) {
   Job& job = job_ref(job_id);
   RecoveryReport report;
   report.job = job_id;
@@ -134,13 +188,30 @@ RecoveryReport RecoveryManager::recover(JobId job_id) {
     reports_.push_back(report);
     return reports_.back();
   }
-  report.target_node = up.front();
+  report.target_node =
+      preferred_target >= 0 && cluster_.node(preferred_target).up() ? preferred_target
+                                                                    : up.front();
   sim::SimKernel& target = cluster_.node(report.target_node).kernel();
   auto charge = [&target](SimTime t) { target.charge_time(t); };
 
   // --- The degradation ladder -----------------------------------------------
   std::optional<storage::CheckpointImage> image;
   const storage::ImageId newest = job.chain->newest_image_id();
+
+  // Rungs 1-2 probe the newest image per replica.  When a journal fronts
+  // the store the chain's ids are *journal* ids: a migrated image maps to
+  // its home-store id (then the replicas are probed as usual), while a
+  // still-log-resident image exists only in the log — probe it once, on the
+  // local rung, via the journal's CRC-validated decode.
+  auto load_newest_from = [&](std::size_t replica) -> std::optional<storage::CheckpointImage> {
+    if (newest == storage::kBadImageId) return std::nullopt;
+    if (job.journal == nullptr) return job.store->load_from(replica, newest, charge);
+    if (const auto home_id = job.journal->home_id_of(newest)) {
+      return job.store->load_from(replica, *home_id, charge);
+    }
+    if (replica != kLocalReplica) return std::nullopt;  // log has no second copy
+    return job.journal->load(newest, charge);
+  };
 
   auto rung = [&](RecoveryStep step, auto&& attempt) {
     if (image.has_value()) return;
@@ -160,14 +231,8 @@ RecoveryReport RecoveryManager::recover(JobId job_id) {
     report.attempts.push_back(std::move(record));
   };
 
-  rung(RecoveryStep::kLocalNewest, [&]() -> std::optional<storage::CheckpointImage> {
-    if (newest == storage::kBadImageId) return std::nullopt;
-    return job.store->load_from(kLocalReplica, newest, charge);
-  });
-  rung(RecoveryStep::kRemoteNewest, [&]() -> std::optional<storage::CheckpointImage> {
-    if (newest == storage::kBadImageId) return std::nullopt;
-    return job.store->load_from(kRemoteReplica, newest, charge);
-  });
+  rung(RecoveryStep::kLocalNewest, [&] { return load_newest_from(kLocalReplica); });
+  rung(RecoveryStep::kRemoteNewest, [&] { return load_newest_from(kRemoteReplica); });
   rung(RecoveryStep::kOlderSurviving,
        [&] { return job.chain->reconstruct_newest_surviving(charge); });
 
@@ -204,16 +269,25 @@ RecoveryReport RecoveryManager::recover(JobId job_id) {
 
   // The gate: cold-starting (or failing outright) while a committed image
   // still has an intact replica means the ladder lost recoverable state.
-  if (!report.from_image && job.store->any_intact_committed()) {
+  // External jobs share their store with other jobs, so the audit is scoped
+  // to this job's own chain instead of the store-wide predicate.
+  const bool intact_exists =
+      job.external ? external_intact_committed(job) : job.store->any_intact_committed();
+  if (!report.from_image && intact_exists) {
     report.data_loss_with_intact_replica = true;
   }
 
   if (report.recovered) {
     job.home = report.target_node;
-    // Future checkpoints must land on the *new* home's disk; scrubbing then
-    // re-replicates the committed history onto it (self-healing).
-    job.store->retarget_replica(kLocalReplica, &cluster_.node(job.home).disk());
-    if (options_.scrub_after_recovery) job.store->scrub(charge);
+    if (!job.external) {
+      // Future checkpoints must land on the *new* home's disk; scrubbing
+      // then re-replicates the committed history onto it (self-healing).
+      // External jobs leave placement to the fleet: their store is shared
+      // shard-wide and is retargeted once, when the shard's storage-home
+      // node is replaced.
+      job.store->retarget_replica(kLocalReplica, &cluster_.node(job.home).disk());
+      if (options_.scrub_after_recovery) job.store->scrub(charge);
+    }
   }
 
   span.end({obs::TraceArg::str("outcome", !report.recovered         ? "failed"

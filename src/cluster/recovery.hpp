@@ -35,6 +35,10 @@
 #include "storage/chain.hpp"
 #include "storage/replicated.hpp"
 
+namespace ckpt::storage {
+class LogStructuredBackend;
+}
+
 namespace ckpt::cluster {
 
 enum class RecoveryStep : std::uint8_t {
@@ -93,13 +97,33 @@ class RecoveryManager {
   JobId launch(int home, const std::string& guest_type, std::vector<std::byte> config,
                const sim::SpawnOptions& spawn = {});
 
+  /// Storage a fleet-managed job checkpoints through: a *shared* per-shard
+  /// ReplicatedStore (replica 0 = the shard's storage-home disk, replica 1
+  /// = the shard remote), optionally fronted by the shard's log-structured
+  /// journal so commits ride its group-commit append path.  The manager
+  /// does not own either; replica placement (retarget + scrub) stays with
+  /// the caller, because retargeting a shared store per job would fight
+  /// between the jobs sharing it.
+  struct ExternalStoreBinding {
+    storage::ReplicatedStore* store = nullptr;
+    storage::LogStructuredBackend* journal = nullptr;  ///< null = direct two-phase
+  };
+
+  /// Like launch(), but the job checkpoints through a caller-owned shared
+  /// store/journal (see ExternalStoreBinding).  The degradation ladder and
+  /// the data-loss gate still apply, scoped to this job's own chain.
+  JobId adopt(int home, const std::string& guest_type, std::vector<std::byte> config,
+              const sim::SpawnOptions& spawn, const ExternalStoreBinding& binding);
+
   /// Take a full checkpoint of the job through its replicated store.
   /// Returns false when the job's process is gone or the store refused.
   bool checkpoint(JobId job);
 
   /// Walk the degradation ladder for a job whose home node is down (or
   /// whose process died).  Appends to reports() and returns the report.
-  RecoveryReport recover(JobId job);
+  /// `preferred_target` >= 0 restarts on that node when it is up (the
+  /// fleet's freshly-allocated spare); otherwise the first up node is used.
+  RecoveryReport recover(JobId job, int preferred_target = -1);
 
   /// Register a cluster failure observer that recovers every managed job
   /// homed on the failed node.
@@ -123,13 +147,20 @@ class RecoveryManager {
     std::string guest_type;
     std::vector<std::byte> config;
     sim::SpawnOptions spawn;
-    std::unique_ptr<storage::ReplicatedStore> store;
+    std::unique_ptr<storage::ReplicatedStore> owned_store;  ///< launch() jobs only
+    storage::ReplicatedStore* store = nullptr;  ///< owned_store or the shared store
+    storage::LogStructuredBackend* journal = nullptr;  ///< adopt() jobs, optional
     std::unique_ptr<storage::CheckpointChain> chain;
+    bool external = false;  ///< adopt(): shared store, caller-managed placement
     std::uint64_t checkpoints = 0;
   };
 
   Job& job_ref(JobId job);
   [[nodiscard]] const Job* find_job(JobId job) const;
+  /// Per-job data-loss-gate input for external jobs: does any image of
+  /// *this job's chain* still have an intact copy (journal-resident or on a
+  /// home-store replica)?
+  [[nodiscard]] bool external_intact_committed(const Job& job) const;
 
   Cluster& cluster_;
   RecoveryManagerOptions options_;

@@ -14,13 +14,34 @@ SimTime young_interval(SimTime checkpoint_cost, SimTime mtbf) {
   return static_cast<SimTime>(std::sqrt(2.0 * c * m));
 }
 
+void IntervalEstimator::observe_cost(SimTime cost) {
+  if (cost == 0) return;
+  const double c = static_cast<double>(cost);
+  cost_ = cost_ == 0 ? static_cast<SimTime>(c)
+                     : static_cast<SimTime>(policy_.smoothing * c +
+                                            (1.0 - policy_.smoothing) *
+                                                static_cast<double>(cost_));
+}
+
+void IntervalEstimator::observe_failure(SimTime now) {
+  if (failures_ > 0 && now > last_failure_at_) {
+    const auto gap = static_cast<double>(now - last_failure_at_);
+    mtbf_ = static_cast<SimTime>(policy_.smoothing * gap +
+                                 (1.0 - policy_.smoothing) * static_cast<double>(mtbf_));
+  }
+  last_failure_at_ = now;
+  ++failures_;
+}
+
+void IntervalEstimator::update() {
+  if (!policy_.adapt_interval || cost_ == 0) return;
+  const SimTime young = young_interval(cost_, mtbf_);
+  interval_ = std::clamp(young, policy_.min_interval, policy_.max_interval);
+}
+
 AutonomicManager::AutonomicManager(sim::SimKernel& kernel, CheckpointEngine& engine,
                                    AutonomicPolicy policy)
-    : kernel_(kernel),
-      engine_(engine),
-      policy_(policy),
-      interval_(policy.initial_interval),
-      mtbf_estimate_(policy.initial_mtbf) {}
+    : kernel_(kernel), engine_(engine), policy_(policy), estimator_(policy) {}
 
 bool AutonomicManager::manage(sim::Pid pid) {
   if (!engine_.attach(kernel_, pid)) return false;
@@ -48,7 +69,8 @@ void AutonomicManager::stop() {
 
 void AutonomicManager::arm_timer() {
   const std::uint64_t my_generation = generation_;
-  kernel_.add_timer(kernel_.now() + interval_, [this, my_generation](sim::SimKernel&) {
+  kernel_.add_timer(kernel_.now() + estimator_.interval(),
+                    [this, my_generation](sim::SimKernel&) {
     if (!running_ || generation_ != my_generation) return;
     tick();
     arm_timer();
@@ -60,7 +82,7 @@ void AutonomicManager::tick() {
   if (obs::Observer* observer = kernel_.observer()) {
     observer->trace().instant("autonomic.tick", "policy", obs::kControlTrack,
                               {obs::TraceArg::num("managed", managed_.size()),
-                               obs::TraceArg::num("interval_ns", interval_)});
+                               obs::TraceArg::num("interval_ns", estimator_.interval())});
     observer->metrics().add("autonomic.ticks");
   }
   // Drop processes that have exited.
@@ -81,49 +103,35 @@ void AutonomicManager::tick() {
   const auto& history = engine_.history();
   if (!history.empty()) {
     const CheckpointResult& last = history.back();
-    if (last.ok) {
-      const auto cost = static_cast<double>(last.completed_at - last.started_at);
-      cost_estimate_ = cost_estimate_ == 0
-                           ? static_cast<SimTime>(cost)
-                           : static_cast<SimTime>(policy_.smoothing * cost +
-                                                  (1.0 - policy_.smoothing) *
-                                                      static_cast<double>(cost_estimate_));
-    }
+    if (last.ok) estimator_.observe_cost(last.completed_at - last.started_at);
   }
   update_interval();
 }
 
 void AutonomicManager::observe_failure() {
-  const SimTime now = kernel_.now();
-  if (failures_seen_ > 0 && now > last_failure_at_) {
-    const auto gap = static_cast<double>(now - last_failure_at_);
-    mtbf_estimate_ = static_cast<SimTime>(
-        policy_.smoothing * gap + (1.0 - policy_.smoothing) *
-                                      static_cast<double>(mtbf_estimate_));
-  }
-  last_failure_at_ = now;
-  ++failures_seen_;
+  estimator_.observe_failure(kernel_.now());
   if (obs::Observer* observer = kernel_.observer()) {
     observer->trace().instant("autonomic.failure_observed", "policy", obs::kControlTrack,
-                              {obs::TraceArg::num("failures", failures_seen_),
-                               obs::TraceArg::num("mtbf_ns", mtbf_estimate_)});
+                              {obs::TraceArg::num("failures", estimator_.failures_seen()),
+                               obs::TraceArg::num("mtbf_ns", estimator_.mtbf_estimate())});
     observer->metrics().add("autonomic.failures_observed");
   }
   update_interval();
 }
 
 void AutonomicManager::update_interval() {
-  if (!policy_.adapt_interval || cost_estimate_ == 0) return;
-  const SimTime young = young_interval(cost_estimate_, mtbf_estimate_);
-  interval_ = std::clamp(young, policy_.min_interval, policy_.max_interval);
+  if (!policy_.adapt_interval || estimator_.cost_estimate() == 0) return;
+  estimator_.update();
   if (obs::Observer* observer = kernel_.observer()) {
     obs::MetricsRegistry& metrics = observer->metrics();
-    metrics.set_gauge("autonomic.interval_ns", static_cast<std::int64_t>(interval_));
+    metrics.set_gauge("autonomic.interval_ns",
+                      static_cast<std::int64_t>(estimator_.interval()));
     metrics.set_gauge("autonomic.mtbf_estimate_ns",
-                      static_cast<std::int64_t>(mtbf_estimate_));
+                      static_cast<std::int64_t>(estimator_.mtbf_estimate()));
     metrics.set_gauge("autonomic.cost_estimate_ns",
-                      static_cast<std::int64_t>(cost_estimate_));
-    observer->trace().counter("autonomic.interval_ns", obs::kControlTrack, interval_);
+                      static_cast<std::int64_t>(estimator_.cost_estimate()));
+    observer->trace().counter("autonomic.interval_ns", obs::kControlTrack,
+                              estimator_.interval());
   }
 }
 

@@ -36,6 +36,46 @@ struct AutonomicPolicy {
 /// Young's first-order optimal checkpoint interval.
 SimTime young_interval(SimTime checkpoint_cost, SimTime mtbf);
 
+/// The interval-adaptation core shared by every autonomic client: smoothed
+/// online estimates of checkpoint cost and MTBF, folded through Young's
+/// formula into a clamped interval.  AutonomicManager uses one per kernel;
+/// FleetManager uses one fleet-wide (its policy is the *one* autonomic
+/// policy hundreds of per-node engines run under).  Pure arithmetic — no
+/// kernel, no observer — so it is trivially deterministic.
+class IntervalEstimator {
+ public:
+  explicit IntervalEstimator(const AutonomicPolicy& policy)
+      : policy_(policy),
+        interval_(policy.initial_interval),
+        mtbf_(policy.initial_mtbf) {}
+
+  /// Fold one observed checkpoint cost into the smoothed estimate (the
+  /// first observation seeds the estimate directly).  Ignores 0.
+  void observe_cost(SimTime cost);
+
+  /// Fold the gap since the previous failure into the smoothed MTBF
+  /// estimate.  The first failure only anchors the gap baseline.
+  void observe_failure(SimTime now);
+
+  /// Recompute the interval from the current estimates (no-op until a cost
+  /// has been observed, or when the policy disables adaptation).
+  void update();
+
+  [[nodiscard]] SimTime interval() const { return interval_; }
+  [[nodiscard]] SimTime mtbf_estimate() const { return mtbf_; }
+  [[nodiscard]] SimTime cost_estimate() const { return cost_; }
+  [[nodiscard]] std::uint64_t failures_seen() const { return failures_; }
+  [[nodiscard]] const AutonomicPolicy& policy() const { return policy_; }
+
+ private:
+  AutonomicPolicy policy_;
+  SimTime interval_;
+  SimTime mtbf_;
+  SimTime cost_ = 0;
+  SimTime last_failure_at_ = 0;
+  std::uint64_t failures_ = 0;
+};
+
 class AutonomicManager {
  public:
   AutonomicManager(sim::SimKernel& kernel, CheckpointEngine& engine,
@@ -63,9 +103,9 @@ class AutonomicManager {
   bool preempt(sim::Pid pid);
   void resume_preempted(sim::Pid pid);
 
-  [[nodiscard]] SimTime current_interval() const { return interval_; }
-  [[nodiscard]] SimTime mtbf_estimate() const { return mtbf_estimate_; }
-  [[nodiscard]] SimTime cost_estimate() const { return cost_estimate_; }
+  [[nodiscard]] SimTime current_interval() const { return estimator_.interval(); }
+  [[nodiscard]] SimTime mtbf_estimate() const { return estimator_.mtbf_estimate(); }
+  [[nodiscard]] SimTime cost_estimate() const { return estimator_.cost_estimate(); }
   [[nodiscard]] std::uint64_t ticks() const { return ticks_; }
   [[nodiscard]] const std::vector<sim::Pid>& managed() const { return managed_; }
 
@@ -81,11 +121,7 @@ class AutonomicManager {
   std::vector<sim::Pid> managed_;
   bool running_ = false;
   std::uint64_t generation_ = 0;  ///< invalidates stale timers after stop()
-  SimTime interval_;
-  SimTime mtbf_estimate_;
-  SimTime cost_estimate_ = 0;
-  SimTime last_failure_at_ = 0;
-  std::uint64_t failures_seen_ = 0;
+  IntervalEstimator estimator_;
   std::uint64_t ticks_ = 0;
 };
 

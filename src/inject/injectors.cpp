@@ -101,6 +101,22 @@ bool ProcessInjector::drop_signal(sim::Pid pid, sim::Signal sig) {
   return dropped;
 }
 
+void HeartbeatInjector::suppress(int node_id, std::uint32_t beats) {
+  if (beats == 0) return;
+  pending_[node_id] += beats;
+  note_injection(observer_, "inject.heartbeat_suppress",
+                 {obs::TraceArg::num("node", static_cast<std::uint64_t>(node_id)),
+                  obs::TraceArg::num("beats", beats)});
+}
+
+bool HeartbeatInjector::consume(int node_id) {
+  auto it = pending_.find(node_id);
+  if (it == pending_.end()) return false;
+  if (--it->second == 0) pending_.erase(it);
+  ++dropped_;
+  return true;
+}
+
 void NodeInjector::fail_stop_now(int node_id) {
   note_injection(observer_, "inject.fail_node",
                  {obs::TraceArg::num("node", static_cast<std::uint64_t>(node_id))});

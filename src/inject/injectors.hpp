@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 
 #include "cluster/node.hpp"
 #include "sim/kernel.hpp"
@@ -104,6 +105,32 @@ class ProcessInjector {
 
  private:
   sim::SimKernel* kernel_;
+  obs::Observer* observer_;
+};
+
+/// Detector layer: suppress a live node's heartbeats so a heartbeat-based
+/// failure detector (cluster::FailureDetector) wrongly suspects — and, past
+/// its confirmation threshold, wrongly *confirms* — a perfectly healthy
+/// node.  The CRAFT-style replacement protocol must fence such a node
+/// (fail-stop it before seeding its replacement), trading lost work for the
+/// guarantee that two incarnations of one slot never commit concurrently.
+/// Purely a drop-list: the detector's caller consults consume() before
+/// delivering each beat, so all randomness stays with the caller's Rng.
+class HeartbeatInjector {
+ public:
+  explicit HeartbeatInjector(obs::Observer* observer = nullptr) : observer_(observer) {}
+
+  /// Drop the next `beats` heartbeats from `node_id`.
+  void suppress(int node_id, std::uint32_t beats);
+
+  /// Consume one heartbeat attempt from `node_id`; true = drop this beat.
+  [[nodiscard]] bool consume(int node_id);
+
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+
+ private:
+  std::map<int, std::uint32_t> pending_;
+  std::uint64_t dropped_ = 0;
   obs::Observer* observer_;
 };
 

@@ -74,12 +74,18 @@ class CheckpointChain {
 
   [[nodiscard]] StorageBackend* backend() const { return backend_; }
 
- private:
   struct Entry {
     std::uint64_t sequence;
     ImageId id;
     ImageKind kind;
   };
+  /// Every entry still tracked by the chain, oldest first.  Callers that
+  /// share one backend between many chains (the fleet's per-shard journal)
+  /// use this to audit intact replicas *per job* — a store-wide
+  /// any_intact_committed() would conflate jobs.
+  [[nodiscard]] const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
 
   /// Index of the first entry in the fallback-keep set (see live_set()).
   [[nodiscard]] std::size_t live_from(const ChargeFn& charge) const;

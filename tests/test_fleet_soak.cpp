@@ -1,0 +1,116 @@
+// Fleet torture soak (label `fleet`): a 500+-node fleet under combined
+// stochastic fail-stop (exponential AND Weibull infant-mortality models,
+// never-repaired), detector false-suspicions and storage faults must
+// complete with zero data-loss-with-intact-replica violations, every
+// confirmed-dead slot replaced from the spare pool and re-seeded to a
+// verified-restorable image — and the whole thing byte-identical for any
+// worker count.
+#include <gtest/gtest.h>
+
+#include "cluster/fleet.hpp"
+#include "obs/observer.hpp"
+#include "test_common.hpp"
+
+namespace ckpt::cluster {
+namespace {
+
+using ckpt::test::SimTest;
+
+class FleetSoak : public SimTest {};
+
+FleetTortureOptions soak_torture() {
+  FleetTortureOptions torture;
+  // Exponential + Weibull superposition.  Weibull shape 0.7 front-loads
+  // failures (infant mortality), so its mean must be read against the short
+  // soak horizon: ~5% of the fleet fails in the first 10 simulated seconds.
+  torture.failure_models.push_back(
+      {FailureModel::Kind::kExponential, 300 * kSecond, 0.7, 0, 101});
+  torture.failure_models.push_back(
+      {FailureModel::Kind::kWeibull, 900 * kSecond, 0.7, 0, 202});
+  torture.heartbeat_drop_per_window = 0.0005;
+  torture.heartbeat_drop_beats = 6;
+  torture.storage_fault_per_window = 0.3;
+  return torture;
+}
+
+TEST_F(FleetSoak, FiveHundredNodeTortureSoakHoldsEveryInvariant) {
+  FleetOptions options;
+  options.active_nodes = 520;
+  options.spare_nodes = 72;
+  options.shards = 16;
+  options.seed = 77;
+  options.policy.initial_interval = 4 * options.window;
+  options.policy.initial_mtbf = 10 * kSecond;
+  options.guest_steps_min = 1;
+  options.guest_steps_max = 3;
+  options.array_bytes = 4 * 1024;
+
+  FleetManager fleet(options);
+  fleet.run(3);  // every slot commits before the faults start
+  ASSERT_EQ(fleet.report().commits_failed, 0u);
+  ASSERT_GT(fleet.report().commits_ok, 0u);
+
+  fleet.arm_torture(soak_torture());
+  const FleetReport report = fleet.run(40);
+  SCOPED_TRACE(report.summary());
+
+  // The storm actually happened.
+  EXPECT_GT(report.failures_injected, 10u);
+  EXPECT_GT(report.confirmed_dead, 10u);
+  EXPECT_GT(report.storage_faults_injected, 5u);
+  EXPECT_GT(report.heartbeats_suppressed, 0u);
+
+  // THE gates: nothing recoverable was lost, every replacement re-seeded
+  // to an image that byte-verified against the restored process, and no
+  // slot was left waiting.
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.data_loss_with_intact_replica, 0u);
+  EXPECT_EQ(report.verify_failures, 0u);
+  EXPECT_EQ(report.unrecovered, 0u);
+  EXPECT_EQ(report.pending_at_end, 0u);
+  EXPECT_GT(report.replacements, 0u);
+  EXPECT_EQ(report.replacements, report.reseeds_from_image + report.cold_starts);
+  EXPECT_EQ(report.cold_starts, 0u);  // warm-up committed everywhere
+
+  // The fleet kept making durable progress throughout.
+  EXPECT_GT(report.commits_ok, 1000u);
+  EXPECT_GT(report.group_commits, 0u);
+  EXPECT_GT(report.durable_bytes, 0u);
+}
+
+TEST_F(FleetSoak, WorkerCountInvarianceAtScale) {
+  auto run_with = [](std::uint32_t workers, obs::Observer& observer) {
+    FleetOptions options;
+    options.active_nodes = 128;
+    options.spare_nodes = 16;
+    options.shards = 8;
+    options.seed = 55;
+    options.policy.initial_interval = 2 * options.window;
+    options.policy.initial_mtbf = 10 * kSecond;
+    options.guest_steps_min = 1;
+    options.guest_steps_max = 3;
+    options.array_bytes = 4 * 1024;
+    options.workers = workers;
+    options.observer = &observer;
+    FleetManager fleet(options);
+    FleetTortureOptions torture = soak_torture();
+    torture.failure_models[0].mtbf = 60 * kSecond;
+    torture.failure_models[1].mtbf = 60 * kSecond;
+    fleet.arm_torture(torture);
+    return fleet.run(24);
+  };
+
+  obs::Observer obs1;
+  obs::Observer obs8;
+  const FleetReport r1 = run_with(1, obs1);
+  const FleetReport r8 = run_with(8, obs8);
+
+  EXPECT_GT(r1.replacements, 0u);
+  EXPECT_TRUE(r1 == r8);
+  EXPECT_EQ(r1.digest(), r8.digest());
+  EXPECT_EQ(obs1.metrics().snapshot_json(), obs8.metrics().snapshot_json());
+  EXPECT_EQ(obs1.trace().export_chrome_json(), obs8.trace().export_chrome_json());
+}
+
+}  // namespace
+}  // namespace ckpt::cluster

@@ -166,6 +166,81 @@ TEST_F(RecoveryTest, WatchRecoversEveryJobOnTheFailedNode) {
   EXPECT_EQ(manager_.checkpoints_taken(job_other), 1u);
 }
 
+TEST_F(RecoveryTest, OverlappingFailuresEachResolveOwnLadderRung) {
+  // Two nodes failing back-to-back inside one detection window: every
+  // affected job walks its own ladder without cross-talk — each restores
+  // its own image, never a co-hosted neighbour's.
+  Cluster cluster(3, NodeConfig{});
+  RecoveryManager manager(cluster);
+  const auto job_a = manager.launch(0, sim::CounterGuest::kTypeName, {});
+  const auto job_b = manager.launch(1, sim::CounterGuest::kTypeName, {});
+  ckpt::test::run_steps(cluster.node(0).kernel(), manager.pid_of(job_a), 60);
+  ckpt::test::run_steps(cluster.node(1).kernel(), manager.pid_of(job_b), 120);
+  ASSERT_TRUE(manager.checkpoint(job_a));
+  ASSERT_TRUE(manager.checkpoint(job_b));
+  manager.watch();
+
+  cluster.fail_node(0);  // A fails over (to node 1)
+  cluster.fail_node(1);  // ...which immediately dies too: A again, plus B
+
+  ASSERT_EQ(manager.reports().size(), 3u);
+  for (const RecoveryReport& report : manager.reports()) {
+    EXPECT_TRUE(report.recovered);
+    EXPECT_TRUE(report.from_image);
+    EXPECT_FALSE(report.data_loss_with_intact_replica);
+    const RecoveryAttempt* remote = find_attempt(report, RecoveryStep::kRemoteNewest);
+    ASSERT_NE(remote, nullptr);
+    EXPECT_TRUE(remote->ok);  // home disk died every time
+  }
+  EXPECT_EQ(manager.home_of(job_a), 2);
+  EXPECT_EQ(manager.home_of(job_b), 2);
+
+  // No cross-talk: each survivor carries exactly its own checkpointed
+  // progress (the counters were deliberately distinct).
+  sim::SimKernel& survivor = cluster.node(2).kernel();
+  const std::uint64_t counter_a = sim::CounterGuest::read_counter(
+      survivor, survivor.process(manager.pid_of(job_a)));
+  const std::uint64_t counter_b = sim::CounterGuest::read_counter(
+      survivor, survivor.process(manager.pid_of(job_b)));
+  EXPECT_GE(counter_a, 60u);
+  EXPECT_LT(counter_a, 120u);
+  EXPECT_GE(counter_b, 120u);
+}
+
+TEST_F(RecoveryTest, OverlappingFailuresResolveDifferentRungsIndependently) {
+  // Two jobs co-homed on one failing node where only one job's newest
+  // remote copy is damaged: that job degrades to older-surviving while its
+  // neighbour still takes the remote-newest fast path.
+  const auto job_a = launch_and_checkpoint(0);
+  ckpt::test::run_steps(cluster_.node(0).kernel(), manager_.pid_of(job_a), 100);
+  ASSERT_TRUE(manager_.checkpoint(job_a));
+  const auto job_b = launch_and_checkpoint(0);
+  manager_.watch();
+
+  const storage::ImageId newest_a = manager_.store(job_a).newest_committed();
+  ASSERT_TRUE(cluster_.remote_storage().corrupt_blob(newest_a, 21, 3));
+  cluster_.fail_node(0);
+
+  ASSERT_EQ(manager_.reports().size(), 2u);
+  for (const RecoveryReport& report : manager_.reports()) {
+    EXPECT_TRUE(report.recovered);
+    EXPECT_TRUE(report.from_image);
+    EXPECT_FALSE(report.data_loss_with_intact_replica);
+    if (report.job == job_a) {
+      const RecoveryAttempt* older = find_attempt(report, RecoveryStep::kOlderSurviving);
+      ASSERT_NE(older, nullptr);
+      EXPECT_TRUE(older->ok);
+      EXPECT_EQ(report.restored_sequence, 1u);
+    } else {
+      EXPECT_EQ(report.job, job_b);
+      const RecoveryAttempt* remote = find_attempt(report, RecoveryStep::kRemoteNewest);
+      ASSERT_NE(remote, nullptr);
+      EXPECT_TRUE(remote->ok);
+      EXPECT_EQ(find_attempt(report, RecoveryStep::kOlderSurviving), nullptr);
+    }
+  }
+}
+
 TEST_F(RecoveryTest, ReportSummaryNamesTheLadderOutcome) {
   const auto job = launch_and_checkpoint(0);
   cluster_.fail_node(0);
