@@ -42,7 +42,12 @@
 #    BENCH_fleet.json; commit efficiency < 0.9 at 512 nodes, < 4x commit
 #    scaling 32->512, any data loss, or a 1-vs-8 digest mismatch fails the
 #    build.
-# 9. docs lint: ARCHITECTURE.md must mention every src/ module, DESIGN.md
+# 9. pause gate: the streaming identity/leak/fault tests run under
+#    asan-ubsan, then bench_pause_time sweeps image size x dirty rate and
+#    archives BENCH_pause.json.  A guest-visible pause reduction below 10x
+#    at the largest image, or any 1-vs-8-worker difference in the streamed
+#    replica bytes, fails the build.
+# 10. docs lint: ARCHITECTURE.md must mention every src/ module, DESIGN.md
 #    section numbering must be contiguous, and every intra-repo markdown
 #    link in the top-level docs must resolve to an existing path.
 set -euo pipefail
@@ -159,6 +164,28 @@ fi
 FLEET_EFF="$(sed -n 's/.*"efficiency_at_512": \([0-9.]*\).*/\1/p' BENCH_fleet.json)"
 FLEET_SCALE="$(sed -n 's/.*"scaling_32_to_512": \([0-9.]*\).*/\1/p' BENCH_fleet.json)"
 echo "fleet gate: soak green, efficiency ${FLEET_EFF} (floor 0.9), scaling ${FLEET_SCALE}x (floor 4x), determinism ok"
+
+# Pause gate: the streaming commit path's identity/leak/mid-stream-fault
+# tests rerun under the sanitizers (the chunk pipeline and shadow reaping
+# are exactly where lifetime bugs would hide), then bench_pause_time sweeps
+# image size x dirty rate.  The fork-snapshot pause must stay >= 10x below
+# stop-the-world at the largest image, with 1-vs-8-worker identical bytes.
+ctest --preset asan-ubsan -R 'Streaming' --output-on-failure
+./build/bench/bench_pause_time BENCH_pause.json
+if ! grep -q '"holds": true' BENCH_pause.json; then
+  echo "CI gate: streaming commit failed its pause-reduction/identity gate" >&2
+  exit 1
+fi
+if ! grep -q '"identical_1v8": true' BENCH_pause.json; then
+  echo "CI gate: streamed replica bytes differ between 1 and 8 workers" >&2
+  exit 1
+fi
+PAUSE_REDUCTION="$(sed -n 's/.*"pause_reduction_large": \([0-9.]*\).*/\1/p' BENCH_pause.json)"
+if ! awk -v r="${PAUSE_REDUCTION}" 'BEGIN { exit !(r >= 10.0) }'; then
+  echo "CI gate: pause reduction ${PAUSE_REDUCTION}x fell below the 10x floor" >&2
+  exit 1
+fi
+echo "pause gate: guest-visible pause cut ${PAUSE_REDUCTION}x (floor 10x), streamed bytes worker-invariant"
 
 # Docs lint.
 for module in src/*/; do

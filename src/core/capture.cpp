@@ -11,11 +11,9 @@ using storage::MemorySegmentImage;
 using storage::PageImage;
 using storage::ThreadImage;
 
-namespace {
-
 /// Fill the image header + non-memory state from direct kernel access.
-void capture_metadata_kernel(sim::SimKernel& kernel, sim::Process& proc,
-                             const CaptureOptions& options, CheckpointImage& image) {
+void capture_image_metadata(sim::SimKernel& kernel, sim::Process& proc,
+                            const CaptureOptions& options, CheckpointImage& image) {
   image.pid = proc.pid;
   image.process_name = proc.name;
   image.hostname = kernel.hostname;
@@ -61,9 +59,8 @@ void capture_metadata_kernel(sim::SimKernel& kernel, sim::Process& proc,
 }
 
 /// Build the copy plan: (segment index, range) pairs honouring options.
-std::vector<std::pair<std::size_t, DirtyRange>> build_plan(const sim::Process& proc,
-                                                           const CaptureOptions& options,
-                                                           CheckpointImage& image) {
+std::vector<std::pair<std::size_t, DirtyRange>> build_capture_plan(
+    const sim::Process& proc, const CaptureOptions& options, CheckpointImage& image) {
   std::vector<std::pair<std::size_t, DirtyRange>> plan;
   const auto& vmas = proc.aspace->vmas();
   image.segments.clear();
@@ -103,8 +100,6 @@ std::vector<std::pair<std::size_t, DirtyRange>> build_plan(const sim::Process& p
   return plan;
 }
 
-}  // namespace
-
 CheckpointImage capture_kernel_level(sim::SimKernel& kernel, sim::Process& proc,
                                      const CaptureOptions& options) {
   PagedCaptureSession session(kernel, proc, options);
@@ -120,8 +115,8 @@ CheckpointImage capture_kernel_level(sim::SimKernel& kernel, sim::Process& proc,
 PagedCaptureSession::PagedCaptureSession(sim::SimKernel& kernel, sim::Process& proc,
                                          CaptureOptions options)
     : kernel_(kernel), proc_(proc), options_(std::move(options)) {
-  capture_metadata_kernel(kernel_, proc_, options_, image_);
-  plan_ = build_plan(proc_, options_, image_);
+  capture_image_metadata(kernel_, proc_, options_, image_);
+  plan_ = build_capture_plan(proc_, options_, image_);
 }
 
 bool PagedCaptureSession::copy_some(std::size_t max_pages) {

@@ -21,6 +21,7 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/kernel.hpp"
@@ -52,6 +53,22 @@ struct CaptureOptions {
 /// Capture in kernel mode with direct task-structure access.
 storage::CheckpointImage capture_kernel_level(sim::SimKernel& kernel, sim::Process& proc,
                                               const CaptureOptions& options);
+
+/// The metadata half of capture_kernel_level: header, registers, heap
+/// bounds, signals, descriptors — everything but page payloads.  The
+/// streaming commit path runs it against the frozen COW shadow and then
+/// streams the payloads straight into storage, chunk by chunk.
+void capture_image_metadata(sim::SimKernel& kernel, sim::Process& proc,
+                            const CaptureOptions& options,
+                            storage::CheckpointImage& image);
+
+/// Build the page-copy plan for `proc`: (segment index, range) pairs
+/// honouring `options`, filling image.segments with the VMA layout (no
+/// payloads yet).  Pages may vanish between planning and copying; copiers
+/// must skip entries whose PTE is gone.
+std::vector<std::pair<std::size_t, DirtyRange>> build_capture_plan(
+    const sim::Process& proc, const CaptureOptions& options,
+    storage::CheckpointImage& image);
 
 /// Restore semantics shared by all mechanisms: materialise the image's
 /// state into an existing (stopped) process shell.

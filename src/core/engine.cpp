@@ -5,7 +5,9 @@
 #include "obs/observer.hpp"
 #include "storage/dedup.hpp"
 #include "storage/journal.hpp"
+#include "storage/replicated.hpp"
 #include "util/log.hpp"
+#include "util/serialize.hpp"
 
 namespace ckpt::core {
 namespace {
@@ -17,6 +19,25 @@ std::uint64_t mapped_pages(const sim::Process& proc) {
   for (const auto& vma : proc.aspace->vmas()) total += vma.page_count;
   return total;
 }
+
+/// Reap the frozen COW shadow on *every* exit path — success, store-failed,
+/// injected fault, exception.  A leaked shadow pins every COW frame of the
+/// snapshot forever (the shadow-fork leak the regression tests guard).
+struct ShadowReaper {
+  sim::SimKernel& kernel;
+  sim::Pid pid = sim::kNoPid;
+
+  void reap_now() {
+    if (pid == sim::kNoPid) return;
+    if (sim::Process* shadow = kernel.find_process(pid)) {
+      if (shadow->alive()) kernel.terminate(*shadow, 0);
+      kernel.reap(pid);
+    }
+    pid = sim::kNoPid;
+  }
+
+  ~ShadowReaper() { reap_now(); }
+};
 
 }  // namespace
 
@@ -102,6 +123,14 @@ CheckpointEngine::CheckpointEngine(std::string name, storage::StorageBackend* ba
   if (backend_ == nullptr) throw std::invalid_argument("CheckpointEngine: null backend");
   if (options_.incremental && !options_.tracker_factory) {
     throw std::invalid_argument("CheckpointEngine: incremental requires a tracker factory");
+  }
+  if (options_.streaming && options_.consistency != ConsistencyMode::kForkAndCopy) {
+    throw std::invalid_argument(
+        "CheckpointEngine: streaming requires kForkAndCopy consistency (the frozen "
+        "shadow is the capture source the guest runs ahead of)");
+  }
+  if (options_.streaming && options_.stream_chunk_pages == 0) {
+    throw std::invalid_argument("CheckpointEngine: stream_chunk_pages must be >= 1");
   }
 }
 
@@ -243,6 +272,10 @@ CheckpointResult CheckpointEngine::perform_kernel_checkpoint(sim::SimKernel& ker
   result.initiated_at = initiated_at;
   result.started_at = kernel.now();
   const SimTime charge_before = kernel.step_charge();
+  // effective_now() advances whether the engine runs inside a guest step
+  // (syscall/signal engines: step_charge accrues) or between steps (direct
+  // requests: the clock itself moves) — the only origin valid for both.
+  const SimTime pause_origin = kernel.effective_now();
 
   obs::Observer* observer = kernel.observer();
   obs::TraceRecorder* trace = obs::tracer(observer);
@@ -275,7 +308,7 @@ CheckpointResult CheckpointEngine::perform_kernel_checkpoint(sim::SimKernel& ker
 
   // Consistency.
   sim::Process* capture_target = &proc;
-  sim::Pid shadow_pid = sim::kNoPid;
+  ShadowReaper shadow{kernel};
   const bool was_runnable = proc.runnable();
   {
     obs::SpanGuard quiesce(trace, "quiesce", "ckpt", track);
@@ -284,66 +317,197 @@ CheckpointResult CheckpointEngine::perform_kernel_checkpoint(sim::SimKernel& ker
         kernel.stop_process(proc);
         break;
       case ConsistencyMode::kForkAndCopy:
-        shadow_pid = kernel.fork_process(proc, /*freeze_child=*/true);
-        capture_target = &kernel.process(shadow_pid);
+        shadow.pid = kernel.fork_process(proc, /*freeze_child=*/true);
+        capture_target = &kernel.process(shadow.pid);
         break;
       case ConsistencyMode::kConcurrent:
         break;  // no protection — the hazard the survey warns about
     }
   }
-
-  if (trace != nullptr) trace->begin("capture", "ckpt", track);
-  storage::CheckpointImage image =
-      capture_kernel_level(kernel, *capture_target, capture);
-  // The image describes the *application*, not the shadow copy.
-  image.pid = proc.pid;
-  image.process_name = proc.name;
-  image.guest = proc.guest_image;
-  image.kind = take_delta ? storage::ImageKind::kIncremental : storage::ImageKind::kFull;
-
-  result.kind = image.kind;
-  result.payload_bytes = image.payload_bytes();
-  result.pages = image.page_count();
-  if (trace != nullptr) {
-    trace->end("capture", track,
-               {obs::TraceArg::str("kind", to_string(result.kind)),
-                obs::TraceArg::num("pages", result.pages),
-                obs::TraceArg::num("bytes", result.payload_bytes)});
-    trace->begin("store", "ckpt", track);
+  if (options_.consistency == ConsistencyMode::kForkAndCopy) {
+    // The application is schedulable again right here: its pause was only
+    // the fork's page-table walk, not the capture+store that follows.
+    result.pause_ns = kernel.effective_now() - pause_origin;
   }
 
   auto charge = [&](SimTime t) { kernel.charge_time(t); };
-  // Store with bounded retry: a transient StoreFault (rejection, outage
-  // window) costs backoff time instead of a lost checkpoint.  A failed
-  // append never advances the chain, so re-appending is safe.  The image is
-  // only copied when a retry is actually possible.
+  auto* replicated = dynamic_cast<storage::ReplicatedStore*>(backend_);
+  const bool streamed =
+      options_.streaming && replicated != nullptr && !replicated->dedup_enabled();
   const bool may_retry = options_.store_retry.max_attempts > 1;
-  std::optional<storage::CheckpointImage> spare;
-  if (may_retry) spare = image;
-  result.image_id = state.chain.append(std::move(image), charge);
-  if (result.image_id == storage::kBadImageId && may_retry) {
-    storage::Retrier retrier(options_.store_retry,
-                             (static_cast<std::uint64_t>(proc.pid) << 20) ^ state.taken);
-    while (result.image_id == storage::kBadImageId) {
-      const std::optional<SimTime> delay = retrier.next_delay();
-      if (!delay.has_value()) break;
-      charge(*delay);
-      result.image_id = state.chain.append(*spare, charge);
+
+  if (streamed) {
+    // Streaming commit: metadata and the page plan come off the frozen
+    // shadow up front; page payloads are encoded in fixed-size chunks and
+    // appended to the replicas as they are produced (store_streamed).
+    if (trace != nullptr) trace->begin("capture", "ckpt", track);
+    storage::CheckpointImage image;
+    capture_image_metadata(kernel, *capture_target, capture, image);
+    // The image describes the *application*, not the shadow copy.
+    image.pid = proc.pid;
+    image.process_name = proc.name;
+    image.guest = proc.guest_image;
+    image.kind = take_delta ? storage::ImageKind::kIncremental : storage::ImageKind::kFull;
+    auto plan = build_capture_plan(*capture_target, capture, image);
+    // The shadow is frozen, but the plan may still list pages without a PTE
+    // (never touched); prune them here — deterministically, on the caller —
+    // exactly as the classic copier skips them.
+    std::erase_if(plan, [&](const std::pair<std::size_t, DirtyRange>& entry) {
+      return capture_target->aspace->pte(entry.second.page) == nullptr;
+    });
+    // One address-space switch maps the shadow for reading (the classic
+    // path charges the same on its first page read).
+    kernel.charge_time(kernel.costs().addr_space_switch_ns, sim::ChargeKind::kCompute);
+
+    // Partition the plan into chunks.  The split depends only on the plan
+    // and stream_chunk_pages — never on worker count — and the chunk
+    // concatenation is byte-identical to the classic encode_segment stream:
+    // each segment's lead chunk carries its VMA header and page count.
+    const std::size_t seg_count = image.segments.size();
+    std::vector<std::vector<DirtyRange>> seg_entries(seg_count);
+    for (const auto& [seg_idx, range] : plan) seg_entries[seg_idx].push_back(range);
+    struct StreamPiece {
+      std::size_t seg = 0;
+      std::size_t first = 0;
+      std::size_t count = 0;
+      bool lead = false;
+    };
+    std::vector<StreamPiece> pieces;
+    for (std::size_t s = 0; s < seg_count; ++s) {
+      const std::size_t entries = seg_entries[s].size();
+      std::size_t first = 0;
+      bool lead = true;
+      do {
+        const std::size_t take =
+            std::min<std::size_t>(options_.stream_chunk_pages, entries - first);
+        pieces.push_back(StreamPiece{s, first, take, lead});
+        lead = false;
+        first += take;
+      } while (first < entries);
     }
-    result.store_retries = retrier.retries();
-  }
-  if (trace != nullptr) {
-    trace->end("store", track,
-               {obs::TraceArg::num("image_id", result.image_id),
-                obs::TraceArg::num("retries", result.store_retries)});
+
+    std::uint64_t payload = 0;
+    for (const auto& [seg_idx, range] : plan) {
+      payload += std::min<std::uint32_t>(range.length, sim::kPageSize - range.offset);
+    }
+    result.kind = image.kind;
+    result.payload_bytes = payload;
+    result.pages = plan.size();
+    if (trace != nullptr) {
+      trace->end("capture", track,
+                 {obs::TraceArg::str("kind", to_string(result.kind)),
+                  obs::TraceArg::num("pages", result.pages),
+                  obs::TraceArg::num("bytes", result.payload_bytes)});
+      trace->begin("store", "ckpt", track, {obs::TraceArg::num("streamed", 1)});
+    }
+
+    const auto produce = [&](std::size_t i) {
+      const StreamPiece& piece = pieces[i];
+      storage::ReplicatedStore::StreamChunk chunk;
+      util::Serializer s;
+      if (piece.lead) {
+        storage::encode_image_vma(s, image.segments[piece.seg].vma);
+        s.put(static_cast<std::uint64_t>(seg_entries[piece.seg].size()));
+      }
+      for (std::size_t e = piece.first; e < piece.first + piece.count; ++e) {
+        const DirtyRange& range = seg_entries[piece.seg][e];
+        const std::uint32_t length =
+            std::min<std::uint32_t>(range.length, sim::kPageSize - range.offset);
+        s.put(range.page);
+        s.put(range.offset);
+        s.put_bytes(
+            capture_target->aspace->page_data(range.page).subspan(range.offset, length));
+        chunk.capture_ns += kernel.costs().mem_copy_cost(length);
+      }
+      chunk.bytes = std::move(s).take();
+      return chunk;
+    };
+    const auto stream_store = [&](const storage::CheckpointImage& img) {
+      storage::ReplicatedStore::StreamSource source;
+      util::Serializer prelude;
+      storage::encode_image_prelude(prelude, img);
+      source.prelude = std::move(prelude).take();
+      util::Serializer trailer;
+      storage::encode_image_trailer(trailer, img);
+      source.trailer = std::move(trailer).take();
+      source.chunk_count = pieces.size();
+      source.produce = produce;
+      return replicated->store_streamed(source, charge).id;
+    };
+    // append_via assigns sequence/parent before the prelude is encoded; a
+    // failed streamed store never advances the chain, so re-running the
+    // whole stream under the retry policy is safe.
+    result.image_id = state.chain.append_via(image, stream_store);
+    if (result.image_id == storage::kBadImageId && may_retry) {
+      storage::Retrier retrier(options_.store_retry,
+                               (static_cast<std::uint64_t>(proc.pid) << 20) ^ state.taken);
+      while (result.image_id == storage::kBadImageId) {
+        const std::optional<SimTime> delay = retrier.next_delay();
+        if (!delay.has_value()) break;
+        charge(*delay);
+        result.image_id = state.chain.append_via(image, stream_store);
+      }
+      result.store_retries = retrier.retries();
+    }
+    if (trace != nullptr) {
+      trace->end("store", track,
+                 {obs::TraceArg::num("image_id", result.image_id),
+                  obs::TraceArg::num("retries", result.store_retries),
+                  obs::TraceArg::num("chunks", pieces.size())});
+    }
+  } else {
+    if (trace != nullptr) trace->begin("capture", "ckpt", track);
+    storage::CheckpointImage image =
+        capture_kernel_level(kernel, *capture_target, capture);
+    // The image describes the *application*, not the shadow copy.
+    image.pid = proc.pid;
+    image.process_name = proc.name;
+    image.guest = proc.guest_image;
+    image.kind = take_delta ? storage::ImageKind::kIncremental : storage::ImageKind::kFull;
+
+    result.kind = image.kind;
+    result.payload_bytes = image.payload_bytes();
+    result.pages = image.page_count();
+    if (trace != nullptr) {
+      trace->end("capture", track,
+                 {obs::TraceArg::str("kind", to_string(result.kind)),
+                  obs::TraceArg::num("pages", result.pages),
+                  obs::TraceArg::num("bytes", result.payload_bytes)});
+      trace->begin("store", "ckpt", track);
+    }
+
+    // Store with bounded retry: a transient StoreFault (rejection, outage
+    // window) costs backoff time instead of a lost checkpoint.  A failed
+    // append never advances the chain, so re-appending is safe.  The image is
+    // only copied when a retry is actually possible.
+    std::optional<storage::CheckpointImage> spare;
+    if (may_retry) spare = image;
+    result.image_id = state.chain.append(std::move(image), charge);
+    if (result.image_id == storage::kBadImageId && may_retry) {
+      storage::Retrier retrier(options_.store_retry,
+                               (static_cast<std::uint64_t>(proc.pid) << 20) ^ state.taken);
+      while (result.image_id == storage::kBadImageId) {
+        const std::optional<SimTime> delay = retrier.next_delay();
+        if (!delay.has_value()) break;
+        charge(*delay);
+        result.image_id = state.chain.append(*spare, charge);
+      }
+      result.store_retries = retrier.retries();
+    }
+    if (trace != nullptr) {
+      trace->end("store", track,
+                 {obs::TraceArg::num("image_id", result.image_id),
+                  obs::TraceArg::num("retries", result.store_retries)});
+    }
   }
 
-  if (shadow_pid != sim::kNoPid) {
-    kernel.terminate(kernel.process(shadow_pid), 0);
-    kernel.reap(shadow_pid);
-  }
-  if (options_.consistency == ConsistencyMode::kStopTarget && was_runnable) {
-    kernel.resume_process(proc);
+  // Reap the shadow here on the normal paths (the ShadowReaper backstops
+  // early returns and exceptions, so no exit can leak it).
+  shadow.reap_now();
+  if (options_.consistency == ConsistencyMode::kStopTarget) {
+    // Stop-the-world pays for everything between stop and resume.
+    result.pause_ns = kernel.effective_now() - pause_origin;
+    if (was_runnable) kernel.resume_process(proc);
   }
 
   // The clock freezes inside a scheduling step; the checkpoint's duration
@@ -354,11 +518,15 @@ CheckpointResult CheckpointEngine::perform_kernel_checkpoint(sim::SimKernel& ker
     result.error = name_ + ": storage backend rejected the image";
     result.completed_at = kernel.now() + consumed;
     if (trace != nullptr) {
-      trace->end("checkpoint", track, {obs::TraceArg::str("outcome", "store-failed")});
+      trace->end("checkpoint", track,
+                 {obs::TraceArg::str("outcome", "store-failed"),
+                  obs::TraceArg::num("pause_ns", result.pause_ns)});
     }
     if (observer != nullptr) {
       observer->metrics().add("ckpt.failed");
       observer->metrics().add("ckpt.store_retries", result.store_retries);
+      observer->metrics().observe("ckpt.pause_ns", result.pause_ns,
+                                  obs::MetricsRegistry::latency_bounds());
     }
     return result;
   }
@@ -412,7 +580,9 @@ CheckpointResult CheckpointEngine::perform_kernel_checkpoint(sim::SimKernel& ker
   }
 
   if (trace != nullptr) {
-    trace->end("checkpoint", track, {obs::TraceArg::str("outcome", "ok")});
+    trace->end("checkpoint", track,
+               {obs::TraceArg::str("outcome", "ok"),
+                obs::TraceArg::num("pause_ns", result.pause_ns)});
   }
   if (observer != nullptr) {
     obs::MetricsRegistry& metrics = observer->metrics();
@@ -427,6 +597,8 @@ CheckpointResult CheckpointEngine::perform_kernel_checkpoint(sim::SimKernel& ker
                     obs::MetricsRegistry::latency_bounds());
     metrics.observe("ckpt.image_bytes", result.payload_bytes,
                     obs::MetricsRegistry::size_bounds());
+    metrics.observe("ckpt.pause_ns", result.pause_ns,
+                    obs::MetricsRegistry::latency_bounds());
     if (result.kind == storage::ImageKind::kIncremental) {
       const std::uint64_t total = mapped_pages(proc);
       if (total > 0) {

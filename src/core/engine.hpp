@@ -72,6 +72,19 @@ struct EngineOptions {
   /// chunk placement in the home store happens off the critical path.
   /// Ignored for every other backend.
   bool append_commit = false;
+  /// Streaming commit (requires kForkAndCopy): capture pages from the
+  /// frozen COW shadow, encode them in chunks and append each chunk to the
+  /// replicas *as it is produced* (ReplicatedStore::store_streamed), instead
+  /// of capture → serialize → store running phase-sequential.  The guest
+  /// resumes after the fork's page-table walk; the whole transfer overlaps
+  /// its execution.  Requires a flat (non-dedup) ReplicatedStore backend;
+  /// any other backend falls back to classic capture+store from the shadow,
+  /// which still gets the O(page-table-walk) pause.
+  bool streaming = false;
+  /// Page payloads per streamed chunk.  Chunking is fixed by this knob
+  /// alone — never by worker count — so streamed blobs are byte-identical
+  /// for any CKPT_WORKERS.
+  std::uint32_t stream_chunk_pages = 64;
 };
 
 struct CheckpointResult {
@@ -86,6 +99,10 @@ struct CheckpointResult {
   std::uint64_t pages = 0;
   /// Store retries the engine's RetryPolicy granted before success/giving up.
   std::uint64_t store_retries = 0;
+  /// Guest-visible pause: how long the application was kept off the CPU for
+  /// consistency.  kStopTarget: stop → resume (the whole capture+store).
+  /// kForkAndCopy: the fork's page-table walk only.  kConcurrent: 0.
+  SimTime pause_ns = 0;
 
   [[nodiscard]] SimTime initiation_latency() const { return started_at - initiated_at; }
   [[nodiscard]] SimTime total_latency() const { return completed_at - initiated_at; }

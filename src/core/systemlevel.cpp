@@ -295,6 +295,7 @@ void KernelThreadEngine::begin_session(sim::SimKernel& kernel, Request request) 
         break;
       case ConsistencyMode::kForkAndCopy:
         session.shadow_pid = kernel.fork_process(*target, /*freeze_child=*/true);
+        session.cow_at_start = target->stats.cow_faults;
         source = &kernel.process(session.shadow_pid);
         break;
       case ConsistencyMode::kConcurrent:
@@ -357,6 +358,16 @@ void KernelThreadEngine::finish_session(sim::SimKernel& kernel) {
     kernel.resume_process(*target);
   }
 
+  // COW activity the live shadow induced while the target kept running: every
+  // write the target made to a still-shared page paid a fault + page copy.
+  std::uint64_t cow_faults = 0;
+  if (session.shadow_pid != sim::kNoPid && target != nullptr) {
+    cow_faults = target->stats.cow_faults - session.cow_at_start;
+  }
+  const SimTime cow_fault_ns =
+      cow_faults * (kernel.costs().cow_fault_extra_ns +
+                    kernel.costs().mem_copy_cost(sim::kPageSize));
+
   if (result.image_id == storage::kBadImageId) {
     result.error = name_ + ": storage backend rejected the image";
   } else {
@@ -372,10 +383,16 @@ void KernelThreadEngine::finish_session(sim::SimKernel& kernel) {
   result.completed_at = kernel.now() + kernel.step_charge();
   if (trace != nullptr) {
     trace->end("checkpoint", track,
-               {obs::TraceArg::str("outcome", result.ok ? "ok" : "store-failed")});
+               {obs::TraceArg::str("outcome", result.ok ? "ok" : "store-failed"),
+                obs::TraceArg::num("cow_faults", cow_faults)});
+    if (session.shadow_pid != sim::kNoPid && target != nullptr) {
+      trace->counter("ckpt.cow_faults", track, target->stats.cow_faults);
+    }
   }
   if (observer != nullptr) {
     obs::MetricsRegistry& metrics = observer->metrics();
+    metrics.add("ckpt.cow_faults", cow_faults);
+    metrics.add("ckpt.cow_fault_ns", cow_fault_ns);
     if (result.ok) {
       metrics.add("ckpt.completed");
       metrics.add(result.kind == storage::ImageKind::kIncremental ? "ckpt.incremental"
@@ -401,6 +418,22 @@ void KernelThreadEngine::abort_session(sim::SimKernel& kernel, const std::string
   result.initiated_at = active_->request.initiated_at;
   result.started_at = active_->started_at;
   result.error = name_ + ": " + reason;
+  // An aborted session must release its consistency protection too: a
+  // leaked frozen shadow pins every COW frame of the snapshot forever, and
+  // a target stopped for kStopTarget would never run again.
+  if (active_->shadow_pid != sim::kNoPid) {
+    if (sim::Process* shadow = kernel.find_process(active_->shadow_pid)) {
+      if (shadow->alive()) kernel.terminate(*shadow, 0);
+      kernel.reap(active_->shadow_pid);
+    }
+    active_->shadow_pid = sim::kNoPid;
+  }
+  if (options_.consistency == ConsistencyMode::kStopTarget && active_->was_runnable) {
+    if (sim::Process* target = kernel.find_process(active_->request.target);
+        target != nullptr && target->alive() && !target->runnable()) {
+      kernel.resume_process(*target);
+    }
+  }
   if (obs::Observer* observer = kernel.observer()) {
     const std::uint64_t track = static_cast<std::uint64_t>(active_->request.target);
     observer->trace().end("capture", track);

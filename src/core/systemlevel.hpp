@@ -124,6 +124,9 @@ class KernelThreadEngine final : public CheckpointEngine {
     bool was_runnable = true;
     bool take_delta = false;
     SimTime started_at = 0;
+    /// Target's cumulative COW-fault count when the shadow was forked; the
+    /// delta at finish is the COW activity this checkpoint induced.
+    std::uint64_t cow_at_start = 0;
   };
 
   std::uint64_t enqueue(sim::SimKernel& kernel, sim::Pid pid);

@@ -25,6 +25,18 @@ void StorageInjector::tear_next_store() {
   backend_->inject_store_fault(storage::StoreFault::kTornWrite);
 }
 
+void StorageInjector::fail_store_after(std::uint64_t skip_ops) {
+  note_injection(observer_, "inject.store_reject",
+                 {obs::TraceArg::num("skip_ops", skip_ops)});
+  backend_->inject_store_fault(storage::StoreFault::kReject, skip_ops);
+}
+
+void StorageInjector::tear_store_after(std::uint64_t skip_ops) {
+  note_injection(observer_, "inject.torn_store",
+                 {obs::TraceArg::num("skip_ops", skip_ops)});
+  backend_->inject_store_fault(storage::StoreFault::kTornWrite, skip_ops);
+}
+
 bool StorageInjector::corrupt_newest(util::Rng& rng, std::uint64_t count) {
   const storage::ImageId id = backend_->newest_id();
   if (id == storage::kBadImageId) return false;

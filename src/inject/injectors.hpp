@@ -41,6 +41,12 @@ class StorageInjector {
   /// Next store persists a torn (truncated) blob under a valid id.
   void tear_next_store();
 
+  /// Same faults, armed to fire after `skip_ops` further storage operations
+  /// succeed first — for a streamed commit this lands the fault mid-stream,
+  /// between chunk appends rather than at the whole-blob write.
+  void fail_store_after(std::uint64_t skip_ops);
+  void tear_store_after(std::uint64_t skip_ops);
+
   /// Flip `count` bytes of the newest stored blob at an rng-chosen offset.
   /// Returns false when the backend is empty.
   bool corrupt_newest(util::Rng& rng, std::uint64_t count);

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "core/capture.hpp"
+#include "core/systemlevel.hpp"
 #include "inject/injectors.hpp"
 #include "mechanisms/catalog.hpp"
 #include "obs/observer.hpp"
@@ -157,6 +158,12 @@ TortureReport TortureHarness::run(const TortureTarget& target) {
         "TortureHarness: journal requires replicated_storage (the migrator needs "
         "a durable home store to drain into)");
   }
+  if (options_.streaming &&
+      (!options_.replicated_storage || options_.dedup || options_.journal)) {
+    throw std::invalid_argument(
+        "TortureHarness: streaming requires replicated_storage without dedup or "
+        "journal (the streamed commit path needs a flat ReplicatedStore)");
+  }
   if (options_.replicated_storage) {
     if (options_.replicas < 2) {
       throw std::invalid_argument(
@@ -200,7 +207,22 @@ TortureReport TortureHarness::run(const TortureTarget& target) {
     journal_inj = std::make_unique<JournalInjector>(*journal_store, observer);
   }
 
-  storage::StorageBackend& store = *mech->engine()->backend();
+  // Streaming mode: the catalog mechanism still launches the guest, but
+  // every checkpoint and restart goes through this streaming-COW engine
+  // writing chunk-by-chunk into the replicated store.
+  std::unique_ptr<core::SyscallEngine> stream_engine;
+  core::CheckpointEngine* ckpt_engine = mech->engine();
+  if (options_.streaming) {
+    core::EngineOptions stream_options;
+    stream_options.consistency = core::ConsistencyMode::kForkAndCopy;
+    stream_options.streaming = true;
+    stream_engine = std::make_unique<core::SyscallEngine>(
+        "torture_stream", context.local, std::move(stream_options), kernel,
+        core::SyscallEngine::TargetMode::kByPid, nullptr);
+    ckpt_engine = stream_engine.get();
+  }
+
+  storage::StorageBackend& store = *ckpt_engine->backend();
   storage::BlobStoreBackend* blob = nullptr;
   if (!options_.replicated_storage) {
     blob = dynamic_cast<storage::BlobStoreBackend*>(&store);
@@ -252,7 +274,9 @@ TortureReport TortureHarness::run(const TortureTarget& target) {
   // on success.  Returns whether the soak has a live process again.
   auto attempt_restart = [&](std::uint64_t cycle, FaultKind fk) -> bool {
     const bool expected_ok = good_count > 0 && !storage_down();
-    core::RestartResult rr = mech->restart(kernel, pid, restart_options);
+    core::RestartResult rr = stream_engine != nullptr
+                                 ? stream_engine->restart(kernel, pid, restart_options)
+                                 : mech->restart(kernel, pid, restart_options);
     if (!rr.ok) {
       if (expected_ok) {
         ++report.unexpected_failures;
@@ -277,7 +301,7 @@ TortureReport TortureHarness::run(const TortureTarget& target) {
       } else {
         sim::Process& restored = kernel.process(rr.pid);
         const storage::CheckpointImage now_image =
-            core::capture_kernel_level(kernel, restored, mech->engine()->options().capture);
+            core::capture_kernel_level(kernel, restored, ckpt_engine->options().capture);
         if (!states_match(now_image, *truth)) {
           ++report.divergences;
           note(cat("cycle ", cycle, ": restored pid ", rr.pid,
@@ -288,7 +312,8 @@ TortureReport TortureHarness::run(const TortureTarget& target) {
     }
     const bool same_pid = rr.pid == pid;
     pid = rr.pid;
-    if (target.reattach && !target.reattach(*mech, kernel, pid)) {
+    if (stream_engine == nullptr && target.reattach &&
+        !target.reattach(*mech, kernel, pid)) {
       note(cat("cycle ", cycle, ": reattach failed for restarted pid ", pid));
       return false;
     }
@@ -350,13 +375,29 @@ TortureReport TortureHarness::run(const TortureTarget& target) {
       run_guest_steps(kernel, pid, steps);
     }
 
-    // 2. Checkpoint attempt, possibly against a faulted store.
-    if (fault.kind == FaultKind::kStoreReject) storage_inj.fail_next_store();
-    if (fault.kind == FaultKind::kTornStore) storage_inj.tear_next_store();
+    // 2. Checkpoint attempt, possibly against a faulted store.  Streaming
+    // mode arms the fault with an rng-drawn skip-op count so it detonates
+    // mid-stream, between chunk appends.
+    if (fault.kind == FaultKind::kStoreReject) {
+      if (options_.streaming) {
+        storage_inj.fail_store_after(rng.next_below(16));
+      } else {
+        storage_inj.fail_next_store();
+      }
+    }
+    if (fault.kind == FaultKind::kTornStore) {
+      if (options_.streaming) {
+        storage_inj.tear_store_after(rng.next_below(16));
+      } else {
+        storage_inj.tear_next_store();
+      }
+    }
     if (fault.kind == FaultKind::kJournalTornAppend && journal_inj != nullptr) {
       journal_inj->tear_next_append(rng);
     }
-    const core::CheckpointResult cr = mech->checkpoint(kernel, pid);
+    const core::CheckpointResult cr = stream_engine != nullptr
+                                          ? stream_engine->request_checkpoint(kernel, pid)
+                                          : mech->checkpoint(kernel, pid);
     if (journal_inj != nullptr) {
       // Append-commit: the checkpoint only reached the log.  Drain the
       // migrator now, while this cycle's replica fault is still armed — the

@@ -45,6 +45,10 @@ struct CostModel {
   double hash_ns_per_byte = 1.0;
   /// Copy-on-write fault: fault entry plus one page copy.
   SimTime cow_fault_extra_ns = 1 * kMicrosecond;
+  /// Copying one page-table entry during a COW fork (write-protect both
+  /// sides, bump the frame refcount).  The whole guest-visible pause of a
+  /// fork-snapshot commit is this walk: O(present pages), no page copies.
+  SimTime pte_copy_ns = 150 * kNanosecond;
 
   // --- Stable storage -----------------------------------------------------
   /// Local disk: seek/setup latency and streaming bandwidth (bytes/s).
@@ -68,6 +72,12 @@ struct CostModel {
   [[nodiscard]] SimTime net_cost(std::uint64_t bytes) const {
     return net_latency_ns +
            static_cast<SimTime>(static_cast<double>(bytes) / net_bandwidth_bps * 1e9);
+  }
+  /// COW fork: one syscall crossing plus a page-table walk over the present
+  /// pages.  Deliberately *not* a function of mapped bytes — that is the
+  /// point the streaming commit path measures.
+  [[nodiscard]] SimTime fork_cost(std::uint64_t present_pages) const {
+    return syscall_crossing_ns + static_cast<SimTime>(present_pages) * pte_copy_ns;
   }
 };
 

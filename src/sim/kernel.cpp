@@ -133,6 +133,10 @@ Pid SimKernel::create_restored_process(const std::string& name, const GuestImage
 Pid SimKernel::fork_process(Process& parent, bool freeze_child) {
   Process& child = allocate_process(parent.name + "-fork", false, std::nullopt);
   child.ppid = parent.pid;
+  // The COW clone write-protects and refcounts every present page in both
+  // address spaces; that page-table walk is the entire cost of the
+  // snapshot — page contents are copied lazily on first store.
+  charge_time(costs_.fork_cost(parent.aspace->present_page_count()), ChargeKind::kSyscall);
   child.aspace = parent.aspace->clone_cow();
   child.threads = parent.threads;
   child.brk = parent.brk;

@@ -264,4 +264,10 @@ std::uint64_t AddressSpace::dirty_page_count() const {
   return n;
 }
 
+std::uint64_t AddressSpace::present_page_count() const {
+  std::uint64_t n = 0;
+  for (const auto& [page, entry] : pages_) n += entry.present ? 1 : 0;
+  return n;
+}
+
 }  // namespace ckpt::sim

@@ -170,6 +170,8 @@ class AddressSpace {
   [[nodiscard]] std::uint64_t mapped_bytes() const;
   /// Number of pages whose dirty bit is set.
   [[nodiscard]] std::uint64_t dirty_page_count() const;
+  /// Number of present pages — the PTEs a COW fork must walk.
+  [[nodiscard]] std::uint64_t present_page_count() const;
 
   /// Iterate pages in ascending order: fn(page_num, pte&).
   template <typename Fn>

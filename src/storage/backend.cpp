@@ -28,10 +28,20 @@ const char* to_string(StoreFault fault) {
 // BlobStoreBackend
 // ---------------------------------------------------------------------------
 
-ImageId BlobStoreBackend::put_blob(std::vector<std::byte> blob) {
-  if (outage_) return kBadImageId;
+StoreFault BlobStoreBackend::consume_fault() {
+  if (store_fault_ == StoreFault::kNone) return StoreFault::kNone;
+  if (fault_skip_ops_ > 0) {
+    --fault_skip_ops_;
+    return StoreFault::kNone;
+  }
   const StoreFault fault = store_fault_;
   store_fault_ = StoreFault::kNone;
+  return fault;
+}
+
+ImageId BlobStoreBackend::put_blob(std::vector<std::byte> blob) {
+  if (outage_) return kBadImageId;
+  const StoreFault fault = consume_fault();
   if (fault == StoreFault::kReject) return kBadImageId;
   if (fault == StoreFault::kTornWrite) {
     // Crash mid-write: only a prefix of the blob reaches the media.  The
@@ -42,6 +52,48 @@ ImageId BlobStoreBackend::put_blob(std::vector<std::byte> blob) {
   const ImageId id = next_id_++;
   blobs_.emplace(id, std::move(blob));
   return id;
+}
+
+BlobStoreBackend::StageId BlobStoreBackend::begin_staged(const ChargeFn& charge) {
+  if (!reachable()) return kBadStageId;
+  if (charge) charge(io_cost(0));
+  const StageId id = next_stage_id_++;
+  staged_.emplace(id, std::vector<std::byte>{});
+  return id;
+}
+
+bool BlobStoreBackend::append_staged(StageId stage, std::span<const std::byte> chunk,
+                                     const ChargeFn& charge) {
+  auto it = staged_.find(stage);
+  if (it == staged_.end()) return false;
+  if (!reachable()) return false;
+  if (charge) charge(io_cost(chunk.size()) - io_cost(0));
+  const StoreFault fault = consume_fault();
+  if (fault == StoreFault::kReject) return false;
+  std::size_t take = chunk.size();
+  if (fault == StoreFault::kTornWrite) {
+    // Crash mid-append: a prefix of this chunk reaches the media and the
+    // append *reports success* — the damage stays invisible until the
+    // seal-time CRC read-back.
+    take = chunk.size() > 1 ? chunk.size() - chunk.size() / 3 - 1 : 0;
+  }
+  it->second.insert(it->second.end(), chunk.begin(), chunk.begin() + take);
+  return true;
+}
+
+ImageId BlobStoreBackend::finish_staged(StageId stage, std::span<const std::byte> header,
+                                        const ChargeFn& charge) {
+  auto it = staged_.find(stage);
+  if (it == staged_.end()) return kBadImageId;
+  std::vector<std::byte> body = std::move(it->second);
+  staged_.erase(it);
+  if (!reachable()) return kBadImageId;
+  if (charge) charge(io_cost(header.size()));
+  std::vector<std::byte> blob;
+  blob.reserve(header.size() + body.size());
+  blob.insert(blob.end(), header.begin(), header.end());
+  blob.insert(blob.end(), body.begin(), body.end());
+  return put_blob(std::move(blob));
 }
 
 std::optional<std::vector<std::byte>> BlobStoreBackend::read_blob(

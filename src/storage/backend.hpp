@@ -23,6 +23,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -84,7 +85,17 @@ class BlobStoreBackend : public StorageBackend {
   // --- Fault-injection hooks (src/inject) -----------------------------------
   /// Arm a one-shot fault on the next store(); consumed whether or not the
   /// store would otherwise have succeeded.
-  void inject_store_fault(StoreFault fault) { store_fault_ = fault; }
+  void inject_store_fault(StoreFault fault) {
+    store_fault_ = fault;
+    fault_skip_ops_ = 0;
+  }
+  /// Arm a one-shot fault that lets the next `skip_ops` write operations
+  /// through first — the mid-stream variant: a streamed commit issues one
+  /// append per chunk per replica, so skip_ops picks which append dies.
+  void inject_store_fault(StoreFault fault, std::uint64_t skip_ops) {
+    store_fault_ = fault;
+    fault_skip_ops_ = skip_ops;
+  }
   [[nodiscard]] StoreFault pending_store_fault() const { return store_fault_; }
 
   /// XOR-flip `count` bytes starting at `offset` (wrapping within the blob)
@@ -124,15 +135,55 @@ class BlobStoreBackend : public StorageBackend {
   /// and charges io_cost.  Returns kBadImageId when unreachable or faulted.
   ImageId put_raw(std::vector<std::byte> blob, const ChargeFn& charge);
 
+  // --- Staged append (streaming commit, src/storage/replicated) -------------
+  // A stage is an open, append-only file: chunks land on the media as they
+  // are produced, but the bytes are invisible to load/list/newest_id until
+  // finish_staged() seals them under a fresh id.  A crash (abandon) before
+  // the seal leaves no trace — the commit-record-last invariant.
+  using StageId = std::uint64_t;
+  static constexpr StageId kBadStageId = 0;
+
+  /// Open a stage.  Charges io_cost(0) — the per-IO setup latency (seek /
+  /// connection) paid once up front.  kBadStageId when unreachable.
+  StageId begin_staged(const ChargeFn& charge);
+
+  /// Append a chunk to an open stage, charging the marginal bandwidth cost
+  /// io_cost(n) - io_cost(0).  Consumes an armed store fault (under its
+  /// skip counter): kReject fails the append cleanly (false); kTornWrite
+  /// silently persists a truncated prefix and reports success — only the
+  /// seal-time CRC read-back can catch it.  False when the stage is
+  /// unknown or the backend unreachable.
+  bool append_staged(StageId stage, std::span<const std::byte> chunk, const ChargeFn& charge);
+
+  /// Seal a stage: backfill `header` (the CRC envelope, a small pwrite at
+  /// offset 0, charged io_cost(header.size())) and publish header+bytes
+  /// under a fresh ImageId.  Consumes an armed store fault like put_raw.
+  /// The stage is closed whatever the outcome.  kBadImageId on failure.
+  ImageId finish_staged(StageId stage, std::span<const std::byte> header,
+                        const ChargeFn& charge);
+
+  /// Drop an open stage without publishing (failed or aborted commit).
+  void abandon_staged(StageId stage) { staged_.erase(stage); }
+
+  /// Open stages (leak check in tests; a quiesced store must report 0).
+  [[nodiscard]] std::size_t open_stages() const { return staged_.size(); }
+
  protected:
   /// Persist `blob`, honouring any armed store fault and outage state.
   ImageId put_blob(std::vector<std::byte> blob);
+  /// Consume the armed one-shot fault, honouring the skip counter: each
+  /// call that finds a fault armed with skips remaining burns one skip and
+  /// reports kNone; the call that finds no skips left takes the fault.
+  [[nodiscard]] StoreFault consume_fault();
   /// Per-IO cost for `bytes`, implemented by subclasses.
   [[nodiscard]] virtual SimTime io_cost(std::uint64_t bytes) const = 0;
 
   std::map<ImageId, std::vector<std::byte>> blobs_;
+  std::map<StageId, std::vector<std::byte>> staged_;
   ImageId next_id_ = 1;
+  StageId next_stage_id_ = 1;
   StoreFault store_fault_ = StoreFault::kNone;
+  std::uint64_t fault_skip_ops_ = 0;
   bool outage_ = false;
 };
 

@@ -6,11 +6,16 @@
 namespace ckpt::storage {
 
 ImageId CheckpointChain::append(CheckpointImage image, const ChargeFn& charge) {
+  return append_via(image,
+                    [&](const CheckpointImage& img) { return backend_->store(img, charge); });
+}
+
+ImageId CheckpointChain::append_via(CheckpointImage& image, const StoreFn& store_fn) {
   image.sequence = next_sequence_;
   image.parent_sequence = image.kind == ImageKind::kIncremental && next_sequence_ > 1
                               ? next_sequence_ - 1
                               : 0;
-  const ImageId id = backend_->store(image, charge);
+  const ImageId id = store_fn(image);
   if (id == kBadImageId) return kBadImageId;
   entries_.push_back(Entry{next_sequence_, id, image.kind});
   ++next_sequence_;

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
 #include <vector>
@@ -25,6 +26,15 @@ class CheckpointChain {
   /// Sequence and parent fields are assigned here.  Returns the image id,
   /// or kBadImageId if the backend rejected the store.
   ImageId append(CheckpointImage image, const ChargeFn& charge);
+
+  /// Append through a caller-supplied store function — the streaming commit
+  /// path stores via ReplicatedStore::store_streamed instead of
+  /// StorageBackend::store.  Sequence and parent fields are assigned on
+  /// `image` *before* `store_fn` runs (the streamed prelude encodes them);
+  /// the chain entry is recorded only on success, so a failed streamed
+  /// store leaves the chain (and the next sequence number) untouched.
+  using StoreFn = std::function<ImageId(const CheckpointImage&)>;
+  ImageId append_via(CheckpointImage& image, const StoreFn& store_fn);
 
   /// Reconstruct complete state as of the newest image: loads the most
   /// recent full image and applies deltas in order.  nullopt if any link

@@ -1,6 +1,7 @@
 #include "storage/replicated.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <sstream>
 #include <stdexcept>
 #include <unordered_set>
@@ -456,6 +457,277 @@ StoreReceipt ReplicatedStore::store_verbose(const CheckpointImage& image,
 
 ImageId ReplicatedStore::store(const CheckpointImage& image, const ChargeFn& charge) {
   return store_verbose(image, charge).id;
+}
+
+StoreReceipt ReplicatedStore::store_streamed(const StreamSource& source,
+                                             const ChargeFn& charge) {
+  if (table_ != nullptr) {
+    throw std::logic_error("ReplicatedStore: store_streamed requires flat (non-dedup) mode");
+  }
+  StoreReceipt receipt;
+  obs::Observer* observer = options_.observer;
+  obs::TraceRecorder* trace = obs::tracer(observer);
+  const std::uint64_t salt = ++op_counter_;
+  const std::size_t chunk_count = source.chunk_count;
+  const std::size_t replica_count = replicas_.size();
+
+  const SimTime stream_base = trace != nullptr ? trace->now() : 0;
+  if (trace != nullptr) {
+    trace->begin("stream", "storage", obs::kStorageTrack,
+                 {obs::TraceArg::num("replicas", replica_count),
+                  obs::TraceArg::num("chunks", chunk_count)});
+  }
+
+  // Phase 0: open one append stage per replica and land the image prelude,
+  // in replica order on the caller.  The open pays the per-IO setup latency
+  // once; every later append pays marginal bandwidth only.
+  std::vector<BlobStoreBackend::StageId> stages(replica_count,
+                                                BlobStoreBackend::kBadStageId);
+  std::vector<char> failed(replica_count, 0);
+  std::vector<StoreErrorKind> lane_error(replica_count, StoreErrorKind::kNone);
+  std::vector<SimTime> lane_spent(replica_count, 0);
+  for (std::size_t r = 0; r < replica_count; ++r) {
+    const ChargeFn opened = [&lane_spent, &charge, r](SimTime t) {
+      lane_spent[r] += t;
+      if (charge) charge(t);
+    };
+    stages[r] = replicas_[r]->begin_staged(opened);
+    if (stages[r] == BlobStoreBackend::kBadStageId) {
+      failed[r] = 1;
+      lane_error[r] = StoreErrorKind::kUnreachable;
+    } else if (!replicas_[r]->append_staged(stages[r], source.prelude, opened)) {
+      failed[r] = 1;
+      lane_error[r] = replicas_[r]->reachable() ? StoreErrorKind::kRejected
+                                                : StoreErrorKind::kUnreachable;
+    }
+  }
+
+  // Phase 1: produce chunks (on pool workers when available) and append
+  // each to every still-healthy stage.  Replica lanes are ticket-gated —
+  // chunk i appends to replica r only after chunk i-1 did — so each stage
+  // receives chunks in order while different chunks encode and different
+  // replicas append concurrently.  The pool dispatches indices in ascending
+  // order, so the holder of ticket i-1 is always already running and the
+  // spin below cannot deadlock.  Every charge lands in a per-(chunk,
+  // replica) ledger replayed after the join.
+  struct Lane {
+    std::vector<SimTime> charges;
+    StoreErrorKind error = StoreErrorKind::kNone;
+    char failed_here = 0;
+  };
+  struct ChunkOutcome {
+    std::uint64_t crc = 0;
+    std::uint64_t bytes = 0;
+    SimTime capture_ns = 0;
+    std::vector<Lane> lanes;
+  };
+  std::vector<ChunkOutcome> outcomes(chunk_count);
+  for (ChunkOutcome& out : outcomes) out.lanes.resize(replica_count);
+  std::vector<std::atomic<std::size_t>> cursor(replica_count);
+  const auto stream_one = [&](std::size_t i) {
+    ChunkOutcome& out = outcomes[i];
+    const StreamChunk chunk = source.produce(i);
+    out.crc = util::crc64(chunk.bytes);
+    out.bytes = chunk.bytes.size();
+    out.capture_ns = chunk.capture_ns;
+    for (std::size_t r = 0; r < replica_count; ++r) {
+      while (cursor[r].load(std::memory_order_acquire) != i) {
+      }
+      if (failed[r] == 0) {
+        Lane& lane = out.lanes[r];
+        const ChargeFn ledger = [&lane](SimTime t) { lane.charges.push_back(t); };
+        if (!replicas_[r]->append_staged(stages[r], chunk.bytes, ledger)) {
+          lane.error = replicas_[r]->reachable() ? StoreErrorKind::kRejected
+                                                 : StoreErrorKind::kUnreachable;
+          lane.failed_here = 1;
+          failed[r] = 1;
+        }
+      }
+      cursor[r].store(i + 1, std::memory_order_release);
+    }
+  };
+  if (pool_ != nullptr && distinct_replicas_ && chunk_count >= 2 &&
+      pool_->worker_count() >= 2) {
+    pool_->run(chunk_count, stream_one);
+  } else {
+    for (std::size_t i = 0; i < chunk_count; ++i) stream_one(i);
+  }
+
+  // Replay the ledgers in chunk-then-replica order — the charge sequence of
+  // a fully serial run, whatever the pool width.
+  for (std::size_t i = 0; i < chunk_count; ++i) {
+    const ChunkOutcome& out = outcomes[i];
+    if (charge && out.capture_ns > 0) charge(out.capture_ns);
+    for (std::size_t r = 0; r < replica_count; ++r) {
+      for (SimTime t : out.lanes[r].charges) {
+        lane_spent[r] += t;
+        if (charge) charge(t);
+      }
+      if (out.lanes[r].failed_here != 0) {
+        lane_error[r] = out.lanes[r].error;
+        receipt.last_error = out.lanes[r].error;
+      }
+    }
+  }
+
+  // The trailer closes every still-healthy stage's body, again in replica
+  // order on the caller.
+  for (std::size_t r = 0; r < replica_count; ++r) {
+    if (failed[r] != 0) continue;
+    const ChargeFn lane_charge = [&lane_spent, &charge, r](SimTime t) {
+      lane_spent[r] += t;
+      if (charge) charge(t);
+    };
+    if (!replicas_[r]->append_staged(stages[r], source.trailer, lane_charge)) {
+      failed[r] = 1;
+      lane_error[r] = replicas_[r]->reachable() ? StoreErrorKind::kRejected
+                                                : StoreErrorKind::kUnreachable;
+      receipt.last_error = lane_error[r];
+    }
+  }
+
+  // Body CRC from the per-chunk CRCs via crc64_combine — the full blob is
+  // only materialized if some replica needs the whole-image fallback.
+  std::uint64_t body_len = 0;
+  std::uint64_t body_crc = util::crc64(source.prelude);
+  body_len += source.prelude.size();
+  for (const ChunkOutcome& out : outcomes) {
+    body_crc = util::crc64_combine(body_crc, out.crc, out.bytes);
+    body_len += out.bytes;
+  }
+  body_crc = util::crc64(source.trailer, body_crc);
+  body_len += source.trailer.size();
+
+  util::Serializer header_s;
+  header_s.put(CheckpointImage::kFormatVersion);
+  header_s.put(body_crc);
+  const std::vector<std::byte> header = std::move(header_s).take();
+  const std::uint64_t full_crc =
+      util::crc64_combine(util::crc64(header), body_crc, body_len);
+  const std::uint64_t full_bytes = header.size() + body_len;
+
+  // Whole-image fallback blob, assembled lazily: re-producing the chunks
+  // re-reads the (still frozen) capture source, so the re-read cost is
+  // charged again — a faulted replica pays for its retry.
+  std::vector<std::byte> full_blob;
+  const auto assemble_full = [&]() -> const std::vector<std::byte>& {
+    if (full_blob.empty()) {
+      full_blob.reserve(full_bytes);
+      full_blob.insert(full_blob.end(), header.begin(), header.end());
+      full_blob.insert(full_blob.end(), source.prelude.begin(), source.prelude.end());
+      SimTime reread = 0;
+      for (std::size_t i = 0; i < chunk_count; ++i) {
+        const StreamChunk chunk = source.produce(i);
+        reread += chunk.capture_ns;
+        full_blob.insert(full_blob.end(), chunk.bytes.begin(), chunk.bytes.end());
+      }
+      full_blob.insert(full_blob.end(), source.trailer.begin(), source.trailer.end());
+      if (charge && reread > 0) charge(reread);
+    }
+    return full_blob;
+  };
+
+  // Phase 2: seal in replica order on the caller.  A healthy lane backfills
+  // the envelope header and CRC-verifies the sealed blob (which is where a
+  // silently torn mid-stream append finally surfaces); a failed lane
+  // abandons its stage and retries the classic whole-blob path.
+  std::map<std::size_t, ImageId> placements;
+  for (std::size_t r = 0; r < replica_count; ++r) {
+    const ChargeFn lane_charge = [&lane_spent, &charge, r](SimTime t) {
+      lane_spent[r] += t;
+      if (charge) charge(t);
+    };
+    ImageId id = kBadImageId;
+    bool fell_back = false;
+    if (failed[r] == 0 && stages[r] != BlobStoreBackend::kBadStageId) {
+      id = replicas_[r]->finish_staged(stages[r], header, lane_charge);
+      if (id == kBadImageId) {
+        lane_error[r] = replicas_[r]->reachable() ? StoreErrorKind::kRejected
+                                                  : StoreErrorKind::kUnreachable;
+      } else if (options_.verify_writes) {
+        const auto sealed_crc = replicas_[r]->blob_crc64(id, lane_charge);
+        if (sealed_crc != full_crc) {
+          replicas_[r]->erase(id);
+          lane_error[r] = sealed_crc.has_value() ? StoreErrorKind::kTornWrite
+                                                 : StoreErrorKind::kMissing;
+          id = kBadImageId;
+        }
+      }
+    } else if (stages[r] != BlobStoreBackend::kBadStageId) {
+      replicas_[r]->abandon_staged(stages[r]);
+    }
+    if (id == kBadImageId) {
+      fell_back = true;
+      if (trace != nullptr) {
+        trace->instant("stream-fallback", "storage", obs::kStorageTrack,
+                       {obs::TraceArg::num("replica", r),
+                        obs::TraceArg::str("error", to_string(lane_error[r]))});
+      }
+      id = stage_on_replica(r, assemble_full(), full_crc, lane_charge, salt,
+                            receipt.retries, receipt.last_error, nullptr);
+    }
+    if (id != kBadImageId) {
+      placements.emplace(r, id);
+    } else if (receipt.last_error == StoreErrorKind::kNone) {
+      receipt.last_error = lane_error[r];
+    }
+    if (observer != nullptr && fell_back) observer->metrics().add("store.stream_fallbacks");
+  }
+
+  // Per-replica stream spans, rendered from the replayed per-lane totals.
+  if (trace != nullptr) {
+    for (std::size_t r = 0; r < replica_count; ++r) {
+      trace->begin_at(stream_base, "replica-stream", "storage", obs::kStorageTrack,
+                      {obs::TraceArg::num("replica", r)});
+      trace->end_at(
+          stream_base + lane_spent[r], "replica-stream", obs::kStorageTrack,
+          {obs::TraceArg::num("replica", r),
+           obs::TraceArg::str("outcome", placements.contains(r) ? "verified" : "failed")});
+    }
+  }
+
+  // Phase 3: publish iff the write quorum verified; a failed streamed store
+  // leaves no trace — staged bytes died with their stages.
+  if (placements.size() < options_.write_quorum) {
+    for (const auto& [r, id] : placements) replicas_[r]->erase(id);
+    if (receipt.last_error == StoreErrorKind::kNone) {
+      receipt.last_error = StoreErrorKind::kNoQuorum;
+    }
+    if (trace != nullptr) {
+      trace->end("stream", obs::kStorageTrack,
+                 {obs::TraceArg::str("outcome", "failed"),
+                  obs::TraceArg::str("error", to_string(receipt.last_error))});
+    }
+    if (observer != nullptr) {
+      observer->metrics().add("store.commit_failed");
+      observer->metrics().add("store.stage_retries", receipt.retries);
+    }
+    return receipt;
+  }
+
+  receipt.id = next_id_++;
+  receipt.committed_replicas = static_cast<std::uint32_t>(placements.size());
+  manifest_.emplace(receipt.id, Entry{full_crc, full_bytes, std::move(placements)});
+  if (trace != nullptr) {
+    trace->end("stream", obs::kStorageTrack,
+               {obs::TraceArg::num("id", receipt.id),
+                obs::TraceArg::num("bytes", full_bytes),
+                obs::TraceArg::num("chunks", chunk_count)});
+  }
+  if (observer != nullptr) {
+    observer->trace().instant(
+        "commit", "storage", obs::kStorageTrack,
+        {obs::TraceArg::num("id", receipt.id),
+         obs::TraceArg::num("replicas", receipt.committed_replicas),
+         obs::TraceArg::num("bytes", full_bytes)});
+    obs::MetricsRegistry& metrics = observer->metrics();
+    metrics.add("store.committed");
+    metrics.add("store.streamed");
+    metrics.add("store.stream_chunks", chunk_count);
+    metrics.add("store.stage_retries", receipt.retries);
+    metrics.add("store.bytes_committed", full_bytes);
+  }
+  return receipt;
 }
 
 std::optional<CheckpointImage> ReplicatedStore::load(ImageId id, const ChargeFn& charge) {

@@ -173,6 +173,41 @@ class ReplicatedStore final : public StorageBackend, public ChunkReclaimable {
   // --- Replication-aware paths ------------------------------------------------
   StoreReceipt store_verbose(const CheckpointImage& image, const ChargeFn& charge);
 
+  /// One chunk of a streamed commit: pre-encoded body bytes plus the
+  /// producer-side capture cost (the page copies out of the COW shadow that
+  /// built the bytes), ledgered and replayed like every other charge.
+  struct StreamChunk {
+    std::vector<std::byte> bytes;
+    SimTime capture_ns = 0;
+  };
+  /// A streamed image: fixed prelude/trailer plus `chunk_count` body chunks
+  /// produced on demand.  `produce` must be thread-safe and pure — it runs
+  /// on pool workers (and may run again on the caller when a faulted
+  /// replica falls back to a whole-blob retry), and must return
+  /// byte-identical chunks every call.  prelude ++ chunks ++ trailer must
+  /// equal the serialize() body of the image being stored, so a streamed
+  /// blob is bit-identical to a classic one.
+  struct StreamSource {
+    std::vector<std::byte> prelude;
+    std::vector<std::byte> trailer;
+    std::size_t chunk_count = 0;
+    std::function<StreamChunk(std::size_t)> produce;
+  };
+  /// Streaming two-phase store (flat mode only; throws in dedup mode).
+  /// Chunks are appended to a per-replica append stage *as they are
+  /// produced* — capture, encode and replica fan-out overlap instead of
+  /// running phase-sequential — and the manifest entry still commits last,
+  /// so a crash or fault mid-stream leaves the previous image authoritative.
+  /// Chunk production fans out on the pool with per-replica ticket gating
+  /// (chunk i appends to a replica only after chunk i-1 did); all sim-time
+  /// charges are ledgered per (chunk, replica) and replayed in chunk-then-
+  /// replica order, so contents, charges, metrics and traces are
+  /// byte-identical for any worker count.  A replica whose stage dies
+  /// mid-stream falls back to the classic whole-blob stage+verify under the
+  /// retry policy: a mid-stream fault costs that replica the streaming win,
+  /// not the commit.
+  StoreReceipt store_streamed(const StreamSource& source, const ChargeFn& charge);
+
   /// Load from one specific replica only (no failover, no retry) — the
   /// RecoveryManager's degradation ladder probes replicas individually.
   std::optional<CheckpointImage> load_from(std::size_t replica, ImageId id,

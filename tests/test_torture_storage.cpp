@@ -265,6 +265,79 @@ TEST(TortureStorage, JournalWorkerCountNeverChangesTheSoak) {
   }
 }
 
+/// The streaming schedule: every storage fault, plus process kills — the
+/// fault skip-op draws land rejections and torn writes between chunk
+/// appends, mid-stream.
+std::vector<FaultPlan::Weighted> streaming_mix() {
+  std::vector<FaultPlan::Weighted> mix = storage_only_mix();
+  mix.push_back({FaultKind::kKillProcess, 2});
+  return mix;
+}
+
+TEST(TortureStorage, StreamingSoakHoldsTheSameInvariants) {
+  // Streaming-COW commits: chunks land on the replicas as they are encoded,
+  // with rejections and torn writes detonating mid-stream.  The manifest is
+  // written last, so a wounded stream must either fall back and commit
+  // intact or fail without trace — never data loss while an intact replica
+  // of a committed image exists.
+  TortureOptions options = replicated_options();
+  options.streaming = true;
+  options.fault_mix = streaming_mix();
+  const std::vector<TortureReport> reports =
+      TortureHarness(options).run_all(default_targets());
+  std::uint64_t total_cycles = 0;
+  for (const TortureReport& report : reports) {
+    SCOPED_TRACE(report.summary());
+    total_cycles += report.cycles;
+    EXPECT_GT(report.checkpoints_ok, 0u) << report.engine;
+    EXPECT_GT(report.restarts_ok, 0u) << report.engine;
+    EXPECT_EQ(report.divergences, 0u);
+    EXPECT_EQ(report.corrupt_restarts, 0u);
+    EXPECT_EQ(report.unexpected_failures, 0u);
+    EXPECT_EQ(report.scrub_failures, 0u);
+    EXPECT_TRUE(report.ok());
+    for (const std::string& diagnostic : report.diagnostics) {
+      ADD_FAILURE() << report.engine << ": " << diagnostic;
+    }
+  }
+  EXPECT_GE(total_cycles, 550u);
+}
+
+TEST(TortureStorage, StreamingWorkerCountNeverChangesTheSoak) {
+  // The streamed pipeline overlaps encode and fan-out on the pool; the
+  // per-(chunk, replica) charge ledgers must keep the soak — including the
+  // mid-stream fault fallbacks — bit-identical for one worker and eight.
+  TortureOptions options = replicated_options(/*replicas=*/3);
+  options.cycles = 35;
+  options.streaming = true;
+  options.fault_mix = streaming_mix();
+
+  options.workers = 1;
+  const std::vector<TortureReport> serial = TortureHarness(options).run_all(default_targets());
+  options.workers = 8;
+  const std::vector<TortureReport> pooled = TortureHarness(options).run_all(default_targets());
+
+  ASSERT_EQ(serial.size(), pooled.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], pooled[i]) << serial[i].engine;
+  }
+}
+
+TEST(TortureStorage, StreamingRequiresFlatReplication) {
+  // The streamed commit path appends into a flat ReplicatedStore; without
+  // replication there is nothing to stream to, and dedup or journal would
+  // silently fall back to the classic path, demoting the claim under test.
+  TortureOptions options = replicated_options();
+  options.streaming = true;
+  options.replicated_storage = false;
+  EXPECT_THROW(TortureHarness(options).run(TortureTarget{"CRAK", nullptr}),
+               std::invalid_argument);
+  options.replicated_storage = true;
+  options.dedup = true;
+  EXPECT_THROW(TortureHarness(options).run(TortureTarget{"CRAK", nullptr}),
+               std::invalid_argument);
+}
+
 TEST(TortureStorage, JournalWithoutReplicationIsRejected) {
   // The migrator needs a durable home store to drain into; an unreplicated
   // journal would quietly demote the survivability claim under test.
