@@ -50,6 +50,11 @@
 # 10. docs lint: ARCHITECTURE.md must mention every src/ module, DESIGN.md
 #    section numbering must be contiguous, and every intra-repo markdown
 #    link in the top-level docs must resolve to an existing path.
+#
+# Every BENCH_*.json artifact a gate writes (pipeline, obs, dedup, journal,
+# fleet, pause) lands at the repo root and is tracked in git, so a checkout
+# always carries the numbers behind EXPERIMENTS.md and a regression shows
+# up as a diff, not a vanished file.
 set -euo pipefail
 cd "$(dirname "$0")"
 

@@ -1,7 +1,9 @@
 // ckpt_report: run an observed crash/restart soak and render its
 // observability artifacts — a phase-breakdown table from the trace, the
-// metrics snapshot, and a Chrome trace-event JSON file you can drop into
-// Perfetto / about:tracing.
+// metrics snapshot, a Chrome trace-event JSON file you can drop into
+// Perfetto / about:tracing, and the fleet-layer artifacts from a small
+// tortured fleet: the telemetry rollup, the useful/checkpoint/rework
+// overhead ledger, and a journal-recovered post-mortem for a dead node.
 //
 // Build & run:  ./build/examples/ckpt_report [trace.json] [workers]
 //
@@ -14,6 +16,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "cluster/fleet.hpp"
 #include "inject/torture.hpp"
 #include "obs/json.hpp"
 #include "obs/observer.hpp"
@@ -53,6 +56,45 @@ int main(int argc, char** argv) {
   // --- metrics snapshot ------------------------------------------------------
   const std::string metrics = observer.metrics().snapshot_json();
   std::printf("metrics snapshot:\n%s\n\n", metrics.c_str());
+
+  // --- fleet observability: rollup, overhead ledger, post-mortem ------------
+  cluster::FleetOptions fleet_options;
+  fleet_options.active_nodes = 16;
+  fleet_options.spare_nodes = 4;
+  fleet_options.shards = 4;
+  fleet_options.seed = 0x0b5;
+  fleet_options.policy.initial_interval = 2 * fleet_options.window;
+  fleet_options.policy.initial_mtbf = 10 * kSecond;
+  fleet_options.guest_steps_min = 1;
+  fleet_options.guest_steps_max = 3;
+  fleet_options.array_bytes = 4 * 1024;
+  fleet_options.workers = workers;
+  cluster::FleetManager fleet(fleet_options);
+  fleet.run(3);  // every slot commits before the faults start
+  cluster::FleetTortureOptions fleet_torture;
+  fleet_torture.failure_models.push_back(
+      {cluster::FailureModel::Kind::kExponential, 30 * kSecond, 0.7, 3 * kSecond, 11});
+  fleet.arm_torture(fleet_torture);
+  fleet.run(40);
+  const std::string rollup = fleet.telemetry().rollup_json("node.commit_latency_ns");
+  std::string rollup_error;
+  if (!obs::json_lint(rollup, &rollup_error)) {
+    std::fprintf(stderr, "fleet rollup failed lint: %s\n", rollup_error.c_str());
+    return 1;
+  }
+  std::printf("fleet rollup:\n%s\n\n", rollup.c_str());
+  std::printf("%s\n", fleet.accountant().table().c_str());
+  // Print one black box, preferring a journal-recovered one (a node that
+  // died before its first commit honestly reports an empty in-memory box).
+  const std::string* box = nullptr;
+  for (const auto& [slot, text] : fleet.post_mortems()) {
+    if (box == nullptr) box = &text;
+    if (text.find("journal black box") != std::string::npos) {
+      box = &text;
+      break;
+    }
+  }
+  if (box != nullptr) std::printf("%s\n", box->c_str());
 
   // --- Chrome trace export ---------------------------------------------------
   const std::string trace = observer.trace().export_chrome_json();

@@ -7,6 +7,7 @@
 #include "obs/observer.hpp"
 #include "sim/guests.hpp"
 #include "util/crc64.hpp"
+#include "util/serialize.hpp"
 
 namespace ckpt::cluster {
 namespace {
@@ -153,6 +154,8 @@ std::uint64_t FleetReport::digest() const {
   push(storage_faults_injected);
   push(migrated_images);
   push(migrated_bytes);
+  push(flight_records_persisted);
+  push(post_mortems);
   push(repairs);
   push(spares_exhausted_windows);
   push(pending_at_end);
@@ -218,12 +221,15 @@ FleetManager::FleetManager(FleetOptions options)
     options_.observer->set_clock([this] { return cluster_.now(); });
   }
 
-  // Ground truth + estimator feedback.  The detector never sees this: it is
-  // metrics (detection latency baselines) and policy input only.
+  // Ground truth.  The detector never sees this: it is metrics (detection
+  // latency baselines) only — and, in legacy open-loop mode, the estimator's
+  // failure feed.  Closed-loop mode feeds the estimator from detector
+  // confirmations instead (on_confirmed_dead), so the autonomic interval is
+  // a function of *measured* signals alone.
   cluster_.on_failure([this](Cluster&, int id) {
     truth_failed_at_[id] = cluster_.now();
     ++report_.failures_injected;
-    estimator_.observe_failure(cluster_.now());
+    if (!options_.closed_loop_interval) estimator_.observe_failure(cluster_.now());
     if (options_.observer != nullptr) {
       options_.observer->metrics().add("fleet.failures");
       options_.observer->trace().instant(
@@ -279,6 +285,7 @@ FleetManager::FleetManager(FleetOptions options)
     slot.node = i;
     slot.shard = i % options_.shards;
     slot.stagger = stagger_hash(options_.seed, static_cast<std::uint64_t>(i));
+    slot.flight = obs::FlightRecorder(options_.flight_capacity);
     Shard& shard = shards_[static_cast<std::size_t>(slot.shard)];
     shard.slots.push_back(i);
     sim::WriterConfig config;
@@ -351,12 +358,19 @@ FleetReport FleetManager::run(std::uint64_t windows) {
     report_.durable_bytes += shard.store->stored_bytes();
     if (shard.journal != nullptr) report_.durable_bytes += shard.journal->stored_bytes();
   }
+  ingest_telemetry();
   if (options_.observer != nullptr) {
     obs::MetricsRegistry& metrics = options_.observer->metrics();
     metrics.set_gauge("fleet.durable_bytes",
                       static_cast<std::int64_t>(report_.durable_bytes));
     metrics.set_gauge("fleet.pending_at_end",
                       static_cast<std::int64_t>(report_.pending_at_end));
+    metrics.set_gauge("fleet.measured_mtbf_ns",
+                      static_cast<std::int64_t>(accountant_.measured_mtbf()));
+    metrics.set_gauge("fleet.mean_commit_cost_ns",
+                      static_cast<std::int64_t>(accountant_.mean_commit_cost()));
+    metrics.set_gauge("fleet.overhead_permille",
+                      static_cast<std::int64_t>(accountant_.fleet().overhead_permille()));
   }
   return report_;
 }
@@ -425,6 +439,11 @@ void FleetManager::heartbeat_phase() {
 
 void FleetManager::on_confirmed_dead(int node_id) {
   ++report_.confirmed_dead;
+  // The measured-failure feed: confirmations (false confirms included — a
+  // fencing destroys work exactly like a real crash) drive the overhead
+  // ledger's MTBF and, in closed-loop mode, the autonomic estimator.
+  accountant_.observe_failure(cluster_.now());
+  if (options_.closed_loop_interval) estimator_.observe_failure(cluster_.now());
   const bool was_up = cluster_.node(node_id).up();
   if (was_up) {
     // False suspicion.  Fence: fail-stop the node before seeding a
@@ -464,8 +483,46 @@ void FleetManager::on_confirmed_dead(int node_id) {
   slot.node = -1;
   slot.truth_failed_at = truth;
   slot.confirmed_at = cluster_.now();
+  // Rework: progress since the last durable point is gone.  A fenced node
+  // really did the work up to the fencing instant; a crashed one stopped
+  // progressing at the ground-truth failure.
+  const SimTime lost_until = was_up ? cluster_.now() : truth;
+  if (lost_until > slot.last_commit_at) {
+    accountant_.charge_rework(slot_it->second, lost_until - slot.last_commit_at);
+    slot.node_metrics.add("node.reworks");
+  }
+  render_post_mortem(slot_it->second);
   pending_.push_back(slot_it->second);
   node_slot_.erase(slot_it);
+}
+
+void FleetManager::render_post_mortem(int slot_index) {
+  Slot& slot = slots_[static_cast<std::size_t>(slot_index)];
+  const Shard& shard = shards_[static_cast<std::size_t>(slot.shard)];
+  std::string body;
+  bool from_journal = false;
+  if (shard.journal != nullptr) {
+    const auto payload =
+        shard.journal->flight_record_of(static_cast<std::uint64_t>(slot_index));
+    if (payload.has_value()) {
+      try {
+        body = obs::FlightRecorder::deserialize(*payload).post_mortem();
+        from_journal = true;
+      } catch (const util::SerializeError&) {
+        // Unreachable past the journal's CRC64 envelope; fall through.
+      }
+    }
+  }
+  if (!from_journal) body = slot.flight.post_mortem();
+  std::string report = "post-mortem slot " + std::to_string(slot_index) + " node " +
+                       std::to_string(slot.prev_node) +
+                       (from_journal ? " (journal black box)\n" : " (in-memory black box)\n");
+  report += body;
+  post_mortems_[slot_index] = std::move(report);
+  ++report_.post_mortems;
+  if (options_.observer != nullptr) {
+    options_.observer->metrics().add("fleet.post_mortems");
+  }
 }
 
 void FleetManager::process_pending() {
@@ -507,6 +564,12 @@ bool FleetManager::replace_slot(int slot_index) {
   slot.pending = false;
   node_slot_[target] = slot_index;
   detector_.reset(target, cluster_.now());
+  // The black box follows the slot onto its new incarnation; the restore
+  // point resets the rework baseline (work before it was already charged).
+  slot.flight.instant(cluster_.now(), "replaced", static_cast<std::uint64_t>(target));
+  slot.last_commit_at = cluster_.now();
+  slot.node_metrics.add("node.replacements");
+  persist_flight(slot_index, kernel);
 
   // CRAFT's storage half: when the dead node anchored its shard's local
   // replica, the replica set follows the slot onto the spare and a scrub
@@ -575,7 +638,14 @@ void FleetManager::sweep_dead_processes() {
     if (!node.up()) continue;
     sim::Process* proc = node.kernel().find_process(recovery_.pid_of(slot.job));
     if (proc != nullptr && proc->alive()) continue;
+    const SimTime now = cluster_.now();
+    if (now > slot.last_commit_at) {
+      accountant_.charge_rework(static_cast<int>(i), now - slot.last_commit_at);
+      slot.node_metrics.add("node.reworks");
+    }
     const RecoveryReport rr = recovery_.recover(slot.job, slot.node);
+    slot.flight.instant(now, "local-restart", static_cast<std::uint64_t>(slot.node));
+    slot.last_commit_at = now;
     ++report_.local_restarts;
     if (!rr.recovered) ++report_.unrecovered;
     if (rr.data_loss_with_intact_replica) ++report_.data_loss_with_intact_replica;
@@ -605,6 +675,9 @@ void FleetManager::guest_phase(SimTime window_end,
                     steps[static_cast<std::size_t>(live[k])]);
     if (kernel.now() < window_end) kernel.idle_until(window_end);
   });
+  // Useful-work ledger, charged serially after the join (the accountant is
+  // main-thread state): every live slot progressed one guest window.
+  for (int i : live) accountant_.charge_useful(i, options_.window);
 }
 
 void FleetManager::commit_phase(std::uint64_t window_index) {
@@ -626,16 +699,39 @@ void FleetManager::commit_phase(std::uint64_t window_index) {
       sim::SimKernel& kernel = cluster_.node(slot.node).kernel();
       const SimTime commit_start = kernel.now();
       ++report_.commits_scheduled;
-      if (recovery_.checkpoint(slot.job)) {
+      // Black box, phase 1: persist the *open* commit span before any commit
+      // byte lands, so a crash anywhere inside the group leaves a journal
+      // record whose in-flight stack names the commit that tore.
+      slot.flight.span_begin(commit_start, "commit", slot.commits + 1);
+      persist_flight(si, kernel);
+      const bool ok = recovery_.checkpoint(slot.job);
+      if (ok) {
         ++report_.commits_ok;
         ++slot.commits;
         ++window_commits;
-        estimator_.observe_cost(kernel.now() - commit_start);
+      } else {
+        ++report_.commits_failed;
+      }
+      slot.flight.span_end(kernel.now(), "commit", ok ? 1 : 0);
+      slot.flight.counter(kernel.now(), "commits", slot.commits);
+      // Phase 2: persist the closed span, so a *later* death reads as idle
+      // rather than mid-commit.
+      persist_flight(si, kernel);
+      const SimTime cost = kernel.now() - commit_start;
+      accountant_.charge_checkpoint(si, cost);
+      if (ok) {
+        // The measured commit cost — flight persistence included — is what
+        // the estimator prices checkpoints at: the closed loop's C.
+        estimator_.observe_cost(cost);
+        slot.last_commit_at = kernel.now();
+        slot.node_metrics.add("node.commits");
+        slot.node_metrics.observe("node.commit_latency_ns", cost,
+                                  obs::MetricsRegistry::latency_bounds());
         if (options_.prune_every != 0 && slot.commits % options_.prune_every == 0) {
           recovery_.chain(slot.job).prune(storage::ChargeFn{});
         }
       } else {
-        ++report_.commits_failed;
+        slot.node_metrics.add("node.commit_failures");
       }
     }
     if (group) {
@@ -691,6 +787,25 @@ void FleetManager::inject_storage_fault() {
       injector.begin_outage();
       open_outages_.push_back(backend);
       break;
+  }
+}
+
+void FleetManager::persist_flight(int slot_index, sim::SimKernel& kernel) {
+  Slot& slot = slots_[static_cast<std::size_t>(slot_index)];
+  storage::LogStructuredBackend* journal =
+      shards_[static_cast<std::size_t>(slot.shard)].journal.get();
+  if (journal == nullptr || journal->crashed()) return;
+  const std::vector<std::byte> payload = slot.flight.serialize();
+  if (journal->append_flight_record(static_cast<std::uint64_t>(slot_index), payload,
+                                    [&kernel](SimTime t) { kernel.charge_time(t); })) {
+    ++report_.flight_records_persisted;
+  }
+}
+
+void FleetManager::ingest_telemetry() {
+  telemetry_.clear();
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    telemetry_.ingest(static_cast<int>(i), slots_[i].node_metrics);
   }
 }
 

@@ -61,6 +61,10 @@
 #include "cluster/recovery.hpp"
 #include "core/autonomic.hpp"
 #include "inject/injectors.hpp"
+#include "obs/flightrec.hpp"
+#include "obs/metrics.hpp"
+#include "obs/overhead.hpp"
+#include "obs/rollup.hpp"
 #include "storage/journal.hpp"
 #include "storage/replicated.hpp"
 #include "util/rng.hpp"
@@ -164,6 +168,16 @@ struct FleetOptions {
   std::uint32_t prune_every = 4;
   /// Pinned worker-pool width (0 = the process-wide CKPT_WORKERS pool).
   std::uint32_t workers = 0;
+  /// Per-slot flight-recorder ring capacity: the crash-surviving black box
+  /// persisted through the shard journal around every commit, recovered and
+  /// rendered as a post-mortem when the node is confirmed dead.
+  std::uint32_t flight_capacity = obs::FlightRecorder::kDefaultCapacity;
+  /// Closed-loop autonomic interval: feed the fleet IntervalEstimator from
+  /// *detector confirmations* (measured failures, false confirms included)
+  /// instead of injector ground truth, so the interval derives entirely
+  /// from signals a real deployment could observe.  false = the legacy
+  /// ground-truth feed.
+  bool closed_loop_interval = true;
   /// Retry policy for the shard stores.
   storage::RetryPolicy store_retry;
   /// Content-addressed dedup mode for the shard stores.
@@ -212,6 +226,8 @@ struct FleetReport {
   std::uint64_t storage_faults_injected = 0;
   std::uint64_t migrated_images = 0;
   std::uint64_t migrated_bytes = 0;
+  std::uint64_t flight_records_persisted = 0;  ///< kFlightRecord appends that landed
+  std::uint64_t post_mortems = 0;       ///< black-box reports rendered for dead slots
   std::uint64_t repairs = 0;            ///< nodes rejoining as spares
   std::uint64_t spares_exhausted_windows = 0;  ///< windows with slots waiting
   std::uint64_t pending_at_end = 0;     ///< slots still waiting at run end
@@ -261,6 +277,17 @@ class FleetManager {
   [[nodiscard]] const FleetOptions& options() const { return options_; }
   /// Current commit interval in windows (>= 1), from the fleet estimator.
   [[nodiscard]] std::uint64_t interval_windows() const;
+  /// The fleet-wide autonomic estimator (continuous interval, pre-quantize).
+  [[nodiscard]] const core::IntervalEstimator& estimator() const { return estimator_; }
+  /// Useful/checkpoint/rework ledger fed from measured charges and detector
+  /// confirmations — the closed loop's measured MTBF and commit cost.
+  [[nodiscard]] const obs::OverheadAccountant& accountant() const { return accountant_; }
+  /// Per-slot metric rollups, refreshed at the end of every run().
+  [[nodiscard]] const obs::FleetTelemetry& telemetry() const { return telemetry_; }
+  /// Post-mortem reports rendered on confirmed death, keyed by slot index.
+  [[nodiscard]] const std::map<int, std::string>& post_mortems() const {
+    return post_mortems_;
+  }
   /// Node currently hosting slot `slot` (-1 while awaiting a spare).
   [[nodiscard]] int slot_node(int slot) const;
   [[nodiscard]] RecoveryManager::JobId slot_job(int slot) const;
@@ -277,6 +304,9 @@ class FleetManager {
     bool pending = false;
     SimTime truth_failed_at = 0;
     SimTime confirmed_at = 0;
+    SimTime last_commit_at = 0;  ///< rework baseline (restore point after a reseed)
+    obs::FlightRecorder flight;  ///< the black box; persists via the shard journal
+    obs::MetricsRegistry node_metrics;  ///< per-slot rollup input
   };
   struct Shard {
     std::unique_ptr<storage::RemoteBackend> remote;
@@ -296,6 +326,9 @@ class FleetManager {
   void commit_phase(std::uint64_t window_index);
   void maintenance_phase(std::uint64_t window_index);
   void inject_storage_fault();
+  void persist_flight(int slot_index, sim::SimKernel& kernel);
+  void render_post_mortem(int slot_index);
+  void ingest_telemetry();
   void verify_restored(Slot& slot, const RecoveryReport& rr);
   [[nodiscard]] bool due_this_window(const Slot& slot, std::uint64_t window_index,
                                      std::uint64_t interval) const;
@@ -321,6 +354,9 @@ class FleetManager {
   bool torture_armed_ = false;
   /// Outages armed this window, to end at the next window boundary.
   std::vector<storage::BlobStoreBackend*> open_outages_;
+  obs::OverheadAccountant accountant_;
+  obs::FleetTelemetry telemetry_;
+  std::map<int, std::string> post_mortems_;
   FleetReport report_;
 };
 

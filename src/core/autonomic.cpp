@@ -26,8 +26,15 @@ void IntervalEstimator::observe_cost(SimTime cost) {
 void IntervalEstimator::observe_failure(SimTime now) {
   if (failures_ > 0 && now > last_failure_at_) {
     const auto gap = static_cast<double>(now - last_failure_at_);
-    mtbf_ = static_cast<SimTime>(policy_.smoothing * gap +
-                                 (1.0 - policy_.smoothing) * static_cast<double>(mtbf_));
+    // The first measured gap replaces the configured prior outright (the
+    // same seeding rule as observe_cost): a measurement, however noisy, is
+    // closer to the truth than a guess, and exponential smoothing from a
+    // wildly wrong prior would otherwise take ~1/smoothing gaps to forget it.
+    mtbf_ = gaps_seen_++ == 0
+                ? static_cast<SimTime>(gap)
+                : static_cast<SimTime>(policy_.smoothing * gap +
+                                       (1.0 - policy_.smoothing) *
+                                           static_cast<double>(mtbf_));
   }
   last_failure_at_ = now;
   ++failures_;

@@ -54,7 +54,9 @@ class IntervalEstimator {
   void observe_cost(SimTime cost);
 
   /// Fold the gap since the previous failure into the smoothed MTBF
-  /// estimate.  The first failure only anchors the gap baseline.
+  /// estimate.  The first failure only anchors the gap baseline; the first
+  /// *gap* seeds the estimate directly (replacing the configured prior),
+  /// mirroring observe_cost.
   void observe_failure(SimTime now);
 
   /// Recompute the interval from the current estimates (no-op until a cost
@@ -74,6 +76,7 @@ class IntervalEstimator {
   SimTime cost_ = 0;
   SimTime last_failure_at_ = 0;
   std::uint64_t failures_ = 0;
+  std::uint64_t gaps_seen_ = 0;
 };
 
 class AutonomicManager {

@@ -6,6 +6,9 @@
 #include <stdexcept>
 #include <utility>
 
+#include <map>
+
+#include "obs/flightrec.hpp"
 #include "storage/backend.hpp"
 #include "storage/image.hpp"
 #include "util/crc64.hpp"
@@ -62,6 +65,8 @@ std::string CrashReplayReport::summary() const {
                     std::to_string(fuzz_cases) + " fuzz cases, " +
                     std::to_string(torn_tails) + " torn tails, " +
                     std::to_string(images_reverified) + " payloads re-verified, " +
+                    std::to_string(flight_appends) + " flight appends (" +
+                    std::to_string(flight_reverified) + " re-verified), " +
                     std::to_string(migrations_checked) + " migration checks, " +
                     std::to_string(failures) + " failures";
   for (const std::string& diagnostic : diagnostics) out += "\n  " + diagnostic;
@@ -97,7 +102,32 @@ CrashReplayReport JournalCrashReplay::run() {
   };
   std::vector<Recorded> commits;
   commits.reserve(options_.commits);
+  // Flight records bracket every commit, the way the fleet's black box
+  // persists an open "commit" span before the group and a closed one after.
+  struct FlightAppend {
+    std::uint64_t key = 0;
+    std::vector<std::byte> payload;
+    std::uint64_t end = 0;  ///< log offset one past the kFlightRecord record
+  };
+  std::vector<FlightAppend> flights;
+  std::map<std::uint64_t, obs::FlightRecorder> recorders;
+  constexpr std::uint64_t kFlightKeys = 3;
+  const auto append_flight = [&](std::uint64_t key, const obs::FlightRecorder& fr) {
+    std::vector<std::byte> payload = fr.serialize();
+    if (!journal.append_flight_record(key, payload, storage::ChargeFn{})) {
+      throw std::invalid_argument(
+          "JournalCrashReplay: log geometry cannot hold the flight records");
+    }
+    const storage::JournalRecordInfo& record = journal.appended_records().back();
+    flights.push_back({key, std::move(payload), record.log_offset + record.bytes});
+    ++report.flight_appends;
+  };
   for (std::uint64_t i = 0; i < options_.commits; ++i) {
+    const std::uint64_t key = i % kFlightKeys;
+    obs::FlightRecorder& recorder =
+        recorders.try_emplace(key, obs::FlightRecorder(8)).first->second;
+    recorder.span_begin(i * 1000, "commit", i);
+    append_flight(key, recorder);
     const storage::CheckpointImage image =
         make_image(rng, i, options_.pages_per_image);
     const storage::ImageId id = journal.store(image, storage::ChargeFn{});
@@ -110,6 +140,9 @@ CrashReplayReport JournalCrashReplay::run() {
     const storage::JournalRecordInfo& commit_record = journal.appended_records().back();
     commits.push_back({id, image.serialize(),
                        commit_record.log_offset + commit_record.bytes});
+    recorder.span_end(i * 1000 + 500, "commit", i);
+    recorder.counter(i * 1000 + 500, "commits", i + 1);
+    append_flight(key, recorder);
   }
   const storage::JournalMedia media = journal.media_snapshot();
   const std::vector<storage::JournalRecordInfo> ledger = journal.appended_records();
@@ -166,6 +199,35 @@ CrashReplayReport JournalCrashReplay::run() {
       }
     }
 
+    // Flight-record half of the prefix claim: per key, exactly the newest
+    // payload whose append landed inside the surviving prefix is recovered.
+    std::map<std::uint64_t, const FlightAppend*> expected_flight;
+    for (const FlightAppend& flight : flights) {
+      if (flight.end <= cutoff) expected_flight[flight.key] = &flight;
+    }
+    const auto check_flights = [&](const char* when) {
+      for (std::uint64_t key = 0; key < kFlightKeys; ++key) {
+        const auto want = expected_flight.find(key);
+        const auto got_payload = replayed.flight_record_of(key);
+        if (want == expected_flight.end()) {
+          if (got_payload.has_value()) {
+            fail("flight key " + std::to_string(key) + " recovered " + when +
+                 " but no append survives the cutoff");
+          }
+        } else if (!got_payload.has_value() || *got_payload != want->second->payload) {
+          fail("flight key " + std::to_string(key) +
+               " != newest surviving payload " + when);
+        } else {
+          ++report.flight_reverified;
+        }
+      }
+    };
+    if (recovery.flight_recovered != expected_flight.size()) {
+      fail("flight_recovered count " + std::to_string(recovery.flight_recovered) +
+           " != surviving key count " + std::to_string(expected_flight.size()));
+    }
+    check_flights("after recovery");
+
     if (case_ok && options_.migrate_every != 0 &&
         case_index % options_.migrate_every == 0) {
       const storage::LogStructuredBackend::MigrateReport drained =
@@ -185,7 +247,12 @@ CrashReplayReport JournalCrashReplay::run() {
             break;
           }
         }
-        if (case_ok) ++report.migrations_checked;
+        if (case_ok) {
+          ++report.migrations_checked;
+          // Reclaim may have compacted flight records forward; the payload
+          // each key surfaces must be unchanged by that movement.
+          check_flights("after migration");
+        }
       }
     }
 
@@ -194,6 +261,11 @@ CrashReplayReport JournalCrashReplay::run() {
     digest.put<std::uint64_t>(got.size());
     digest.put<std::uint8_t>(recovery.tail_torn ? 1 : 0);
     for (const storage::ImageId id : got) digest.put<std::uint64_t>(id);
+    for (std::uint64_t key = 0; key < kFlightKeys; ++key) {
+      const auto got_payload = replayed.flight_record_of(key);
+      digest.put<std::uint8_t>(got_payload.has_value() ? 1 : 0);
+      if (got_payload.has_value()) digest.put<std::uint64_t>(util::crc64(*got_payload));
+    }
     ++case_index;
   };
 

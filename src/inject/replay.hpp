@@ -19,6 +19,12 @@
 //      corruption), recover, and assert the survivors equal the commits
 //      that ended before the damaged record began.
 //
+// Flight records ride the recorded stream too: every commit is bracketed by
+// kFlightRecord appends (a serialized obs::FlightRecorder under a small key
+// set), and every case additionally asserts that recovery surfaces exactly
+// the newest flight payload per key whose append ended inside the surviving
+// prefix — the journal-side half of the fleet's post-mortem claim.
+//
 // Every Nth case additionally drains the recovered journal's migrator into
 // a fresh home store and re-verifies the payloads through the migrated
 // path, so recovery-then-migrate is covered as well as recovery-then-load.
@@ -67,6 +73,8 @@ struct CrashReplayReport {
   std::uint64_t fuzz_cases = 0;
   std::uint64_t torn_tails = 0;          ///< recoveries that reported damage
   std::uint64_t images_reverified = 0;   ///< payloads byte-compared to truth
+  std::uint64_t flight_appends = 0;      ///< kFlightRecord records in the recorded stream
+  std::uint64_t flight_reverified = 0;   ///< newest-per-key flight payload matches
   std::uint64_t migrations_checked = 0;  ///< cases re-verified through migrate()
   std::uint64_t failures = 0;            ///< violations of the prefix claim
   /// First few failures, human-rendered (empty when the claim held).

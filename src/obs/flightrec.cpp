@@ -1,0 +1,190 @@
+#include "obs/flightrec.hpp"
+
+#include <algorithm>
+
+#include "obs/json.hpp"
+#include "util/serialize.hpp"
+
+namespace ckpt::obs {
+namespace {
+
+/// Bumped if the encoding ever changes shape; recovery rejects unknown
+/// versions instead of misparsing them.
+constexpr std::uint32_t kFlightFormatVersion = 1;
+
+void append_time(std::string& out, SimTime ts) {
+  json_append_micros(out, ts);
+  out += "us";
+}
+
+}  // namespace
+
+const char* to_string(FlightEventKind kind) {
+  switch (kind) {
+    case FlightEventKind::kSpanBegin: return "begin";
+    case FlightEventKind::kSpanEnd: return "end";
+    case FlightEventKind::kInstant: return "instant";
+    case FlightEventKind::kCounter: return "counter";
+  }
+  return "?";
+}
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)) {}
+
+void FlightRecorder::push(SimTime ts, FlightEventKind kind, std::string_view name,
+                          std::uint64_t value) {
+  FlightEvent event;
+  event.seq = next_seq_++;
+  event.ts = ts;
+  event.kind = kind;
+  event.name.assign(name);
+  event.value = value;
+  events_.push_back(std::move(event));
+  while (events_.size() > capacity_) {
+    events_.pop_front();
+    ++dropped_;
+  }
+}
+
+void FlightRecorder::span_begin(SimTime ts, std::string_view name, std::uint64_t value) {
+  push(ts, FlightEventKind::kSpanBegin, name, value);
+  open_.push_back(OpenSpan{ts, std::string(name), value});
+}
+
+void FlightRecorder::span_end(SimTime ts, std::string_view name, std::uint64_t value) {
+  push(ts, FlightEventKind::kSpanEnd, name, value);
+  // Close the innermost matching open span; an unmatched end is recorded in
+  // the ring but cannot corrupt the phase stack.
+  for (auto it = open_.rbegin(); it != open_.rend(); ++it) {
+    if (it->name == name) {
+      open_.erase(std::next(it).base());
+      break;
+    }
+  }
+}
+
+void FlightRecorder::instant(SimTime ts, std::string_view name, std::uint64_t value) {
+  push(ts, FlightEventKind::kInstant, name, value);
+}
+
+void FlightRecorder::counter(SimTime ts, std::string_view name, std::uint64_t value) {
+  push(ts, FlightEventKind::kCounter, name, value);
+  auto it = counters_.find(std::string(name));
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(name), value);
+  } else {
+    it->second = value;
+  }
+}
+
+void FlightRecorder::clear() {
+  events_.clear();
+  open_.clear();
+  counters_.clear();
+  next_seq_ = 0;
+  dropped_ = 0;
+}
+
+std::vector<std::byte> FlightRecorder::serialize() const {
+  util::Serializer out;
+  out.put<std::uint32_t>(kFlightFormatVersion);
+  out.put<std::uint64_t>(capacity_);
+  out.put<std::uint64_t>(next_seq_);
+  out.put<std::uint64_t>(dropped_);
+  out.put<std::uint64_t>(events_.size());
+  for (const FlightEvent& event : events_) {
+    out.put<std::uint64_t>(event.seq);
+    out.put<SimTime>(event.ts);
+    out.put<FlightEventKind>(event.kind);
+    out.put_string(event.name);
+    out.put<std::uint64_t>(event.value);
+  }
+  out.put<std::uint64_t>(open_.size());
+  for (const OpenSpan& span : open_) {
+    out.put<SimTime>(span.since);
+    out.put_string(span.name);
+    out.put<std::uint64_t>(span.value);
+  }
+  out.put<std::uint64_t>(counters_.size());
+  for (const auto& [name, value] : counters_) {
+    out.put_string(name);
+    out.put<std::uint64_t>(value);
+  }
+  return std::move(out).take();
+}
+
+FlightRecorder FlightRecorder::deserialize(std::span<const std::byte> bytes) {
+  util::Deserializer in(bytes);
+  const auto version = in.get<std::uint32_t>();
+  if (version != kFlightFormatVersion) {
+    throw util::SerializeError("flight record: unknown format version");
+  }
+  FlightRecorder out(static_cast<std::size_t>(in.get<std::uint64_t>()));
+  out.next_seq_ = in.get<std::uint64_t>();
+  out.dropped_ = in.get<std::uint64_t>();
+  const auto events = in.get<std::uint64_t>();
+  for (std::uint64_t i = 0; i < events; ++i) {
+    FlightEvent event;
+    event.seq = in.get<std::uint64_t>();
+    event.ts = in.get<SimTime>();
+    event.kind = in.get<FlightEventKind>();
+    event.name = in.get_string();
+    event.value = in.get<std::uint64_t>();
+    out.events_.push_back(std::move(event));
+  }
+  const auto open = in.get<std::uint64_t>();
+  for (std::uint64_t i = 0; i < open; ++i) {
+    OpenSpan span;
+    span.since = in.get<SimTime>();
+    span.name = in.get_string();
+    span.value = in.get<std::uint64_t>();
+    out.open_.push_back(std::move(span));
+  }
+  const auto counters = in.get<std::uint64_t>();
+  for (std::uint64_t i = 0; i < counters; ++i) {
+    std::string name = in.get_string();
+    const auto value = in.get<std::uint64_t>();
+    out.counters_.emplace(std::move(name), value);
+  }
+  if (!in.at_end()) throw util::SerializeError("flight record: trailing bytes");
+  return out;
+}
+
+std::string FlightRecorder::post_mortem() const {
+  std::string out = "flight: " + std::to_string(events_.size()) + " events";
+  if (!events_.empty()) {
+    out += " (seq " + std::to_string(events_.front().seq) + ".." +
+           std::to_string(events_.back().seq) + ")";
+  }
+  out += ", " + std::to_string(dropped_) + " dropped\n";
+  out += "in-flight:";
+  if (open_.empty()) {
+    out += " (idle)\n";
+  } else {
+    for (const OpenSpan& span : open_) {
+      out += " " + span.name + "@";
+      append_time(out, span.since);
+    }
+    out += "\n";
+  }
+  for (const FlightEvent& event : events_) {
+    out += "  [" + std::to_string(event.seq) + "] ";
+    append_time(out, event.ts);
+    out += " ";
+    out += to_string(event.kind);
+    out += " " + event.name + "=" + std::to_string(event.value) + "\n";
+  }
+  out += "counters:";
+  if (counters_.empty()) {
+    out += " (none)";
+  } else {
+    for (const auto& [name, value] : counters_) {
+      out += " " + name + "=" + std::to_string(value);
+    }
+  }
+  out += "\n";
+  return out;
+}
+
+}  // namespace ckpt::obs

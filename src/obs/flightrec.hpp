@@ -1,0 +1,117 @@
+// Crash-surviving flight recorder: a bounded ring of recent events.
+//
+// The TraceRecorder answers "what happened?" while the process is alive; it
+// dies with the node.  The FlightRecorder is the black box: a small,
+// deterministic ring of the most recent spans/instants/counter samples
+// whose serialized form is persisted through the log-structured journal
+// (JournalRecordType::kFlightRecord) on every commit/heartbeat, so a
+// confirmed-dead node's last moments — the in-flight phase stack, the most
+// recent N events, the last value of every counter (pending faults,
+// commit sequence) — can be recovered from the journal media alone and
+// rendered as a post-mortem report.
+//
+// Determinism contract (the post-mortem is part of the fleet's 1-vs-8-worker
+// byte-identity gate): events carry sim-time and a monotonic seq only; the
+// ring drops strictly oldest-first; serialize() is a pure little-endian
+// function of the recorder state; post_mortem() renders integers and
+// fixed-point microseconds, never floats, never host state.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace ckpt::obs {
+
+enum class FlightEventKind : std::uint8_t {
+  kSpanBegin = 1,
+  kSpanEnd = 2,
+  kInstant = 3,
+  kCounter = 4,
+};
+
+[[nodiscard]] const char* to_string(FlightEventKind kind);
+
+struct FlightEvent {
+  std::uint64_t seq = 0;  ///< monotonic emission order (survives ring drops)
+  SimTime ts = 0;         ///< simulated nanoseconds
+  FlightEventKind kind = FlightEventKind::kInstant;
+  std::string name;
+  std::uint64_t value = 0;
+
+  friend bool operator==(const FlightEvent&, const FlightEvent&) = default;
+};
+
+class FlightRecorder {
+ public:
+  /// Small by design: the black box keeps the *recent* story, the full
+  /// story lives in the TraceRecorder while the node is up.
+  static constexpr std::size_t kDefaultCapacity = 32;
+
+  explicit FlightRecorder(std::size_t capacity = kDefaultCapacity);
+
+  // --- Emission (explicit sim timestamps; the recorder has no clock) --------
+  void span_begin(SimTime ts, std::string_view name, std::uint64_t value = 0);
+  void span_end(SimTime ts, std::string_view name, std::uint64_t value = 0);
+  void instant(SimTime ts, std::string_view name, std::uint64_t value = 0);
+  void counter(SimTime ts, std::string_view name, std::uint64_t value);
+
+  // --- Introspection --------------------------------------------------------
+  [[nodiscard]] const std::deque<FlightEvent>& events() const { return events_; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  [[nodiscard]] std::uint64_t next_seq() const { return next_seq_; }
+
+  /// One open (begun, not yet ended) span — the in-flight phase.
+  struct OpenSpan {
+    SimTime since = 0;
+    std::string name;
+    std::uint64_t value = 0;
+
+    friend bool operator==(const OpenSpan&, const OpenSpan&) = default;
+  };
+  /// Outermost-first stack of in-flight phases.  Tracked independently of
+  /// the ring, so a begin dropped from the ring still reports as in-flight.
+  [[nodiscard]] const std::vector<OpenSpan>& open_spans() const { return open_; }
+
+  /// Last sample per counter name (sorted — pending faults, sequence etc).
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& last_counters() const {
+    return counters_;
+  }
+
+  void clear();
+
+  // --- Persistence ----------------------------------------------------------
+  /// Byte-exact little-endian encoding of the full recorder state; this is
+  /// the payload the journal envelopes as a kFlightRecord record.
+  [[nodiscard]] std::vector<std::byte> serialize() const;
+  /// Rebuild a recorder from serialize() output.  Throws
+  /// util::SerializeError on malformed bytes (the journal's CRC64 envelope
+  /// makes that effectively unreachable in practice).
+  [[nodiscard]] static FlightRecorder deserialize(std::span<const std::byte> bytes);
+
+  friend bool operator==(const FlightRecorder&, const FlightRecorder&) = default;
+
+  /// Deterministic human-readable post-mortem: in-flight phase stack, the
+  /// last N events (newest last), and the final counter samples.
+  [[nodiscard]] std::string post_mortem() const;
+
+ private:
+  void push(SimTime ts, FlightEventKind kind, std::string_view name, std::uint64_t value);
+
+  std::size_t capacity_;
+  std::deque<FlightEvent> events_;
+  std::vector<OpenSpan> open_;
+  std::map<std::string, std::uint64_t> counters_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace ckpt::obs

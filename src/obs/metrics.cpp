@@ -61,9 +61,63 @@ void MetricsRegistry::observe(std::string_view name, std::uint64_t value,
   h.sum += value;
 }
 
+std::uint64_t HistogramData::percentile(std::uint64_t permille) const {
+  if (count == 0) return 0;
+  // Rank of the requested observation, 1-based: ceil(count * permille / 1000)
+  // clamped into [1, count] so percentile(0) reads the first observation and
+  // permille > 1000 cannot run past the end.
+  std::uint64_t rank = (count * permille + 999) / 1000;
+  rank = std::clamp<std::uint64_t>(rank, 1, count);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    seen += counts[i];
+    if (seen >= rank) {
+      return i < bounds.size() ? bounds[i] : max;
+    }
+  }
+  return max;
+}
+
+void HistogramData::merge(const HistogramData& other) {
+  if (bounds != other.bounds) {
+    throw std::invalid_argument("HistogramData::merge: incompatible bucket bounds");
+  }
+  if (other.count == 0) return;
+  for (std::size_t i = 0; i < counts.size(); ++i) counts[i] += other.counts[i];
+  min = count == 0 ? other.min : std::min(min, other.min);
+  max = count == 0 ? other.max : std::max(max, other.max);
+  count += other.count;
+  sum += other.sum;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other, std::string_view prefix) {
+  for (const auto& [name, value] : other.counters_) {
+    add(std::string(prefix) + name, value);
+  }
+  for (const auto& [name, value] : other.gauges_) {
+    set_gauge(std::string(prefix) + name, value);
+  }
+  for (const auto& [name, h] : other.histograms_) {
+    std::string qualified = std::string(prefix) + name;
+    auto it = histograms_.find(qualified);
+    if (it == histograms_.end()) {
+      histograms_.emplace(std::move(qualified), h);
+    } else {
+      it->second.merge(h);
+    }
+  }
+}
+
 const HistogramData* MetricsRegistry::histogram(std::string_view name) const {
   const auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> MetricsRegistry::histogram_names() const {
+  std::vector<std::string> names;
+  names.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) names.push_back(name);
+  return names;
 }
 
 std::span<const std::uint64_t> MetricsRegistry::latency_bounds() {

@@ -30,6 +30,18 @@ struct HistogramData {
   std::uint64_t min = 0;
   std::uint64_t max = 0;
 
+  /// Upper-bound percentile estimate at `permille` (500 = p50, 990 = p99):
+  /// the bucket bound covering the rank-ceil(count * permille / 1000)
+  /// observation.  Values observed exactly at a bucket bound land in that
+  /// bucket (observe() uses lower_bound), so boundary estimates are exact;
+  /// ranks falling in the overflow bucket return the observed max.  0 when
+  /// the histogram is empty.
+  [[nodiscard]] std::uint64_t percentile(std::uint64_t permille) const;
+
+  /// Fold another histogram with identical bounds into this one.  Throws
+  /// std::invalid_argument on a bucket-layout mismatch.
+  void merge(const HistogramData& other);
+
   friend bool operator==(const HistogramData&, const HistogramData&) = default;
 };
 
@@ -47,6 +59,8 @@ class MetricsRegistry {
   void observe(std::string_view name, std::uint64_t value,
                std::span<const std::uint64_t> bounds);
   [[nodiscard]] const HistogramData* histogram(std::string_view name) const;
+  /// Registered histogram names, sorted (the rollup's discovery seam).
+  [[nodiscard]] std::vector<std::string> histogram_names() const;
 
   /// Canonical bucket ladders (simulated nanoseconds / bytes / percent).
   [[nodiscard]] static std::span<const std::uint64_t> latency_bounds();
@@ -55,6 +69,15 @@ class MetricsRegistry {
   /// Ratio ladder in permille (0–1000‰) for stored/logical-style ratios —
   /// the dedup store observes its per-commit durable-byte ratio here.
   [[nodiscard]] static std::span<const std::uint64_t> permille_bounds();
+
+  /// Fold another registry into this one, optionally namespacing every
+  /// incoming name with `prefix` (e.g. "node3." — fleet rollups ingest
+  /// per-node registries both ways: prefixed for per-node drill-down,
+  /// unprefixed for the fleet-wide aggregate).  Counters add, gauges take
+  /// the incoming value, histograms merge bucket-wise; a histogram that
+  /// lands on an existing name with different bounds throws
+  /// std::invalid_argument (bucket layouts are part of a metric's name).
+  void merge(const MetricsRegistry& other, std::string_view prefix = {});
 
   /// Deterministic JSON snapshot: {"counters":{...},"gauges":{...},
   /// "histograms":{...}} with every section sorted by name.

@@ -30,6 +30,17 @@ namespace ckpt::obs {
 
 class Observer {
  public:
+  /// The trace ring reports every eviction as the explicit
+  /// `obs.trace_dropped` counter, so a capped soak trace is visibly capped
+  /// rather than silently truncated.  The hook captures `this`, so the
+  /// bundle is pinned (non-copyable, non-movable) — every consumer already
+  /// holds it by pointer.
+  Observer() {
+    trace_.set_drop_hook([this] { metrics_.add("obs.trace_dropped"); });
+  }
+  Observer(const Observer&) = delete;
+  Observer& operator=(const Observer&) = delete;
+
   /// Span/instant/counter event log, stamped with sim-time + monotonic
   /// seq; exports deterministic Chrome trace-event JSON.
   [[nodiscard]] TraceRecorder& trace() { return trace_; }

@@ -1,0 +1,96 @@
+#include "obs/overhead.hpp"
+
+#include "obs/json.hpp"
+
+namespace ckpt::obs {
+namespace {
+
+void append_time(std::string& out, SimTime t) {
+  json_append_micros(out, t);
+  out += "us";
+}
+
+void append_row(std::string& out, const std::string& label, const OverheadLedger& l) {
+  out += label + " useful=";
+  append_time(out, l.useful);
+  out += " checkpoint=";
+  append_time(out, l.checkpoint);
+  out += " rework=";
+  append_time(out, l.rework);
+  out += " commits=" + std::to_string(l.commits);
+  out += " overhead=" + std::to_string(l.overhead_permille()) + "permille\n";
+}
+
+}  // namespace
+
+void OverheadAccountant::charge_useful(int node, SimTime t) {
+  if (t == 0) return;
+  nodes_[node].useful += t;
+  fleet_.useful += t;
+}
+
+void OverheadAccountant::charge_checkpoint(int node, SimTime t) {
+  OverheadLedger& ledger = nodes_[node];
+  ledger.checkpoint += t;
+  ++ledger.commits;
+  fleet_.checkpoint += t;
+  ++fleet_.commits;
+}
+
+void OverheadAccountant::charge_rework(int node, SimTime t) {
+  OverheadLedger& ledger = nodes_[node];
+  ledger.rework += t;
+  ++ledger.reworks;
+  fleet_.rework += t;
+  ++fleet_.reworks;
+}
+
+void OverheadAccountant::observe_failure(SimTime now) {
+  if (failures_++ == 0) {
+    first_failure_at_ = now;
+    last_failure_at_ = now;
+    return;
+  }
+  if (now > last_failure_at_) {
+    ++gap_count_;
+    last_failure_at_ = now;
+  }
+}
+
+const OverheadLedger* OverheadAccountant::node(int id) const {
+  const auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : &it->second;
+}
+
+SimTime OverheadAccountant::measured_mtbf() const {
+  if (gap_count_ == 0) return 0;
+  return (last_failure_at_ - first_failure_at_) / gap_count_;
+}
+
+SimTime OverheadAccountant::mean_commit_cost() const {
+  if (fleet_.commits == 0) return 0;
+  return fleet_.checkpoint / fleet_.commits;
+}
+
+void OverheadAccountant::clear() {
+  nodes_.clear();
+  fleet_ = OverheadLedger{};
+  failures_ = 0;
+  first_failure_at_ = 0;
+  last_failure_at_ = 0;
+  gap_count_ = 0;
+}
+
+std::string OverheadAccountant::table() const {
+  std::string out = "overhead ledger (" + std::to_string(nodes_.size()) + " nodes, " +
+                    std::to_string(failures_) + " failures, measured mtbf=";
+  append_time(out, measured_mtbf());
+  out += ")\n";
+  for (const auto& [id, ledger] : nodes_) {
+    append_row(out, "  node" + std::to_string(id), ledger);
+  }
+  append_row(out, "  fleet", fleet_);
+  return out;
+}
+
+}  // namespace ckpt::obs

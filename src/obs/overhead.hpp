@@ -1,0 +1,85 @@
+// Useful-work vs checkpoint-overhead vs rework accounting.
+//
+// The survey's headline comparison metric is runtime overhead: every C/R
+// mechanism is ultimately judged by how much guest progress it taxes
+// (checkpoint cost) and how much progress failures destroy anyway (rework
+// — the work between the last durable checkpoint and the crash).  CRAFT's
+// argument (PAPERS.md) is that an *automatic* fault-tolerance layer must
+// carry this cost/benefit ledger itself, because the interval policy that
+// minimizes total waste needs measured inputs, not configured ones.
+//
+// OverheadAccountant is that ledger: per-node and fleet-wide sim-time
+// split into useful / checkpoint / rework, plus the observed inter-failure
+// gaps that yield a measured MTBF.  It is pure bookkeeping — no clock, no
+// kernel, no core:: dependency — so the fleet layer owns the wiring:
+// FleetManager charges the ledger and feeds the measured MTBF and mean
+// commit cost into core::IntervalEstimator, closing the autonomic loop.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "util/units.hpp"
+
+namespace ckpt::obs {
+
+/// One entity's time split.  All sim-time, all integers.
+struct OverheadLedger {
+  SimTime useful = 0;      ///< guest windows actually progressing
+  SimTime checkpoint = 0;  ///< commit charges (the overhead the paper prices)
+  SimTime rework = 0;      ///< progress destroyed by failures (last commit -> death)
+  std::uint64_t commits = 0;
+  std::uint64_t reworks = 0;  ///< failures that charged rework
+
+  [[nodiscard]] SimTime total() const { return useful + checkpoint + rework; }
+  /// (checkpoint + rework) / total, in permille; 0 when nothing is charged.
+  [[nodiscard]] std::uint64_t overhead_permille() const {
+    const SimTime t = total();
+    return t == 0 ? 0 : ((checkpoint + rework) * 1000) / t;
+  }
+
+  friend bool operator==(const OverheadLedger&, const OverheadLedger&) = default;
+};
+
+class OverheadAccountant {
+ public:
+  void charge_useful(int node, SimTime t);
+  void charge_checkpoint(int node, SimTime t);
+  void charge_rework(int node, SimTime t);
+
+  /// Record one failure at sim-time `now`; consecutive calls accumulate the
+  /// inter-failure gap ledger the measured MTBF derives from.  Same-instant
+  /// repeats (two confirmations in one scheduling window) collapse into one
+  /// gap endpoint rather than a zero-length gap.
+  void observe_failure(SimTime now);
+
+  [[nodiscard]] const OverheadLedger& fleet() const { return fleet_; }
+  [[nodiscard]] const OverheadLedger* node(int id) const;
+  [[nodiscard]] const std::map<int, OverheadLedger>& nodes() const { return nodes_; }
+
+  [[nodiscard]] std::uint64_t failures() const { return failures_; }
+  /// Measured MTBF: mean observed inter-failure gap (0 until two distinct
+  /// failure instants have been seen).
+  [[nodiscard]] SimTime measured_mtbf() const;
+  /// Mean commit cost across the fleet ledger (0 until a commit charged).
+  [[nodiscard]] SimTime mean_commit_cost() const;
+
+  void clear();
+
+  /// Deterministic fixed-point table: per-node rows (sorted by id) plus the
+  /// fleet total — the EXPERIMENTS.md O2 artifact.
+  [[nodiscard]] std::string table() const;
+
+  friend bool operator==(const OverheadAccountant&, const OverheadAccountant&) = default;
+
+ private:
+  std::map<int, OverheadLedger> nodes_;
+  OverheadLedger fleet_;
+  std::uint64_t failures_ = 0;
+  SimTime first_failure_at_ = 0;
+  SimTime last_failure_at_ = 0;
+  std::uint64_t gap_count_ = 0;
+};
+
+}  // namespace ckpt::obs

@@ -1,5 +1,6 @@
 #include "obs/trace.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "obs/json.hpp"
@@ -28,6 +29,20 @@ void TraceRecorder::push(SimTime ts, EventPhase phase, std::string name,
   event.category = std::move(category);
   event.args = std::move(args);
   events_.push_back(std::move(event));
+  evict_to_capacity();
+}
+
+void TraceRecorder::evict_to_capacity() {
+  while (events_.size() > capacity_) {
+    events_.pop_front();
+    ++dropped_;
+    if (drop_hook_) drop_hook_();
+  }
+}
+
+void TraceRecorder::set_capacity(std::size_t capacity) {
+  capacity_ = std::max<std::size_t>(1, capacity);
+  evict_to_capacity();
 }
 
 void TraceRecorder::begin(std::string name, std::string category, std::uint64_t track,
@@ -71,6 +86,7 @@ void TraceRecorder::instant_at(SimTime ts, std::string name, std::string categor
 void TraceRecorder::clear() {
   events_.clear();
   next_seq_ = 0;
+  dropped_ = 0;
 }
 
 std::string TraceRecorder::export_chrome_json() const {

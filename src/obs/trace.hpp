@@ -21,7 +21,9 @@
 //     floating-point formatting, no map iteration over unordered state.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <string>
@@ -76,11 +78,26 @@ inline constexpr std::uint64_t kStorageTrack = 1;  ///< scrub / storage maintena
 class TraceRecorder {
  public:
   using Clock = std::function<SimTime()>;
+  /// Invoked once per event the ring evicts (the Observer bumps the
+  /// `obs.trace_dropped` counter through this).
+  using DropHook = std::function<void()>;
+
+  /// Ring capacity: a long soak with tracing on keeps the newest
+  /// kDefaultCapacity events instead of growing without bound.  Generous —
+  /// a 550-cycle torture soak emits ~10k events — but finite.
+  static constexpr std::size_t kDefaultCapacity = std::size_t{1} << 18;
 
   /// Timestamp source for the clock-less emit overloads; typically wired to
   /// the sim kernel's effective time (now() + step_charge()) on attach.
   void set_clock(Clock clock) { clock_ = std::move(clock); }
   [[nodiscard]] SimTime now() const { return clock_ ? clock_() : 0; }
+
+  /// Resize the ring (>= 1).  Shrinking evicts oldest events immediately.
+  void set_capacity(std::size_t capacity);
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  /// Events evicted by the ring since the last clear().
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  void set_drop_hook(DropHook hook) { drop_hook_ = std::move(hook); }
 
   // --- Emission (clocked) ----------------------------------------------------
   void begin(std::string name, std::string category, std::uint64_t track,
@@ -98,7 +115,7 @@ class TraceRecorder {
   void instant_at(SimTime ts, std::string name, std::string category, std::uint64_t track,
                   std::vector<TraceArg> args = {});
 
-  [[nodiscard]] const std::vector<TraceEvent>& events() const { return events_; }
+  [[nodiscard]] const std::deque<TraceEvent>& events() const { return events_; }
   [[nodiscard]] std::uint64_t next_seq() const { return next_seq_; }
   void clear();
 
@@ -117,10 +134,14 @@ class TraceRecorder {
  private:
   void push(SimTime ts, EventPhase phase, std::string name, std::string category,
             std::uint64_t track, std::vector<TraceArg> args);
+  void evict_to_capacity();
 
   Clock clock_;
-  std::vector<TraceEvent> events_;
+  DropHook drop_hook_;
+  std::deque<TraceEvent> events_;
+  std::size_t capacity_ = kDefaultCapacity;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t dropped_ = 0;
 };
 
 /// RAII span: begin on construction, end on destruction (or early via

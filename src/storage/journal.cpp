@@ -34,7 +34,7 @@ constexpr std::uint32_t kGenerationShift = 48;
 
 bool record_type_known(std::uint8_t raw) {
   return raw >= static_cast<std::uint8_t>(JournalRecordType::kSegmentOpen) &&
-         raw <= static_cast<std::uint8_t>(JournalRecordType::kSeal);
+         raw <= static_cast<std::uint8_t>(JournalRecordType::kFlightRecord);
 }
 
 }  // namespace
@@ -47,6 +47,7 @@ const char* to_string(JournalRecordType type) {
     case JournalRecordType::kMigrate: return "migrate";
     case JournalRecordType::kErase: return "erase";
     case JournalRecordType::kSeal: return "seal";
+    case JournalRecordType::kFlightRecord: return "flight-record";
   }
   return "?";
 }
@@ -382,6 +383,62 @@ ImageId LogStructuredBackend::store(const CheckpointImage& image, const ChargeFn
   return id;
 }
 
+bool LogStructuredBackend::append_flight_record(std::uint64_t key,
+                                                std::span<const std::byte> payload,
+                                                const ChargeFn& charge) {
+  if (crashed_) return false;
+  obs::TraceRecorder* trace = obs::tracer(options_.observer);
+  obs::SpanGuard span(trace, "journal.flight", "storage", obs::kStorageTrack,
+                      {obs::TraceArg::num("key", key)});
+  util::Serializer body;
+  body.put<std::uint64_t>(key);
+  body.put_bytes(payload);
+  const std::uint64_t planned = envelope_bytes(body.size());
+  if (tear_next_append_ && planned > 0) *tear_next_append_ %= planned;
+  if (planned + kSealRecordBytes > free_capacity()) {
+    if (options_.migrate_on_demand) migrate(charge);
+    if (planned + kSealRecordBytes > free_capacity()) {
+      note_counter("journal.full_rejects");
+      span.end({obs::TraceArg::str("outcome", "log-full")});
+      return false;
+    }
+  }
+  const auto loc =
+      append_record(JournalRecordType::kFlightRecord, kBadImageId, body.bytes(), charge);
+  if (!loc) {
+    // Torn append: the half-written record fails its CRC on recovery, so the
+    // previously persisted flight record for this key stays authoritative.
+    span.end({obs::TraceArg::str("outcome", crashed_ ? "torn" : "log-full")});
+    return false;
+  }
+  FlightSlot& slot = flight_[key];
+  slot.payload.assign(payload.begin(), payload.end());
+  slot.epoch = slots_[loc->slot].epoch;
+  if (group_depth_ > 0) {
+    group_sync_pending_ = true;
+  } else {
+    charge_sync(charge);
+  }
+  note_counter("journal.flight_appends");
+  note_counter("journal.append_bytes", planned);
+  span.end({obs::TraceArg::num("bytes", planned)});
+  return true;
+}
+
+std::vector<std::uint64_t> LogStructuredBackend::flight_keys() const {
+  std::vector<std::uint64_t> keys;
+  keys.reserve(flight_.size());
+  for (const auto& [key, slot] : flight_) keys.push_back(key);
+  return keys;
+}
+
+std::optional<std::vector<std::byte>> LogStructuredBackend::flight_record_of(
+    std::uint64_t key) const {
+  const auto it = flight_.find(key);
+  if (it == flight_.end()) return std::nullopt;
+  return it->second.payload;
+}
+
 std::optional<CheckpointImage> LogStructuredBackend::decode_resident(const Entry& entry) const {
   const auto commit = parse_record_at(entry.commit.slot, entry.commit.offset);
   if (!commit || commit->type != JournalRecordType::kCommit) return std::nullopt;
@@ -528,6 +585,23 @@ void LogStructuredBackend::reclaim_segments(MigrateReport& report, const ChargeF
       entry.migrate_epoch = slots_[loc->slot].epoch;
       ++report.compacted_records;
     }
+    // Flight records ride the same compaction: the newest record per key is
+    // the only live one, so it hops forward before its segment is wiped.
+    for (auto& [key, slot] : flight_) {
+      if (!compacted_all) break;
+      if (slot.epoch != epoch) continue;
+      util::Serializer body;
+      body.put<std::uint64_t>(key);
+      body.put_bytes(slot.payload);
+      const auto loc =
+          append_record(JournalRecordType::kFlightRecord, kBadImageId, body.bytes(), charge);
+      if (!loc) {
+        compacted_all = false;
+        break;
+      }
+      slot.epoch = slots_[loc->slot].epoch;
+      ++report.compacted_records;
+    }
     if (!compacted_all || crashed_) return;
     std::fill(media_.slots[victim].begin(), media_.slots[victim].end(), std::byte{0});
     slots_[victim] = Slot{};
@@ -611,6 +685,7 @@ LogStructuredBackend::MigrateReport LogStructuredBackend::migrate(const ChargeFn
 
 void LogStructuredBackend::simulate_crash() {
   entries_.clear();
+  flight_.clear();
   ledger_.clear();
   slots_.assign(options_.segments, Slot{});
   active_slot_ = -1;
@@ -824,6 +899,15 @@ JournalRecoveryReport LogStructuredBackend::recover(const ChargeFn& charge) {
           case JournalRecordType::kErase:
             entries_.erase(body.get<ImageId>());
             break;
+          case JournalRecordType::kFlightRecord: {
+            // Newest record per key wins; flight records interleave freely
+            // inside commit groups, so they must not disturb `pending`.
+            const std::uint64_t key = body.get<std::uint64_t>();
+            FlightSlot& slot = flight_[key];
+            slot.payload = body.get_bytes();
+            slot.epoch = scans[record.loc.slot].epoch;
+            break;
+          }
         }
       } catch (const util::SerializeError&) {
         // A record whose envelope validated but whose body does not parse is
@@ -904,6 +988,7 @@ JournalRecoveryReport LogStructuredBackend::recover(const ChargeFn& charge) {
   }
 
   report.tail_torn = report.tail_torn || stopped_torn || any_head_damaged;
+  report.flight_recovered = flight_.size();
   for (const auto& [id, entry] : entries_) {
     report.recovered_ids.push_back(id);
     ++(entry.migrated ? report.migrated_recovered : report.resident_recovered);

@@ -94,6 +94,7 @@ enum class JournalRecordType : std::uint8_t {
   kMigrate = 4,      ///< body = id, home-store id, pid, sequence (publish)
   kErase = 5,        ///< body = id
   kSeal = 6,         ///< last record of a sealed segment; body = next epoch
+  kFlightRecord = 7, ///< body = key + opaque flight-recorder payload
 };
 
 const char* to_string(JournalRecordType type);
@@ -121,6 +122,7 @@ struct JournalRecoveryReport {
   std::uint64_t migrated_recovered = 0;   ///< commits republished as kMigrate
   std::uint64_t bytes_discarded = 0;      ///< torn/corrupt/unreachable bytes zeroed
   std::uint64_t orphans_reclaimed = 0;    ///< home images erased by reconcile
+  std::uint64_t flight_recovered = 0;     ///< flight-record keys replayed
   bool tail_torn = false;                 ///< scan stopped at a damaged record
   std::vector<ImageId> recovered_ids;     ///< surviving ids, ascending
 
@@ -157,6 +159,21 @@ class LogStructuredBackend final : public StorageBackend, public ChunkReclaimabl
   /// Forwarded to the home store when it is ChunkReclaimable (the journal
   /// itself reclaims space in segment units, not chunk units).
   GcReport gc(const ChargeFn& charge) override;
+
+  // --- Flight records -------------------------------------------------------
+  /// Persist a node's flight-recorder snapshot under `key` (newest record
+  /// per key wins — the record type the post-mortem path recovers).  The
+  /// payload is opaque to the journal: it is CRC64-enveloped like any other
+  /// record and charged as append bandwidth; inside a group commit the
+  /// device sync is deferred with the group.  Returns false when crashed or
+  /// when the log is full even after on-demand migration.
+  bool append_flight_record(std::uint64_t key, std::span<const std::byte> payload,
+                            const ChargeFn& charge);
+  /// Keys with a live flight record, ascending.
+  [[nodiscard]] std::vector<std::uint64_t> flight_keys() const;
+  /// The newest surviving payload appended under `key`.
+  [[nodiscard]] std::optional<std::vector<std::byte>> flight_record_of(
+      std::uint64_t key) const;
 
   // --- Group commit ---------------------------------------------------------
   /// Begin a group commit: stores until end_group() append records but defer
@@ -246,6 +263,12 @@ class LogStructuredBackend final : public StorageBackend, public ChunkReclaimabl
     std::uint64_t used = 0;
     bool sealed = false;
   };
+  /// Newest flight record per key (payload cached host-side; the media
+  /// bytes are the durable copy recovery replays).
+  struct FlightSlot {
+    std::vector<std::byte> payload;
+    std::uint64_t epoch = 0;  ///< segment the newest record lives in
+  };
   struct ParsedRecord {
     JournalRecordType type;
     RecordLoc loc;
@@ -284,6 +307,7 @@ class LogStructuredBackend final : public StorageBackend, public ChunkReclaimabl
   JournalMedia media_;
   std::vector<Slot> slots_;
   std::map<ImageId, Entry> entries_;
+  std::map<std::uint64_t, FlightSlot> flight_;
   std::vector<JournalRecordInfo> ledger_;
   std::uint64_t next_epoch_ = 1;
   std::int32_t active_slot_ = -1;

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <deque>
 #include <map>
 #include <vector>
 
@@ -13,6 +14,8 @@
 #include "inject/torture.hpp"
 #include "obs/json.hpp"
 #include "obs/observer.hpp"
+#include "obs/overhead.hpp"
+#include "obs/rollup.hpp"
 #include "test_common.hpp"
 
 namespace ckpt::obs {
@@ -73,7 +76,7 @@ TEST(TraceRecorder, SpansNestAndCarrySequenceAndClockTime) {
   now = 200;
   trace.end("outer", kControlTrack, {TraceArg::str("outcome", "ok")});
 
-  const std::vector<TraceEvent>& events = trace.events();
+  const std::deque<TraceEvent>& events = trace.events();
   ASSERT_EQ(events.size(), 4u);
   for (std::size_t i = 0; i < events.size(); ++i) EXPECT_EQ(events[i].seq, i);
   EXPECT_EQ(events[0].phase, EventPhase::kBegin);
@@ -214,6 +217,250 @@ TEST(MetricsRegistry, SnapshotIsSortedAndInsertionOrderIndependent) {
   EXPECT_NE(snapshot.find("\"counters\""), std::string::npos);
   EXPECT_NE(snapshot.find("\"gauges\""), std::string::npos);
   EXPECT_NE(snapshot.find("\"histograms\""), std::string::npos);
+}
+
+TEST(TraceRecorder, RingEvictsOldestEventsAndCountsEveryDrop) {
+  TraceRecorder trace;
+  trace.set_capacity(4);
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    trace.instant_at(static_cast<SimTime>(i * 100), "tick", "test", kControlTrack);
+  }
+
+  ASSERT_EQ(trace.events().size(), 4u);
+  EXPECT_EQ(trace.dropped(), 2u);
+  // seq keeps counting across evictions: the ring holds the newest window.
+  EXPECT_EQ(trace.events().front().seq, 2u);
+  EXPECT_EQ(trace.events().back().seq, 5u);
+  EXPECT_EQ(trace.next_seq(), 6u);
+
+  // Shrinking evicts immediately and keeps charging the drop counter.
+  trace.set_capacity(1);
+  ASSERT_EQ(trace.events().size(), 1u);
+  EXPECT_EQ(trace.events().front().seq, 5u);
+  EXPECT_EQ(trace.dropped(), 5u);
+
+  // clear() resets the ring statistics along with the events.
+  trace.clear();
+  EXPECT_TRUE(trace.events().empty());
+  EXPECT_EQ(trace.dropped(), 0u);
+  EXPECT_EQ(trace.next_seq(), 0u);
+}
+
+TEST(TraceRecorder, ObserverWiresEvictionsToTheTraceDroppedCounter) {
+  Observer observer;
+  observer.trace().set_capacity(2);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    observer.trace().instant_at(static_cast<SimTime>(i), "tick", "test", kControlTrack);
+  }
+  EXPECT_EQ(observer.metrics().counter("obs.trace_dropped"), 3u);
+
+  observer.trace().set_capacity(1);
+  EXPECT_EQ(observer.metrics().counter("obs.trace_dropped"), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram percentiles and registry merging (the rollup primitives)
+// ---------------------------------------------------------------------------
+
+TEST(HistogramData, PercentileIsExactAtBucketBoundsAndCapsAtObservedMax) {
+  MetricsRegistry metrics;
+  const std::uint64_t bounds[] = {10, 100, 1000};
+  // 5 observations at exactly 10, 4 at exactly 100, 1 in the overflow bucket.
+  for (int i = 0; i < 5; ++i) metrics.observe("h", 10, bounds);
+  for (int i = 0; i < 4; ++i) metrics.observe("h", 100, bounds);
+  metrics.observe("h", 5000, bounds);
+
+  const HistogramData* hist = metrics.histogram("h");
+  ASSERT_NE(hist, nullptr);
+  ASSERT_EQ(hist->count, 10u);
+  // Boundary values land in their bound's bucket, so the estimates are exact.
+  EXPECT_EQ(hist->percentile(1), 10u);    // rank 1
+  EXPECT_EQ(hist->percentile(500), 10u);  // rank 5: last of the 10s
+  EXPECT_EQ(hist->percentile(600), 100u); // rank 6: first of the 100s
+  EXPECT_EQ(hist->percentile(900), 100u); // rank 9: last of the 100s
+  // Ranks in the overflow bucket report the observed max, not infinity.
+  EXPECT_EQ(hist->percentile(990), 5000u);
+  EXPECT_EQ(hist->percentile(1000), 5000u);
+
+  EXPECT_EQ(HistogramData{}.percentile(500), 0u);
+}
+
+TEST(HistogramData, MergeAddsBucketwiseAndRejectsMismatchedLayouts) {
+  MetricsRegistry a, b;
+  const std::uint64_t bounds[] = {10, 100, 1000};
+  a.observe("h", 10, bounds);
+  a.observe("h", 5000, bounds);
+  b.observe("h", 100, bounds);
+  b.observe("h", 100, bounds);
+
+  HistogramData merged = *a.histogram("h");
+  merged.merge(*b.histogram("h"));
+  EXPECT_EQ(merged.count, 4u);
+  EXPECT_EQ(merged.sum, 10u + 5000u + 100u + 100u);
+  EXPECT_EQ(merged.min, 10u);
+  EXPECT_EQ(merged.max, 5000u);
+  EXPECT_EQ(merged.counts[0], 1u);  // <= 10
+  EXPECT_EQ(merged.counts[1], 2u);  // <= 100
+  EXPECT_EQ(merged.counts[2], 0u);  // <= 1000
+  EXPECT_EQ(merged.counts[3], 1u);  // overflow
+
+  MetricsRegistry other;
+  const std::uint64_t other_bounds[] = {7, 77};
+  other.observe("h", 7, other_bounds);
+  EXPECT_THROW(merged.merge(*other.histogram("h")), std::invalid_argument);
+}
+
+TEST(MetricsRegistry, MergeFoldsAllSectionsAndPrefixNamespaces) {
+  const std::uint64_t bounds[] = {10, 100, 1000};
+  MetricsRegistry node;
+  node.add("commits", 2);
+  node.set_gauge("interval", 7);
+  node.observe("latency", 100, bounds);
+
+  MetricsRegistry fleet;
+  fleet.add("commits", 3);
+  fleet.set_gauge("interval", 5);
+  fleet.observe("latency", 10, bounds);
+
+  // Unprefixed: counters add, gauges take the incoming value, histograms
+  // fold bucket-wise.
+  fleet.merge(node);
+  EXPECT_EQ(fleet.counter("commits"), 5u);
+  EXPECT_EQ(fleet.gauge("interval"), 7);
+  ASSERT_NE(fleet.histogram("latency"), nullptr);
+  EXPECT_EQ(fleet.histogram("latency")->count, 2u);
+  EXPECT_EQ(fleet.histogram("latency")->counts[0], 1u);
+  EXPECT_EQ(fleet.histogram("latency")->counts[1], 1u);
+
+  // Prefixed: the same snapshot lands under a per-node namespace without
+  // touching the unprefixed aggregate.
+  fleet.merge(node, "node3.");
+  EXPECT_EQ(fleet.counter("node3.commits"), 2u);
+  EXPECT_EQ(fleet.gauge("node3.interval"), 7);
+  ASSERT_NE(fleet.histogram("node3.latency"), nullptr);
+  EXPECT_EQ(fleet.histogram("node3.latency")->count, 1u);
+  EXPECT_EQ(fleet.counter("commits"), 5u);
+
+  // Merging into an empty registry copies the source verbatim.
+  MetricsRegistry copy;
+  copy.merge(node);
+  EXPECT_EQ(copy, node);
+
+  // A histogram landing on an existing name with different bounds throws:
+  // bucket layouts are part of a metric's identity.
+  MetricsRegistry clash;
+  const std::uint64_t other_bounds[] = {7, 77};
+  clash.observe("latency", 7, other_bounds);
+  EXPECT_THROW(fleet.merge(clash), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Fleet telemetry rollups
+// ---------------------------------------------------------------------------
+
+TEST(FleetTelemetry, QuantilesOutliersAndRollupAreIngestionOrderInvariant) {
+  const std::uint64_t bounds[] = {10, 100, 1000, 10000};
+  MetricsRegistry fast, slow, sparse;
+  for (int i = 0; i < 8; ++i) fast.observe("commit", 10, bounds);
+  for (int i = 0; i < 8; ++i) slow.observe("commit", 1000, bounds);
+  // Below min_samples: two outrageous samples are noise, not a drift signal.
+  sparse.observe("commit", 10000, bounds);
+  sparse.observe("commit", 10000, bounds);
+
+  FleetTelemetry forward;
+  forward.ingest(0, fast);
+  forward.ingest(1, fast);
+  forward.ingest(2, slow);
+  forward.ingest(3, sparse);
+
+  EXPECT_EQ(forward.node_count(), 4u);
+  const auto q = forward.quantiles("commit");
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(q->count, 26u);
+  EXPECT_EQ(q->p50, 10u);    // rank 13 of 26: inside the 16 fast samples
+  EXPECT_EQ(q->p95, 10000u); // rank 25: inside the sparse node's samples
+  EXPECT_EQ(q->p99, 10000u);
+
+  // Only the slow node flags: its median is 100x the fleet median, while
+  // the sparse node is filtered by min_samples.
+  const auto outliers = forward.outliers("commit");
+  ASSERT_EQ(outliers.size(), 1u);
+  EXPECT_EQ(outliers[0].node, 2);
+  EXPECT_EQ(outliers[0].node_p50, 1000u);
+  EXPECT_EQ(outliers[0].fleet_p50, 10u);
+
+  EXPECT_FALSE(forward.quantiles("missing").has_value());
+  EXPECT_TRUE(forward.outliers("missing").empty());
+
+  // The rollup document is json_lint-clean and byte-identical for any
+  // ingestion order (nodes key on id, names are sorted).
+  FleetTelemetry backward;
+  backward.ingest(3, sparse);
+  backward.ingest(2, slow);
+  backward.ingest(1, fast);
+  backward.ingest(0, fast);
+  const std::string rollup = forward.rollup_json("commit");
+  EXPECT_EQ(rollup, backward.rollup_json("commit"));
+  std::string error;
+  EXPECT_TRUE(json_lint(rollup, &error)) << error;
+  EXPECT_NE(rollup.find("\"commit\""), std::string::npos);
+
+  // Re-ingesting a node replaces (not accumulates) its snapshot.
+  forward.ingest(2, fast);
+  EXPECT_TRUE(forward.outliers("commit").empty());
+}
+
+// ---------------------------------------------------------------------------
+// Overhead accounting (the closed-loop ledger)
+// ---------------------------------------------------------------------------
+
+TEST(OverheadAccountant, LedgerSplitsAndOverheadPermilleArePerNodeAndFleetWide) {
+  OverheadAccountant acct;
+  acct.charge_useful(1, 900);
+  acct.charge_checkpoint(1, 100);
+  acct.charge_useful(2, 450);
+  acct.charge_rework(2, 50);
+
+  const OverheadLedger* n1 = acct.node(1);
+  ASSERT_NE(n1, nullptr);
+  EXPECT_EQ(n1->useful, 900u);
+  EXPECT_EQ(n1->checkpoint, 100u);
+  EXPECT_EQ(n1->commits, 1u);
+  EXPECT_EQ(n1->overhead_permille(), 100u);  // 100 / 1000
+
+  const OverheadLedger* n2 = acct.node(2);
+  ASSERT_NE(n2, nullptr);
+  EXPECT_EQ(n2->rework, 50u);
+  EXPECT_EQ(n2->reworks, 1u);
+  EXPECT_EQ(n2->overhead_permille(), 100u);  // 50 / 500
+
+  EXPECT_EQ(acct.fleet().total(), 1500u);
+  EXPECT_EQ(acct.fleet().overhead_permille(), 100u);  // 150 / 1500
+  EXPECT_EQ(acct.mean_commit_cost(), 100u);
+  EXPECT_EQ(acct.node(9), nullptr);
+  EXPECT_EQ(OverheadLedger{}.overhead_permille(), 0u);
+}
+
+TEST(OverheadAccountant, MeasuredMtbfCollapsesSameInstantFailures) {
+  OverheadAccountant acct;
+  EXPECT_EQ(acct.measured_mtbf(), 0u);
+  acct.observe_failure(1000);
+  EXPECT_EQ(acct.measured_mtbf(), 0u);  // one instant is not a gap
+  acct.observe_failure(1000);           // same scheduling window: no zero gap
+  acct.observe_failure(3000);
+  acct.observe_failure(4000);
+  EXPECT_EQ(acct.failures(), 4u);
+  EXPECT_EQ(acct.measured_mtbf(), 1500u);  // (4000 - 1000) / 2 gaps
+
+  const std::string table = acct.table();
+  EXPECT_NE(table.find("4 failures"), std::string::npos);
+  EXPECT_NE(table.find("measured mtbf=1.500us"), std::string::npos);
+  EXPECT_NE(table.find("fleet"), std::string::npos);
+
+  acct.clear();
+  EXPECT_EQ(acct.failures(), 0u);
+  EXPECT_EQ(acct.measured_mtbf(), 0u);
+  EXPECT_EQ(acct.fleet().total(), 0u);
 }
 
 // ---------------------------------------------------------------------------
