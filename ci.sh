@@ -47,14 +47,23 @@
 #    archives BENCH_pause.json.  A guest-visible pause reduction below 10x
 #    at the largest image, or any 1-vs-8-worker difference in the streamed
 #    replica bytes, fails the build.
-# 10. docs lint: ARCHITECTURE.md must mention every src/ module, DESIGN.md
-#    section numbering must be contiguous, and every intra-repo markdown
-#    link in the top-level docs must resolve to an existing path.
+# 10. mpi gate: the uncoordinated message-logging suite (sender log,
+#    recovery-line resolver, restart-only-the-failed-rank, crash-point
+#    replay) reruns under asan-ubsan, then bench_mpi sweeps rank count x
+#    halo size and archives BENCH_mpi.json.  A coordinated drain that the
+#    flat per-rank commit fails to beat at 128 ranks, any lost message,
+#    any 1-vs-8-worker divergence, or a covered rollback deeper than one
+#    checkpoint fails the build.
+# 11. docs lint: ARCHITECTURE.md and DESIGN.md must mention every src/
+#    module, DESIGN.md section numbering must be contiguous, and every
+#    intra-repo markdown link in the top-level docs must resolve — both
+#    the path and, for links with a #fragment, a matching heading anchor
+#    in the target document.
 #
 # Every BENCH_*.json artifact a gate writes (pipeline, obs, dedup, journal,
-# fleet, pause) lands at the repo root and is tracked in git, so a checkout
-# always carries the numbers behind EXPERIMENTS.md and a regression shows
-# up as a diff, not a vanished file.
+# fleet, pause, mpi) lands at the repo root and is tracked in git, so a
+# checkout always carries the numbers behind EXPERIMENTS.md and a
+# regression shows up as a diff, not a vanished file.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -192,13 +201,41 @@ if ! awk -v r="${PAUSE_REDUCTION}" 'BEGIN { exit !(r >= 10.0) }'; then
 fi
 echo "pause gate: guest-visible pause cut ${PAUSE_REDUCTION}x (floor 10x), streamed bytes worker-invariant"
 
+# MPI gate: the message-log/recovery-line/replay suite reruns under the
+# sanitizers (rewind + replay juggle raw payload buffers — exactly where
+# lifetime bugs would hide), then bench_mpi sweeps rank count x halo size
+# with the crash-point replay and rollback-depth scenarios.
+ctest --preset asan-ubsan -R 'Uncoordinated|MessageLog|RollbackResolver' --output-on-failure
+./build/bench/bench_mpi BENCH_mpi.json
+if ! grep -q '"holds": true' BENCH_mpi.json; then
+  echo "CI gate: uncoordinated MPI failed its latency/lossless/depth gate" >&2
+  exit 1
+fi
+if ! grep -q '"lost_messages": 0' BENCH_mpi.json; then
+  echo "CI gate: a receiver observed a sequence gap (lost message)" >&2
+  exit 1
+fi
+if ! grep -q '"identical_1v8": true' BENCH_mpi.json; then
+  echo "CI gate: mpi replay outcome differs between 1 and 8 workers" >&2
+  exit 1
+fi
+MPI_DEPTH="$(sed -n 's/.*"rollback_depth_double_journal": \([0-9]*\).*/\1/p' BENCH_mpi.json)"
+if [ "${MPI_DEPTH}" != "1" ]; then
+  echo "CI gate: journal-covered double failure rolled back ${MPI_DEPTH} checkpoints (must be 1)" >&2
+  exit 1
+fi
+MPI_MEAN="$(sed -n 's/.*"uncoordinated_commit_mean_ms": \([0-9.]*\).*/\1/p' BENCH_mpi.json | tail -1)"
+echo "mpi gate: commit mean ${MPI_MEAN} ms flat at 128 ranks, zero lost messages, covered rollback depth 1"
+
 # Docs lint.
 for module in src/*/; do
   name="$(basename "${module}")"
-  if ! grep -q "src/${name}" ARCHITECTURE.md; then
-    echo "docs lint: ARCHITECTURE.md does not mention module src/${name}" >&2
-    exit 1
-  fi
+  for doc in ARCHITECTURE.md DESIGN.md; do
+    if ! grep -q "src/${name}" "${doc}"; then
+      echo "docs lint: ${doc} does not mention module src/${name}" >&2
+      exit 1
+    fi
+  done
 done
 expected=1
 while read -r section; do
@@ -208,17 +245,46 @@ while read -r section; do
   fi
   expected=$((expected + 1))
 done < <(sed -n 's/^## \([0-9][0-9]*\).*/\1/p' DESIGN.md)
+# GitHub-style heading anchor: lowercase, drop everything but
+# alphanumerics/spaces/hyphens, then spaces -> hyphens.
+anchor_of() {
+  printf '%s' "$1" | tr '[:upper:]' '[:lower:]' \
+    | sed 's/[^a-z0-9 -]//g; s/ /-/g'
+}
 for doc in README.md ARCHITECTURE.md DESIGN.md EXPERIMENTS.md ROADMAP.md; do
   while read -r link; do
     case "${link}" in
-      http://*|https://*|mailto:*|\#*) continue ;;
+      http://*|https://*|mailto:*) continue ;;
     esac
     target="${link%%#*}"
-    [ -z "${target}" ] && continue
-    if [ ! -e "${target}" ]; then
+    fragment=""
+    case "${link}" in
+      *'#'*) fragment="${link#*#}" ;;
+    esac
+    if [ -n "${target}" ] && [ ! -e "${target}" ]; then
       echo "docs lint: ${doc} links to missing path '${target}'" >&2
       exit 1
     fi
+    # A #fragment must name a real heading anchor in the target document
+    # (the linking document itself when the path part is empty).
+    if [ -n "${fragment}" ]; then
+      anchor_target="${target:-${doc}}"
+      case "${anchor_target}" in
+        *.md)
+          found=0
+          while read -r heading; do
+            if [ "$(anchor_of "${heading}")" = "${fragment}" ]; then
+              found=1
+              break
+            fi
+          done < <(sed -n 's/^#\{1,6\} //p' "${anchor_target}")
+          if [ "${found}" -ne 1 ]; then
+            echo "docs lint: ${doc} links to '#${fragment}' but ${anchor_target} has no such heading" >&2
+            exit 1
+          fi
+          ;;
+      esac
+    fi
   done < <(grep -o '](\([^)]*\))' "${doc}" | sed 's/^](\(.*\))$/\1/')
 done
-echo "docs lint: module map complete, section numbering contiguous, links resolve"
+echo "docs lint: module maps complete, section numbering contiguous, links and anchors resolve"

@@ -87,8 +87,12 @@ class FailureDetector {
  public:
   enum class NodeState : std::uint8_t { kAlive, kSuspected, kConfirmedDead };
 
+  /// Pre: nodes >= 0; node ids passed below must be in [0, nodes).
   FailureDetector(int nodes, DetectorOptions options);
 
+  /// A beat arrived; an alive-or-suspected node returns to kAlive.  A
+  /// confirmed-dead node stays dead until reset() — confirmation is a
+  /// one-way door, matching the fencing discipline.
   void observe_heartbeat(int node, SimTime at);
   /// Advance suspicion state to `now`; newly-confirmed nodes queue for
   /// take_confirmed().
@@ -259,7 +263,8 @@ class FleetManager {
  public:
   explicit FleetManager(FleetOptions options = {});
 
-  /// Arm the concurrent-fault soak; call before run().
+  /// Arm the concurrent-fault soak; call before run().  Arming twice
+  /// replaces the previous torture configuration.
   void arm_torture(const FleetTortureOptions& torture);
 
   /// Drop the next `beats` heartbeats of `node` (deterministic targeted
@@ -267,6 +272,8 @@ class FleetManager {
   void suppress_heartbeats(int node, std::uint32_t beats);
 
   /// Run `windows` scheduling windows and return the cumulative report.
+  /// Callable repeatedly: each call continues from the current fleet state
+  /// and the report keeps accumulating (report() returns the same totals).
   FleetReport run(std::uint64_t windows);
 
   [[nodiscard]] Cluster& cluster() { return cluster_; }
@@ -289,8 +296,12 @@ class FleetManager {
     return post_mortems_;
   }
   /// Node currently hosting slot `slot` (-1 while awaiting a spare).
+  /// Pre for all three: the index is in range (slot < active_nodes,
+  /// shard < shards); they are bounds-checked and throw otherwise.
   [[nodiscard]] int slot_node(int slot) const;
+  /// RecoveryManager job id of slot `slot` (stable across replacements).
   [[nodiscard]] RecoveryManager::JobId slot_job(int slot) const;
+  /// Node whose disk is shard `shard`'s replica 0 (moves on retarget).
   [[nodiscard]] int storage_home(int shard) const;
 
  private:

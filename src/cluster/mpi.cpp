@@ -19,10 +19,27 @@ std::uint64_t next_fabric_id() {
 }
 
 // Guest memory layout: [0] iteration, [8] messages received,
-// [16] bytes received; array in heap.
+// [16] bytes received, [24] order-sensitive receive digest; array in heap.
 constexpr sim::VAddr kIterAddr = sim::kDataBase;
 constexpr sim::VAddr kRecvCountAddr = sim::kDataBase + 8;
 constexpr sim::VAddr kRecvBytesAddr = sim::kDataBase + 16;
+constexpr sim::VAddr kRecvDigestAddr = sim::kDataBase + 24;
+
+std::uint64_t fold_payload(const std::vector<std::byte>& payload) {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a
+  for (std::byte b : payload) {
+    h ^= std::to_integer<std::uint64_t>(b);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::uint64_t read_guest_u64(sim::Process& proc, sim::VAddr addr) {
+  const auto data = proc.aspace->page_data(sim::page_of(addr));
+  std::uint64_t value = 0;
+  std::memcpy(&value, data.data() + sim::page_offset(addr), sizeof(value));
+  return value;
+}
 
 }  // namespace
 
@@ -31,9 +48,19 @@ constexpr sim::VAddr kRecvBytesAddr = sim::kDataBase + 16;
 // ---------------------------------------------------------------------------
 
 std::uint64_t MpiFabric::create(int nranks, SimTime latency) {
+  FabricOptions options;
+  options.latency = latency;
+  return create(nranks, options);
+}
+
+std::uint64_t MpiFabric::create(int nranks, const FabricOptions& options) {
   auto fabric = std::make_unique<MpiFabric>();
   fabric->nranks_ = nranks;
-  fabric->latency_ = latency;
+  fabric->options_ = options;
+  MessageLogOptions log_options;
+  log_options.log_payloads = options.log_payloads;
+  log_options.costs = options.costs;
+  fabric->log_ = MessageLog(log_options);
   const std::uint64_t id = next_fabric_id();
   fabric_registry()[id] = std::move(fabric);
   return id;
@@ -49,25 +76,110 @@ MpiFabric& MpiFabric::get(std::uint64_t id) {
 
 void MpiFabric::destroy(std::uint64_t id) { fabric_registry().erase(id); }
 
-void MpiFabric::send(int src, int dst, std::uint64_t tag, std::vector<std::byte> payload,
-                     SimTime now) {
+SimTime MpiFabric::send(int src, int dst, std::uint64_t tag,
+                        std::vector<std::byte> payload, SimTime now) {
   Message message;
   message.src = src;
   message.dst = dst;
+  message.seq = ++next_seq_[{src, dst}];
   message.tag = tag;
   message.payload = std::move(payload);
-  message.visible_at = now + latency_;
+  message.visible_at = now + options_.latency;
+
+  SimTime charge = 0;
+  if (options_.sender_logging) {
+    LoggedMessage entry;
+    entry.src = src;
+    entry.dst = dst;
+    entry.seq = message.seq;
+    entry.tag = tag;
+    entry.sent_at = now;
+    entry.payload = message.payload;  // copy: the log owns its bytes
+    charge = log_.record(std::move(entry));
+  }
+
   inboxes_[dst].push_back(std::move(message));
   ++total_sent_;
+  return charge;
 }
 
 std::optional<MpiFabric::Message> MpiFabric::try_recv(int dst, SimTime now) {
   auto it = inboxes_.find(dst);
-  if (it == inboxes_.end() || it->second.empty()) return std::nullopt;
-  if (it->second.front().visible_at > now) return std::nullopt;  // still in flight
-  Message message = std::move(it->second.front());
-  it->second.pop_front();
-  return message;
+  if (it == inboxes_.end()) return std::nullopt;
+  while (!it->second.empty()) {
+    if (it->second.front().visible_at > now) return std::nullopt;  // still in flight
+    Message message = std::move(it->second.front());
+    it->second.pop_front();
+    std::uint64_t& frontier = delivered_seq_[{message.src, dst}];
+    if (message.seq <= frontier) {
+      // Re-send from a restarted sender's re-execution (or replay overlap):
+      // already delivered, drop and keep looking.
+      ++duplicates_dropped_;
+      continue;
+    }
+    if (message.seq != frontier + 1) {
+      // A skipped sequence means a message was lost — impossible by
+      // construction; surfaced loudly, never silently.
+      ++sequence_violations_;
+    }
+    frontier = message.seq;
+    ++total_delivered_;
+    return message;
+  }
+  return std::nullopt;
+}
+
+ChannelCut MpiFabric::channel_cut(int rank) const {
+  ChannelCut cut;
+  for (const auto& [key, seq] : next_seq_) {
+    if (key.first == rank && seq > 0) cut.sent[key.second] = seq;
+  }
+  for (const auto& [key, seq] : delivered_seq_) {
+    if (key.second == rank && seq > 0) cut.delivered[key.first] = seq;
+  }
+  return cut;
+}
+
+std::map<std::pair<int, int>, std::uint64_t> MpiFabric::current_sent() const {
+  return next_seq_;
+}
+
+void MpiFabric::rewind_for_restart(int rank, const ChannelCut& cut) {
+  inboxes_[rank].clear();
+  for (auto& [key, seq] : next_seq_) {
+    if (key.first != rank) continue;
+    auto sent = cut.sent.find(key.second);
+    seq = sent == cut.sent.end() ? 0 : sent->second;
+  }
+  for (auto& [key, seq] : delivered_seq_) {
+    if (key.second != rank) continue;
+    auto delivered = cut.delivered.find(key.first);
+    seq = delivered == cut.delivered.end() ? 0 : delivered->second;
+  }
+}
+
+MpiFabric::ReplayStats MpiFabric::replay_into(int rank, const ChannelCut& cut,
+                                              SimTime now) {
+  ReplayStats stats;
+  for (int src = 0; src < nranks_; ++src) {
+    if (src == rank) continue;
+    auto delivered = cut.delivered.find(src);
+    const std::uint64_t after = delivered == cut.delivered.end() ? 0 : delivered->second;
+    for (const LoggedMessage* logged : log_.suffix(src, rank, after)) {
+      if (logged->payload.empty()) continue;  // metadata-only: nothing to replay
+      Message message;
+      message.src = logged->src;
+      message.dst = rank;
+      message.seq = logged->seq;
+      message.tag = logged->tag;
+      message.payload = logged->payload;
+      message.visible_at = now + options_.latency;
+      inboxes_[rank].push_back(std::move(message));
+      ++stats.messages;
+      stats.bytes += logged->payload.size();
+    }
+  }
+  return stats;
 }
 
 std::uint64_t MpiFabric::in_flight() const {
@@ -117,12 +229,17 @@ sim::GuestStatus MpiRankGuest::on_step(sim::UserApi& api) {
   const std::uint64_t iter = api.load_u64(kIterAddr);
 
   // Drain whatever has arrived; received halos are folded into the local
-  // array so they become part of the checkpointable state.
+  // array and the order-sensitive digest, so they become part of the
+  // checkpointable (and replay-verifiable) state.
   while (auto message = fabric.try_recv(config_.rank, api.now())) {
     std::uint64_t received = api.load_u64(kRecvCountAddr);
     std::uint64_t bytes = api.load_u64(kRecvBytesAddr);
+    std::uint64_t digest = api.load_u64(kRecvDigestAddr);
     api.store_u64(kRecvCountAddr, received + 1);
     api.store_u64(kRecvBytesAddr, bytes + message->payload.size());
+    digest = digest * 1000003ULL + fold_payload(message->payload) +
+             message->tag * 31ULL + static_cast<std::uint64_t>(message->src);
+    api.store_u64(kRecvDigestAddr, digest);
     const std::uint64_t slot =
         (message->tag % (config_.array_bytes / sim::kPageSize)) * sim::kPageSize;
     const std::size_t n = std::min<std::size_t>(message->payload.size(), 256);
@@ -145,7 +262,9 @@ sim::GuestStatus MpiRankGuest::on_step(sim::UserApi& api) {
   }
   api.compute(config_.compute_ns);
 
-  // Halo exchange with ring neighbours.
+  // Halo exchange with ring neighbours.  With sender logging on, each send
+  // returns the pessimistic log-append charge, paid here — the rank does
+  // not progress past a send whose log entry is not durable-in-memory.
   std::vector<std::byte> halo(config_.halo_bytes);
   for (std::size_t i = 0; i < halo.size(); ++i) {
     halo[i] = static_cast<std::byte>((iter + i + static_cast<std::uint64_t>(config_.rank)) &
@@ -153,8 +272,10 @@ sim::GuestStatus MpiRankGuest::on_step(sim::UserApi& api) {
   }
   const int right = (config_.rank + 1) % config_.nranks;
   const int left = (config_.rank + config_.nranks - 1) % config_.nranks;
-  fabric.send(config_.rank, right, iter, halo, api.now());
-  fabric.send(config_.rank, left, iter, std::move(halo), api.now());
+  SimTime log_charge = 0;
+  log_charge += fabric.send(config_.rank, right, iter, halo, api.now());
+  log_charge += fabric.send(config_.rank, left, iter, std::move(halo), api.now());
+  if (log_charge > 0) api.compute(log_charge);
 
   api.store_u64(kIterAddr, iter + 1);
   api.work_done();
@@ -170,10 +291,11 @@ void MpiRankGuest::register_type() {
 }
 
 std::uint64_t MpiRankGuest::read_iteration(sim::Process& proc) {
-  const auto data = proc.aspace->page_data(sim::page_of(kIterAddr));
-  std::uint64_t value = 0;
-  std::memcpy(&value, data.data() + sim::page_offset(kIterAddr), sizeof(value));
-  return value;
+  return read_guest_u64(proc, kIterAddr);
+}
+
+std::uint64_t MpiRankGuest::read_recv_digest(sim::Process& proc) {
+  return read_guest_u64(proc, kRecvDigestAddr);
 }
 
 // ---------------------------------------------------------------------------
@@ -184,6 +306,14 @@ MpiJob::MpiJob(Cluster& cluster, int nranks, MpiRankGuest::Config base_config)
     : cluster_(cluster), nranks_(nranks), base_config_(base_config) {
   MpiRankGuest::register_type();
   fabric_id_ = MpiFabric::create(nranks, cluster.node(0).kernel().costs().net_latency_ns);
+  placements_.resize(static_cast<std::size_t>(nranks));
+}
+
+MpiJob::MpiJob(Cluster& cluster, int nranks, MpiRankGuest::Config base_config,
+               const MpiFabric::FabricOptions& fabric)
+    : cluster_(cluster), nranks_(nranks), base_config_(base_config) {
+  MpiRankGuest::register_type();
+  fabric_id_ = MpiFabric::create(nranks, fabric);
   placements_.resize(static_cast<std::size_t>(nranks));
 }
 
@@ -208,6 +338,12 @@ MpiJob::CoordinatedResult MpiJob::coordinated_checkpoint(
     const std::vector<core::CheckpointEngine*>& engines_by_node) {
   CoordinatedResult result;
   MpiFabric& net = fabric();
+  if (net.quiescing()) {
+    // Re-entry would hang the drain: the already-running drain holds the
+    // quiesce flag, and clearing it on our error path would break it.
+    result.error = "coordinated checkpoint already in progress";
+    return result;
+  }
   const SimTime started = cluster_.now();
   const std::uint64_t in_flight_before = net.in_flight();
 
@@ -271,6 +407,22 @@ bool MpiJob::restart_ranks_of_failed_node(
     placement.pid = restarted.pid;
   }
   return true;
+}
+
+void MpiJob::rehome_rank(int rank, int node, sim::Pid pid) {
+  placements_.at(static_cast<std::size_t>(rank)) = Placement{node, pid};
+}
+
+sim::Pid MpiJob::respawn_rank(int rank, int node) {
+  MpiRankGuest::Config config = base_config_;
+  config.fabric_id = fabric_id_;
+  config.rank = rank;
+  config.nranks = nranks_;
+  sim::SpawnOptions options = sim::spawn_options_for_array(config.array_bytes);
+  const sim::Pid pid = cluster_.node(node).kernel().spawn(MpiRankGuest::kTypeName,
+                                                          config.encode(), options);
+  rehome_rank(rank, node, pid);
+  return pid;
 }
 
 std::uint64_t MpiJob::min_iteration(Cluster& cluster) const {

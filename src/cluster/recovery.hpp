@@ -23,6 +23,11 @@
 // After a successful failover the manager retargets the job's local
 // replica slot to the new home's disk and scrubs, re-replicating committed
 // history onto it — the self-healing closed loop.
+//
+// This ladder restarts a *whole job*.  Message-passing jobs under
+// sender-based logging instead recover through
+// UncoordinatedMpi::recover_failed_node (uncoordinated.hpp), which reuses
+// the same engines and stores but restarts only the failed ranks.
 #pragma once
 
 #include <cstdint>
@@ -129,11 +134,17 @@ class RecoveryManager {
   /// homed on the failed node.
   void watch();
 
+  /// Current pid (kNoPid for an unknown job; changes across recoveries).
   [[nodiscard]] sim::Pid pid_of(JobId job) const;
+  /// Current home node (-1 for an unknown job; changes across recoveries).
   [[nodiscard]] int home_of(JobId job) const;
+  /// Successful checkpoint() calls for the job (0 for an unknown job).
   [[nodiscard]] std::uint64_t checkpoints_taken(JobId job) const;
+  /// The job's store / chain.  Pre: `job` was returned by launch()/adopt();
+  /// throws std::invalid_argument otherwise.
   [[nodiscard]] storage::ReplicatedStore& store(JobId job);
   [[nodiscard]] storage::CheckpointChain& chain(JobId job);
+  /// Every recover() outcome, oldest first (watch()-triggered included).
   [[nodiscard]] const std::vector<RecoveryReport>& reports() const { return reports_; }
 
   /// Replica slot layout of every job's store.

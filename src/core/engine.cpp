@@ -210,6 +210,11 @@ std::uint64_t CheckpointEngine::checkpoints_taken(sim::Pid pid) const {
   return state == nullptr ? 0 : state->taken;
 }
 
+const storage::CheckpointChain* CheckpointEngine::chain_of(sim::Pid original_pid) const {
+  const ProcState* state = find_state(original_pid);
+  return state == nullptr ? nullptr : &state->chain;
+}
+
 RestartResult CheckpointEngine::restart(sim::SimKernel& kernel, sim::Pid original_pid,
                                         const RestartOptions& options) {
   return restart_on(kernel, original_pid, options);

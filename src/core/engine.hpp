@@ -184,6 +184,13 @@ class CheckpointEngine {
   /// Number of completed checkpoints for a pid.
   [[nodiscard]] std::uint64_t checkpoints_taken(sim::Pid pid) const;
 
+  /// The checkpoint chain recorded for `original_pid`, or nullptr if this
+  /// engine never checkpointed it.  Chains stay keyed by the ORIGINAL pid
+  /// even after restart_on() produced a fresh pid — callers doing
+  /// older-image rollback (uncoordinated MPI recovery) reconstruct through
+  /// this and then restart_from_image directly.
+  [[nodiscard]] const storage::CheckpointChain* chain_of(sim::Pid original_pid) const;
+
  protected:
   struct ProcState {
     storage::CheckpointChain chain;

@@ -8,8 +8,12 @@
 
 #include <map>
 
+#include "cluster/mpi.hpp"
+#include "cluster/uncoordinated.hpp"
+#include "core/systemlevel.hpp"
 #include "obs/flightrec.hpp"
 #include "storage/backend.hpp"
+#include "storage/replicated.hpp"
 #include "storage/image.hpp"
 #include "util/crc64.hpp"
 #include "util/rng.hpp"
@@ -309,6 +313,200 @@ CrashReplayReport JournalCrashReplay::run() {
     // recoverable prefix ends where the damaged record begins.
     run_case(std::move(damaged), record.log_offset, "corrupt", at);
     ++report.fuzz_cases;
+  }
+
+  report.outcome_digest = util::crc64(digest.bytes());
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// mpi_uncoordinated mode
+// ---------------------------------------------------------------------------
+
+std::string MpiReplayReport::summary() const {
+  std::string out = "mpi replay: " + std::to_string(cases) + " cases, " +
+                    std::to_string(recoveries) + " recoveries, " +
+                    std::to_string(commits) + " commits, " +
+                    std::to_string(replayed_messages) + " replayed, " +
+                    std::to_string(lost_messages) + " lost, " +
+                    std::to_string(duplicates_dropped) + " dup-dropped, depth<=" +
+                    std::to_string(max_rollback_depth) + ", " +
+                    std::to_string(failures) + " failures";
+  for (const std::string& diagnostic : diagnostics) out += "\n  " + diagnostic;
+  return out;
+}
+
+namespace {
+
+bool all_ranks_have_cuts(const cluster::UncoordinatedMpi& manager, int nranks) {
+  for (int r = 0; r < nranks; ++r) {
+    auto it = manager.cuts().find(r);
+    if (it == manager.cuts().end() || it->second.empty()) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+MpiReplayReport MpiCrashReplay::run() {
+  MpiReplayReport report;
+  util::Serializer digest;
+  std::unique_ptr<util::ThreadPool> pinned;
+  if (options_.workers > 0) {
+    pinned = std::make_unique<util::ThreadPool>(options_.workers);
+  }
+
+  auto fail_case = [&](std::uint64_t k, const std::string& what) {
+    ++report.failures;
+    if (report.diagnostics.size() < 8) {
+      report.diagnostics.push_back("case " + std::to_string(k) + ": " + what);
+    }
+  };
+
+  for (std::uint64_t k = 0; k < options_.crash_points; ++k) {
+    // Fresh deterministic scenario per case: the crash point (which node,
+    // after how much progress) is the only thing that varies with k.
+    cluster::Cluster cluster(options_.nodes, cluster::NodeConfig{});
+    storage::ReplicatedOptions store_options;
+    store_options.pool = pinned.get();
+    storage::ReplicatedStore store({&cluster.remote_storage()}, store_options);
+
+    cluster::MpiFabric::FabricOptions fabric_options;
+    fabric_options.latency = cluster.node(0).kernel().costs().net_latency_ns;
+    fabric_options.sender_logging = true;
+    fabric_options.costs = cluster.node(0).kernel().costs();
+
+    cluster::MpiRankGuest::Config config;
+    config.array_bytes = options_.array_bytes;
+    config.halo_bytes = options_.halo_bytes;
+    cluster::MpiJob job(cluster, options_.nranks, config, fabric_options);
+    job.launch();
+
+    std::vector<std::unique_ptr<core::CheckpointEngine>> engines;
+    std::vector<core::CheckpointEngine*> raw_engines;
+    for (int n = 0; n < options_.nodes; ++n) {
+      sim::SimKernel& kernel = cluster.node(n).kernel();
+      sim::KernelModule& module = kernel.load_module("blcr");
+      engines.push_back(std::make_unique<core::KernelThreadEngine>(
+          "blcr", &store, core::EngineOptions{}, kernel,
+          core::KernelThreadEngine::ThreadConfig{}, &module));
+      raw_engines.push_back(engines.back().get());
+    }
+
+    std::unique_ptr<storage::LogStructuredBackend> journal;
+    cluster::UncoordinatedOptions manager_options;
+    manager_options.policy.initial_interval = options_.interval;
+    manager_options.policy.adapt_interval = false;
+    manager_options.epoch = 2 * kMillisecond;
+    if (options_.journal_logs) {
+      journal = std::make_unique<storage::LogStructuredBackend>(&cluster.remote_storage());
+      manager_options.log_journal = journal.get();
+    }
+    cluster::UncoordinatedMpi manager(cluster, job, raw_engines, manager_options);
+
+    // Run to the case-specific crash point, making sure every rank holds at
+    // least one checkpoint so the recovery line has images to anchor on.
+    manager.run_until(options_.interval * static_cast<SimTime>(2 + k % 3));
+    for (int extra = 0; extra < 8 && !all_ranks_have_cuts(manager, options_.nranks);
+         ++extra) {
+      manager.run_until(cluster.now() + options_.interval);
+    }
+    if (!all_ranks_have_cuts(manager, options_.nranks)) {
+      fail_case(k, "some rank never checkpointed before the crash point");
+      continue;
+    }
+    // Let every rank execute well past its newest cut before the crash, so
+    // recovery genuinely rolls state back and re-execution re-sends
+    // sequences the receivers already delivered (the dedup seam).  A fixed
+    // window is not enough: each commit advances the host node's local
+    // kernel clock past cluster time, and those leads are uneven across
+    // nodes — a rank whose host leads by more than the window would crash
+    // still sitting exactly at its cut frontier.  So run the cluster in
+    // chunks (no further commits) until every rank's live send frontier
+    // provably exceeds its newest checkpoint cut.
+    {
+      const auto past_cuts = [&](std::uint64_t margin) {
+        const auto sent = job.fabric().current_sent();
+        for (const auto& [rank, history] : manager.cuts()) {
+          for (const auto& [dst, cut_seq] : history.back().channels.sent) {
+            auto live = sent.find({rank, dst});
+            const std::uint64_t live_seq = live == sent.end() ? 0 : live->second;
+            if (live_seq < cut_seq + margin) return false;
+          }
+        }
+        return true;
+      };
+      for (int chunk = 0; chunk < 16 && !past_cuts(10); ++chunk) {
+        cluster.run_until(cluster.now() + 2 * options_.interval, 2 * kMillisecond);
+      }
+    }
+
+    const int victim = static_cast<int>(k) % options_.nodes;
+    cluster.fail_node(victim);
+    if (options_.double_failure) {
+      cluster.fail_node((victim + 1) % options_.nodes);
+    }
+    const std::vector<int> up = cluster.up_nodes();
+    if (up.empty()) {
+      fail_case(k, "no surviving node to recover onto");
+      continue;
+    }
+    const cluster::UncoordinatedMpi::RecoverResult recovered =
+        manager.recover_failed_node(victim, up.front());
+    if (!recovered.ok) {
+      fail_case(k, "recovery failed: " + recovered.error);
+      continue;
+    }
+    ++report.recoveries;
+    report.replayed_messages += recovered.replayed_messages;
+    report.journal_restored_logs += recovered.journal_restored_logs;
+    report.max_rollback_depth =
+        std::max(report.max_rollback_depth, recovered.line.depth);
+
+    // Run forward WITHOUT further commits: the recovery target now hosts
+    // extra ranks and its kernel clock sits ahead of cluster time after the
+    // restarts, so a manager-driven window would spend it all on checkpoint
+    // work.  Driving the cluster directly lets the restarted ranks actually
+    // re-execute — the job must make real progress, re-execution re-sends
+    // must be absorbed as duplicates, and no receiver may ever observe a
+    // sequence gap (lost message).
+    // The window scales with the recovery width: the target node's clock
+    // leads cluster time by the restart charges, and each restarted rank
+    // shares the target CPU — re-executing past its cut (so duplicates are
+    // provably absorbed) takes proportionally longer the more ranks were
+    // rolled back.
+    const SimTime window =
+        static_cast<SimTime>(4 + 2 * recovered.line.width) * options_.interval;
+    cluster.run_until(cluster.now() + window, 2 * kMillisecond);
+    const std::uint64_t progress = job.min_iteration(cluster);
+    if (progress == 0) {
+      fail_case(k, "no progress after recovery");
+    }
+    cluster::MpiFabric& fabric = job.fabric();
+    report.lost_messages += fabric.sequence_violations();
+    report.duplicates_dropped += fabric.duplicates_dropped();
+    report.commits += manager.stats().commits;
+
+    // Fold the recovered outcome: per-rank iteration + order-sensitive
+    // receive digest are a byte-level fingerprint of guest state evolution.
+    digest.put(k);
+    digest.put(progress);
+    digest.put<std::uint32_t>(recovered.line.depth);
+    digest.put<std::uint32_t>(recovered.line.width);
+    digest.put(recovered.replayed_messages);
+    for (int r = 0; r < options_.nranks; ++r) {
+      const cluster::MpiJob::Placement placement =
+          job.placements()[static_cast<std::size_t>(r)];
+      sim::Process* proc =
+          cluster.node(placement.node).kernel().find_process(placement.pid);
+      if (proc == nullptr || !proc->alive()) {
+        fail_case(k, "rank " + std::to_string(r) + " dead after recovery");
+        continue;
+      }
+      digest.put(cluster::MpiRankGuest::read_iteration(*proc));
+      digest.put(cluster::MpiRankGuest::read_recv_digest(*proc));
+    }
+    ++report.cases;
   }
 
   report.outcome_digest = util::crc64(digest.bytes());

@@ -99,6 +99,83 @@ TEST_F(MpiTest, FailedNodeRanksRestartElsewhereAndJobContinues) {
   EXPECT_GT(job.min_iteration(cluster), at_checkpoint);
 }
 
+TEST_F(MpiTest, DrainWithZeroInFlightMessagesSucceedsImmediately) {
+  // Edge case: a coordinated checkpoint requested when nothing is in
+  // flight must not wait on the drain phase at all.
+  Cluster cluster(4, NodeConfig{});
+  MpiRankGuest::Config config;
+  config.array_bytes = 32 * 1024;
+  MpiJob job(cluster, 4, config);
+  job.launch();  // never stepped: no rank has sent anything yet
+
+  auto engines = make_engines(cluster);
+  ASSERT_EQ(job.fabric().in_flight(), 0u);
+  const auto result = job.coordinated_checkpoint(raw(engines));
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.messages_drained, 0u);
+  EXPECT_EQ(result.drain_time, 0);
+  EXPECT_FALSE(job.fabric().quiescing());
+}
+
+TEST_F(MpiTest, RankThatNeverSendsHasEmptyChannelState) {
+  const std::uint64_t id = MpiFabric::create(3, /*latency=*/1 * kMillisecond);
+  MpiFabric& fabric = MpiFabric::get(id);
+  // Ranks 0 and 1 talk; rank 2 stays silent.
+  fabric.send(0, 1, 1, std::vector<std::byte>(16), 0);
+  fabric.send(1, 0, 1, std::vector<std::byte>(16), 0);
+  EXPECT_FALSE(fabric.try_recv(2, 10 * kMillisecond).has_value());
+  const ChannelCut cut = fabric.channel_cut(2);
+  EXPECT_TRUE(cut.sent.empty());
+  EXPECT_TRUE(cut.delivered.empty());
+  // A silent rank contributes nothing to drain pressure either: delivering
+  // the two real messages empties the fabric.
+  EXPECT_TRUE(fabric.try_recv(0, 10 * kMillisecond).has_value());
+  EXPECT_TRUE(fabric.try_recv(1, 10 * kMillisecond).has_value());
+  EXPECT_EQ(fabric.in_flight(), 0u);
+  MpiFabric::destroy(id);
+}
+
+TEST_F(MpiTest, QuiesceReentryIsRejectedNotDeadlocked) {
+  Cluster cluster(2, NodeConfig{});
+  MpiRankGuest::Config config;
+  config.array_bytes = 16 * 1024;
+  MpiJob job(cluster, 2, config);
+  job.launch();
+  auto engines = make_engines(cluster);
+
+  // Simulate a coordinated checkpoint already holding the quiesce flag: a
+  // second one must fail fast and leave the flag to its owner.
+  job.fabric().set_quiescing(true);
+  const auto result = job.coordinated_checkpoint(raw(engines));
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("already in progress"), std::string::npos);
+  EXPECT_TRUE(job.fabric().quiescing());  // owner's flag untouched
+  job.fabric().set_quiescing(false);
+  EXPECT_TRUE(job.coordinated_checkpoint(raw(engines)).ok);
+}
+
+TEST_F(MpiTest, ReceiverDropsDuplicateSequencesAfterRewind) {
+  MpiFabric::FabricOptions options;
+  options.latency = 0;
+  options.sender_logging = true;
+  const std::uint64_t id = MpiFabric::create(2, options);
+  MpiFabric& fabric = MpiFabric::get(id);
+  fabric.send(0, 1, 1, std::vector<std::byte>(8), 0);
+  fabric.send(0, 1, 2, std::vector<std::byte>(8), 0);
+  ASSERT_TRUE(fabric.try_recv(1, 1).has_value());
+  ASSERT_TRUE(fabric.try_recv(1, 1).has_value());
+
+  // Sender 0 rolls back to "nothing sent" and re-executes: the re-sends
+  // carry the same sequence numbers and must be absorbed, not redelivered.
+  fabric.rewind_for_restart(0, ChannelCut{});
+  fabric.send(0, 1, 1, std::vector<std::byte>(8), 2);
+  fabric.send(0, 1, 2, std::vector<std::byte>(8), 2);
+  EXPECT_FALSE(fabric.try_recv(1, 5).has_value());
+  EXPECT_EQ(fabric.duplicates_dropped(), 2u);
+  EXPECT_EQ(fabric.sequence_violations(), 0u);
+  MpiFabric::destroy(id);
+}
+
 TEST_F(MpiTest, DrainCostGrowsWithRankCount) {
   // Claim C12: coordination cost scales with the number of ranks.
   auto drain_time = [this](int nranks) {

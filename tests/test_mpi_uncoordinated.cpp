@@ -1,0 +1,372 @@
+// Uncoordinated MPI checkpointing: sender-based message log invariants,
+// recovery-line computation (domino detection/bounding), restart-only-the-
+// failed-rank recovery, and the mpi_uncoordinated crash-replay mode's
+// worker-count invariance.  DESIGN.md §14 is the protocol these tests pin.
+#include <gtest/gtest.h>
+
+#include "cluster/mpi.hpp"
+#include "cluster/msglog.hpp"
+#include "cluster/uncoordinated.hpp"
+#include "core/systemlevel.hpp"
+#include "inject/replay.hpp"
+#include "obs/observer.hpp"
+#include "storage/journal.hpp"
+#include "test_common.hpp"
+
+namespace ckpt::cluster {
+namespace {
+
+using ckpt::test::SimTest;
+
+LoggedMessage make_message(int src, int dst, std::uint64_t seq,
+                           std::size_t payload_bytes = 16) {
+  LoggedMessage m;
+  m.src = src;
+  m.dst = dst;
+  m.seq = seq;
+  m.tag = seq;
+  m.payload = std::vector<std::byte>(payload_bytes, std::byte{0x5A});
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// MessageLog
+// ---------------------------------------------------------------------------
+
+TEST(MessageLog, RecordsCoverAndReplayInSequenceOrder) {
+  MessageLog log;
+  for (std::uint64_t s = 1; s <= 5; ++s) {
+    EXPECT_GT(log.record(make_message(0, 1, s)), 0);  // pessimistic: charged
+  }
+  EXPECT_TRUE(log.covers(0, 1, 1, 5));
+  EXPECT_TRUE(log.covers(0, 1, 3, 3));
+  EXPECT_TRUE(log.covers(0, 1, 6, 5));   // empty range
+  EXPECT_FALSE(log.covers(0, 1, 1, 6));  // seq 6 never logged
+  EXPECT_FALSE(log.covers(1, 0, 1, 1));  // other direction never logged
+  EXPECT_FALSE(log.covers(0, 1, 1, 5, /*dead_logs=*/{0}));  // owner dead
+
+  const auto suffix = log.suffix(0, 1, 2);
+  ASSERT_EQ(suffix.size(), 3u);
+  EXPECT_EQ(suffix[0]->seq, 3u);
+  EXPECT_EQ(suffix[2]->seq, 5u);
+  EXPECT_EQ(log.crc_failures(), 0u);
+}
+
+TEST(MessageLog, TrimDropsOnlyDeliveredPrefix) {
+  MessageLog log;
+  for (std::uint64_t s = 1; s <= 6; ++s) log.record(make_message(0, 1, s));
+  EXPECT_EQ(log.trim_delivered(1, {{0, 4}}), 4u);
+  EXPECT_FALSE(log.covers(0, 1, 4, 5));  // 4 is gone
+  EXPECT_TRUE(log.covers(0, 1, 5, 6));   // suffix intact
+  EXPECT_EQ(log.total_trimmed(), 4u);
+}
+
+TEST(MessageLog, EncodeRestoreRoundTripsOneSendersEntries) {
+  MessageLog log;
+  for (std::uint64_t s = 1; s <= 3; ++s) log.record(make_message(0, 1, s));
+  log.record(make_message(2, 1, 1));  // another sender: must not be touched
+  const std::vector<std::byte> blob = log.encode_sender(0);
+
+  EXPECT_EQ(log.drop_sender(0), 3u);
+  EXPECT_FALSE(log.covers(0, 1, 1, 3));
+  EXPECT_TRUE(log.covers(2, 1, 1, 1));
+
+  EXPECT_EQ(log.restore_sender(0, blob), 3u);
+  EXPECT_TRUE(log.covers(0, 1, 1, 3));
+  const auto suffix = log.suffix(0, 1, 0);
+  ASSERT_EQ(suffix.size(), 3u);
+  EXPECT_EQ(suffix[0]->payload.size(), 16u);  // payloads survived the trip
+}
+
+TEST(MessageLog, MetadataOnlyModeTracksDependenciesButCannotReplay) {
+  MessageLogOptions options;
+  options.log_payloads = false;
+  MessageLog log(options);
+  log.record(make_message(0, 1, 1));
+  // Dependency metadata exists (the resolver can compute the cascade)...
+  EXPECT_EQ(log.message_count(), 1u);
+  // ...but nothing is replayable, so coverage is always refused.
+  EXPECT_FALSE(log.covers(0, 1, 1, 1));
+}
+
+// ---------------------------------------------------------------------------
+// RollbackResolver
+// ---------------------------------------------------------------------------
+
+CheckpointCut make_cut(std::uint64_t sequence, ChannelCut channels) {
+  CheckpointCut cut;
+  cut.sequence = sequence;
+  cut.node = 0;
+  cut.pid = 1;
+  cut.channels = std::move(channels);
+  return cut;
+}
+
+TEST(RollbackResolver, CoveredSingleFailureIsDepthOneWidthOne) {
+  // Rank 1 delivered up to seq 3 from rank 0 at its newest cut; rank 0 has
+  // since sent through seq 5, all logged.  Only rank 1 restarts.
+  MessageLog log;
+  for (std::uint64_t s = 1; s <= 5; ++s) log.record(make_message(0, 1, s));
+  std::map<int, std::vector<CheckpointCut>> cuts;
+  cuts[0] = {make_cut(1, ChannelCut{{{1, 5}}, {}})};
+  cuts[1] = {make_cut(1, ChannelCut{{}, {{0, 3}}})};
+  RollbackResolver resolver(log, cuts, {{{0, 1}, 5}});
+
+  const RecoveryLine line = resolver.resolve({1});
+  EXPECT_TRUE(line.bounded);
+  EXPECT_EQ(line.width, 1u);
+  EXPECT_EQ(line.depth, 1u);
+  EXPECT_EQ(line.cascade_rounds, 0u);
+  EXPECT_EQ(line.missing_messages, 0u);
+  ASSERT_TRUE(line.restart_cut.contains(1));
+  EXPECT_EQ(line.restart_cut.at(1), 0);
+}
+
+TEST(RollbackResolver, MissingLogCascadesToSenderCheckpoint) {
+  // Rank 0's log is dead (it failed too / was never journaled).  Rank 1
+  // needs seqs 4..5 replayed; without them, rank 0 must roll to a cut whose
+  // send frontier is <= 3 — its older cut — and re-generate them.
+  MessageLog log;
+  std::map<int, std::vector<CheckpointCut>> cuts;
+  cuts[0] = {make_cut(1, ChannelCut{{{1, 3}}, {}}),
+             make_cut(2, ChannelCut{{{1, 5}}, {}})};
+  cuts[1] = {make_cut(1, ChannelCut{{}, {{0, 3}}})};
+  RollbackResolver resolver(log, cuts, {{{0, 1}, 5}});
+
+  const RecoveryLine line = resolver.resolve({1}, /*dead_logs=*/{0});
+  EXPECT_TRUE(line.bounded);
+  EXPECT_EQ(line.width, 2u);  // the cascade reached rank 0
+  ASSERT_TRUE(line.restart_cut.contains(0));
+  EXPECT_EQ(line.restart_cut.at(0), 0);  // rolled past its newest cut
+  EXPECT_EQ(line.depth, 2u);
+  EXPECT_GT(line.missing_messages, 0u);
+}
+
+TEST(RollbackResolver, UnboundedDominoIsDetectedNeverSilent) {
+  // No log at all and rank 0's only cut already sent past what rank 1's cut
+  // delivered: rank 0 must roll past its first checkpoint — unbounded.
+  MessageLog log;
+  std::map<int, std::vector<CheckpointCut>> cuts;
+  cuts[0] = {make_cut(1, ChannelCut{{{1, 5}}, {}})};
+  cuts[1] = {make_cut(1, ChannelCut{{}, {{0, 3}}})};
+  RollbackResolver resolver(log, cuts, {{{0, 1}, 5}});
+
+  const RecoveryLine line = resolver.resolve({1}, {0, 1});
+  EXPECT_FALSE(line.bounded);
+  ASSERT_TRUE(line.restart_cut.contains(0));
+  EXPECT_EQ(line.restart_cut.at(0), RecoveryLine::kToStart);
+  EXPECT_NE(line.describe().find("UNBOUNDED"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// UncoordinatedMpi end-to-end
+// ---------------------------------------------------------------------------
+
+class UncoordinatedMpiTest : public SimTest {
+ protected:
+  struct Scenario {
+    Cluster cluster;
+    std::unique_ptr<MpiJob> job;
+    std::vector<std::unique_ptr<core::CheckpointEngine>> engines;
+    std::vector<core::CheckpointEngine*> raw;
+
+    explicit Scenario(int nodes, int nranks) : cluster(nodes, NodeConfig{}) {
+      MpiFabric::FabricOptions fabric;
+      fabric.latency = cluster.node(0).kernel().costs().net_latency_ns;
+      fabric.sender_logging = true;
+      MpiRankGuest::Config config;
+      config.array_bytes = 32 * 1024;
+      config.halo_bytes = 512;
+      job = std::make_unique<MpiJob>(cluster, nranks, config, fabric);
+      job->launch();
+      for (int n = 0; n < nodes; ++n) {
+        sim::SimKernel& kernel = cluster.node(n).kernel();
+        sim::KernelModule& module = kernel.load_module("blcr");
+        engines.push_back(std::make_unique<core::KernelThreadEngine>(
+            "blcr", &cluster.remote_storage(), core::EngineOptions{}, kernel,
+            core::KernelThreadEngine::ThreadConfig{}, &module));
+        raw.push_back(engines.back().get());
+      }
+    }
+  };
+
+  static UncoordinatedOptions fixed_interval(SimTime interval) {
+    UncoordinatedOptions options;
+    options.policy.initial_interval = interval;
+    options.policy.adapt_interval = false;
+    options.epoch = 2 * kMillisecond;
+    return options;
+  }
+};
+
+TEST_F(UncoordinatedMpiTest, RanksCheckpointIndependentlyWithoutQuiescing) {
+  Scenario s(4, 8);
+  UncoordinatedMpi manager(s.cluster, *s.job, s.raw, fixed_interval(20 * kMillisecond));
+  manager.run_until(70 * kMillisecond);
+
+  // Every rank committed at least once, the network was never quiesced, and
+  // messages stayed in flight throughout (no drain ever happened).
+  EXPECT_GE(manager.stats().commits, 8u);
+  EXPECT_FALSE(s.job->fabric().quiescing());
+  for (int r = 0; r < 8; ++r) {
+    ASSERT_TRUE(manager.cuts().contains(r)) << "rank " << r;
+    EXPECT_FALSE(manager.cuts().at(r).empty());
+  }
+  EXPECT_GT(s.job->min_iteration(s.cluster), 0u);
+  EXPECT_GT(s.job->fabric().log().total_recorded(), 0u);
+  EXPECT_GT(manager.stats().messages_trimmed, 0u);  // logs are being bounded
+}
+
+TEST_F(UncoordinatedMpiTest, SingleNodeFailureRestartsOnlyItsRanksAtDepthOne) {
+  obs::Observer observer;
+  Scenario s(4, 8);
+  UncoordinatedOptions options = fixed_interval(20 * kMillisecond);
+  options.observer = &observer;
+  UncoordinatedMpi manager(s.cluster, *s.job, s.raw, options);
+  manager.run_until(50 * kMillisecond);
+  for (int r = 0; r < 8; ++r) ASSERT_FALSE(manager.cuts().at(r).empty());
+  // Let every rank execute well past its newest cut before the failure, so
+  // recovery's re-execution genuinely re-sends already-delivered messages.
+  s.cluster.run_until(80 * kMillisecond, 2 * kMillisecond);
+
+  s.cluster.fail_node(2);
+  const auto result = manager.recover_failed_node(/*failed=*/2, /*target=*/1);
+  ASSERT_TRUE(result.ok) << result.error;
+
+  // Ring neighbours live on other nodes (round-robin placement), so their
+  // volatile sender logs cover the failed ranks' suffixes: the line is
+  // exactly the failed ranks at their newest images.
+  EXPECT_EQ(result.line.width, 2u);  // ranks 2 and 6 lived on node 2
+  EXPECT_EQ(result.line.depth, 1u);
+  EXPECT_GT(result.replayed_messages, 0u);
+  for (const auto& placement : s.job->placements()) EXPECT_NE(placement.node, 2);
+
+  // The job progresses, loses nothing, and absorbs re-execution re-sends:
+  // the restarted ranks were rewound to their cut frontiers, so their
+  // re-execution re-sends sequences the receivers already delivered.  Run
+  // the cluster directly (no further commits) so the recovery-loaded target
+  // node catches its kernel clock up and the restarted ranks execute.
+  const std::uint64_t before = s.job->min_iteration(s.cluster);
+  s.cluster.run_until(s.cluster.now() + 60 * kMillisecond, 2 * kMillisecond);
+  EXPECT_GT(s.job->min_iteration(s.cluster), before);
+  EXPECT_EQ(s.job->fabric().sequence_violations(), 0u);
+  EXPECT_GT(s.job->fabric().duplicates_dropped(), 0u);
+}
+
+TEST_F(UncoordinatedMpiTest, JournaledLogsKeepConcurrentDoubleFailureAtDepthOne) {
+  Scenario s(4, 8);
+  storage::LogStructuredBackend journal(&s.cluster.remote_storage());
+  UncoordinatedOptions options = fixed_interval(20 * kMillisecond);
+  options.log_journal = &journal;
+  UncoordinatedMpi manager(s.cluster, *s.job, s.raw, options);
+  manager.run_until(50 * kMillisecond);
+  for (int r = 0; r < 8; ++r) ASSERT_FALSE(manager.cuts().at(r).empty());
+
+  // Two nodes die at once: the dead ranks' volatile logs are gone, but the
+  // journal holds each rank's log as of its newest checkpoint — exactly the
+  // window the other dead rank needs.  Depth stays 1.
+  s.cluster.fail_node(1);
+  s.cluster.fail_node(2);
+  const auto result = manager.recover_failed_node(1, /*target=*/0);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.journal_restored_logs, 4u);  // ranks 1,5 and 2,6
+  EXPECT_EQ(result.line.depth, 1u);
+  EXPECT_EQ(result.line.width, 4u);
+
+  manager.run_until(s.cluster.now() + 40 * kMillisecond);
+  EXPECT_GT(s.job->min_iteration(s.cluster), 0u);
+  EXPECT_EQ(s.job->fabric().sequence_violations(), 0u);
+}
+
+TEST_F(UncoordinatedMpiTest, VolatileDoubleFailureCascadesDeeperThanJournaled) {
+  // The domino story, measured: identical scenarios, one with journal-
+  // persisted logs (depth 1 above) and one without — the resolver must
+  // reach for older cuts or report more rolled-back ranks.
+  Scenario s(4, 8);
+  UncoordinatedMpi manager(s.cluster, *s.job, s.raw, fixed_interval(20 * kMillisecond));
+  manager.run_until(90 * kMillisecond);  // several cuts per rank
+  for (int r = 0; r < 8; ++r) ASSERT_FALSE(manager.cuts().at(r).empty());
+
+  s.cluster.fail_node(1);
+  s.cluster.fail_node(2);
+  // Plan only (no execution): what would recovery look like?
+  const RecoveryLine line = manager.plan_recovery({1, 2, 5, 6}, {1, 2, 5, 6});
+  // Dead ranks needing each other's dead logs: the cascade must extend
+  // beyond restart-only-the-failed-rank — deeper or wider than the
+  // journaled case's (depth 1, width 4).
+  EXPECT_TRUE(line.depth > 1 || line.width > 4) << line.describe();
+}
+
+TEST_F(UncoordinatedMpiTest, UnboundedDominoIsRefusedLoudly) {
+  // Metadata-only logging: dependencies are tracked but nothing can be
+  // replayed, and with single cuts per rank the cascade escapes every
+  // checkpoint.  Recovery must refuse — reportedly, not silently.
+  Cluster cluster(4, NodeConfig{});
+  MpiFabric::FabricOptions fabric;
+  fabric.latency = cluster.node(0).kernel().costs().net_latency_ns;
+  fabric.sender_logging = true;
+  fabric.log_payloads = false;  // classic uncoordinated, no message logging
+  MpiRankGuest::Config config;
+  config.array_bytes = 16 * 1024;
+  MpiJob job(cluster, 8, config, fabric);
+  job.launch();
+  std::vector<std::unique_ptr<core::CheckpointEngine>> engines;
+  std::vector<core::CheckpointEngine*> raw;
+  for (int n = 0; n < 4; ++n) {
+    sim::SimKernel& kernel = cluster.node(n).kernel();
+    sim::KernelModule& module = kernel.load_module("blcr");
+    engines.push_back(std::make_unique<core::KernelThreadEngine>(
+        "blcr", &cluster.remote_storage(), core::EngineOptions{}, kernel,
+        core::KernelThreadEngine::ThreadConfig{}, &module));
+    raw.push_back(engines.back().get());
+  }
+  UncoordinatedMpi manager(cluster, job, raw, fixed_interval(20 * kMillisecond));
+  manager.run_until(50 * kMillisecond);
+
+  cluster.fail_node(2);
+  const auto result = manager.recover_failed_node(2, /*target=*/1);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("domino"), std::string::npos) << result.error;
+  EXPECT_FALSE(result.line.bounded);
+}
+
+// ---------------------------------------------------------------------------
+// mpi_uncoordinated crash replay
+// ---------------------------------------------------------------------------
+
+TEST_F(UncoordinatedMpiTest, CrashReplayRecoversEveryCrashPointWithZeroLoss) {
+  inject::MpiReplayOptions options;
+  options.crash_points = 4;
+  const inject::MpiReplayReport report = inject::MpiCrashReplay(options).run();
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_EQ(report.lost_messages, 0u);
+  EXPECT_EQ(report.recoveries, 4u);
+  EXPECT_GT(report.replayed_messages, 0u);
+  EXPECT_EQ(report.max_rollback_depth, 1u);  // single failures, logs live
+}
+
+TEST_F(UncoordinatedMpiTest, CrashReplayReportIsWorkerCountInvariant) {
+  inject::MpiReplayOptions options;
+  options.crash_points = 3;
+  options.workers = 1;
+  const inject::MpiReplayReport serial = inject::MpiCrashReplay(options).run();
+  options.workers = 8;
+  const inject::MpiReplayReport wide = inject::MpiCrashReplay(options).run();
+  EXPECT_TRUE(serial.ok()) << serial.summary();
+  EXPECT_TRUE(serial == wide) << serial.summary() << "\nvs\n" << wide.summary();
+  EXPECT_EQ(serial.outcome_digest, wide.outcome_digest);
+}
+
+TEST_F(UncoordinatedMpiTest, CrashReplayDoubleFailureWithJournalStaysDepthOne) {
+  inject::MpiReplayOptions options;
+  options.crash_points = 3;
+  options.double_failure = true;
+  options.journal_logs = true;
+  const inject::MpiReplayReport report = inject::MpiCrashReplay(options).run();
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_EQ(report.max_rollback_depth, 1u);
+  EXPECT_GT(report.journal_restored_logs, 0u);
+}
+
+}  // namespace
+}  // namespace ckpt::cluster
